@@ -1,0 +1,75 @@
+// Command cobra-ingest simulates the three Grand Prix broadcasts, runs
+// the complete extraction pipeline (features, captions, excited
+// speech, highlights, rule-derived events) and snapshots the resulting
+// database to a directory that cobra-cli and cobra-server can load.
+//
+// Usage:
+//
+//	cobra-ingest -out ./f1db [-dur 300] [-train 150] [-seed 2001] [-em 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cobra/internal/cobra"
+	"cobra/internal/f1"
+	"cobra/internal/monet"
+)
+
+func main() {
+	out := flag.String("out", "f1db", "snapshot output directory")
+	dur := flag.Float64("dur", 300, "simulated race duration in seconds")
+	train := flag.Float64("train", 150, "training prefix in seconds")
+	seed := flag.Int64("seed", 2001, "simulation seed")
+	em := flag.Int("em", 5, "EM iterations for the DBN engines")
+	flag.Parse()
+
+	cfg := f1.DefaultExpConfig()
+	cfg.RaceDur = *dur
+	cfg.TrainDur = *train
+	cfg.Seed = *seed
+	cfg.EMIterations = *em
+
+	corpus := f1.NewCorpus(cfg)
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	if err := corpus.IngestVideos(cat); err != nil {
+		fatal(err)
+	}
+	pre := cobra.NewPreprocessor(cat)
+	corpus.RegisterExtractors(pre)
+
+	// Materialize everything for every video.
+	var reqs []cobra.Requirement
+	for _, name := range f1.FeatureNames {
+		reqs = append(reqs, cobra.Requirement{Kind: cobra.NeedFeature, Name: name})
+	}
+	for _, typ := range []string{
+		f1.EventCaption, f1.EventExcited, f1.EventHighlight,
+		f1.EventStart, f1.EventFlyOut, f1.EventPassing,
+		f1.EventPitStop, f1.EventWinner,
+	} {
+		reqs = append(reqs, cobra.Requirement{Kind: cobra.NeedEvents, Name: typ})
+	}
+	reqs = append(reqs, cobra.Requirement{Kind: cobra.NeedObjects, Name: ""})
+	for _, video := range cat.Videos() {
+		start := time.Now()
+		plan, err := pre.Ensure(video, reqs, 0.5)
+		if err != nil {
+			fatal(fmt.Errorf("extracting %s: %w", video, err))
+		}
+		fmt.Printf("%-12s extracted via %v in %.1fs\n", video, plan.Ran, time.Since(start).Seconds())
+	}
+	if err := store.Snapshot(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot with %d BATs written to %s\n", store.Len(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-ingest:", err)
+	os.Exit(1)
+}

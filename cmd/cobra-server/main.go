@@ -1,0 +1,77 @@
+// Command cobra-server serves the Cobra VDBMS over TCP: COQL queries,
+// MIL statements and remote HMM evaluation (the paper's Fig. 3
+// distributed-engine setup, collapsed into one process with an engine
+// pool).
+//
+// Usage:
+//
+//	cobra-server -addr :4242 [-db ./f1db]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+
+	"cobra/internal/cobra"
+	"cobra/internal/f1"
+	"cobra/internal/hmm"
+	"cobra/internal/monet"
+	"cobra/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":4242", "listen address")
+	db := flag.String("db", "", "snapshot directory to load")
+	flag.Parse()
+
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	if *db != "" {
+		if err := store.LoadSnapshot(*db); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d BATs from %s\n", store.Len(), *db)
+	}
+	pre := cobra.NewPreprocessor(cat)
+	cfg := f1.DefaultExpConfig()
+	cfg.RaceDur = 200
+	cfg.TrainDur = 120
+	cfg.EMIterations = 3
+	corpus := f1.NewCorpus(cfg)
+	if *db == "" {
+		if err := corpus.IngestVideos(cat); err != nil {
+			fatal(err)
+		}
+	}
+	corpus.RegisterExtractors(pre)
+
+	// Six stroke models for the HMM endpoint, as in Fig. 4.
+	pool := hmm.NewEnginePool(7)
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"Service", "Forehand", "Smash", "Backhand", "VolleyBackhand", "VolleyForehand"} {
+		m := hmm.NewModel(name, 8, 16)
+		m.Randomize(rng)
+		if err := pool.Register(m); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := server.New(pre, pool)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cobra-server listening on %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a Cobra video database from a simulated Formula 1
+// broadcast, let the query preprocessor extract metadata on demand,
+// and run content-based queries over it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cobra/internal/cobra"
+	"cobra/internal/f1"
+	"cobra/internal/monet"
+	"cobra/internal/query"
+)
+
+func main() {
+	// 1. A kernel store, the catalog over it, and the preprocessor.
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	pre := cobra.NewPreprocessor(cat)
+
+	// 2. Simulated raw material: three short Grand Prix broadcasts.
+	cfg := f1.DefaultExpConfig()
+	cfg.RaceDur = 200 // seconds per race; raise for more events
+	cfg.TrainDur = 120
+	cfg.EMIterations = 3
+	corpus := f1.NewCorpus(cfg)
+	if err := corpus.IngestVideos(cat); err != nil {
+		log.Fatal(err)
+	}
+	corpus.RegisterExtractors(pre)
+	fmt.Println("videos:", cat.Videos())
+
+	// 3. Queries. The first query needing highlights triggers the
+	//    audio-visual DBN engine; results are then materialized, so
+	//    repeated queries are instant.
+	eng := query.NewEngine(pre)
+	queries := []string{
+		`SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight')`,
+		`SELECT SEGMENTS FROM german-gp WHERE EVENT('pitstop')`,
+		`SELECT SEGMENTS FROM german-gp WHERE TEXT CONTAINS 'PIT'`,
+		`SELECT SEGMENTS FROM german-gp WHERE FEATURE('replay') > 0.5`,
+		`SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight') WITHIN 15 OF EVENT('pitstop')`,
+	}
+	for _, q := range queries {
+		fmt.Println("\n" + q)
+		res, err := eng.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res) == 0 {
+			fmt.Println("  (no segments)")
+		}
+		for _, r := range res {
+			if r.Confidence == 0 {
+				continue // availability sentinel
+			}
+			attrs := ""
+			for k, v := range r.Attrs {
+				attrs += fmt.Sprintf(" %s=%s", k, v)
+			}
+			fmt.Printf("  [%6.1fs - %6.1fs] conf=%.2f%s\n",
+				r.Interval.Start, r.Interval.End, r.Confidence, attrs)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Textqueries: the superimposed-text chain (§5.4) in isolation —
+// render caption frames, detect the shaded band, refine (min filter +
+// 4x interpolation), recognize words by pattern matching, and answer
+// the paper's pit-stop and winner queries through the rule engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cobra/internal/cobra"
+	"cobra/internal/f1"
+	"cobra/internal/monet"
+	"cobra/internal/query"
+	"cobra/internal/synth"
+	"cobra/internal/video"
+	"cobra/internal/vtext"
+)
+
+func main() {
+	race := synth.GenerateRace(synth.GermanGP, 240, 77)
+
+	// Part 1: the raw recognition chain on one caption.
+	var cap *synth.Caption
+	for i := range race.Captions {
+		if len(race.Captions[i].Words) == 2 && race.Captions[i].Words[1] == "PIT" {
+			cap = &race.Captions[i]
+			break
+		}
+	}
+	if cap == nil {
+		log.Fatal("no pit caption in this seed")
+	}
+	fmt.Printf("ground-truth caption %v visible %.1fs-%.1fs\n", cap.Words, cap.Start, cap.End)
+
+	mid := (cap.Start + cap.End) / 2
+	raw := collectFrames(race, mid, 6)
+	band := vtext.MinFilterBand(raw)
+	band = vtext.Interpolate4x(band)
+	mask := vtext.Binarize(band, 170)
+	lex := append(append([]string(nil), synth.Drivers...), "PIT", "STOP", "LAP", "WINNER", "1")
+	rec := vtext.NewRecognizer(lex, 0.7)
+	fmt.Println("recognized words:")
+	for _, h := range rec.RecognizeBand(mask) {
+		fmt.Printf("  %-12s score %.2f\n", h.Word, h.Score)
+	}
+
+	// Part 2: the same chain through the DBMS — captions become events,
+	// rules derive pit stops, COQL retrieves them.
+	cfg := f1.DefaultExpConfig()
+	cfg.RaceDur = 240
+	cfg.Seed = 77
+	corpus := f1.NewCorpus(cfg)
+	corpus.AddRace("demo-gp", race)
+	cat := cobra.NewCatalog(monet.NewStore())
+	if err := corpus.IngestVideos(cat); err != nil {
+		log.Fatal(err)
+	}
+	pre := cobra.NewPreprocessor(cat)
+	corpus.RegisterExtractors(pre)
+	eng := query.NewEngine(pre)
+
+	for _, q := range []string{
+		`SELECT SEGMENTS FROM demo-gp WHERE TEXT CONTAINS 'PIT'`,
+		`SELECT SEGMENTS FROM demo-gp WHERE EVENT('pitstop')`,
+		`SELECT SEGMENTS FROM demo-gp WHERE EVENT('winner')`,
+	} {
+		fmt.Println("\n" + q)
+		res, err := eng.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shown := 0
+		for _, r := range res {
+			if r.Confidence == 0 {
+				continue
+			}
+			attrs := ""
+			for k, v := range r.Attrs {
+				attrs += fmt.Sprintf(" %s=%s", k, v)
+			}
+			fmt.Printf("  [%6.1fs - %6.1fs]%s\n", r.Interval.Start, r.Interval.End, attrs)
+			shown++
+		}
+		if shown == 0 {
+			fmt.Println("  (no segments)")
+		}
+	}
+}
+
+// collectFrames renders n consecutive frames around time t.
+func collectFrames(race *synth.Race, t float64, n int) []*video.Frame {
+	out := make([]*video.Frame, n)
+	for i := range out {
+		out[i] = race.RenderFrame(t + float64(i)/synth.FPS)
+	}
+	return out
+}

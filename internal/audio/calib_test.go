@@ -1,0 +1,22 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibPrintScores(t *testing.T) {
+	a := newTestAnalyzer(t)
+	rng := rand.New(rand.NewSource(3))
+	speech := synthVoiced(22050, 1, 160, 0.25, rng)
+	engine := synthEngine(22050, 1, 0.02, rng)
+	for name, sig := range map[string][]float64{"speech": speech, "engine": engine} {
+		clips := a.Analyze(sig)
+		c := clips[3]
+		ste := 0.5*c.STELowAvg + 0.3*c.STELowMax + 0.2*c.STELowDyn
+		mfcc := math.Abs(c.MFCCAvg)/20 + c.MFCCDyn
+		t.Logf("%s: steScore=%g mfccScore=%g STELowAvg=%g MFCCAvg=%g MFCCDyn=%g pitch=%g speech=%v",
+			name, ste, mfcc, c.STELowAvg, c.MFCCAvg, c.MFCCDyn, c.PitchAvg, c.Speech)
+	}
+}

@@ -1,0 +1,460 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/monet"
+)
+
+// sprinkler builds the classic rain/sprinkler/wet-grass network.
+func sprinkler(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	n.MustAddNode("Rain", 2)
+	n.MustAddNode("Sprinkler", 2, "Rain")
+	n.MustAddNode("Wet", 2, "Rain", "Sprinkler")
+	// State 1 = true.
+	n.MustSetCPT("Rain", []float64{0.8, 0.2})
+	n.MustSetCPT("Sprinkler", []float64{
+		0.6, 0.4, // rain=0
+		0.99, 0.01, // rain=1
+	})
+	n.MustSetCPT("Wet", []float64{
+		1.0, 0.0, // rain=0 sprinkler=0
+		0.1, 0.9, // rain=0 sprinkler=1
+		0.2, 0.8, // rain=1 sprinkler=0
+		0.01, 0.99, // rain=1 sprinkler=1
+	})
+	return n
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.AddNode("X", 1); err == nil {
+		t.Fatal("cardinality 1 accepted")
+	}
+	n.MustAddNode("X", 2)
+	if _, err := n.AddNode("X", 2); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := n.AddNode("Y", 2, "Nope"); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+}
+
+func TestSetCPTValidation(t *testing.T) {
+	n := NewNetwork()
+	n.MustAddNode("X", 2)
+	if err := n.SetCPT("X", []float64{0.5, 0.6}); err == nil {
+		t.Fatal("non-normalized row accepted")
+	}
+	if err := n.SetCPT("X", []float64{0.5}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := n.SetCPT("X", []float64{-0.5, 1.5}); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if err := n.SetCPT("Nope", []float64{1, 0}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestJointSumsToOne(t *testing.T) {
+	n := sprinkler(t)
+	total := 0.0
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			for w := 0; w < 2; w++ {
+				total += n.Joint([]int{r, s, w})
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("joint sums to %v", total)
+	}
+}
+
+func TestPosteriorPrior(t *testing.T) {
+	n := sprinkler(t)
+	p, err := n.PosteriorOf("Rain", Evidence{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[1]-0.2) > 1e-9 {
+		t.Fatalf("P(rain) = %v, want 0.2", p[1])
+	}
+}
+
+func TestPosteriorExplainingAway(t *testing.T) {
+	n := sprinkler(t)
+	wet := n.MustIndex("Wet")
+	spr := n.MustIndex("Sprinkler")
+	rain := n.MustIndex("Rain")
+	// P(rain | wet) computed by brute force: compare.
+	pWet := 0.0
+	pRainWet := 0.0
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			j := n.Joint([]int{r, s, 1})
+			pWet += j
+			if r == 1 {
+				pRainWet += j
+			}
+		}
+	}
+	want := pRainWet / pWet
+	got, err := n.Posterior(rain, Evidence{wet: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[1]-want) > 1e-9 {
+		t.Fatalf("P(rain|wet) = %v, want %v", got[1], want)
+	}
+	// Explaining away: knowing the sprinkler ran lowers P(rain | wet).
+	got2, err := n.Posterior(rain, Evidence{wet: 1, spr: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[1] >= got[1] {
+		t.Fatalf("explaining away failed: %v >= %v", got2[1], got[1])
+	}
+}
+
+func TestPosteriorQueryObservedFails(t *testing.T) {
+	n := sprinkler(t)
+	if _, err := n.Posterior(0, Evidence{0: 1}); err == nil {
+		t.Fatal("observed query accepted")
+	}
+}
+
+func TestJointPosteriorMatchesBruteForce(t *testing.T) {
+	n := sprinkler(t)
+	f, err := n.JointPosterior([]int{0, 1}, Evidence{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pWet := 0.0
+	want := map[[2]int]float64{}
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			j := n.Joint([]int{r, s, 1})
+			pWet += j
+			want[[2]int{r, s}] = j
+		}
+	}
+	for k := range want {
+		want[k] /= pWet
+	}
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			got := f.At(map[int]int{0: r, 1: s})
+			if math.Abs(got-want[[2]int{r, s}]) > 1e-9 {
+				t.Fatalf("joint posterior (%d,%d) = %v, want %v", r, s, got, want[[2]int{r, s}])
+			}
+		}
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	n := sprinkler(t)
+	ll, err := n.LogLikelihood(Evidence{0: 1, 1: 0, 2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(n.Joint([]int{1, 0, 1}))
+	if math.Abs(ll-want) > 1e-9 {
+		t.Fatalf("ll = %v, want %v", ll, want)
+	}
+	// Marginal likelihood of partial evidence.
+	ll2, err := n.LogLikelihood(Evidence{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pWet := 0.0
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			pWet += n.Joint([]int{r, s, 1})
+		}
+	}
+	if math.Abs(ll2-math.Log(pWet)) > 1e-9 {
+		t.Fatalf("marginal ll = %v, want %v", ll2, math.Log(pWet))
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	n := sprinkler(t)
+	rng := rand.New(rand.NewSource(7))
+	const N = 20000
+	rainCount := 0
+	for i := 0; i < N; i++ {
+		a := n.Sample(rng)
+		if a[0] == 1 {
+			rainCount++
+		}
+	}
+	got := float64(rainCount) / N
+	if math.Abs(got-0.2) > 0.02 {
+		t.Fatalf("sampled P(rain) = %v", got)
+	}
+}
+
+func TestFactorMultiplySumOut(t *testing.T) {
+	// f(A) * g(A,B) summed over A equals matrix-vector product.
+	f := NewFactor([]int{0}, []int{2})
+	f.Vals = []float64{0.3, 0.7}
+	g := NewFactor([]int{0, 1}, []int{2, 2})
+	g.Vals = []float64{0.9, 0.1, 0.4, 0.6} // rows: A=0, A=1
+	prod := f.Multiply(g)
+	marg := prod.SumOut(0)
+	want0 := 0.3*0.9 + 0.7*0.4
+	want1 := 0.3*0.1 + 0.7*0.6
+	if math.Abs(marg.Vals[0]-want0) > 1e-12 || math.Abs(marg.Vals[1]-want1) > 1e-12 {
+		t.Fatalf("marg = %v, want [%v %v]", marg.Vals, want0, want1)
+	}
+}
+
+func TestFactorReduce(t *testing.T) {
+	g := NewFactor([]int{0, 1}, []int{2, 2})
+	g.Vals = []float64{0.9, 0.1, 0.4, 0.6}
+	r := g.Reduce(0, 1)
+	if len(r.Vars) != 1 || r.Vars[0] != 1 {
+		t.Fatalf("reduced vars = %v", r.Vars)
+	}
+	if r.Vals[0] != 0.4 || r.Vals[1] != 0.6 {
+		t.Fatalf("reduced vals = %v", r.Vals)
+	}
+	// Reducing an absent variable is a no-op.
+	same := g.Reduce(9, 0)
+	if len(same.Vars) != 2 {
+		t.Fatal("reduce of absent var changed factor")
+	}
+}
+
+func TestFactorMultiplyCommutes(t *testing.T) {
+	f := NewFactor([]int{1}, []int{2})
+	f.Vals = []float64{0.25, 0.75}
+	g := NewFactor([]int{0, 1}, []int{3, 2})
+	for i := range g.Vals {
+		g.Vals[i] = float64(i+1) / 10
+	}
+	a := f.Multiply(g)
+	b := g.Multiply(f)
+	for i := range a.Vals {
+		if math.Abs(a.Vals[i]-b.Vals[i]) > 1e-12 {
+			t.Fatalf("products differ at %d: %v vs %v", i, a.Vals[i], b.Vals[i])
+		}
+	}
+}
+
+func TestLearnEMFullyObserved(t *testing.T) {
+	truth := sprinkler(t)
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]Evidence, 4000)
+	for i := range samples {
+		a := truth.Sample(rng)
+		samples[i] = Evidence{0: a[0], 1: a[1], 2: a[2]}
+	}
+	n := sprinkler(t)
+	n.Randomize(rng)
+	res, err := n.LearnEM(samples, DefaultEMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	// Learned root prior close to 0.2.
+	if math.Abs(n.Nodes[0].CPT[1]-0.2) > 0.03 {
+		t.Fatalf("learned P(rain) = %v", n.Nodes[0].CPT[1])
+	}
+	// Learned wet CPT row for rain=1,sprinkler=0 close to 0.8.
+	if math.Abs(n.Nodes[2].CPT[2*2+1]-0.8) > 0.06 {
+		t.Fatalf("learned P(wet|rain,!spr) = %v", n.Nodes[2].CPT[2*2+1])
+	}
+}
+
+func TestLearnEMHiddenVariable(t *testing.T) {
+	// Naive-Bayes style: hidden H with two observed children that copy
+	// it; EM must discover the correlation structure.
+	truth := NewNetwork()
+	truth.MustAddNode("H", 2)
+	truth.MustAddNode("A", 2, "H")
+	truth.MustAddNode("B", 2, "H")
+	truth.MustSetCPT("H", []float64{0.5, 0.5})
+	truth.MustSetCPT("A", []float64{0.9, 0.1, 0.1, 0.9})
+	truth.MustSetCPT("B", []float64{0.9, 0.1, 0.1, 0.9})
+
+	rng := rand.New(rand.NewSource(13))
+	samples := make([]Evidence, 3000)
+	for i := range samples {
+		a := truth.Sample(rng)
+		samples[i] = Evidence{1: a[1], 2: a[2]} // H hidden
+	}
+	n := NewNetwork()
+	n.MustAddNode("H", 2)
+	n.MustAddNode("A", 2, "H")
+	n.MustAddNode("B", 2, "H")
+	n.MustSetCPT("H", []float64{0.5, 0.5})
+	n.MustSetCPT("A", []float64{0.7, 0.3, 0.2, 0.8})
+	n.MustSetCPT("B", []float64{0.6, 0.4, 0.3, 0.7})
+	cfg := DefaultEMConfig()
+	cfg.MaxIterations = 200
+	res, err := n.LearnEM(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label switching aside (broken by asymmetric init), A's CPT should
+	// become strongly diagnostic: children agree with H ~90% of the time.
+	diag := (n.Nodes[1].CPT[0] + n.Nodes[1].CPT[3]) / 2
+	if diag < 0.8 {
+		t.Fatalf("EM did not recover structure: A CPT %v (res %+v)", n.Nodes[1].CPT, res)
+	}
+	// EM monotonicity: final LL finite.
+	if math.IsInf(res.LogLikelihood, 0) || math.IsNaN(res.LogLikelihood) {
+		t.Fatalf("bad final LL %v", res.LogLikelihood)
+	}
+}
+
+func TestLearnEMImprovesLikelihood(t *testing.T) {
+	truth := sprinkler(t)
+	rng := rand.New(rand.NewSource(17))
+	samples := make([]Evidence, 500)
+	for i := range samples {
+		a := truth.Sample(rng)
+		samples[i] = Evidence{1: a[1], 2: a[2]} // rain hidden
+	}
+	n := sprinkler(t)
+	n.Randomize(rng)
+	before := 0.0
+	for _, ev := range samples {
+		ll, _ := n.LogLikelihood(ev)
+		before += ll
+	}
+	if _, err := n.LearnEM(samples, DefaultEMConfig()); err != nil {
+		t.Fatal(err)
+	}
+	after := 0.0
+	for _, ev := range samples {
+		ll, _ := n.LogLikelihood(ev)
+		after += ll
+	}
+	if after < before {
+		t.Fatalf("EM decreased likelihood: %v -> %v", before, after)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := sprinkler(t)
+	c := n.Clone()
+	c.MustSetCPT("Rain", []float64{0.5, 0.5})
+	if n.Nodes[0].CPT[1] != 0.2 {
+		t.Fatal("clone shares CPT memory")
+	}
+}
+
+// Property: posteriors are normalized distributions for random CPTs
+// and random evidence.
+func TestPosteriorNormalizedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		n.MustAddNode("A", 2)
+		n.MustAddNode("B", 3, "A")
+		n.MustAddNode("C", 2, "A", "B")
+		n.MustAddNode("D", 2, "C")
+		n.Randomize(rng)
+		ev := Evidence{}
+		if rng.Intn(2) == 0 {
+			ev[3] = rng.Intn(2)
+		}
+		if rng.Intn(2) == 0 {
+			ev[1] = rng.Intn(3)
+		}
+		p, err := n.Posterior(0, ev)
+		if err != nil {
+			return false
+		}
+		s := 0.0
+		for _, v := range p {
+			if v < -1e-12 {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadParams(t *testing.T) {
+	n := sprinkler(t)
+	store := monet.NewStore()
+	n.SaveParams(store, "model/sprinkler")
+	if !n.HasParams(store, "model/sprinkler") {
+		t.Fatal("HasParams false after save")
+	}
+	n2 := sprinkler(t)
+	n2.Randomize(rand.New(rand.NewSource(1)))
+	if err := n2.LoadParams(store, "model/sprinkler"); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2.Nodes[0].CPT[1]-0.2) > 1e-12 {
+		t.Fatalf("restored P(rain) = %v", n2.Nodes[0].CPT[1])
+	}
+	if err := n2.LoadParams(store, "model/nope"); err == nil {
+		t.Fatal("missing params accepted")
+	}
+	empty := NewNetwork()
+	if empty.HasParams(store, "model/sprinkler") {
+		t.Fatal("empty network HasParams")
+	}
+}
+
+func TestMAP(t *testing.T) {
+	n := sprinkler(t)
+	wet := n.MustIndex("Wet")
+	// Given wet grass, the most probable explanation is no rain and the
+	// sprinkler on (P(sprinkler|!rain)=0.4 dominates P(rain)=0.2 paths).
+	got, p, err := n.MAP(Evidence{wet: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Fatalf("MAP probability = %v", p)
+	}
+	// Verify against brute force.
+	bestP, bestR, bestS := -1.0, -1, -1
+	total := 0.0
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			j := n.Joint([]int{r, s, 1})
+			total += j
+			if j > bestP {
+				bestP, bestR, bestS = j, r, s
+			}
+		}
+	}
+	if got[0] != bestR || got[1] != bestS {
+		t.Fatalf("MAP = %v, want rain=%d sprinkler=%d", got, bestR, bestS)
+	}
+	if math.Abs(p-bestP/total) > 1e-12 {
+		t.Fatalf("MAP p = %v, want %v", p, bestP/total)
+	}
+	// Fully observed: empty explanation, probability 1.
+	got, p, err = n.MAP(Evidence{0: 0, 1: 1, 2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || math.Abs(p-1) > 1e-12 {
+		t.Fatalf("fully observed MAP = %v, %v", got, p)
+	}
+	// Impossible evidence errors.
+	if _, _, err := n.MAP(Evidence{0: 0, 1: 0, 2: 1}); err == nil {
+		t.Fatal("zero-probability evidence accepted")
+	}
+}

@@ -1,0 +1,269 @@
+package bayes
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Factor is a table over a set of variables, the working unit of
+// variable elimination. Vars are sorted ascending; the last variable is
+// the fastest-changing index dimension.
+type Factor struct {
+	Vars []int
+	Card []int
+	Vals []float64
+}
+
+// NewFactor allocates a zero factor over the given variables and
+// cardinalities (parallel slices, vars strictly ascending).
+func NewFactor(vars, card []int) *Factor {
+	size := 1
+	for _, c := range card {
+		size *= c
+	}
+	return &Factor{
+		Vars: append([]int(nil), vars...),
+		Card: append([]int(nil), card...),
+		Vals: make([]float64, size),
+	}
+}
+
+// strides returns per-variable index strides (last var fastest).
+func (f *Factor) strides() []int {
+	s := make([]int, len(f.Vars))
+	acc := 1
+	for i := len(f.Vars) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= f.Card[i]
+	}
+	return s
+}
+
+// indexOf computes the flat index for an assignment covering f.Vars
+// (assign is indexed by global variable id).
+func (f *Factor) indexOf(assign map[int]int) int {
+	idx := 0
+	st := f.strides()
+	for i, v := range f.Vars {
+		idx += assign[v] * st[i]
+	}
+	return idx
+}
+
+// At returns the value for the given global assignment.
+func (f *Factor) At(assign map[int]int) float64 { return f.Vals[f.indexOf(assign)] }
+
+// normalizeOrder returns a copy of f with variables sorted ascending.
+func (f *Factor) normalizeOrder() *Factor {
+	if sort.IntsAreSorted(f.Vars) {
+		return f
+	}
+	order := make([]int, len(f.Vars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return f.Vars[order[a]] < f.Vars[order[b]] })
+	nv := make([]int, len(f.Vars))
+	nc := make([]int, len(f.Vars))
+	for i, o := range order {
+		nv[i] = f.Vars[o]
+		nc[i] = f.Card[o]
+	}
+	out := NewFactor(nv, nc)
+	oldStr := f.strides()
+	assign := make([]int, len(f.Vars))
+	for idx := range out.Vals {
+		// Decompose idx in the new ordering.
+		rem := idx
+		newStr := out.strides()
+		for i := range nv {
+			assign[i] = rem / newStr[i]
+			rem %= newStr[i]
+		}
+		// Map to old index.
+		old := 0
+		for i, o := range order {
+			old += assign[i] * oldStr[o]
+		}
+		out.Vals[idx] = f.Vals[old]
+	}
+	return out
+}
+
+// Multiply returns the factor product f * g.
+func (f *Factor) Multiply(g *Factor) *Factor {
+	f = f.normalizeOrder()
+	g = g.normalizeOrder()
+	// Union of variables.
+	vars := make([]int, 0, len(f.Vars)+len(g.Vars))
+	card := make([]int, 0, cap(vars))
+	i, j := 0, 0
+	for i < len(f.Vars) || j < len(g.Vars) {
+		switch {
+		case j >= len(g.Vars) || (i < len(f.Vars) && f.Vars[i] < g.Vars[j]):
+			vars = append(vars, f.Vars[i])
+			card = append(card, f.Card[i])
+			i++
+		case i >= len(f.Vars) || g.Vars[j] < f.Vars[i]:
+			vars = append(vars, g.Vars[j])
+			card = append(card, g.Card[j])
+			j++
+		default:
+			if f.Card[i] != g.Card[j] {
+				panic(fmt.Sprintf("bayes: cardinality mismatch for var %d", f.Vars[i]))
+			}
+			vars = append(vars, f.Vars[i])
+			card = append(card, f.Card[i])
+			i++
+			j++
+		}
+	}
+	out := NewFactor(vars, card)
+	outStr := out.strides()
+	// Precompute position of each out var in f and g.
+	fPos := make([]int, len(vars))
+	gPos := make([]int, len(vars))
+	for k, v := range vars {
+		fPos[k] = -1
+		gPos[k] = -1
+		for a, fv := range f.Vars {
+			if fv == v {
+				fPos[k] = a
+			}
+		}
+		for a, gv := range g.Vars {
+			if gv == v {
+				gPos[k] = a
+			}
+		}
+	}
+	fStr := f.strides()
+	gStr := g.strides()
+	assign := make([]int, len(vars))
+	for idx := range out.Vals {
+		rem := idx
+		for k := range vars {
+			assign[k] = rem / outStr[k]
+			rem %= outStr[k]
+		}
+		fi, gi := 0, 0
+		for k := range vars {
+			if fPos[k] >= 0 {
+				fi += assign[k] * fStr[fPos[k]]
+			}
+			if gPos[k] >= 0 {
+				gi += assign[k] * gStr[gPos[k]]
+			}
+		}
+		out.Vals[idx] = f.Vals[fi] * g.Vals[gi]
+	}
+	return out
+}
+
+// SumOut marginalizes variable v out of the factor.
+func (f *Factor) SumOut(v int) *Factor {
+	f = f.normalizeOrder()
+	pos := -1
+	for i, fv := range f.Vars {
+		if fv == v {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return f
+	}
+	nv := append(append([]int(nil), f.Vars[:pos]...), f.Vars[pos+1:]...)
+	nc := append(append([]int(nil), f.Card[:pos]...), f.Card[pos+1:]...)
+	out := NewFactor(nv, nc)
+	fStr := f.strides()
+	outStr := out.strides()
+	assign := make([]int, len(nv))
+	for idx := range out.Vals {
+		rem := idx
+		for k := range nv {
+			assign[k] = rem / outStr[k]
+			rem %= outStr[k]
+		}
+		base := 0
+		ai := 0
+		for i := range f.Vars {
+			if i == pos {
+				continue
+			}
+			base += assign[ai] * fStr[i]
+			ai++
+		}
+		s := 0.0
+		for st := 0; st < f.Card[pos]; st++ {
+			s += f.Vals[base+st*fStr[pos]]
+		}
+		out.Vals[idx] = s
+	}
+	return out
+}
+
+// Reduce conditions the factor on variable v taking the given state:
+// incompatible entries are zeroed and the variable is dropped.
+func (f *Factor) Reduce(v, state int) *Factor {
+	f = f.normalizeOrder()
+	pos := -1
+	for i, fv := range f.Vars {
+		if fv == v {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return f
+	}
+	nv := append(append([]int(nil), f.Vars[:pos]...), f.Vars[pos+1:]...)
+	nc := append(append([]int(nil), f.Card[:pos]...), f.Card[pos+1:]...)
+	out := NewFactor(nv, nc)
+	fStr := f.strides()
+	outStr := out.strides()
+	assign := make([]int, len(nv))
+	for idx := range out.Vals {
+		rem := idx
+		for k := range nv {
+			assign[k] = rem / outStr[k]
+			rem %= outStr[k]
+		}
+		base := state * fStr[pos]
+		ai := 0
+		for i := range f.Vars {
+			if i == pos {
+				continue
+			}
+			base += assign[ai] * fStr[i]
+			ai++
+		}
+		out.Vals[idx] = f.Vals[base]
+	}
+	return out
+}
+
+// Normalize scales the factor to sum to 1 (no-op on a zero factor) and
+// returns the pre-normalization sum.
+func (f *Factor) Normalize() float64 {
+	s := 0.0
+	for _, v := range f.Vals {
+		s += v
+	}
+	if s > 0 {
+		inv := 1 / s
+		for i := range f.Vals {
+			f.Vals[i] *= inv
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (f *Factor) Clone() *Factor {
+	return &Factor{
+		Vars: append([]int(nil), f.Vars...),
+		Card: append([]int(nil), f.Card...),
+		Vals: append([]float64(nil), f.Vals...),
+	}
+}

@@ -1,0 +1,190 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Posterior computes P(query | evidence) by variable elimination,
+// returning a distribution over the query node's states.
+func (n *Network) Posterior(query int, ev Evidence) ([]float64, error) {
+	f, err := n.JointPosterior([]int{query}, ev)
+	if err != nil {
+		return nil, err
+	}
+	return f.Vals, nil
+}
+
+// PosteriorOf is Posterior addressed by node name.
+func (n *Network) PosteriorOf(name string, ev Evidence) ([]float64, error) {
+	i, ok := n.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: no node %s", ErrBadNetwork, name)
+	}
+	return n.Posterior(i, ev)
+}
+
+// JointPosterior computes the normalized joint posterior factor over
+// the given query variables by variable elimination.
+func (n *Network) JointPosterior(query []int, ev Evidence) (*Factor, error) {
+	keep := map[int]bool{}
+	for _, q := range query {
+		if q < 0 || q >= len(n.Nodes) {
+			return nil, fmt.Errorf("%w: query index %d out of range", ErrBadNetwork, q)
+		}
+		if _, observed := ev[q]; observed {
+			return nil, fmt.Errorf("%w: query node %s is observed", ErrBadNetwork, n.Nodes[q].Name)
+		}
+		keep[q] = true
+	}
+	// Build evidence-reduced CPT factors.
+	factors := make([]*Factor, 0, len(n.Nodes))
+	for i := range n.Nodes {
+		f := n.factor(i)
+		for v, s := range ev {
+			f = f.Reduce(v, s)
+		}
+		factors = append(factors, f)
+	}
+	// Eliminate all hidden non-query variables in index order (networks
+	// are small; a min-degree heuristic is unnecessary here).
+	for v := range n.Nodes {
+		if keep[v] {
+			continue
+		}
+		if _, observed := ev[v]; observed {
+			continue
+		}
+		var joined *Factor
+		rest := factors[:0]
+		for _, f := range factors {
+			if hasVar(f, v) {
+				if joined == nil {
+					joined = f
+				} else {
+					joined = joined.Multiply(f)
+				}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		factors = rest
+		if joined != nil {
+			factors = append(factors, joined.SumOut(v))
+		}
+	}
+	// Multiply what remains.
+	var result *Factor
+	for _, f := range factors {
+		if result == nil {
+			result = f
+		} else {
+			result = result.Multiply(f)
+		}
+	}
+	if result == nil {
+		return nil, fmt.Errorf("%w: empty elimination result", ErrBadNetwork)
+	}
+	result = result.normalizeOrder()
+	if result.Normalize() == 0 {
+		return nil, fmt.Errorf("bayes: evidence has zero probability")
+	}
+	return result, nil
+}
+
+// LogLikelihood returns log P(evidence) under the network.
+func (n *Network) LogLikelihood(ev Evidence) (float64, error) {
+	factors := make([]*Factor, 0, len(n.Nodes))
+	for i := range n.Nodes {
+		f := n.factor(i)
+		for v, s := range ev {
+			f = f.Reduce(v, s)
+		}
+		factors = append(factors, f)
+	}
+	for v := range n.Nodes {
+		if _, observed := ev[v]; observed {
+			continue
+		}
+		var joined *Factor
+		rest := factors[:0]
+		for _, f := range factors {
+			if hasVar(f, v) {
+				if joined == nil {
+					joined = f
+				} else {
+					joined = joined.Multiply(f)
+				}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		factors = rest
+		if joined != nil {
+			factors = append(factors, joined.SumOut(v))
+		}
+	}
+	p := 1.0
+	for _, f := range factors {
+		s := 0.0
+		for _, v := range f.Vals {
+			s += v
+		}
+		p *= s
+	}
+	if p <= 0 {
+		return math.Inf(-1), nil
+	}
+	return math.Log(p), nil
+}
+
+// MAP returns the most probable joint assignment of all unobserved
+// variables given the evidence, with its posterior probability. The
+// joint hidden space is enumerated exactly (the networks here are
+// small); spaces larger than 4096 states are rejected.
+func (n *Network) MAP(ev Evidence) (map[int]int, float64, error) {
+	hidden, size := n.hiddenOf(ev)
+	if size > jointEMLimit {
+		return nil, 0, fmt.Errorf("%w: joint hidden space %d too large for MAP", ErrBadNetwork, size)
+	}
+	assign := make([]int, len(n.Nodes))
+	for v, s := range ev {
+		assign[v] = s
+	}
+	best := -1.0
+	bestCfg := make([]int, len(hidden))
+	total := 0.0
+	for s := 0; s < size; s++ {
+		rem := s
+		for k := len(hidden) - 1; k >= 0; k-- {
+			h := hidden[k]
+			assign[h] = rem % n.Nodes[h].States
+			rem /= n.Nodes[h].States
+		}
+		p := n.Joint(assign)
+		total += p
+		if p > best {
+			best = p
+			for k, h := range hidden {
+				bestCfg[k] = assign[h]
+			}
+		}
+	}
+	if total <= 0 {
+		return nil, 0, fmt.Errorf("bayes: evidence has zero probability")
+	}
+	out := make(map[int]int, len(hidden))
+	for k, h := range hidden {
+		out[h] = bestCfg[k]
+	}
+	return out, best / total, nil
+}
+
+func hasVar(f *Factor, v int) bool {
+	for _, fv := range f.Vars {
+		if fv == v {
+			return true
+		}
+	}
+	return false
+}

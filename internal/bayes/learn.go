@@ -1,0 +1,220 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// EMResult reports the outcome of EM training.
+type EMResult struct {
+	// Iterations actually run.
+	Iterations int
+	// LogLikelihood of the data under the final parameters.
+	LogLikelihood float64
+	// Converged reports whether the log-likelihood improvement fell
+	// below the tolerance before the iteration cap.
+	Converged bool
+}
+
+// EMConfig parameterizes EM learning.
+type EMConfig struct {
+	// MaxIterations caps EM iterations (default 50).
+	MaxIterations int
+	// Tolerance is the minimum log-likelihood improvement to continue
+	// (default 1e-4).
+	Tolerance float64
+	// Prior is a Dirichlet pseudo-count added to every expected count,
+	// keeping CPTs away from hard zeros (default 0.05).
+	Prior float64
+}
+
+// DefaultEMConfig returns the standard settings.
+func DefaultEMConfig() EMConfig {
+	return EMConfig{MaxIterations: 50, Tolerance: 1e-4, Prior: 0.05}
+}
+
+// LearnEM fits the network's CPTs to the i.i.d. samples by
+// Expectation-Maximization, the paper's "EM learning algorithm ...
+// based on Maximum Likelihood" (§4). Each sample is a partial
+// assignment (Evidence); hidden variables are marginalized in the
+// E-step by exact inference.
+func (n *Network) LearnEM(samples []Evidence, cfg EMConfig) (EMResult, error) {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-4
+	}
+	if cfg.Prior < 0 {
+		cfg.Prior = 0
+	}
+	res := EMResult{LogLikelihood: math.Inf(-1)}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		counts := make([][]float64, len(n.Nodes))
+		for i := range n.Nodes {
+			counts[i] = make([]float64, len(n.Nodes[i].CPT))
+			for k := range counts[i] {
+				counts[i][k] = cfg.Prior
+			}
+		}
+		ll := 0.0
+		for _, ev := range samples {
+			sll, err := n.accumulate(ev, counts)
+			if err != nil {
+				return res, err
+			}
+			ll += sll
+		}
+		// M-step: normalize counts into CPT rows.
+		for i := range n.Nodes {
+			node := &n.Nodes[i]
+			for r := 0; r < len(node.CPT); r += node.States {
+				s := 0.0
+				for k := 0; k < node.States; k++ {
+					s += counts[i][r+k]
+				}
+				if s <= 0 {
+					continue
+				}
+				for k := 0; k < node.States; k++ {
+					node.CPT[r+k] = counts[i][r+k] / s
+				}
+			}
+		}
+		res.Iterations = iter + 1
+		if ll-res.LogLikelihood < cfg.Tolerance && iter > 0 {
+			res.LogLikelihood = ll
+			res.Converged = true
+			return res, nil
+		}
+		res.LogLikelihood = ll
+	}
+	return res, nil
+}
+
+// jointEMLimit bounds the joint hidden state space for the fast
+// enumeration path.
+const jointEMLimit = 4096
+
+// hiddenOf lists the unobserved node indices and the size of their
+// joint state space.
+func (n *Network) hiddenOf(ev Evidence) ([]int, int) {
+	var hidden []int
+	size := 1
+	for i := range n.Nodes {
+		if _, ok := ev[i]; !ok {
+			hidden = append(hidden, i)
+			if size <= jointEMLimit {
+				size *= n.Nodes[i].States
+			}
+		}
+	}
+	return hidden, size
+}
+
+// accumulateJoint enumerates the joint hidden configuration space once
+// per sample, accumulating every family's expected counts in a single
+// pass — much faster than per-family variable elimination when the
+// joint space is small.
+func (n *Network) accumulateJoint(ev Evidence, hidden []int, size int, counts [][]float64) (float64, error) {
+	assign := make([]int, len(n.Nodes))
+	for v, s := range ev {
+		assign[v] = s
+	}
+	weights := make([]float64, size)
+	configs := make([][]int, size)
+	total := 0.0
+	for s := 0; s < size; s++ {
+		rem := s
+		for k := len(hidden) - 1; k >= 0; k-- {
+			h := hidden[k]
+			assign[h] = rem % n.Nodes[h].States
+			rem /= n.Nodes[h].States
+		}
+		p := n.Joint(assign)
+		weights[s] = p
+		configs[s] = append([]int(nil), assign...)
+		total += p
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("bayes: evidence has zero probability")
+	}
+	for s := 0; s < size; s++ {
+		w := weights[s] / total
+		if w == 0 {
+			continue
+		}
+		cfg := configs[s]
+		for i := range n.Nodes {
+			counts[i][n.rowIndex(i, cfg)+cfg[i]] += w
+		}
+	}
+	return math.Log(total), nil
+}
+
+// accumulate adds each family's expected counts under P(· | ev) and
+// returns the sample log-likelihood.
+func (n *Network) accumulate(ev Evidence, counts [][]float64) (float64, error) {
+	if hidden, size := n.hiddenOf(ev); size <= jointEMLimit {
+		return n.accumulateJoint(ev, hidden, size, counts)
+	}
+	ll, err := n.LogLikelihood(ev)
+	if err != nil {
+		return 0, err
+	}
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		family := append(append([]int(nil), node.Parents...), i)
+		// Split family into observed and hidden members.
+		hidden := family[:0:0]
+		for _, v := range family {
+			if _, ok := ev[v]; !ok {
+				hidden = append(hidden, v)
+			}
+		}
+		if len(hidden) == 0 {
+			// Fully observed family: a unit count.
+			assign := make([]int, len(n.Nodes))
+			for v, s := range ev {
+				assign[v] = s
+			}
+			counts[i][n.rowIndex(i, assign)+assign[i]]++
+			continue
+		}
+		post, err := n.JointPosterior(hidden, ev)
+		if err != nil {
+			return 0, err
+		}
+		// Walk all configurations of hidden family members.
+		n.walkConfigs(hidden, func(h map[int]int) {
+			assign := make([]int, len(n.Nodes))
+			for v, s := range ev {
+				assign[v] = s
+			}
+			for v, s := range h {
+				assign[v] = s
+			}
+			p := post.At(h)
+			counts[i][n.rowIndex(i, assign)+assign[i]] += p
+		})
+	}
+	return ll, nil
+}
+
+// walkConfigs enumerates all joint states of the given variables.
+func (n *Network) walkConfigs(vars []int, fn func(map[int]int)) {
+	assign := map[int]int{}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(vars) {
+			fn(assign)
+			return
+		}
+		v := vars[k]
+		for s := 0; s < n.Nodes[v].States; s++ {
+			assign[v] = s
+			rec(k + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,218 @@
+// Package bayes implements discrete Bayesian networks: directed acyclic
+// graphs of categorical variables with conditional probability tables,
+// exact inference by variable elimination, forward sampling, and
+// Expectation-Maximization parameter learning with hidden variables.
+// It is the static-network counterpart the paper compares DBNs against
+// (§4, §5.5), and the dbn package builds its time slices from it.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Node is one categorical variable with its conditional probability
+// table given its parents.
+type Node struct {
+	// Name identifies the variable.
+	Name string
+	// States is the cardinality (>= 2).
+	States int
+	// Parents are indices of parent nodes, which always precede this
+	// node (networks are built in topological order).
+	Parents []int
+	// CPT holds P(node | parents) as rows per parent configuration
+	// (first parent slowest), each row of length States summing to 1.
+	CPT []float64
+}
+
+// Network is a Bayesian network under construction or in use.
+type Network struct {
+	Nodes  []Node
+	byName map[string]int
+}
+
+// Evidence maps node index to observed state.
+type Evidence map[int]int
+
+// ErrBadNetwork reports structural mistakes.
+var ErrBadNetwork = errors.New("bayes: bad network")
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{byName: map[string]int{}}
+}
+
+// AddNode appends a node with the given name, cardinality and named
+// parents (which must already exist), returning its index. The CPT is
+// initialized to uniform.
+func (n *Network) AddNode(name string, states int, parents ...string) (int, error) {
+	if states < 2 {
+		return 0, fmt.Errorf("%w: node %s needs >= 2 states", ErrBadNetwork, name)
+	}
+	if _, dup := n.byName[name]; dup {
+		return 0, fmt.Errorf("%w: duplicate node %s", ErrBadNetwork, name)
+	}
+	var pidx []int
+	rows := 1
+	for _, p := range parents {
+		i, ok := n.byName[p]
+		if !ok {
+			return 0, fmt.Errorf("%w: node %s has unknown parent %s", ErrBadNetwork, name, p)
+		}
+		pidx = append(pidx, i)
+		rows *= n.Nodes[i].States
+	}
+	cpt := make([]float64, rows*states)
+	u := 1 / float64(states)
+	for i := range cpt {
+		cpt[i] = u
+	}
+	idx := len(n.Nodes)
+	n.Nodes = append(n.Nodes, Node{Name: name, States: states, Parents: pidx, CPT: cpt})
+	n.byName[name] = idx
+	return idx, nil
+}
+
+// MustAddNode is AddNode that panics on error, for literal network
+// construction.
+func (n *Network) MustAddNode(name string, states int, parents ...string) int {
+	i, err := n.AddNode(name, states, parents...)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Index returns the node index for a name.
+func (n *Network) Index(name string) (int, bool) {
+	i, ok := n.byName[name]
+	return i, ok
+}
+
+// MustIndex returns the node index for a name, panicking if absent.
+func (n *Network) MustIndex(name string) int {
+	i, ok := n.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("bayes: no node %q", name))
+	}
+	return i
+}
+
+// SetCPT installs the conditional probability table for the named
+// node. Rows (one per parent configuration, first parent slowest) must
+// each sum to 1.
+func (n *Network) SetCPT(name string, cpt []float64) error {
+	i, ok := n.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: no node %s", ErrBadNetwork, name)
+	}
+	node := &n.Nodes[i]
+	if len(cpt) != len(node.CPT) {
+		return fmt.Errorf("%w: node %s CPT length %d, want %d", ErrBadNetwork, name, len(cpt), len(node.CPT))
+	}
+	for r := 0; r < len(cpt); r += node.States {
+		s := 0.0
+		for k := 0; k < node.States; k++ {
+			if cpt[r+k] < 0 {
+				return fmt.Errorf("%w: node %s negative probability", ErrBadNetwork, name)
+			}
+			s += cpt[r+k]
+		}
+		if s < 0.999 || s > 1.001 {
+			return fmt.Errorf("%w: node %s CPT row %d sums to %g", ErrBadNetwork, name, r/node.States, s)
+		}
+	}
+	copy(node.CPT, cpt)
+	return nil
+}
+
+// MustSetCPT is SetCPT that panics on error.
+func (n *Network) MustSetCPT(name string, cpt []float64) {
+	if err := n.SetCPT(name, cpt); err != nil {
+		panic(err)
+	}
+}
+
+// Randomize sets every CPT row to a random distribution, the usual EM
+// starting point.
+func (n *Network) Randomize(rng *rand.Rand) {
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		for r := 0; r < len(node.CPT); r += node.States {
+			s := 0.0
+			for k := 0; k < node.States; k++ {
+				v := 0.1 + rng.Float64()
+				node.CPT[r+k] = v
+				s += v
+			}
+			for k := 0; k < node.States; k++ {
+				node.CPT[r+k] /= s
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	out := NewNetwork()
+	for _, node := range n.Nodes {
+		cp := Node{Name: node.Name, States: node.States,
+			Parents: append([]int(nil), node.Parents...),
+			CPT:     append([]float64(nil), node.CPT...)}
+		out.byName[node.Name] = len(out.Nodes)
+		out.Nodes = append(out.Nodes, cp)
+	}
+	return out
+}
+
+// rowIndex computes the CPT row offset for a full assignment.
+func (n *Network) rowIndex(i int, assign []int) int {
+	node := &n.Nodes[i]
+	row := 0
+	for _, p := range node.Parents {
+		row = row*n.Nodes[p].States + assign[p]
+	}
+	return row * node.States
+}
+
+// Joint returns the joint probability of a full assignment.
+func (n *Network) Joint(assign []int) float64 {
+	p := 1.0
+	for i := range n.Nodes {
+		p *= n.Nodes[i].CPT[n.rowIndex(i, assign)+assign[i]]
+	}
+	return p
+}
+
+// Sample draws a full assignment by forward sampling.
+func (n *Network) Sample(rng *rand.Rand) []int {
+	assign := make([]int, len(n.Nodes))
+	for i := range n.Nodes {
+		row := n.rowIndex(i, assign)
+		r := rng.Float64()
+		acc := 0.0
+		state := n.Nodes[i].States - 1
+		for k := 0; k < n.Nodes[i].States; k++ {
+			acc += n.Nodes[i].CPT[row+k]
+			if r < acc {
+				state = k
+				break
+			}
+		}
+		assign[i] = state
+	}
+	return assign
+}
+
+// factor returns the CPT of node i as a Factor over parents + node.
+func (n *Network) factor(i int) *Factor {
+	node := &n.Nodes[i]
+	vars := append(append([]int(nil), node.Parents...), i)
+	card := make([]int, len(vars))
+	for k, v := range vars {
+		card[k] = n.Nodes[v].States
+	}
+	return &Factor{Vars: vars, Card: card, Vals: append([]float64(nil), node.CPT...)}
+}

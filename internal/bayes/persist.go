@@ -1,0 +1,55 @@
+package bayes
+
+import (
+	"fmt"
+
+	"cobra/internal/monet"
+)
+
+// SaveParams stores every CPT of the network into the kernel store
+// under prefix — the paper's "domain knowledge is stored within the
+// database" (§2). Structure is code; parameters live in BATs.
+func (n *Network) SaveParams(store *monet.Store, prefix string) {
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		b := monet.NewBATCap(monet.Void, monet.FloatT, len(node.CPT))
+		for _, v := range node.CPT {
+			b.MustInsert(monet.VoidValue(), monet.NewFloat(v))
+		}
+		store.Put(prefix+"/cpt/"+node.Name, b)
+	}
+}
+
+// LoadParams restores CPTs previously saved under prefix. The network
+// structure must match what was saved: every node needs a CPT BAT of
+// the right length.
+func (n *Network) LoadParams(store *monet.Store, prefix string) error {
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		b, err := store.Get(prefix + "/cpt/" + node.Name)
+		if err != nil {
+			return fmt.Errorf("bayes: no saved CPT for node %s under %q", node.Name, prefix)
+		}
+		if b.Len() != len(node.CPT) {
+			return fmt.Errorf("bayes: saved CPT for %s has %d entries, want %d",
+				node.Name, b.Len(), len(node.CPT))
+		}
+		cpt := make([]float64, b.Len())
+		for k := 0; k < b.Len(); k++ {
+			cpt[k] = b.Tail(k).Float()
+		}
+		if err := n.SetCPT(node.Name, cpt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasParams reports whether parameters are saved under prefix for this
+// network's first node (a cheap availability probe).
+func (n *Network) HasParams(store *monet.Store, prefix string) bool {
+	if len(n.Nodes) == 0 {
+		return false
+	}
+	return store.Has(prefix + "/cpt/" + n.Nodes[0].Name)
+}

@@ -1,0 +1,127 @@
+package cobra
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+)
+
+// The paper aligns the Cobra model with MPEG-7's four content layers.
+// ExportMPEG7 serializes a video's materialized metadata as a
+// simplified MPEG-7-style description document: the raw-layer handle,
+// feature-layer descriptors (summaries, not full streams), and the
+// object and event layers with their time intervals.
+
+// MPEG7Document is the exported description root.
+type MPEG7Document struct {
+	XMLName xml.Name      `xml:"Mpeg7"`
+	Video   MPEG7Video    `xml:"Description>MultimediaContent>Video"`
+	Objects []MPEG7Object `xml:"Description>Semantics>Object,omitempty"`
+	Events  []MPEG7Event  `xml:"Description>Semantics>Event,omitempty"`
+}
+
+// MPEG7Video is the raw-layer entry with feature descriptors.
+type MPEG7Video struct {
+	Name     string            `xml:"id,attr"`
+	Duration float64           `xml:"MediaTime>MediaDuration"`
+	FPS      float64           `xml:"MediaTime>MediaTimeUnit"`
+	Features []MPEG7Descriptor `xml:"VisualDescriptor,omitempty"`
+}
+
+// MPEG7Descriptor summarizes one feature stream.
+type MPEG7Descriptor struct {
+	Name    string  `xml:"name,attr"`
+	Samples int     `xml:"Samples"`
+	Rate    float64 `xml:"SampleRate"`
+	Mean    float64 `xml:"Mean"`
+	Max     float64 `xml:"Max"`
+}
+
+// MPEG7Object is an object-layer entity.
+type MPEG7Object struct {
+	Name        string          `xml:"id,attr"`
+	Class       string          `xml:"class,attr"`
+	Appearances []MPEG7Interval `xml:"Appearance"`
+}
+
+// MPEG7Event is an event-layer entity.
+type MPEG7Event struct {
+	Type       string          `xml:"type,attr"`
+	Confidence float64         `xml:"confidence,attr"`
+	Interval   MPEG7Interval   `xml:"MediaTime"`
+	Attributes []MPEG7Relation `xml:"Relation,omitempty"`
+}
+
+// MPEG7Interval is a media time interval in seconds.
+type MPEG7Interval struct {
+	Start float64 `xml:"MediaTimePoint"`
+	End   float64 `xml:"MediaTimeEnd"`
+}
+
+// MPEG7Relation carries an event attribute.
+type MPEG7Relation struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// ExportMPEG7 builds and serializes the description document for a
+// video's materialized metadata.
+func ExportMPEG7(cat *Catalog, video string) ([]byte, error) {
+	v, err := cat.Video(video)
+	if err != nil {
+		return nil, err
+	}
+	doc := MPEG7Document{
+		Video: MPEG7Video{Name: v.Name, Duration: v.Duration, FPS: v.FPS},
+	}
+	names := cat.FeatureNames(video)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := cat.Feature(video, name)
+		if err != nil {
+			continue
+		}
+		d := MPEG7Descriptor{Name: name, Samples: len(f.Values), Rate: f.SampleRate}
+		for _, x := range f.Values {
+			d.Mean += x
+			if x > d.Max {
+				d.Max = x
+			}
+		}
+		if len(f.Values) > 0 {
+			d.Mean /= float64(len(f.Values))
+		}
+		doc.Video.Features = append(doc.Video.Features, d)
+	}
+	for _, o := range cat.Objects(video, "") {
+		mo := MPEG7Object{Name: o.Name, Class: o.Class}
+		for _, iv := range o.Appearances {
+			mo.Appearances = append(mo.Appearances, MPEG7Interval{Start: iv.Start, End: iv.End})
+		}
+		doc.Objects = append(doc.Objects, mo)
+	}
+	for _, e := range cat.Events(video, "") {
+		if e.Confidence <= 0 {
+			continue // availability sentinels are internal
+		}
+		me := MPEG7Event{
+			Type:       e.Type,
+			Confidence: e.Confidence,
+			Interval:   MPEG7Interval{Start: e.Interval.Start, End: e.Interval.End},
+		}
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			me.Attributes = append(me.Attributes, MPEG7Relation{Name: k, Value: e.Attrs[k]})
+		}
+		doc.Events = append(doc.Events, me)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("cobra: mpeg7 export: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}

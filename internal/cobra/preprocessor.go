@@ -1,0 +1,202 @@
+package cobra
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RequirementKind distinguishes feature-layer from event-layer needs.
+type RequirementKind uint8
+
+// Requirement kinds.
+const (
+	NeedFeature RequirementKind = iota
+	NeedEvents
+	// NeedObjects requires object-layer entities of a class (e.g.
+	// "driver") to be materialized.
+	NeedObjects
+)
+
+// Requirement names a piece of metadata a query depends on.
+type Requirement struct {
+	Kind RequirementKind
+	Name string
+}
+
+// String renders a requirement for diagnostics.
+func (r Requirement) String() string {
+	switch r.Kind {
+	case NeedFeature:
+		return "feature:" + r.Name
+	case NeedObjects:
+		return "objects:" + r.Name
+	default:
+		return "events:" + r.Name
+	}
+}
+
+// Extractor is a feature/semantic extraction engine the preprocessor
+// can invoke dynamically (§2): a video-processing routine, an HMM or
+// DBN engine, or a rule run.
+type Extractor interface {
+	// Name identifies the engine.
+	Name() string
+	// Provides lists the requirements the engine can materialize.
+	Provides() []Requirement
+	// Cost estimates relative extraction cost (higher = slower).
+	Cost() float64
+	// Quality scores the expected result quality in [0, 1].
+	Quality() float64
+	// Extract materializes the engine's outputs for the video into the
+	// catalog.
+	Extract(cat *Catalog, video string) error
+}
+
+// Preprocessor is the query preprocessor: it checks metadata
+// availability and, when something is missing, picks the cheapest
+// registered engine of sufficient quality and runs it (§2's high-level
+// optimisation during semantic extraction).
+type Preprocessor struct {
+	cat        *Catalog
+	extractors []Extractor
+}
+
+// ErrNoExtractor is returned when a requirement cannot be satisfied.
+var ErrNoExtractor = errors.New("cobra: no extractor provides requirement")
+
+// NewPreprocessor returns a preprocessor over the catalog.
+func NewPreprocessor(cat *Catalog) *Preprocessor {
+	return &Preprocessor{cat: cat}
+}
+
+// Register adds an extraction engine.
+func (p *Preprocessor) Register(e Extractor) {
+	p.extractors = append(p.extractors, e)
+}
+
+// Catalog returns the underlying catalog.
+func (p *Preprocessor) Catalog() *Catalog { return p.cat }
+
+// available reports whether a requirement is already materialized.
+func (p *Preprocessor) available(video string, r Requirement) bool {
+	switch r.Kind {
+	case NeedFeature:
+		return p.cat.HasFeature(video, r.Name)
+	case NeedEvents:
+		return p.cat.HasEvents(video, r.Name)
+	case NeedObjects:
+		return p.cat.HasObjects(video, r.Name)
+	}
+	return false
+}
+
+// Plan describes what Ensure decided to run.
+type Plan struct {
+	// Satisfied lists requirements that were already materialized.
+	Satisfied []Requirement
+	// Ran lists extractor names invoked, in order.
+	Ran []string
+}
+
+// Ensure makes every requirement available for the video, invoking
+// extraction engines as needed. Among engines providing a missing
+// requirement, those meeting minQuality are preferred and the cheapest
+// one wins; if none meets it, the highest-quality engine is used (best
+// effort, as the paper's cost/quality trade-off).
+func (p *Preprocessor) Ensure(video string, reqs []Requirement, minQuality float64) (*Plan, error) {
+	if _, err := p.cat.Video(video); err != nil {
+		return nil, err
+	}
+	plan := &Plan{}
+	ran := map[string]bool{}
+	for _, r := range reqs {
+		if p.available(video, r) {
+			plan.Satisfied = append(plan.Satisfied, r)
+			continue
+		}
+		e, err := p.choose(r, minQuality)
+		if err != nil {
+			return plan, err
+		}
+		if ran[e.Name()] {
+			// Engine already ran for an earlier requirement but did not
+			// produce this one.
+			if !p.available(video, r) {
+				return plan, fmt.Errorf("cobra: extractor %s did not materialize %v", e.Name(), r)
+			}
+			continue
+		}
+		if err := e.Extract(p.cat, video); err != nil {
+			return plan, fmt.Errorf("cobra: extractor %s: %w", e.Name(), err)
+		}
+		ran[e.Name()] = true
+		plan.Ran = append(plan.Ran, e.Name())
+		if !p.available(video, r) {
+			return plan, fmt.Errorf("cobra: extractor %s did not materialize %v", e.Name(), r)
+		}
+	}
+	return plan, nil
+}
+
+// choose selects the engine for a requirement.
+func (p *Preprocessor) choose(r Requirement, minQuality float64) (Extractor, error) {
+	var candidates []Extractor
+	for _, e := range p.extractors {
+		for _, pr := range e.Provides() {
+			if pr == r {
+				candidates = append(candidates, e)
+				break
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNoExtractor, r)
+	}
+	var qualified []Extractor
+	for _, e := range candidates {
+		if e.Quality() >= minQuality {
+			qualified = append(qualified, e)
+		}
+	}
+	if len(qualified) > 0 {
+		sort.Slice(qualified, func(i, j int) bool {
+			if qualified[i].Cost() != qualified[j].Cost() {
+				return qualified[i].Cost() < qualified[j].Cost()
+			}
+			return qualified[i].Quality() > qualified[j].Quality()
+		})
+		return qualified[0], nil
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Quality() != candidates[j].Quality() {
+			return candidates[i].Quality() > candidates[j].Quality()
+		}
+		return candidates[i].Cost() < candidates[j].Cost()
+	})
+	return candidates[0], nil
+}
+
+// ExtractorFunc adapts plain functions into Extractors.
+type ExtractorFunc struct {
+	EngineName string
+	Outputs    []Requirement
+	CostVal    float64
+	QualityVal float64
+	Fn         func(cat *Catalog, video string) error
+}
+
+// Name implements Extractor.
+func (e ExtractorFunc) Name() string { return e.EngineName }
+
+// Provides implements Extractor.
+func (e ExtractorFunc) Provides() []Requirement { return e.Outputs }
+
+// Cost implements Extractor.
+func (e ExtractorFunc) Cost() float64 { return e.CostVal }
+
+// Quality implements Extractor.
+func (e ExtractorFunc) Quality() float64 { return e.QualityVal }
+
+// Extract implements Extractor.
+func (e ExtractorFunc) Extract(cat *Catalog, video string) error { return e.Fn(cat, video) }

@@ -1,0 +1,82 @@
+package cobra
+
+import (
+	"cobra/internal/rules"
+)
+
+// ApplyRules runs a rule set over a video's materialized events and
+// stores the derived events back into the catalog — the §5.6 flow
+// where a user defines a new compound event and the system materializes
+// it, speeding up future retrieval. It returns the number of events
+// added.
+func ApplyRules(cat *Catalog, video string, rs []rules.Rule) (int, error) {
+	en, err := rules.NewEngine(rs...)
+	if err != nil {
+		return 0, err
+	}
+	store := rules.NewStore()
+	for _, e := range cat.Events(video, "") {
+		store.Assert(rules.Event{
+			Type:       e.Type,
+			Interval:   e.Interval,
+			Confidence: e.Confidence,
+			Attrs:      e.Attrs,
+		})
+	}
+	added := en.Run(store)
+	if added == 0 {
+		return 0, nil
+	}
+	produced := map[string]bool{}
+	for _, r := range rs {
+		produced[r.Produces] = true
+	}
+	var out []Event
+	existing := map[string]bool{}
+	for _, e := range cat.Events(video, "") {
+		existing[eventKey(e)] = true
+	}
+	for typ := range produced {
+		for _, e := range store.Events(typ) {
+			ce := Event{Video: video, Type: e.Type, Interval: e.Interval,
+				Confidence: e.Confidence, Attrs: e.Attrs}
+			if !existing[eventKey(ce)] {
+				out = append(out, ce)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return 0, nil
+	}
+	if err := cat.PutEvents(video, out); err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}
+
+func eventKey(e Event) string {
+	return e.Type + "|" + encodeAttrs(e.Attrs) +
+		"|" + fmtFloat(e.Interval.Start) + "|" + fmtFloat(e.Interval.End)
+}
+
+func fmtFloat(v float64) string {
+	// Fixed-point key formatting keeps dedupe stable across runs.
+	const scale = 10000
+	n := int64(v * scale)
+	buf := make([]byte, 0, 20)
+	if n < 0 {
+		buf = append(buf, '-')
+		n = -n
+	}
+	var digits [20]byte
+	i := len(digits)
+	for {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(append(buf, digits[i:]...))
+}

@@ -1,0 +1,389 @@
+// Package dbn implements dynamic Bayesian networks as two-slice
+// temporal networks (2-TBNs) over discrete variables: a slice network
+// describing intra-slice (atemporal) structure, plus temporal edges
+// between consecutive slices. Inference is the (modified) Boyen-Koller
+// factored-frontier filter with configurable clusters; learning is
+// Expectation-Maximization with exact forward-backward smoothing over
+// the joint hidden state (§4 of the paper).
+//
+// Hidden nodes are those not named as evidence. Temporal edges must run
+// between hidden nodes, and evidence nodes must not have temporal
+// parents — the paper's networks (Figs. 7, 8, 10, 11) have this shape.
+package dbn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cobra/internal/bayes"
+)
+
+// Edge is a temporal dependency From(t-1) -> To(t), by node name.
+type Edge struct {
+	From, To string
+}
+
+// transNode is the transition family of one hidden node at t >= 1: its
+// previous-slice parents, intra-slice parents, and CPT.
+type transNode struct {
+	node        int   // slice index of the node
+	prevParents []int // slice indices, parents in slice t-1
+	curParents  []int // slice indices, intra-slice parents in slice t
+	cpt         []float64
+}
+
+// DBN is a dynamic Bayesian network with tied (stationary) parameters.
+type DBN struct {
+	// slice holds the intra-slice structure; its CPTs parameterize the
+	// t=0 prior for hidden nodes and the (time-invariant) evidence
+	// emissions for all t.
+	slice *bayes.Network
+
+	evidenceNames []string
+	evidence      []int // slice indices, order matches evidenceNames
+	hidden        []int // sorted slice indices of hidden nodes
+	hiddenPos     map[int]int
+
+	temporal []Edge
+	trans    []transNode // one per hidden node, order matches hidden
+
+	// Joint hidden state space: S = prod card(hidden).
+	hiddenCard []int
+	S          int
+}
+
+// ErrBadDBN reports structural mistakes.
+var ErrBadDBN = errors.New("dbn: bad network")
+
+// New builds a DBN from an intra-slice network, the names of its
+// evidence nodes, and the temporal edges. Transition CPTs are
+// initialized to persistence-biased tables (a node tends to keep its
+// previous state), a sensible EM starting point for smooth processes.
+func New(slice *bayes.Network, evidenceNames []string, temporal []Edge) (*DBN, error) {
+	d := &DBN{
+		slice:         slice,
+		evidenceNames: append([]string(nil), evidenceNames...),
+		temporal:      append([]Edge(nil), temporal...),
+		hiddenPos:     map[int]int{},
+	}
+	isEv := map[int]bool{}
+	for _, name := range evidenceNames {
+		i, ok := slice.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown evidence node %s", ErrBadDBN, name)
+		}
+		if isEv[i] {
+			return nil, fmt.Errorf("%w: duplicate evidence node %s", ErrBadDBN, name)
+		}
+		isEv[i] = true
+		d.evidence = append(d.evidence, i)
+	}
+	for i := range slice.Nodes {
+		if !isEv[i] {
+			d.hidden = append(d.hidden, i)
+		}
+	}
+	sort.Ints(d.hidden)
+	for pos, h := range d.hidden {
+		d.hiddenPos[h] = pos
+	}
+	if len(d.hidden) == 0 {
+		return nil, fmt.Errorf("%w: no hidden nodes", ErrBadDBN)
+	}
+	// Evidence nodes must not be parents of hidden nodes and must have
+	// no temporal edges; temporal edges are hidden -> hidden.
+	for _, h := range d.hidden {
+		for _, p := range slice.Nodes[h].Parents {
+			if isEv[p] {
+				return nil, fmt.Errorf("%w: hidden node %s has evidence parent %s",
+					ErrBadDBN, slice.Nodes[h].Name, slice.Nodes[p].Name)
+			}
+		}
+	}
+	prevParents := map[int][]int{}
+	for _, e := range temporal {
+		from, ok := slice.Index(e.From)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown temporal source %s", ErrBadDBN, e.From)
+		}
+		to, ok := slice.Index(e.To)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown temporal target %s", ErrBadDBN, e.To)
+		}
+		if isEv[from] || isEv[to] {
+			return nil, fmt.Errorf("%w: temporal edge %s->%s touches an evidence node",
+				ErrBadDBN, e.From, e.To)
+		}
+		prevParents[to] = append(prevParents[to], from)
+	}
+	// Build transition families and persistence-biased CPTs.
+	d.hiddenCard = make([]int, len(d.hidden))
+	d.S = 1
+	for pos, h := range d.hidden {
+		d.hiddenCard[pos] = slice.Nodes[h].States
+		d.S *= slice.Nodes[h].States
+	}
+	if d.S > 1<<16 {
+		return nil, fmt.Errorf("%w: joint hidden state space %d too large", ErrBadDBN, d.S)
+	}
+	for _, h := range d.hidden {
+		pp := append([]int(nil), prevParents[h]...)
+		sort.Ints(pp)
+		cp := append([]int(nil), slice.Nodes[h].Parents...)
+		sort.Ints(cp)
+		tn := transNode{node: h, prevParents: pp, curParents: cp}
+		rows := 1
+		for _, p := range pp {
+			rows *= slice.Nodes[p].States
+		}
+		for _, p := range cp {
+			rows *= slice.Nodes[p].States
+		}
+		states := slice.Nodes[h].States
+		tn.cpt = make([]float64, rows*states)
+		selfPrev := -1
+		for k, p := range pp {
+			if p == h {
+				selfPrev = k
+			}
+		}
+		// Row layout: prevParents slowest, then curParents.
+		dims := make([]int, 0, len(pp)+len(cp))
+		for _, p := range pp {
+			dims = append(dims, slice.Nodes[p].States)
+		}
+		for _, p := range cp {
+			dims = append(dims, slice.Nodes[p].States)
+		}
+		// Initialize each row as the slice network's intra-slice
+		// conditional blended with a persistence bias toward the
+		// previous self state. This keeps the domain knowledge encoded
+		// in the slice CPTs active at t >= 1 while favouring smooth
+		// state evolution; EM refines from there.
+		const persist = 0.85
+		for r := 0; r < rows; r++ {
+			cfg := decodeConfig(r, dims)
+			prevSelf := -1
+			if selfPrev >= 0 {
+				prevSelf = cfg[selfPrev]
+			}
+			// Index the slice CPT using the node's declared parent
+			// order (curParents here are sorted, so map back).
+			sliceRow := 0
+			for _, par := range slice.Nodes[h].Parents {
+				pos := -1
+				for j, cpar := range cp {
+					if cpar == par {
+						pos = len(pp) + j
+						break
+					}
+				}
+				sliceRow = sliceRow*slice.Nodes[par].States + cfg[pos]
+			}
+			sum := 0.0
+			for k := 0; k < states; k++ {
+				v := slice.Nodes[h].CPT[sliceRow*states+k]
+				if prevSelf >= 0 {
+					if k == prevSelf {
+						v *= persist
+					} else {
+						v *= (1 - persist) / float64(states-1)
+					}
+				}
+				tn.cpt[r*states+k] = v
+				sum += v
+			}
+			if sum <= 0 {
+				for k := 0; k < states; k++ {
+					tn.cpt[r*states+k] = 1 / float64(states)
+				}
+				continue
+			}
+			for k := 0; k < states; k++ {
+				tn.cpt[r*states+k] /= sum
+			}
+		}
+		d.trans = append(d.trans, tn)
+	}
+	return d, nil
+}
+
+// decodeConfig decomposes a row index into per-dimension states (first
+// dimension slowest).
+func decodeConfig(idx int, dims []int) []int {
+	cfg := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		cfg[i] = idx % dims[i]
+		idx /= dims[i]
+	}
+	return cfg
+}
+
+// encodeConfig is the inverse of decodeConfig.
+func encodeConfig(cfg, dims []int) int {
+	idx := 0
+	for i := range dims {
+		idx = idx*dims[i] + cfg[i]
+	}
+	return idx
+}
+
+// Slice returns the intra-slice network (shared, not a copy).
+func (d *DBN) Slice() *bayes.Network { return d.slice }
+
+// HiddenNames returns the hidden node names in joint-state order.
+func (d *DBN) HiddenNames() []string {
+	names := make([]string, len(d.hidden))
+	for i, h := range d.hidden {
+		names[i] = d.slice.Nodes[h].Name
+	}
+	return names
+}
+
+// EvidenceNames returns the evidence node names in observation order.
+func (d *DBN) EvidenceNames() []string {
+	return append([]string(nil), d.evidenceNames...)
+}
+
+// StateSpaceSize returns the joint hidden state count.
+func (d *DBN) StateSpaceSize() int { return d.S }
+
+// Randomize randomizes all parameters: slice CPTs and transition CPTs.
+func (d *DBN) Randomize(rng *rand.Rand) {
+	d.slice.Randomize(rng)
+	d.RandomizeTransitions(rng)
+}
+
+// RandomizeTransitions randomizes only the transition CPTs, keeping
+// the slice network's (informative) priors and emissions. Useful for
+// studying how much temporal structure EM can recover.
+func (d *DBN) RandomizeTransitions(rng *rand.Rand) {
+	for i := range d.trans {
+		tn := &d.trans[i]
+		states := d.slice.Nodes[tn.node].States
+		for r := 0; r < len(tn.cpt); r += states {
+			s := 0.0
+			for k := 0; k < states; k++ {
+				v := 0.1 + rng.Float64()
+				tn.cpt[r+k] = v
+				s += v
+			}
+			for k := 0; k < states; k++ {
+				tn.cpt[r+k] /= s
+			}
+		}
+	}
+}
+
+// PerturbTransitions multiplies every transition parameter by a random
+// factor in [1-strength, 1+strength] and renormalizes: a controlled
+// departure from the initialization that EM must repair.
+func (d *DBN) PerturbTransitions(rng *rand.Rand, strength float64) {
+	for i := range d.trans {
+		tn := &d.trans[i]
+		states := d.slice.Nodes[tn.node].States
+		for r := 0; r < len(tn.cpt); r += states {
+			s := 0.0
+			for k := 0; k < states; k++ {
+				f := 1 + strength*(2*rng.Float64()-1)
+				if f < 0.02 {
+					f = 0.02
+				}
+				tn.cpt[r+k] *= f
+				s += tn.cpt[r+k]
+			}
+			for k := 0; k < states; k++ {
+				tn.cpt[r+k] /= s
+			}
+		}
+	}
+}
+
+// hiddenState decodes joint state s into per-hidden-node states.
+func (d *DBN) hiddenState(s int) []int { return decodeConfig(s, d.hiddenCard) }
+
+// stateOfNode returns hidden node h's state within joint state s.
+func (d *DBN) stateOfNode(h, s int) int {
+	pos := d.hiddenPos[h]
+	// Decode only the needed position.
+	for i := len(d.hiddenCard) - 1; i > pos; i-- {
+		s /= d.hiddenCard[i]
+	}
+	return s % d.hiddenCard[pos]
+}
+
+// transRow computes the CPT row offset of transition family tn for the
+// given previous and current joint hidden states.
+func (d *DBN) transRow(tn *transNode, sPrev, sCur int) int {
+	states := d.slice.Nodes[tn.node].States
+	row := 0
+	for _, p := range tn.prevParents {
+		row = row*d.slice.Nodes[p].States + d.stateOfNode(p, sPrev)
+	}
+	for _, p := range tn.curParents {
+		row = row*d.slice.Nodes[p].States + d.stateOfNode(p, sCur)
+	}
+	return row * states
+}
+
+// Transition returns P(H_t = sCur | H_{t-1} = sPrev).
+func (d *DBN) Transition(sPrev, sCur int) float64 {
+	p := 1.0
+	for i := range d.trans {
+		tn := &d.trans[i]
+		row := d.transRow(tn, sPrev, sCur)
+		p *= tn.cpt[row+d.stateOfNode(tn.node, sCur)]
+	}
+	return p
+}
+
+// Emission returns P(obs | H_t = s), the product of evidence-node
+// CPTs. obs holds one state per evidence node in observation order.
+func (d *DBN) Emission(s int, obs []int) float64 {
+	p := 1.0
+	obsOf := func(idx int) (int, bool) {
+		for k, e := range d.evidence {
+			if e == idx {
+				return obs[k], true
+			}
+		}
+		return 0, false
+	}
+	for k, e := range d.evidence {
+		node := &d.slice.Nodes[e]
+		row := 0
+		for _, par := range node.Parents {
+			var st int
+			if v, ok := obsOf(par); ok {
+				st = v
+			} else {
+				st = d.stateOfNode(par, s)
+			}
+			row = row*d.slice.Nodes[par].States + st
+		}
+		p *= node.CPT[row*node.States+obs[k]]
+	}
+	return p
+}
+
+// Prior returns the t=0 joint hidden distribution from the slice
+// network's hidden-node CPTs.
+func (d *DBN) Prior() []float64 {
+	pi := make([]float64, d.S)
+	for s := 0; s < d.S; s++ {
+		cfg := d.hiddenState(s)
+		p := 1.0
+		for pos, h := range d.hidden {
+			node := &d.slice.Nodes[h]
+			row := 0
+			for _, par := range node.Parents {
+				row = row*d.slice.Nodes[par].States + cfg[d.hiddenPos[par]]
+			}
+			p *= node.CPT[row*node.States+cfg[pos]]
+		}
+		pi[s] = p
+	}
+	return pi
+}

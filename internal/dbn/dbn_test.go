@@ -1,0 +1,636 @@
+package dbn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/bayes"
+	"cobra/internal/monet"
+)
+
+// hmmSlice builds a 1-hidden/1-evidence slice: H -> E.
+func hmmSlice(t *testing.T) *bayes.Network {
+	t.Helper()
+	n := bayes.NewNetwork()
+	n.MustAddNode("H", 2)
+	n.MustAddNode("E", 2, "H")
+	n.MustSetCPT("H", []float64{0.6, 0.4})
+	n.MustSetCPT("E", []float64{0.9, 0.1, 0.2, 0.8})
+	return n
+}
+
+func hmmDBN(t *testing.T) *DBN {
+	t.Helper()
+	d, err := New(hmmSlice(t), []string{"E"}, []Edge{{From: "H", To: "H"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// setHMMTransition installs P(H_t | H_{t-1}) rows.
+func setHMMTransition(d *DBN, stay0, stay1 float64) {
+	d.trans[0].cpt = []float64{stay0, 1 - stay0, 1 - stay1, stay1}
+}
+
+func TestNewValidation(t *testing.T) {
+	slice := hmmSlice(t)
+	if _, err := New(slice, []string{"Nope"}, nil); err == nil {
+		t.Fatal("unknown evidence accepted")
+	}
+	if _, err := New(slice, []string{"E", "E"}, nil); err == nil {
+		t.Fatal("duplicate evidence accepted")
+	}
+	if _, err := New(slice, []string{"E"}, []Edge{{From: "X", To: "H"}}); err == nil {
+		t.Fatal("unknown temporal source accepted")
+	}
+	if _, err := New(slice, []string{"E"}, []Edge{{From: "E", To: "H"}}); err == nil {
+		t.Fatal("temporal edge from evidence accepted")
+	}
+	if _, err := New(slice, []string{"H", "E"}, nil); err == nil {
+		t.Fatal("all-evidence network accepted")
+	}
+	// Hidden node with evidence parent is rejected.
+	bad := bayes.NewNetwork()
+	bad.MustAddNode("E", 2)
+	bad.MustAddNode("H", 2, "E")
+	if _, err := New(bad, []string{"E"}, nil); err == nil {
+		t.Fatal("hidden node with evidence parent accepted")
+	}
+}
+
+func TestTransitionAndEmission(t *testing.T) {
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.7, 0.6)
+	if got := d.Transition(0, 0); got != 0.7 {
+		t.Fatalf("T(0->0) = %v", got)
+	}
+	if got := d.Transition(1, 0); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("T(1->0) = %v", got)
+	}
+	if got := d.Emission(0, []int{0}); got != 0.9 {
+		t.Fatalf("B(0,e=0) = %v", got)
+	}
+	if got := d.Emission(1, []int{1}); got != 0.8 {
+		t.Fatalf("B(1,e=1) = %v", got)
+	}
+	pi := d.Prior()
+	if pi[0] != 0.6 || pi[1] != 0.4 {
+		t.Fatalf("prior = %v", pi)
+	}
+}
+
+// TestFilterMatchesHandForward compares the filter against a hand-coded
+// HMM forward pass.
+func TestFilterMatchesHandForward(t *testing.T) {
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.7, 0.6)
+	obs := [][]int{{0}, {1}, {1}, {0}, {1}}
+	res, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand forward.
+	pi := []float64{0.6, 0.4}
+	A := [][]float64{{0.7, 0.3}, {0.4, 0.6}}
+	B := [][]float64{{0.9, 0.1}, {0.2, 0.8}} // B[state][obs]
+	cur := []float64{pi[0] * B[0][obs[0][0]], pi[1] * B[1][obs[0][0]]}
+	z := cur[0] + cur[1]
+	cur[0] /= z
+	cur[1] /= z
+	wantLL := math.Log(z)
+	for _, o := range obs[1:] {
+		next := []float64{
+			(cur[0]*A[0][0] + cur[1]*A[1][0]) * B[0][o[0]],
+			(cur[0]*A[0][1] + cur[1]*A[1][1]) * B[1][o[0]],
+		}
+		z = next[0] + next[1]
+		next[0] /= z
+		next[1] /= z
+		wantLL += math.Log(z)
+		cur = next
+	}
+	got, err := res.Marginal(len(obs)-1, "H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-cur[0]) > 1e-12 || math.Abs(got[1]-cur[1]) > 1e-12 {
+		t.Fatalf("filtered = %v, want %v", got, cur)
+	}
+	if math.Abs(res.LogLikelihood-wantLL) > 1e-9 {
+		t.Fatalf("ll = %v, want %v", res.LogLikelihood, wantLL)
+	}
+}
+
+func TestMarginalSeriesAndErrors(t *testing.T) {
+	d := hmmDBN(t)
+	res, err := d.Filter([][]int{{0}, {1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := res.MarginalSeries("H", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	if _, err := res.Marginal(0, "E"); err == nil {
+		t.Fatal("marginal of evidence node accepted")
+	}
+	if _, err := res.Marginal(5, "H"); err == nil {
+		t.Fatal("out-of-range step accepted")
+	}
+	if _, err := res.Marginal(0, "Zzz"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestFilterObsValidation(t *testing.T) {
+	d := hmmDBN(t)
+	if _, err := d.Filter([][]int{{0, 1}}, nil); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := d.Filter([][]int{{7}}, nil); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+}
+
+// TestDBNSmoothing reproduces the Fig. 9 qualitative result: a DBN's
+// filtered query series is smoother than per-step static-BN posteriors
+// on the same noisy evidence.
+func TestDBNSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.95, 0.95)
+	// Generate a ground-truth square wave with noisy observations.
+	T := 200
+	obs := make([][]int, T)
+	for i := 0; i < T; i++ {
+		truth := 0
+		if (i/50)%2 == 1 {
+			truth = 1
+		}
+		o := truth
+		if rng.Float64() < 0.25 { // 25% observation noise
+			o = 1 - o
+		}
+		obs[i] = []int{o}
+	}
+	res, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbnSeries, _ := res.MarginalSeries("H", 1)
+
+	// Static BN: per-step posterior with the same slice network.
+	slice := hmmSlice(t)
+	bnSeries := make([]float64, T)
+	for i, o := range obs {
+		p, err := slice.PosteriorOf("H", bayes.Evidence{slice.MustIndex("E"): o[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnSeries[i] = p[1]
+	}
+	rough := func(xs []float64) float64 {
+		s := 0.0
+		for i := 1; i < len(xs); i++ {
+			s += math.Abs(xs[i] - xs[i-1])
+		}
+		return s / float64(len(xs)-1)
+	}
+	if rough(dbnSeries) >= 0.6*rough(bnSeries) {
+		t.Fatalf("DBN not smoother: dbn %v vs bn %v", rough(dbnSeries), rough(bnSeries))
+	}
+}
+
+// TestLearnEMRecoversHMM trains on sequences from a known HMM and
+// checks the recovered dynamics.
+func TestLearnEMRecoversHMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// Truth: sticky chain, informative emissions.
+	truthA := [][]float64{{0.9, 0.1}, {0.15, 0.85}}
+	truthB := [][]float64{{0.85, 0.15}, {0.1, 0.9}}
+	gen := func(T int) [][]int {
+		obs := make([][]int, T)
+		h := 0
+		for t := 0; t < T; t++ {
+			if rng.Float64() > truthA[h][h] {
+				h = 1 - h
+			}
+			o := 0
+			if rng.Float64() > truthB[h][0] {
+				o = 1
+			}
+			obs[t] = []int{o}
+		}
+		return obs
+	}
+	var seqs [][][]int
+	for i := 0; i < 12; i++ {
+		seqs = append(seqs, gen(250))
+	}
+	d := hmmDBN(t)
+	// Slightly perturbed init (EM label identification).
+	d.slice.MustSetCPT("E", []float64{0.7, 0.3, 0.3, 0.7})
+	setHMMTransition(d, 0.8, 0.8)
+	cfg := DefaultEMConfig()
+	cfg.MaxIterations = 60
+	res, err := d.LearnEM(seqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("too few iterations: %+v", res)
+	}
+	// Recovered self-transitions should be sticky like the truth.
+	stay0 := d.trans[0].cpt[0]
+	stay1 := d.trans[0].cpt[3]
+	if stay0 < 0.8 || stay1 < 0.75 {
+		t.Fatalf("recovered transitions not sticky: %v %v", stay0, stay1)
+	}
+	// Emissions should be informative in the same direction.
+	e := d.slice.Nodes[d.slice.MustIndex("E")].CPT
+	if e[0] < 0.7 || e[3] < 0.7 {
+		t.Fatalf("recovered emissions weak: %v", e)
+	}
+}
+
+// TestLearnEMImprovesLikelihood checks EM monotonicity end-to-end.
+func TestLearnEMImprovesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d := hmmDBN(t)
+	obs := make([][]int, 120)
+	for i := range obs {
+		obs[i] = []int{rng.Intn(2)}
+	}
+	before, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LearnEM([][][]int{obs}, DefaultEMConfig()); err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LogLikelihood < before.LogLikelihood {
+		t.Fatalf("EM decreased filter LL: %v -> %v", before.LogLikelihood, after.LogLikelihood)
+	}
+}
+
+// twoChainDBN builds two hidden chains with a coupling edge and one
+// evidence node per chain, for the clustering experiment.
+func twoChainDBN(t *testing.T, coupled bool) *DBN {
+	t.Helper()
+	n := bayes.NewNetwork()
+	n.MustAddNode("A", 2)
+	if coupled {
+		n.MustAddNode("B", 2, "A")
+		n.MustSetCPT("B", []float64{0.9, 0.1, 0.1, 0.9})
+	} else {
+		n.MustAddNode("B", 2)
+		n.MustSetCPT("B", []float64{0.5, 0.5})
+	}
+	n.MustAddNode("EA", 2, "A")
+	n.MustAddNode("EB", 2, "B")
+	n.MustSetCPT("A", []float64{0.5, 0.5})
+	n.MustSetCPT("EA", []float64{0.8, 0.2, 0.2, 0.8})
+	n.MustSetCPT("EB", []float64{0.8, 0.2, 0.2, 0.8})
+	d, err := New(n, []string{"EA", "EB"},
+		[]Edge{{From: "A", To: "A"}, {From: "B", To: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestClusterValidation(t *testing.T) {
+	d := twoChainDBN(t, true)
+	if _, err := d.compileClusters(Clusters{{"A"}}); err == nil {
+		t.Fatal("uncovered hidden node accepted")
+	}
+	if _, err := d.compileClusters(Clusters{{"A", "B"}, {"A"}}); err == nil {
+		t.Fatal("overlapping clusters accepted")
+	}
+	if _, err := d.compileClusters(Clusters{{"A"}, {"EB"}}); err == nil {
+		t.Fatal("evidence node in cluster accepted")
+	}
+	if _, err := d.compileClusters(Clusters{{"A"}, {"Zzz"}}); err == nil {
+		t.Fatal("unknown node in cluster accepted")
+	}
+}
+
+// TestBoyenKollerProjection: with independent chains the 2-cluster
+// projection is exact; with coupled chains it loses likelihood, which
+// is the paper's observed cost of clustering.
+func TestBoyenKollerProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	obs := make([][]int, 100)
+	for i := range obs {
+		v := rng.Intn(2)
+		obs[i] = []int{v, v} // correlated observations stress coupling
+	}
+	// Independent chains: projection exact.
+	ind := twoChainDBN(t, false)
+	exactI, err := ind.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projI, err := ind.Filter(obs, Clusters{{"A"}, {"B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exactI.LogLikelihood-projI.LogLikelihood) > 1e-9 {
+		t.Fatalf("independent chains: projection changed LL %v vs %v",
+			exactI.LogLikelihood, projI.LogLikelihood)
+	}
+	// Coupled chains: projected filter diverges from exact marginals.
+	cp := twoChainDBN(t, true)
+	exactC, err := cp.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projC, err := cp.Filter(obs, Clusters{{"A"}, {"B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, _ := exactC.MarginalSeries("B", 1)
+	mp, _ := projC.MarginalSeries("B", 1)
+	maxDiff := 0.0
+	for i := range me {
+		if d := math.Abs(me[i] - mp[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 1e-6 {
+		t.Fatalf("coupled chains: projection had no effect (max diff %v)", maxDiff)
+	}
+}
+
+func TestHiddenAndEvidenceNames(t *testing.T) {
+	d := twoChainDBN(t, true)
+	h := d.HiddenNames()
+	if len(h) != 2 || h[0] != "A" || h[1] != "B" {
+		t.Fatalf("hidden = %v", h)
+	}
+	e := d.EvidenceNames()
+	if len(e) != 2 || e[0] != "EA" || e[1] != "EB" {
+		t.Fatalf("evidence = %v", e)
+	}
+	if d.StateSpaceSize() != 4 {
+		t.Fatalf("S = %d", d.StateSpaceSize())
+	}
+}
+
+func TestRandomizeKeepsDistributions(t *testing.T) {
+	d := twoChainDBN(t, true)
+	d.Randomize(rand.New(rand.NewSource(37)))
+	for i := range d.trans {
+		states := d.slice.Nodes[d.trans[i].node].States
+		for r := 0; r < len(d.trans[i].cpt); r += states {
+			s := 0.0
+			for k := 0; k < states; k++ {
+				s += d.trans[i].cpt[r+k]
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("trans row sums to %v", s)
+			}
+		}
+	}
+	pi := d.Prior()
+	s := 0.0
+	for _, v := range pi {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("prior sums to %v", s)
+	}
+}
+
+func TestEmptyObservationSequence(t *testing.T) {
+	d := hmmDBN(t)
+	res, err := d.Filter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps() != 0 || res.LogLikelihood != 0 {
+		t.Fatalf("empty filter = %+v", res)
+	}
+}
+
+func TestSaveLoadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	d := hmmDBN(t)
+	d.Randomize(rng)
+	store := monet.NewStore()
+	d.SaveParams(store, "model/audio")
+	if !d.HasParams(store, "model/audio") {
+		t.Fatal("HasParams false after save")
+	}
+	d2 := hmmDBN(t)
+	if err := d2.LoadParams(store, "model/audio"); err != nil {
+		t.Fatal(err)
+	}
+	// Filtering with loaded params matches the original exactly.
+	obs := [][]int{{0}, {1}, {1}, {0}}
+	r1, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d2.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.LogLikelihood-r2.LogLikelihood) > 1e-12 {
+		t.Fatalf("LL after load %v != %v", r2.LogLikelihood, r1.LogLikelihood)
+	}
+	// Missing prefix fails.
+	d3 := hmmDBN(t)
+	if err := d3.LoadParams(store, "model/nope"); err == nil {
+		t.Fatal("missing params accepted")
+	}
+	if d3.HasParams(store, "model/nope") {
+		t.Fatal("HasParams true for missing prefix")
+	}
+}
+
+// Property: filtered marginals are normalized distributions for random
+// parameters and observations.
+func TestFilterMarginalsNormalizedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := twoChainDBNQuick(rng)
+		obs := make([][]int, 30)
+		for i := range obs {
+			obs[i] = []int{rng.Intn(2), rng.Intn(2)}
+		}
+		res, err := d.Filter(obs, nil)
+		if err != nil {
+			return false
+		}
+		for _, name := range d.HiddenNames() {
+			for step := 0; step < res.Steps(); step += 7 {
+				m, err := res.Marginal(step, name)
+				if err != nil {
+					return false
+				}
+				s := 0.0
+				for _, v := range m {
+					if v < -1e-12 {
+						return false
+					}
+					s += v
+				}
+				if math.Abs(s-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoChainDBNQuick builds a randomized two-chain network without
+// testing.T plumbing.
+func twoChainDBNQuick(rng *rand.Rand) *DBN {
+	n := bayes.NewNetwork()
+	n.MustAddNode("A", 2)
+	n.MustAddNode("B", 2, "A")
+	n.MustAddNode("EA", 2, "A")
+	n.MustAddNode("EB", 2, "B")
+	d, err := New(n, []string{"EA", "EB"},
+		[]Edge{{From: "A", To: "A"}, {From: "B", To: "B"}})
+	if err != nil {
+		panic(err)
+	}
+	d.Randomize(rng)
+	return d
+}
+
+// TestSmoothMatchesFilterAtEnd: at the final step, the smoothed and
+// filtered posteriors coincide (both condition on all evidence).
+func TestSmoothMatchesFilterAtEnd(t *testing.T) {
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.8, 0.7)
+	obs := [][]int{{0}, {1}, {1}, {0}, {1}, {1}}
+	filt, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := d.Smooth(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(obs) - 1
+	fm, _ := filt.Marginal(last, "H")
+	smM, err := sm.Marginal(last, "H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fm {
+		if math.Abs(fm[i]-smM[i]) > 1e-9 {
+			t.Fatalf("final marginals differ: %v vs %v", fm, smM)
+		}
+	}
+	if math.Abs(filt.LogLikelihood-sm.LogLikelihood) > 1e-9 {
+		t.Fatalf("LL differ: %v vs %v", filt.LogLikelihood, sm.LogLikelihood)
+	}
+}
+
+// TestSmoothUsesFutureEvidence: mid-sequence smoothed posteriors use
+// future observations, so they differ from filtered ones and are more
+// decisive on a noisy middle step.
+func TestSmoothUsesFutureEvidence(t *testing.T) {
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.9, 0.9)
+	// State clearly 1 before and after a single contradictory reading.
+	obs := [][]int{{1}, {1}, {0}, {1}, {1}}
+	filt, _ := d.Filter(obs, nil)
+	sm, err := d.Smooth(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, _ := filt.Marginal(2, "H")
+	smM, _ := sm.Marginal(2, "H")
+	if smM[1] <= fm[1] {
+		t.Fatalf("smoothed P(H=1)=%v not above filtered %v at the glitch", smM[1], fm[1])
+	}
+	// And marginals stay normalized.
+	if math.Abs(smM[0]+smM[1]-1) > 1e-9 {
+		t.Fatalf("smoothed marginal not normalized: %v", smM)
+	}
+}
+
+func TestSmoothEmptyAndErrors(t *testing.T) {
+	d := hmmDBN(t)
+	res, err := d.Smooth(nil)
+	if err != nil || res.Steps() != 0 {
+		t.Fatalf("empty smooth = %v, %v", res, err)
+	}
+	if _, err := d.Smooth([][]int{{9}}); err == nil {
+		t.Fatal("bad observation accepted")
+	}
+	r2, _ := d.Smooth([][]int{{0}})
+	if _, err := r2.Marginal(5, "H"); err == nil {
+		t.Fatal("out-of-range step accepted")
+	}
+	if _, err := r2.Marginal(0, "E"); err == nil {
+		t.Fatal("evidence-node marginal accepted")
+	}
+}
+
+func TestViterbiDecodesStickyChain(t *testing.T) {
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.9, 0.9)
+	obs := [][]int{{0}, {0}, {0}, {1}, {1}, {1}}
+	res, err := d.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := res.StateSeries("H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 1, 1}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if math.IsInf(res.LogProb, 0) {
+		t.Fatalf("log prob = %v", res.LogProb)
+	}
+	// A single contradictory reading is absorbed by the sticky chain.
+	obs = [][]int{{1}, {1}, {0}, {1}, {1}}
+	res, _ = d.Viterbi(obs)
+	path, _ = res.StateSeries("H")
+	if path[2] != 1 {
+		t.Fatalf("glitch not absorbed: %v", path)
+	}
+}
+
+func TestViterbiErrors(t *testing.T) {
+	d := hmmDBN(t)
+	res, err := d.Viterbi(nil)
+	if err != nil || len(res.States) != 0 {
+		t.Fatalf("empty viterbi = %v, %v", res, err)
+	}
+	if _, err := d.Viterbi([][]int{{9}}); err == nil {
+		t.Fatal("bad observation accepted")
+	}
+	r, _ := d.Viterbi([][]int{{0}})
+	if _, err := r.StateSeries("E"); err == nil {
+		t.Fatal("evidence node accepted")
+	}
+	if _, err := r.StateSeries("Zzz"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}

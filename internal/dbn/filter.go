@@ -1,0 +1,244 @@
+package dbn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clusters partitions hidden node names for the Boyen-Koller
+// projection. Nil or a single cluster containing every hidden node
+// yields exact interface filtering; finer clusters trade accuracy for
+// the factored representation studied in the paper's clustering
+// experiment (§5.5).
+type Clusters [][]string
+
+// FilterResult holds the per-step filtered posteriors.
+type FilterResult struct {
+	dbn *DBN
+	// beliefs[t] is the (possibly projected) joint distribution over
+	// hidden states after absorbing observation t.
+	beliefs [][]float64
+	// LogLikelihood is sum_t log P(e_t | e_1:t-1).
+	LogLikelihood float64
+}
+
+// Steps returns the number of filtered time steps.
+func (r *FilterResult) Steps() int { return len(r.beliefs) }
+
+// Marginal returns P(node = state | e_1:t) for each state of the named
+// hidden node at step t.
+func (r *FilterResult) Marginal(t int, name string) ([]float64, error) {
+	idx, ok := r.dbn.slice.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown node %s", ErrBadDBN, name)
+	}
+	pos, ok := r.dbn.hiddenPos[idx]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %s is not hidden", ErrBadDBN, name)
+	}
+	if t < 0 || t >= len(r.beliefs) {
+		return nil, fmt.Errorf("dbn: step %d out of range [0,%d)", t, len(r.beliefs))
+	}
+	out := make([]float64, r.dbn.hiddenCard[pos])
+	for s, p := range r.beliefs[t] {
+		out[r.dbn.stateOfNode(r.dbn.hidden[pos], s)] += p
+	}
+	return out, nil
+}
+
+// MarginalSeries returns P(node = state | e_1:t) for every step.
+func (r *FilterResult) MarginalSeries(name string, state int) ([]float64, error) {
+	out := make([]float64, len(r.beliefs))
+	for t := range r.beliefs {
+		m, err := r.Marginal(t, name)
+		if err != nil {
+			return nil, err
+		}
+		if state < 0 || state >= len(m) {
+			return nil, fmt.Errorf("dbn: state %d out of range", state)
+		}
+		out[t] = m[state]
+	}
+	return out, nil
+}
+
+// clusterSpec is the compiled form of Clusters.
+type clusterSpec struct {
+	members [][]int // positions into d.hidden per cluster
+}
+
+func (d *DBN) compileClusters(cl Clusters) (*clusterSpec, error) {
+	if len(cl) == 0 {
+		all := make([]int, len(d.hidden))
+		for i := range all {
+			all[i] = i
+		}
+		return &clusterSpec{members: [][]int{all}}, nil
+	}
+	seen := make([]bool, len(d.hidden))
+	spec := &clusterSpec{}
+	for _, group := range cl {
+		var ms []int
+		for _, name := range group {
+			idx, ok := d.slice.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: unknown cluster node %s", ErrBadDBN, name)
+			}
+			pos, ok := d.hiddenPos[idx]
+			if !ok {
+				return nil, fmt.Errorf("%w: cluster node %s is not hidden", ErrBadDBN, name)
+			}
+			if seen[pos] {
+				return nil, fmt.Errorf("%w: node %s in two clusters", ErrBadDBN, name)
+			}
+			seen[pos] = true
+			ms = append(ms, pos)
+		}
+		spec.members = append(spec.members, ms)
+	}
+	for pos, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("%w: hidden node %s not covered by clusters",
+				ErrBadDBN, d.slice.Nodes[d.hidden[pos]].Name)
+		}
+	}
+	return spec, nil
+}
+
+// project replaces the joint belief with the product of its cluster
+// marginals — the Boyen-Koller projection. With a single cluster this
+// is the identity.
+func (d *DBN) project(belief []float64, spec *clusterSpec) []float64 {
+	if len(spec.members) == 1 {
+		return belief
+	}
+	// Compute each cluster's marginal.
+	marginals := make([]map[string]float64, len(spec.members))
+	keys := make([][]int, d.S) // decoded states, cached
+	for s := range keys {
+		keys[s] = d.hiddenState(s)
+	}
+	for c, ms := range spec.members {
+		m := map[string]float64{}
+		for s, p := range belief {
+			m[configKey(keys[s], ms)] += p
+		}
+		marginals[c] = m
+	}
+	out := make([]float64, d.S)
+	for s := range out {
+		p := 1.0
+		for c, ms := range spec.members {
+			p *= marginals[c][configKey(keys[s], ms)]
+		}
+		out[s] = p
+	}
+	normalize(out)
+	return out
+}
+
+func configKey(cfg []int, positions []int) string {
+	b := make([]byte, len(positions))
+	for i, p := range positions {
+		b[i] = byte(cfg[p])
+	}
+	return string(b)
+}
+
+func normalize(p []float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	if s > 0 {
+		inv := 1 / s
+		for i := range p {
+			p[i] *= inv
+		}
+	}
+	return s
+}
+
+// Filter runs the Boyen-Koller filter over an observation sequence.
+// obs[t] holds the state of each evidence node (observation order) at
+// step t. clusters selects the belief factorization (nil = exact).
+func (d *DBN) Filter(obs [][]int, clusters Clusters) (*FilterResult, error) {
+	spec, err := d.compileClusters(clusters)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkObs(obs); err != nil {
+		return nil, err
+	}
+	res := &FilterResult{dbn: d}
+	if len(obs) == 0 {
+		return res, nil
+	}
+	// t = 0: prior times emission.
+	belief := d.Prior()
+	for s := range belief {
+		belief[s] *= d.Emission(s, obs[0])
+	}
+	z := normalize(belief)
+	if z <= 0 {
+		return nil, fmt.Errorf("dbn: zero-probability observation at t=0")
+	}
+	res.LogLikelihood += math.Log(z)
+	belief = d.project(belief, spec)
+	res.beliefs = append(res.beliefs, belief)
+
+	// Transition matrix cached once (parameters are tied).
+	A := d.transitionMatrix()
+	for t := 1; t < len(obs); t++ {
+		next := make([]float64, d.S)
+		for sPrev, bp := range belief {
+			if bp == 0 {
+				continue
+			}
+			row := A[sPrev]
+			for sCur, a := range row {
+				next[sCur] += bp * a
+			}
+		}
+		for s := range next {
+			next[s] *= d.Emission(s, obs[t])
+		}
+		z := normalize(next)
+		if z <= 0 {
+			return nil, fmt.Errorf("dbn: zero-probability observation at t=%d", t)
+		}
+		res.LogLikelihood += math.Log(z)
+		next = d.project(next, spec)
+		res.beliefs = append(res.beliefs, next)
+		belief = next
+	}
+	return res, nil
+}
+
+// transitionMatrix materializes A[sPrev][sCur].
+func (d *DBN) transitionMatrix() [][]float64 {
+	A := make([][]float64, d.S)
+	for sp := 0; sp < d.S; sp++ {
+		A[sp] = make([]float64, d.S)
+		for sc := 0; sc < d.S; sc++ {
+			A[sp][sc] = d.Transition(sp, sc)
+		}
+	}
+	return A
+}
+
+func (d *DBN) checkObs(obs [][]int) error {
+	for t, o := range obs {
+		if len(o) != len(d.evidence) {
+			return fmt.Errorf("%w: observation %d has %d values, want %d",
+				ErrBadDBN, t, len(o), len(d.evidence))
+		}
+		for k, v := range o {
+			if v < 0 || v >= d.slice.Nodes[d.evidence[k]].States {
+				return fmt.Errorf("%w: observation %d value %d out of range for %s",
+					ErrBadDBN, t, v, d.evidenceNames[k])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package dbn
+
+import (
+	"fmt"
+	"math"
+)
+
+// EMConfig parameterizes DBN EM training.
+type EMConfig struct {
+	// MaxIterations caps EM iterations (default 30).
+	MaxIterations int
+	// Tolerance is the minimum total log-likelihood improvement to
+	// continue (default 1e-3).
+	Tolerance float64
+	// Prior is the Dirichlet pseudo-count added to every expected count
+	// (default 0.05).
+	Prior float64
+	// Anchor adds Anchor * p0 pseudo-counts to every parameter, where
+	// p0 is the parameter's value before training. This keeps EM near
+	// the domain-knowledge initialization (§2: domain knowledge stored
+	// in the database) for rows the data rarely visits, while rows with
+	// strong data support still move. 0 disables anchoring.
+	Anchor float64
+}
+
+// DefaultEMConfig returns the standard settings.
+func DefaultEMConfig() EMConfig {
+	return EMConfig{MaxIterations: 30, Tolerance: 1e-3, Prior: 0.05}
+}
+
+// EMResult reports a training run.
+type EMResult struct {
+	Iterations    int
+	LogLikelihood float64
+	Converged     bool
+}
+
+// LearnEM fits all DBN parameters (prior slice CPTs for hidden nodes,
+// transition CPTs, evidence CPTs) to the observation sequences by
+// Expectation-Maximization. The E-step runs exact forward-backward
+// smoothing over the joint hidden state, the maximum-likelihood
+// counterpart of the paper's EM (§4). Each sequence seqs[i][t] holds
+// one state per evidence node in observation order.
+func (d *DBN) LearnEM(seqs [][][]int, cfg EMConfig) (EMResult, error) {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 30
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-3
+	}
+	for _, obs := range seqs {
+		if err := d.checkObs(obs); err != nil {
+			return EMResult{}, err
+		}
+	}
+	anchor := d.snapshotParams()
+	res := EMResult{LogLikelihood: math.Inf(-1)}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		acc := d.newCounts(cfg.Prior)
+		if cfg.Anchor > 0 {
+			acc.addAnchor(anchor, cfg.Anchor)
+		}
+		ll := 0.0
+		for _, obs := range seqs {
+			if len(obs) == 0 {
+				continue
+			}
+			sll, err := d.eStep(obs, acc)
+			if err != nil {
+				return res, err
+			}
+			ll += sll
+		}
+		d.mStep(acc)
+		res.Iterations = iter + 1
+		if ll-res.LogLikelihood < cfg.Tolerance && iter > 0 {
+			res.LogLikelihood = ll
+			res.Converged = true
+			return res, nil
+		}
+		res.LogLikelihood = ll
+	}
+	return res, nil
+}
+
+// counts aggregates expected sufficient statistics.
+type counts struct {
+	prior []([]float64) // per hidden node (slice CPT layout)
+	trans []([]float64) // per transition family (trans CPT layout)
+	emit  []([]float64) // per evidence node (slice CPT layout)
+}
+
+// snapshotParams copies the current parameters for anchoring.
+func (d *DBN) snapshotParams() *counts {
+	c := &counts{}
+	for _, h := range d.hidden {
+		c.prior = append(c.prior, append([]float64(nil), d.slice.Nodes[h].CPT...))
+	}
+	for i := range d.trans {
+		c.trans = append(c.trans, append([]float64(nil), d.trans[i].cpt...))
+	}
+	for _, e := range d.evidence {
+		c.emit = append(c.emit, append([]float64(nil), d.slice.Nodes[e].CPT...))
+	}
+	return c
+}
+
+// addAnchor adds weight * p0 pseudo-counts from the snapshot.
+func (c *counts) addAnchor(p0 *counts, weight float64) {
+	for i := range c.prior {
+		for k := range c.prior[i] {
+			c.prior[i][k] += weight * p0.prior[i][k]
+		}
+	}
+	for i := range c.trans {
+		for k := range c.trans[i] {
+			c.trans[i][k] += weight * p0.trans[i][k]
+		}
+	}
+	for i := range c.emit {
+		for k := range c.emit[i] {
+			c.emit[i][k] += weight * p0.emit[i][k]
+		}
+	}
+}
+
+func (d *DBN) newCounts(prior float64) *counts {
+	c := &counts{}
+	for _, h := range d.hidden {
+		buf := make([]float64, len(d.slice.Nodes[h].CPT))
+		for i := range buf {
+			buf[i] = prior
+		}
+		c.prior = append(c.prior, buf)
+	}
+	for i := range d.trans {
+		buf := make([]float64, len(d.trans[i].cpt))
+		for k := range buf {
+			buf[k] = prior
+		}
+		c.trans = append(c.trans, buf)
+	}
+	for _, e := range d.evidence {
+		buf := make([]float64, len(d.slice.Nodes[e].CPT))
+		for i := range buf {
+			buf[i] = prior
+		}
+		c.emit = append(c.emit, buf)
+	}
+	return c
+}
+
+// eStep runs scaled forward-backward over one sequence and accumulates
+// expected counts; it returns the sequence log-likelihood.
+func (d *DBN) eStep(obs [][]int, acc *counts) (float64, error) {
+	T := len(obs)
+	S := d.S
+	A := d.transitionMatrix()
+	pi := d.Prior()
+	// Emission cache.
+	B := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		B[t] = make([]float64, S)
+		for s := 0; s < S; s++ {
+			B[t][s] = d.Emission(s, obs[t])
+		}
+	}
+	alpha := make([][]float64, T)
+	scale := make([]float64, T)
+	alpha[0] = make([]float64, S)
+	for s := 0; s < S; s++ {
+		alpha[0][s] = pi[s] * B[0][s]
+	}
+	scale[0] = normalize(alpha[0])
+	if scale[0] <= 0 {
+		return 0, fmt.Errorf("dbn: zero-probability observation at t=0")
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, S)
+		for sp := 0; sp < S; sp++ {
+			ap := alpha[t-1][sp]
+			if ap == 0 {
+				continue
+			}
+			row := A[sp]
+			for sc := 0; sc < S; sc++ {
+				alpha[t][sc] += ap * row[sc]
+			}
+		}
+		for sc := 0; sc < S; sc++ {
+			alpha[t][sc] *= B[t][sc]
+		}
+		scale[t] = normalize(alpha[t])
+		if scale[t] <= 0 {
+			return 0, fmt.Errorf("dbn: zero-probability observation at t=%d", t)
+		}
+	}
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, S)
+	for s := 0; s < S; s++ {
+		beta[T-1][s] = 1
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, S)
+		for sp := 0; sp < S; sp++ {
+			v := 0.0
+			row := A[sp]
+			for sc := 0; sc < S; sc++ {
+				v += row[sc] * B[t+1][sc] * beta[t+1][sc]
+			}
+			beta[t][sp] = v / scale[t+1]
+		}
+	}
+	// Gamma counts.
+	gamma := make([]float64, S)
+	for t := 0; t < T; t++ {
+		copy(gamma, alpha[t])
+		for s := 0; s < S; s++ {
+			gamma[s] *= beta[t][s]
+		}
+		normalize(gamma)
+		if t == 0 {
+			d.accumulatePrior(gamma, acc)
+		}
+		d.accumulateEmit(gamma, obs[t], acc)
+	}
+	// Xi counts.
+	for t := 0; t < T-1; t++ {
+		var z float64
+		xi := make([][]float64, S)
+		for sp := 0; sp < S; sp++ {
+			xi[sp] = make([]float64, S)
+			ap := alpha[t][sp]
+			if ap == 0 {
+				continue
+			}
+			row := A[sp]
+			for sc := 0; sc < S; sc++ {
+				v := ap * row[sc] * B[t+1][sc] * beta[t+1][sc]
+				xi[sp][sc] = v
+				z += v
+			}
+		}
+		if z <= 0 {
+			continue
+		}
+		inv := 1 / z
+		for sp := 0; sp < S; sp++ {
+			for sc := 0; sc < S; sc++ {
+				if xi[sp][sc] == 0 {
+					continue
+				}
+				d.accumulateTrans(sp, sc, xi[sp][sc]*inv, acc)
+			}
+		}
+	}
+	ll := 0.0
+	for _, sc := range scale {
+		ll += math.Log(sc)
+	}
+	return ll, nil
+}
+
+func (d *DBN) accumulatePrior(gamma []float64, acc *counts) {
+	for s, p := range gamma {
+		if p == 0 {
+			continue
+		}
+		cfg := d.hiddenState(s)
+		for pos, h := range d.hidden {
+			node := &d.slice.Nodes[h]
+			row := 0
+			for _, par := range node.Parents {
+				row = row*d.slice.Nodes[par].States + cfg[d.hiddenPos[par]]
+			}
+			acc.prior[pos][row*node.States+cfg[pos]] += p
+		}
+	}
+}
+
+func (d *DBN) accumulateEmit(gamma []float64, obs []int, acc *counts) {
+	obsOf := func(idx int) (int, bool) {
+		for k, e := range d.evidence {
+			if e == idx {
+				return obs[k], true
+			}
+		}
+		return 0, false
+	}
+	for s, p := range gamma {
+		if p == 0 {
+			continue
+		}
+		for k, e := range d.evidence {
+			node := &d.slice.Nodes[e]
+			row := 0
+			for _, par := range node.Parents {
+				var st int
+				if v, ok := obsOf(par); ok {
+					st = v
+				} else {
+					st = d.stateOfNode(par, s)
+				}
+				row = row*d.slice.Nodes[par].States + st
+			}
+			acc.emit[k][row*node.States+obs[k]] += p
+		}
+	}
+}
+
+func (d *DBN) accumulateTrans(sPrev, sCur int, p float64, acc *counts) {
+	for i := range d.trans {
+		tn := &d.trans[i]
+		row := d.transRow(tn, sPrev, sCur)
+		acc.trans[i][row+d.stateOfNode(tn.node, sCur)] += p
+	}
+}
+
+// mStep normalizes expected counts into parameters.
+func (d *DBN) mStep(acc *counts) {
+	for pos, h := range d.hidden {
+		node := &d.slice.Nodes[h]
+		normalizeRows(acc.prior[pos], node.States)
+		copy(node.CPT, acc.prior[pos])
+	}
+	for i := range d.trans {
+		tn := &d.trans[i]
+		states := d.slice.Nodes[tn.node].States
+		normalizeRows(acc.trans[i], states)
+		copy(tn.cpt, acc.trans[i])
+	}
+	for k, e := range d.evidence {
+		node := &d.slice.Nodes[e]
+		normalizeRows(acc.emit[k], node.States)
+		copy(node.CPT, acc.emit[k])
+	}
+}
+
+func normalizeRows(buf []float64, states int) {
+	for r := 0; r < len(buf); r += states {
+		s := 0.0
+		for k := 0; k < states; k++ {
+			s += buf[r+k]
+		}
+		if s <= 0 {
+			continue
+		}
+		for k := 0; k < states; k++ {
+			buf[r+k] /= s
+		}
+	}
+}

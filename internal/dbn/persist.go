@@ -1,0 +1,52 @@
+package dbn
+
+import (
+	"fmt"
+
+	"cobra/internal/monet"
+)
+
+// SaveParams stores all DBN parameters (slice CPTs and transition
+// CPTs) into the kernel store under prefix, so trained models persist
+// with the database snapshot — the domain knowledge the system keeps
+// in the DB (§2).
+func (d *DBN) SaveParams(store *monet.Store, prefix string) {
+	d.slice.SaveParams(store, prefix+"/slice")
+	for i := range d.trans {
+		tn := &d.trans[i]
+		b := monet.NewBATCap(monet.Void, monet.FloatT, len(tn.cpt))
+		for _, v := range tn.cpt {
+			b.MustInsert(monet.VoidValue(), monet.NewFloat(v))
+		}
+		store.Put(fmt.Sprintf("%s/trans/%s", prefix, d.slice.Nodes[tn.node].Name), b)
+	}
+}
+
+// LoadParams restores parameters saved under prefix into a DBN with
+// identical structure.
+func (d *DBN) LoadParams(store *monet.Store, prefix string) error {
+	if err := d.slice.LoadParams(store, prefix+"/slice"); err != nil {
+		return err
+	}
+	for i := range d.trans {
+		tn := &d.trans[i]
+		name := d.slice.Nodes[tn.node].Name
+		b, err := store.Get(fmt.Sprintf("%s/trans/%s", prefix, name))
+		if err != nil {
+			return fmt.Errorf("dbn: no saved transition CPT for %s under %q", name, prefix)
+		}
+		if b.Len() != len(tn.cpt) {
+			return fmt.Errorf("dbn: saved transition CPT for %s has %d entries, want %d",
+				name, b.Len(), len(tn.cpt))
+		}
+		for k := 0; k < b.Len(); k++ {
+			tn.cpt[k] = b.Tail(k).Float()
+		}
+	}
+	return nil
+}
+
+// HasParams reports whether parameters are saved under prefix.
+func (d *DBN) HasParams(store *monet.Store, prefix string) bool {
+	return d.slice.HasParams(store, prefix+"/slice")
+}

@@ -1,0 +1,141 @@
+package dbn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SmoothResult holds forward-backward (offline) posteriors: at each
+// step the marginal conditions on the whole observation sequence, not
+// just the prefix, so smoothed series are strictly better estimates
+// than filtered ones when the full race is available — the offline
+// annotation setting of the metadata extraction engines.
+type SmoothResult struct {
+	dbn *DBN
+	// gammas[t] is P(H_t = s | e_1:T).
+	gammas [][]float64
+	// LogLikelihood is log P(e_1:T).
+	LogLikelihood float64
+}
+
+// Steps returns the number of smoothed steps.
+func (r *SmoothResult) Steps() int { return len(r.gammas) }
+
+// Marginal returns P(node = state | e_1:T) at step t.
+func (r *SmoothResult) Marginal(t int, name string) ([]float64, error) {
+	idx, ok := r.dbn.slice.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown node %s", ErrBadDBN, name)
+	}
+	pos, ok := r.dbn.hiddenPos[idx]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %s is not hidden", ErrBadDBN, name)
+	}
+	if t < 0 || t >= len(r.gammas) {
+		return nil, fmt.Errorf("dbn: step %d out of range [0,%d)", t, len(r.gammas))
+	}
+	out := make([]float64, r.dbn.hiddenCard[pos])
+	for s, p := range r.gammas[t] {
+		out[r.dbn.stateOfNode(r.dbn.hidden[pos], s)] += p
+	}
+	return out, nil
+}
+
+// MarginalSeries returns the smoothed P(node = state) for every step.
+func (r *SmoothResult) MarginalSeries(name string, state int) ([]float64, error) {
+	out := make([]float64, len(r.gammas))
+	for t := range r.gammas {
+		m, err := r.Marginal(t, name)
+		if err != nil {
+			return nil, err
+		}
+		if state < 0 || state >= len(m) {
+			return nil, fmt.Errorf("dbn: state %d out of range", state)
+		}
+		out[t] = m[state]
+	}
+	return out, nil
+}
+
+// Smooth runs exact forward-backward smoothing over the observation
+// sequence, returning per-step posteriors conditioned on all evidence.
+func (d *DBN) Smooth(obs [][]int) (*SmoothResult, error) {
+	if err := d.checkObs(obs); err != nil {
+		return nil, err
+	}
+	res := &SmoothResult{dbn: d}
+	T := len(obs)
+	if T == 0 {
+		return res, nil
+	}
+	S := d.S
+	A := d.transitionMatrix()
+	pi := d.Prior()
+	B := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		B[t] = make([]float64, S)
+		for s := 0; s < S; s++ {
+			B[t][s] = d.Emission(s, obs[t])
+		}
+	}
+	alpha := make([][]float64, T)
+	scale := make([]float64, T)
+	alpha[0] = make([]float64, S)
+	for s := 0; s < S; s++ {
+		alpha[0][s] = pi[s] * B[0][s]
+	}
+	scale[0] = normalize(alpha[0])
+	if scale[0] <= 0 {
+		return nil, fmt.Errorf("dbn: zero-probability observation at t=0")
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, S)
+		for sp := 0; sp < S; sp++ {
+			ap := alpha[t-1][sp]
+			if ap == 0 {
+				continue
+			}
+			row := A[sp]
+			for sc := 0; sc < S; sc++ {
+				alpha[t][sc] += ap * row[sc]
+			}
+		}
+		for sc := 0; sc < S; sc++ {
+			alpha[t][sc] *= B[t][sc]
+		}
+		scale[t] = normalize(alpha[t])
+		if scale[t] <= 0 {
+			return nil, fmt.Errorf("dbn: zero-probability observation at t=%d", t)
+		}
+	}
+	beta := make([]float64, S)
+	for s := range beta {
+		beta[s] = 1
+	}
+	res.gammas = make([][]float64, T)
+	for t := T - 1; t >= 0; t-- {
+		g := make([]float64, S)
+		for s := 0; s < S; s++ {
+			g[s] = alpha[t][s] * beta[s]
+		}
+		normalize(g)
+		res.gammas[t] = g
+		if t == 0 {
+			break
+		}
+		next := make([]float64, S)
+		for sp := 0; sp < S; sp++ {
+			v := 0.0
+			row := A[sp]
+			for sc := 0; sc < S; sc++ {
+				v += row[sc] * B[t][sc] * beta[sc]
+			}
+			next[sp] = v / scale[t]
+		}
+		beta = next
+	}
+	for _, sc := range scale {
+		res.LogLikelihood += math.Log(sc)
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package dbn
+
+import (
+	"fmt"
+	"math"
+)
+
+// ViterbiResult holds the most probable joint hidden trajectory.
+type ViterbiResult struct {
+	dbn *DBN
+	// States is the joint hidden state per step.
+	States []int
+	// LogProb is the log probability of the trajectory and evidence.
+	LogProb float64
+}
+
+// StateSeries returns the decoded state of one hidden node per step.
+func (r *ViterbiResult) StateSeries(name string) ([]int, error) {
+	idx, ok := r.dbn.slice.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown node %s", ErrBadDBN, name)
+	}
+	if _, ok := r.dbn.hiddenPos[idx]; !ok {
+		return nil, fmt.Errorf("%w: node %s is not hidden", ErrBadDBN, name)
+	}
+	out := make([]int, len(r.States))
+	for t, s := range r.States {
+		out[t] = r.dbn.stateOfNode(idx, s)
+	}
+	return out, nil
+}
+
+// Viterbi computes the most probable joint hidden trajectory for the
+// observation sequence (the sequence analogue of MAP).
+func (d *DBN) Viterbi(obs [][]int) (*ViterbiResult, error) {
+	if err := d.checkObs(obs); err != nil {
+		return nil, err
+	}
+	res := &ViterbiResult{dbn: d}
+	T := len(obs)
+	if T == 0 {
+		return res, nil
+	}
+	S := d.S
+	logA := make([][]float64, S)
+	for sp := 0; sp < S; sp++ {
+		logA[sp] = make([]float64, S)
+		for sc := 0; sc < S; sc++ {
+			logA[sp][sc] = safeLog(d.Transition(sp, sc))
+		}
+	}
+	delta := make([]float64, S)
+	pi := d.Prior()
+	for s := 0; s < S; s++ {
+		delta[s] = safeLog(pi[s]) + safeLog(d.Emission(s, obs[0]))
+	}
+	back := make([][]int, T)
+	for t := 1; t < T; t++ {
+		back[t] = make([]int, S)
+		next := make([]float64, S)
+		for sc := 0; sc < S; sc++ {
+			best, arg := math.Inf(-1), 0
+			for sp := 0; sp < S; sp++ {
+				if v := delta[sp] + logA[sp][sc]; v > best {
+					best, arg = v, sp
+				}
+			}
+			next[sc] = best + safeLog(d.Emission(sc, obs[t]))
+			back[t][sc] = arg
+		}
+		delta = next
+	}
+	best, arg := math.Inf(-1), 0
+	for s := 0; s < S; s++ {
+		if delta[s] > best {
+			best, arg = delta[s], s
+		}
+	}
+	res.LogProb = best
+	res.States = make([]int, T)
+	res.States[T-1] = arg
+	for t := T - 1; t > 0; t-- {
+		res.States[t-1] = back[t][res.States[t]]
+	}
+	return res, nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}

@@ -1,0 +1,339 @@
+// Package dsp provides the signal-processing substrate for the
+// Formula 1 audio analysis: windows, FFT, band filtering,
+// autocorrelation, the mel filterbank and the DCT used by the MFCC
+// computation. The paper performs these steps in Matlab; here they are
+// implemented from scratch on float64 slices.
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HammingWindow returns the n-point Hamming window, the STE window the
+// paper selects for speech endpoint detection (§5.2).
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// HannWindow returns the n-point Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// RectangularWindow returns the n-point all-ones window.
+func RectangularWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// ApplyWindow multiplies x by window w element-wise into a new slice.
+// The slices must have equal length.
+func ApplyWindow(x, w []float64) []float64 {
+	if len(x) != len(w) {
+		panic(fmt.Sprintf("dsp: window length %d != frame length %d", len(w), len(x)))
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * w[i]
+	}
+	return out
+}
+
+// Energy returns the mean squared amplitude of x, the short-time
+// energy of one frame.
+func Energy(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s / float64(len(x))
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of the complex signal (re, im). len(re) must equal
+// len(im) and be a power of two.
+func FFT(re, im []float64) {
+	n := len(re)
+	if n != len(im) {
+		panic("dsp: FFT length mismatch")
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for i := 0; i < n; i += length {
+			cRe, cIm := 1.0, 0.0
+			for j := 0; j < length/2; j++ {
+				uRe, uIm := re[i+j], im[i+j]
+				vRe := re[i+j+length/2]*cRe - im[i+j+length/2]*cIm
+				vIm := re[i+j+length/2]*cIm + im[i+j+length/2]*cRe
+				re[i+j], im[i+j] = uRe+vRe, uIm+vIm
+				re[i+j+length/2], im[i+j+length/2] = uRe-vRe, uIm-vIm
+				cRe, cIm = cRe*wRe-cIm*wIm, cRe*wIm+cIm*wRe
+			}
+		}
+	}
+}
+
+// PowerSpectrum returns the one-sided power spectrum of x, zero-padded
+// to the next power of two. The result has nfft/2+1 bins.
+func PowerSpectrum(x []float64) []float64 {
+	n := nextPow2(len(x))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, x)
+	FFT(re, im)
+	out := make([]float64, n/2+1)
+	for i := range out {
+		out[i] = (re[i]*re[i] + im[i]*im[i]) / float64(n)
+	}
+	return out
+}
+
+// Autocorrelation returns the biased autocorrelation of x for lags
+// 0..maxLag inclusive, the basis of the pitch estimator (§5.2).
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		s := 0.0
+		for i := 0; i+lag < len(x); i++ {
+			s += x[i] * x[i+lag]
+		}
+		out[lag] = s / float64(len(x))
+	}
+	return out
+}
+
+// BandFilter is a windowed-sinc FIR band-pass filter.
+type BandFilter struct {
+	taps []float64
+}
+
+// NewBandFilter designs an order-tap FIR band-pass for [lo, hi] Hz at
+// the given sample rate using a Hamming-windowed sinc. Pass lo = 0 for
+// a low-pass design. taps must be odd and >= 3.
+func NewBandFilter(sampleRate float64, lo, hi float64, taps int) (*BandFilter, error) {
+	if taps < 3 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: tap count %d must be odd and >= 3", taps)
+	}
+	nyq := sampleRate / 2
+	if lo < 0 || hi <= lo || hi > nyq {
+		return nil, fmt.Errorf("dsp: invalid band [%g, %g] for sample rate %g", lo, hi, sampleRate)
+	}
+	fl, fh := lo/sampleRate, hi/sampleRate
+	h := make([]float64, taps)
+	m := taps / 2
+	win := HammingWindow(taps)
+	for i := range h {
+		k := float64(i - m)
+		var v float64
+		if i == m {
+			v = 2 * (fh - fl)
+		} else {
+			v = (math.Sin(2*math.Pi*fh*k) - math.Sin(2*math.Pi*fl*k)) / (math.Pi * k)
+		}
+		h[i] = v * win[i]
+	}
+	return &BandFilter{taps: h}, nil
+}
+
+// Apply convolves the filter with x, returning a same-length output
+// (zero-padded edges).
+func (f *BandFilter) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	m := len(f.taps) / 2
+	for i := range x {
+		s := 0.0
+		for j, t := range f.taps {
+			k := i + j - m
+			if k >= 0 && k < len(x) {
+				s += t * x[k]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// HzToMel converts frequency in Hz to the mel scale.
+func HzToMel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// MelToHz converts mel-scale frequency back to Hz.
+func MelToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelFilterbank is a bank of triangular filters spaced on the mel
+// scale, applied to power spectra.
+type MelFilterbank struct {
+	filters [][]float64 // per filter, weight per spectrum bin
+}
+
+// NewMelFilterbank builds nFilters triangular filters covering
+// [loHz, hiHz] for power spectra with nBins bins at the given sample
+// rate.
+func NewMelFilterbank(nFilters, nBins int, sampleRate, loHz, hiHz float64) (*MelFilterbank, error) {
+	if nFilters < 1 || nBins < 2 {
+		return nil, fmt.Errorf("dsp: invalid filterbank dims %d x %d", nFilters, nBins)
+	}
+	if hiHz <= loHz || hiHz > sampleRate/2 {
+		return nil, fmt.Errorf("dsp: invalid mel range [%g, %g]", loHz, hiHz)
+	}
+	loMel, hiMel := HzToMel(loHz), HzToMel(hiHz)
+	centers := make([]float64, nFilters+2)
+	for i := range centers {
+		mel := loMel + (hiMel-loMel)*float64(i)/float64(nFilters+1)
+		centers[i] = MelToHz(mel)
+	}
+	binHz := sampleRate / 2 / float64(nBins-1)
+	fb := &MelFilterbank{filters: make([][]float64, nFilters)}
+	for f := 0; f < nFilters; f++ {
+		w := make([]float64, nBins)
+		left, center, right := centers[f], centers[f+1], centers[f+2]
+		for b := 0; b < nBins; b++ {
+			hz := float64(b) * binHz
+			switch {
+			case hz >= left && hz <= center && center > left:
+				w[b] = (hz - left) / (center - left)
+			case hz > center && hz <= right && right > center:
+				w[b] = (right - hz) / (right - center)
+			}
+		}
+		fb.filters[f] = w
+	}
+	return fb, nil
+}
+
+// Apply returns the log mel-band energies of the power spectrum.
+func (fb *MelFilterbank) Apply(power []float64) []float64 {
+	out := make([]float64, len(fb.filters))
+	for f, w := range fb.filters {
+		s := 0.0
+		n := len(power)
+		if len(w) < n {
+			n = len(w)
+		}
+		for b := 0; b < n; b++ {
+			s += w[b] * power[b]
+		}
+		out[f] = math.Log(s + 1e-12)
+	}
+	return out
+}
+
+// DCTII computes the type-II discrete cosine transform of x, the final
+// MFCC step; returns the first nCoeffs coefficients.
+func DCTII(x []float64, nCoeffs int) []float64 {
+	n := len(x)
+	if nCoeffs > n {
+		nCoeffs = n
+	}
+	out := make([]float64, nCoeffs)
+	for k := 0; k < nCoeffs; k++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Max returns the maximum of x (0 for empty input).
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of x (0 for empty input).
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// DynamicRange returns Max(x) - Min(x), the paper's per-clip dynamic
+// range statistic.
+func DynamicRange(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Max(x) - Min(x)
+}

@@ -1,0 +1,279 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestHammingWindowShape(t *testing.T) {
+	w := HammingWindow(51)
+	if len(w) != 51 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if !almostEqual(w[25], 1.0, 1e-9) {
+		t.Fatalf("center = %v, want 1", w[25])
+	}
+	if !almostEqual(w[0], 0.08, 1e-9) || !almostEqual(w[50], 0.08, 1e-9) {
+		t.Fatalf("edges = %v, %v, want 0.08", w[0], w[50])
+	}
+	// Symmetry.
+	for i := range w {
+		if !almostEqual(w[i], w[len(w)-1-i], 1e-12) {
+			t.Fatalf("asymmetric at %d", i)
+		}
+	}
+}
+
+func TestWindowSingleton(t *testing.T) {
+	for _, f := range []func(int) []float64{HammingWindow, HannWindow, RectangularWindow} {
+		if w := f(1); len(w) != 1 || w[0] != 1 {
+			t.Fatalf("singleton window = %v", w)
+		}
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []float64{1, 2, 3}
+	w := []float64{0.5, 1, 2}
+	got := ApplyWindow(x, w)
+	want := []float64{0.5, 2, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	if e := Energy([]float64{3, 4}); !almostEqual(e, 12.5, 1e-12) {
+		t.Fatalf("Energy = %v", e)
+	}
+	if e := Energy(nil); e != 0 {
+		t.Fatalf("Energy(nil) = %v", e)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The FFT of an impulse is flat.
+	n := 16
+	re := make([]float64, n)
+	im := make([]float64, n)
+	re[0] = 1
+	FFT(re, im)
+	for i := 0; i < n; i++ {
+		if !almostEqual(re[i], 1, 1e-9) || !almostEqual(im[i], 0, 1e-9) {
+			t.Fatalf("bin %d = %v + %vi", i, re[i], im[i])
+		}
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	// A pure sinusoid at bin k concentrates power at bin k.
+	n := 64
+	k := 5
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; i < n; i++ {
+		re[i] = math.Cos(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	FFT(re, im)
+	mag := func(i int) float64 { return math.Hypot(re[i], im[i]) }
+	peak := 0
+	for i := 1; i < n/2; i++ {
+		if mag(i) > mag(peak) {
+			peak = i
+		}
+	}
+	if peak != k {
+		t.Fatalf("peak bin = %d, want %d", peak, k)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		re := make([]float64, n)
+		im := make([]float64, n)
+		tx := 0.0
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			tx += re[i] * re[i]
+		}
+		FFT(re, im)
+		tf := 0.0
+		for i := range re {
+			tf += re[i]*re[i] + im[i]*im[i]
+		}
+		return almostEqual(tx, tf/float64(n), 1e-6*tx+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerSpectrumSize(t *testing.T) {
+	ps := PowerSpectrum(make([]float64, 100)) // padded to 128
+	if len(ps) != 65 {
+		t.Fatalf("bins = %d, want 65", len(ps))
+	}
+}
+
+func TestAutocorrelationPeriodicity(t *testing.T) {
+	// A 100 Hz sawtooth-ish signal at 8 kHz has period 80 samples; the
+	// autocorrelation must peak (excluding lag 0) near lag 80.
+	sr := 8000.0
+	f0 := 100.0
+	n := 1600
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / sr
+		x[i] = math.Sin(2*math.Pi*f0*ti) + 0.5*math.Sin(4*math.Pi*f0*ti)
+	}
+	ac := Autocorrelation(x, 200)
+	best, bestLag := math.Inf(-1), 0
+	for lag := 40; lag <= 200; lag++ {
+		if ac[lag] > best {
+			best, bestLag = ac[lag], lag
+		}
+	}
+	if bestLag < 78 || bestLag > 82 {
+		t.Fatalf("autocorrelation peak at lag %d, want ~80", bestLag)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if ac := Autocorrelation(nil, 5); ac != nil {
+		t.Fatalf("nil input gave %v", ac)
+	}
+	ac := Autocorrelation([]float64{1, 2}, 10)
+	if len(ac) != 2 {
+		t.Fatalf("clamped lags = %d, want 2", len(ac))
+	}
+}
+
+func TestBandFilterPassAndStop(t *testing.T) {
+	sr := 8000.0
+	f, err := NewBandFilter(sr, 500, 1500, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := func(hz float64) float64 {
+		n := 2048
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2 * math.Pi * hz * float64(i) / sr)
+		}
+		y := f.Apply(x)
+		// Ignore edges where the convolution is truncated.
+		return math.Sqrt(Energy(y[200:n-200]) / Energy(x[200:n-200]))
+	}
+	if g := gain(1000); g < 0.9 {
+		t.Fatalf("passband gain at 1 kHz = %v", g)
+	}
+	if g := gain(3000); g > 0.1 {
+		t.Fatalf("stopband gain at 3 kHz = %v", g)
+	}
+}
+
+func TestBandFilterValidation(t *testing.T) {
+	if _, err := NewBandFilter(8000, 500, 1500, 100); err == nil {
+		t.Fatal("even tap count should fail")
+	}
+	if _, err := NewBandFilter(8000, 500, 100, 101); err == nil {
+		t.Fatal("inverted band should fail")
+	}
+	if _, err := NewBandFilter(8000, 0, 5000, 101); err == nil {
+		t.Fatal("band above Nyquist should fail")
+	}
+}
+
+func TestMelRoundTrip(t *testing.T) {
+	for _, hz := range []float64{100, 440, 1000, 4000} {
+		if got := MelToHz(HzToMel(hz)); !almostEqual(got, hz, 1e-6*hz) {
+			t.Fatalf("round trip %v -> %v", hz, got)
+		}
+	}
+}
+
+func TestMelFilterbank(t *testing.T) {
+	fb, err := NewMelFilterbank(12, 129, 22050, 0, 11025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy at a low frequency excites low filters more than high ones.
+	power := make([]float64, 129)
+	power[3] = 100 // low-frequency bin
+	e := fb.Apply(power)
+	if len(e) != 12 {
+		t.Fatalf("coeffs = %d", len(e))
+	}
+	if e[0] <= e[11] {
+		t.Fatalf("low-band energy %v should exceed high-band %v", e[0], e[11])
+	}
+}
+
+func TestMelFilterbankValidation(t *testing.T) {
+	if _, err := NewMelFilterbank(0, 10, 22050, 0, 11025); err == nil {
+		t.Fatal("zero filters should fail")
+	}
+	if _, err := NewMelFilterbank(12, 10, 22050, 5000, 1000); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+}
+
+func TestDCTII(t *testing.T) {
+	// DCT of a constant signal has all energy in coefficient 0.
+	x := []float64{2, 2, 2, 2}
+	c := DCTII(x, 4)
+	if !almostEqual(c[0], 8, 1e-9) {
+		t.Fatalf("c0 = %v, want 8", c[0])
+	}
+	for k := 1; k < 4; k++ {
+		if !almostEqual(c[k], 0, 1e-9) {
+			t.Fatalf("c%d = %v, want 0", k, c[k])
+		}
+	}
+	// Requesting more coefficients than samples clamps.
+	if got := DCTII([]float64{1, 2}, 10); len(got) != 2 {
+		t.Fatalf("clamped len = %d", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := []float64{3, -1, 4, 1, 5}
+	if Mean(x) != 2.4 {
+		t.Fatalf("Mean = %v", Mean(x))
+	}
+	if Max(x) != 5 || Min(x) != -1 {
+		t.Fatalf("Max/Min = %v/%v", Max(x), Min(x))
+	}
+	if DynamicRange(x) != 6 {
+		t.Fatalf("DynamicRange = %v", DynamicRange(x))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || DynamicRange(nil) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+}
+
+// Property: dynamic range is non-negative and zero for constants.
+func TestDynamicRangeProperty(t *testing.T) {
+	f := func(v float64, n uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		x := make([]float64, int(n)+1)
+		for i := range x {
+			x[i] = v
+		}
+		return DynamicRange(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package eval implements the experiment scoring used throughout §5.5:
+// converting per-clip probability series into event segments (the
+// paper's threshold of 0.5 with a minimum duration of 6 s), matching
+// predicted segments against ground truth, and computing precision and
+// recall.
+package eval
+
+import "sort"
+
+// Segment is a detected or ground-truth interval [Start, End) in
+// seconds.
+type Segment struct {
+	Start, End float64
+	// Label optionally carries a sub-event class (start, flyout,
+	// passing) or driver attribution.
+	Label string
+}
+
+// Duration returns End - Start.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Overlap returns the length of the intersection of two segments.
+func (s Segment) Overlap(o Segment) float64 {
+	lo, hi := s.Start, s.End
+	if o.Start > lo {
+		lo = o.Start
+	}
+	if o.End < hi {
+		hi = o.End
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// SegmentConfig parameterizes series-to-segment conversion.
+type SegmentConfig struct {
+	// StepDur is the series sampling period in seconds (0.1 s clips).
+	StepDur float64
+	// Threshold is the probability above which a step is active
+	// (paper: 0.5).
+	Threshold float64
+	// MinDuration drops segments shorter than this (paper: 6 s).
+	MinDuration float64
+	// MergeGap joins active runs separated by less than this.
+	MergeGap float64
+}
+
+// DefaultSegmentConfig returns the paper's parameters.
+func DefaultSegmentConfig() SegmentConfig {
+	return SegmentConfig{StepDur: 0.1, Threshold: 0.5, MinDuration: 6, MergeGap: 2}
+}
+
+// Segments converts a probability series into segments under the
+// configuration.
+func Segments(series []float64, cfg SegmentConfig) []Segment {
+	if cfg.StepDur <= 0 {
+		cfg.StepDur = 0.1
+	}
+	var raw []Segment
+	open := false
+	start := 0.0
+	for i, v := range series {
+		t := float64(i) * cfg.StepDur
+		if v > cfg.Threshold {
+			if !open {
+				open = true
+				start = t
+			}
+			continue
+		}
+		if open {
+			raw = append(raw, Segment{Start: start, End: t})
+			open = false
+		}
+	}
+	if open {
+		raw = append(raw, Segment{Start: start, End: float64(len(series)) * cfg.StepDur})
+	}
+	// Merge near segments.
+	var merged []Segment
+	for _, s := range raw {
+		if n := len(merged); n > 0 && s.Start-merged[n-1].End < cfg.MergeGap {
+			merged[n-1].End = s.End
+			continue
+		}
+		merged = append(merged, s)
+	}
+	// Duration filter.
+	out := merged[:0]
+	for _, s := range merged {
+		if s.Duration() >= cfg.MinDuration {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PR is a precision/recall result.
+type PR struct {
+	Precision, Recall float64
+	TP, FP, FN        int
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (pr PR) F1() float64 {
+	if pr.Precision+pr.Recall == 0 {
+		return 0
+	}
+	return 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+}
+
+// Match thresholds: a prediction is correct when truth covers at least
+// predCover of it; a truth segment is found when predictions cover at
+// least truthCover of it. Grazing overlaps and wildly over-broad
+// detections both fail.
+const (
+	predCover  = 0.4
+	truthCover = 0.3
+)
+
+// Score matches predicted segments against ground truth using mutual
+// coverage: precision asks how much of each prediction lies inside
+// ground truth, recall asks how much of each truth segment the
+// predictions cover.
+func Score(pred, truth []Segment) PR {
+	pr := PR{}
+	for _, p := range pred {
+		if coveredFraction(p, truth) >= predCover {
+			pr.TP++
+		} else {
+			pr.FP++
+		}
+	}
+	covered := 0
+	for _, g := range truth {
+		if coveredFraction(g, pred) >= truthCover {
+			covered++
+		}
+	}
+	pr.FN = len(truth) - covered
+	if pr.TP+pr.FP > 0 {
+		pr.Precision = float64(pr.TP) / float64(pr.TP+pr.FP)
+	}
+	if len(truth) > 0 {
+		pr.Recall = float64(covered) / float64(len(truth))
+	}
+	return pr
+}
+
+// coveredFraction returns the fraction of s covered by the union of
+// others.
+func coveredFraction(s Segment, others []Segment) float64 {
+	if s.Duration() <= 0 {
+		return 0
+	}
+	// Collect and merge overlapping pieces.
+	var pieces []Segment
+	for _, o := range others {
+		if ov := s.Overlap(o); ov > 0 {
+			lo, hi := s.Start, s.End
+			if o.Start > lo {
+				lo = o.Start
+			}
+			if o.End < hi {
+				hi = o.End
+			}
+			pieces = append(pieces, Segment{Start: lo, End: hi})
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].Start < pieces[j].Start })
+	total, end := 0.0, s.Start
+	for _, p := range pieces {
+		if p.End <= end {
+			continue
+		}
+		if p.Start > end {
+			end = p.Start
+		}
+		total += p.End - end
+		end = p.End
+	}
+	return total / s.Duration()
+}
+
+// ScoreLabeled scores only segments carrying the given label on both
+// sides.
+func ScoreLabeled(pred, truth []Segment, label string) PR {
+	return Score(filterLabel(pred, label), filterLabel(truth, label))
+}
+
+func filterLabel(ss []Segment, label string) []Segment {
+	var out []Segment
+	for _, s := range ss {
+		if s.Label == label {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Attribution assigns sub-event labels to highlight segments following
+// the paper's procedure: within each segment the most probable
+// candidate series wins; segments longer than 15 s re-decide every 5 s
+// to allow multiple selections.
+type Attribution struct {
+	// Series maps candidate label -> per-step probability series.
+	Series map[string][]float64
+	// StepDur is the sampling period in seconds.
+	StepDur float64
+	// MinProb is the minimum winning mean probability to assign a label
+	// at all.
+	MinProb float64
+}
+
+// Attribute labels each highlight segment (possibly splitting long
+// segments) and returns labeled segments.
+func (a Attribution) Attribute(highlights []Segment) []Segment {
+	var out []Segment
+	step := a.StepDur
+	if step <= 0 {
+		step = 0.1
+	}
+	for _, h := range highlights {
+		windows := []Segment{h}
+		if h.Duration() > 15 {
+			windows = nil
+			for t := h.Start; t < h.End; t += 5 {
+				end := t + 5
+				if end > h.End {
+					end = h.End
+				}
+				windows = append(windows, Segment{Start: t, End: end})
+			}
+		}
+		for _, w := range windows {
+			label, prob := a.winner(w, step)
+			if prob >= a.MinProb && label != "" {
+				out = append(out, Segment{Start: w.Start, End: w.End, Label: label})
+			}
+		}
+	}
+	// Merge adjacent same-label windows.
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	var merged []Segment
+	for _, s := range out {
+		if n := len(merged); n > 0 && merged[n-1].Label == s.Label && s.Start <= merged[n-1].End+1e-9 {
+			merged[n-1].End = s.End
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// winner returns the label with the highest mean probability in the
+// window.
+func (a Attribution) winner(w Segment, step float64) (string, float64) {
+	bestLabel, bestProb := "", -1.0
+	labels := make([]string, 0, len(a.Series))
+	for l := range a.Series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels) // deterministic tie-break
+	for _, l := range labels {
+		series := a.Series[l]
+		lo := int(w.Start / step)
+		hi := int(w.End / step)
+		if hi > len(series) {
+			hi = len(series)
+		}
+		if lo >= hi {
+			continue
+		}
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += series[i]
+		}
+		mean := s / float64(hi-lo)
+		if mean > bestProb {
+			bestProb, bestLabel = mean, l
+		}
+	}
+	return bestLabel, bestProb
+}
+
+// Roughness returns the mean absolute first difference of a series,
+// the smoothness statistic used to quantify Fig. 9.
+func Roughness(series []float64) float64 {
+	if len(series) < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 1; i < len(series); i++ {
+		d := series[i] - series[i-1]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(series)-1)
+}

@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentsBasic(t *testing.T) {
+	cfg := SegmentConfig{StepDur: 1, Threshold: 0.5, MinDuration: 3, MergeGap: 2}
+	series := []float64{0, 0, 0.9, 0.9, 0.9, 0.9, 0, 0, 0.9, 0.9, 0}
+	segs := Segments(series, cfg)
+	// First run 2..6 (4 s >= 3), second run 8..10 (2 s < 3) dropped —
+	// but the gap 6..8 is < MergeGap 2? gap = 2, not < 2, so no merge.
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	if segs[0].Start != 2 || segs[0].End != 6 {
+		t.Fatalf("segment = %v", segs[0])
+	}
+}
+
+func TestSegmentsMerge(t *testing.T) {
+	cfg := SegmentConfig{StepDur: 1, Threshold: 0.5, MinDuration: 5, MergeGap: 3}
+	series := []float64{0.9, 0.9, 0.9, 0, 0, 0.9, 0.9, 0.9}
+	segs := Segments(series, cfg)
+	if len(segs) != 1 || segs[0].Start != 0 || segs[0].End != 8 {
+		t.Fatalf("merged = %v", segs)
+	}
+}
+
+func TestSegmentsOpenTail(t *testing.T) {
+	cfg := SegmentConfig{StepDur: 1, Threshold: 0.5, MinDuration: 2, MergeGap: 0.5}
+	series := []float64{0, 0.9, 0.9, 0.9}
+	segs := Segments(series, cfg)
+	if len(segs) != 1 || segs[0].End != 4 {
+		t.Fatalf("open tail = %v", segs)
+	}
+}
+
+func TestSegmentsEmpty(t *testing.T) {
+	if segs := Segments(nil, DefaultSegmentConfig()); len(segs) != 0 {
+		t.Fatalf("segments of nil = %v", segs)
+	}
+	if segs := Segments([]float64{0.1, 0.2}, DefaultSegmentConfig()); len(segs) != 0 {
+		t.Fatalf("segments below threshold = %v", segs)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Segment{Start: 0, End: 10}
+	b := Segment{Start: 5, End: 15}
+	if a.Overlap(b) != 5 {
+		t.Fatalf("overlap = %v", a.Overlap(b))
+	}
+	c := Segment{Start: 10, End: 12}
+	if a.Overlap(c) != 0 {
+		t.Fatal("touching segments should not overlap")
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := []Segment{{Start: 0, End: 10}, {Start: 50, End: 60}, {Start: 100, End: 110}}
+	pred := []Segment{
+		{Start: 2, End: 8},     // TP (covers truth 0)
+		{Start: 55, End: 65},   // TP (covers truth 1)
+		{Start: 200, End: 210}, // FP
+	}
+	pr := Score(pred, truth)
+	if pr.TP != 2 || pr.FP != 1 || pr.FN != 1 {
+		t.Fatalf("counts = %+v", pr)
+	}
+	if math.Abs(pr.Precision-2.0/3) > 1e-9 {
+		t.Fatalf("precision = %v", pr.Precision)
+	}
+	if math.Abs(pr.Recall-2.0/3) > 1e-9 {
+		t.Fatalf("recall = %v", pr.Recall)
+	}
+	if pr.F1() <= 0 {
+		t.Fatal("F1 should be positive")
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	pr := Score(nil, nil)
+	if pr.Precision != 0 || pr.Recall != 0 || pr.F1() != 0 {
+		t.Fatalf("empty score = %+v", pr)
+	}
+	// Perfect detection.
+	truth := []Segment{{Start: 0, End: 5}}
+	pr = Score(truth, truth)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Fatalf("perfect = %+v", pr)
+	}
+	// Two predictions covering one truth: both TPs, recall 1.
+	pr = Score([]Segment{{Start: 0, End: 2}, {Start: 3, End: 5}}, truth)
+	if pr.TP != 2 || pr.Recall != 1 {
+		t.Fatalf("double cover = %+v", pr)
+	}
+}
+
+func TestScoreLabeled(t *testing.T) {
+	truth := []Segment{
+		{Start: 0, End: 10, Label: "start"},
+		{Start: 50, End: 60, Label: "flyout"},
+	}
+	pred := []Segment{
+		{Start: 1, End: 9, Label: "start"},
+		{Start: 51, End: 59, Label: "passing"},
+	}
+	pr := ScoreLabeled(pred, truth, "start")
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Fatalf("start = %+v", pr)
+	}
+	pr = ScoreLabeled(pred, truth, "flyout")
+	if pr.Recall != 0 {
+		t.Fatalf("flyout = %+v", pr)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	// 30 s at 1 s steps; "start" strong 0..10, "flyout" strong 20..30.
+	mk := func(lo, hi int) []float64 {
+		s := make([]float64, 30)
+		for i := lo; i < hi; i++ {
+			s[i] = 0.9
+		}
+		return s
+	}
+	a := Attribution{
+		Series:  map[string][]float64{"start": mk(0, 10), "flyout": mk(20, 30)},
+		StepDur: 1,
+		MinProb: 0.3,
+	}
+	got := a.Attribute([]Segment{{Start: 0, End: 8}, {Start: 21, End: 29}})
+	if len(got) != 2 {
+		t.Fatalf("attributed = %v", got)
+	}
+	if got[0].Label != "start" || got[1].Label != "flyout" {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestAttributionLongSegmentSplits(t *testing.T) {
+	// A 20 s segment re-decides every 5 s: first half "start", second
+	// half "passing" — expect both labels.
+	n := 40
+	start := make([]float64, n)
+	passing := make([]float64, n)
+	for i := 0; i < 10; i++ {
+		start[i] = 0.9
+	}
+	for i := 10; i < 20; i++ {
+		passing[i] = 0.9
+	}
+	a := Attribution{
+		Series:  map[string][]float64{"start": start, "passing": passing},
+		StepDur: 1,
+		MinProb: 0.3,
+	}
+	got := a.Attribute([]Segment{{Start: 0, End: 20}})
+	labels := map[string]bool{}
+	for _, s := range got {
+		labels[s.Label] = true
+	}
+	if !labels["start"] || !labels["passing"] {
+		t.Fatalf("split attribution = %v", got)
+	}
+}
+
+func TestAttributionMinProb(t *testing.T) {
+	a := Attribution{
+		Series:  map[string][]float64{"start": make([]float64, 10)},
+		StepDur: 1,
+		MinProb: 0.3,
+	}
+	if got := a.Attribute([]Segment{{Start: 0, End: 10}}); len(got) != 0 {
+		t.Fatalf("weak attribution accepted: %v", got)
+	}
+}
+
+func TestRoughness(t *testing.T) {
+	if Roughness([]float64{1}) != 0 {
+		t.Fatal("singleton roughness")
+	}
+	flat := Roughness([]float64{0.5, 0.5, 0.5})
+	if flat != 0 {
+		t.Fatalf("flat roughness = %v", flat)
+	}
+	jag := Roughness([]float64{0, 1, 0, 1})
+	if jag != 1 {
+		t.Fatalf("jagged roughness = %v", jag)
+	}
+}
+
+// Property: coverage fractions stay in [0, 1] and a segment covered by
+// itself scores exactly 1.
+func TestCoveredFractionProperty(t *testing.T) {
+	f := func(a0, d0, b0, d1 uint8) bool {
+		s := Segment{Start: float64(a0), End: float64(a0) + float64(d0%40) + 1}
+		o := Segment{Start: float64(b0), End: float64(b0) + float64(d1%40) + 1}
+		v := coveredFraction(s, []Segment{o})
+		if v < 0 || v > 1+1e-12 {
+			return false
+		}
+		return coveredFraction(s, []Segment{s}) > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveredFractionUnion(t *testing.T) {
+	s := Segment{Start: 0, End: 10}
+	// Two overlapping pieces must not double count.
+	got := coveredFraction(s, []Segment{{Start: 0, End: 6}, {Start: 4, End: 10}})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("union coverage = %v", got)
+	}
+	got = coveredFraction(s, []Segment{{Start: 2, End: 4}, {Start: 2, End: 4}})
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("duplicate coverage = %v", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Package ext wires the stochastic engines into the MIL interpreter as
+// extension modules, the way MEL modules extend Monet (§3). RegisterHMM
+// installs the hmmOneCall of Fig. 4; RegisterDBN installs the DBN
+// inference operator of Fig. 5, where a MIL procedure hands evidence
+// BATs to the engine and receives the filtered query marginal back as
+// a BAT.
+package ext
+
+import (
+	"errors"
+	"fmt"
+
+	"cobra/internal/dbn"
+	"cobra/internal/hmm"
+	"cobra/internal/mil"
+	"cobra/internal/monet"
+)
+
+// RegisterHMM installs hmmOneCall(model, obsBAT) -> dbl and
+// hmmClassify(obsBAT) -> str over the engine pool, the Fig. 4
+// extension operations.
+func RegisterHMM(in *mil.Interp, pool *hmm.EnginePool) {
+	in.Register("hmmOneCall", func(_ *mil.Interp, args []mil.Value) (mil.Value, error) {
+		if len(args) != 2 || args[0].IsBAT() || !args[1].IsBAT() {
+			return mil.Value{}, errors.New(`hmmOneCall expects ("model", obsBAT)`)
+		}
+		obs, err := batToInts(args[1].BAT)
+		if err != nil {
+			return mil.Value{}, err
+		}
+		evals, err := pool.EvaluateAll(obs)
+		if err != nil {
+			return mil.Value{}, err
+		}
+		name := args[0].Atom.Str()
+		for _, e := range evals {
+			if e.Model == name {
+				return mil.AtomValue(monet.NewFloat(e.LogLikelihood)), nil
+			}
+		}
+		return mil.Value{}, fmt.Errorf("hmmOneCall: unknown model %q", name)
+	})
+	in.Register("hmmClassify", func(_ *mil.Interp, args []mil.Value) (mil.Value, error) {
+		if len(args) != 1 || !args[0].IsBAT() {
+			return mil.Value{}, errors.New("hmmClassify expects an observation BAT")
+		}
+		obs, err := batToInts(args[0].BAT)
+		if err != nil {
+			return mil.Value{}, err
+		}
+		best, err := pool.Classify(obs)
+		if err != nil {
+			return mil.Value{}, err
+		}
+		return mil.AtomValue(monet.NewStr(best)), nil
+	})
+}
+
+// RegisterDBN installs <name>(evBAT...) -> BAT[void,dbl]: the Fig. 5
+// DBN inference operator. The call takes one [void,int] evidence BAT
+// per evidence node (in the network's observation order) and returns
+// the filtered marginal P(queryNode = 1 | e_1:t) per step.
+func RegisterDBN(in *mil.Interp, name string, d *dbn.DBN, queryNode string) {
+	in.Register(name, func(_ *mil.Interp, args []mil.Value) (mil.Value, error) {
+		evNames := d.EvidenceNames()
+		if len(args) != len(evNames) {
+			return mil.Value{}, fmt.Errorf("%s expects %d evidence BATs (%v)", name, len(evNames), evNames)
+		}
+		cols := make([][]int, len(args))
+		T := -1
+		for k, a := range args {
+			if !a.IsBAT() {
+				return mil.Value{}, fmt.Errorf("%s: argument %d is not a BAT", name, k)
+			}
+			vals, err := batToInts(a.BAT)
+			if err != nil {
+				return mil.Value{}, err
+			}
+			if T < 0 {
+				T = len(vals)
+			} else if len(vals) != T {
+				return mil.Value{}, fmt.Errorf("%s: evidence BATs are misaligned", name)
+			}
+			cols[k] = vals
+		}
+		obs := make([][]int, T)
+		for t := 0; t < T; t++ {
+			row := make([]int, len(cols))
+			for k := range cols {
+				row[k] = cols[k][t]
+			}
+			obs[t] = row
+		}
+		res, err := d.Filter(obs, nil)
+		if err != nil {
+			return mil.Value{}, err
+		}
+		series, err := res.MarginalSeries(queryNode, 1)
+		if err != nil {
+			return mil.Value{}, err
+		}
+		out := monet.NewBATCap(monet.Void, monet.FloatT, len(series))
+		for _, v := range series {
+			out.MustInsert(monet.VoidValue(), monet.NewFloat(v))
+		}
+		return mil.BATValue(out), nil
+	})
+}
+
+// batToInts extracts a BAT tail as ints.
+func batToInts(b *monet.BAT) ([]int, error) {
+	switch b.TailType() {
+	case monet.IntT, monet.OIDT, monet.BoolT:
+	default:
+		return nil, fmt.Errorf("ext: expected an integer tail, got %v", b.TailType())
+	}
+	out := make([]int, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		out[i] = int(b.Tail(i).Int())
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package ext
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cobra/internal/bayes"
+	"cobra/internal/dbn"
+	"cobra/internal/hmm"
+	"cobra/internal/mil"
+	"cobra/internal/monet"
+)
+
+func hmmPool(t *testing.T) *hmm.EnginePool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pool := hmm.NewEnginePool(2)
+	for i, name := range []string{"Service", "Smash"} {
+		m := hmm.NewModel(name, 2, 4)
+		m.Randomize(rng)
+		// Bias emissions so classification is decidable.
+		for s := 0; s < 2; s++ {
+			for k := range m.B[s] {
+				if k == i*2 {
+					m.B[s][k] = 0.7
+				} else {
+					m.B[s][k] = 0.1
+				}
+			}
+		}
+		if err := pool.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pool
+}
+
+func TestRegisterHMM(t *testing.T) {
+	in := mil.NewInterp(monet.NewStore())
+	RegisterHMM(in, hmmPool(t))
+	v, err := in.Exec(`
+		VAR obs := new(void, int);
+		obs.insert(nil, 2); obs.insert(nil, 2); obs.insert(nil, 2);
+		hmmClassify(obs);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Atom.Str() != "Smash" {
+		t.Fatalf("classified as %v", v)
+	}
+	v, err = in.Exec(`
+		VAR obs := new(void, int);
+		obs.insert(nil, 0);
+		hmmOneCall("Service", obs);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Atom.Float() >= 0 {
+		t.Fatalf("log-likelihood = %v", v)
+	}
+	if _, err := in.Exec(`
+		VAR obs := new(void, int); obs.insert(nil, 0);
+		hmmOneCall("Nope", obs);
+	`); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// tinyDBN is a 1-hidden, 1-evidence chain for the Fig. 5 operator.
+func tinyDBN(t *testing.T) *dbn.DBN {
+	t.Helper()
+	n := bayes.NewNetwork()
+	n.MustAddNode("H", 2)
+	n.MustAddNode("E", 2, "H")
+	n.MustSetCPT("H", []float64{0.7, 0.3})
+	n.MustSetCPT("E", []float64{0.9, 0.1, 0.2, 0.8})
+	d, err := dbn.New(n, []string{"E"}, []dbn.Edge{{From: "H", To: "H"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRegisterDBN(t *testing.T) {
+	in := mil.NewInterp(monet.NewStore())
+	RegisterDBN(in, "dbnInfer", tinyDBN(t), "H")
+	// The Fig. 5 flow: a MIL procedure hands evidence to the engine and
+	// thresholds the returned marginal.
+	v, err := in.Exec(`
+		PROC excitedSeconds(BAT[void,int] ev) : dbl := {
+			VAR marg := dbnInfer(ev);
+			RETURN threshold(marg, 0.5).sum;
+		}
+		VAR ev := new(void, int);
+		ev.insert(nil, 1); ev.insert(nil, 1); ev.insert(nil, 0); ev.insert(nil, 1);
+		excitedSeconds(ev);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Atom.Float() < 1 {
+		t.Fatalf("active steps = %v, want >= 1", v)
+	}
+}
+
+func TestRegisterDBNErrors(t *testing.T) {
+	in := mil.NewInterp(monet.NewStore())
+	RegisterDBN(in, "dbnInfer", tinyDBN(t), "H")
+	if _, err := in.Exec(`dbnInfer(1);`); err == nil {
+		t.Fatal("atom argument accepted")
+	}
+	if _, err := in.Exec(`
+		VAR a := new(void, int); a.insert(nil, 0);
+		VAR b := new(void, int);
+		dbnInfer(a, b);
+	`); err == nil || !strings.Contains(err.Error(), "expects 1 evidence BATs") {
+		t.Fatalf("arity err = %v", err)
+	}
+	if _, err := in.Exec(`
+		VAR a := new(void, dbl); a.insert(nil, 0.5);
+		dbnInfer(a);
+	`); err == nil {
+		t.Fatal("dbl evidence accepted")
+	}
+	if _, err := in.Exec(`
+		VAR a := new(void, int); a.insert(nil, 7);
+		dbnInfer(a);
+	`); err == nil {
+		t.Fatal("out-of-range evidence accepted")
+	}
+}

@@ -1,0 +1,185 @@
+package f1
+
+import (
+	"fmt"
+
+	"cobra/internal/bayes"
+	"cobra/internal/dbn"
+	"cobra/internal/eval"
+	"cobra/internal/synth"
+)
+
+// Ablations for the design decisions called out in DESIGN.md §5:
+// evidence quantization granularity and the Dirichlet anchoring of EM.
+
+// QuantizeN maps a [0,1] series to `levels` evidence levels with
+// uniform cut points; QuantizeN(s, 3) differs from Quantize3 only in
+// using uniform thresholds.
+func QuantizeN(series []float64, levels int) []int {
+	out := make([]int, len(series))
+	for i, v := range series {
+		l := int(v * float64(levels))
+		if l >= levels {
+			l = levels - 1
+		}
+		if l < 0 {
+			l = 0
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// monotoneShape builds a `levels`-bucket distribution that decays (up
+// false) or grows (up true) geometrically — the generalized form of
+// the 3-level evidence shapes.
+func monotoneShape(levels int, up bool, ratio float64) []float64 {
+	w := make([]float64, levels)
+	v := 1.0
+	for i := range w {
+		idx := i
+		if up {
+			idx = levels - 1 - i
+		}
+		w[idx] = v
+		v *= ratio
+	}
+	s := 0.0
+	for _, x := range w {
+		s += x
+	}
+	for i := range w {
+		w[i] /= s
+	}
+	return w
+}
+
+// newAudioSliceLevels is the fully parameterized audio slice with
+// `levels`-state evidence nodes, used by the quantization ablation.
+func newAudioSliceLevels(levels int) *bayes.Network {
+	n := bayes.NewNetwork()
+	n.MustAddNode(NodeEA, 2)
+	n.MustAddNode(NodeSA, 2, NodeEA)
+	n.MustAddNode(NodeVS, 2, NodeEA)
+	n.MustSetCPT(NodeEA, []float64{0.85, 0.15})
+	n.MustSetCPT(NodeSA, []float64{0.45, 0.55, 0.05, 0.95})
+	n.MustSetCPT(NodeVS, []float64{0.85, 0.15, 0.10, 0.90})
+	off := monotoneShape(levels, false, 0.28)
+	on := monotoneShape(levels, true, 0.62)
+	pauseOn := monotoneShape(levels, false, 0.32)
+	pauseOff := monotoneShape(levels, true, 0.30)
+	addN := func(name, parent string, a, b []float64) {
+		n.MustAddNode(name, levels, parent)
+		n.MustSetCPT(name, append(append([]float64(nil), a...), b...))
+	}
+	addN("Keywords", NodeEA, off, on)
+	addN("PauseRate", NodeSA, pauseOff, pauseOn)
+	for _, name := range []string{"MFCCAvg", "MFCCMax"} {
+		addN(name, NodeSA, off, on)
+	}
+	for _, name := range []string{"STEAvg", "STEDyn", "STEMax", "PitchAvg", "PitchDyn", "PitchMax"} {
+		addN(name, NodeVS, off, on)
+	}
+	return n
+}
+
+// QuantizationAblation trains and evaluates the audio DBN with 2, 3
+// and 4 evidence levels on the German GP. Coarse quantization loses
+// the mid band where mild excitement lives; fine quantization thins
+// per-bucket training counts.
+func (l *Lab) QuantizationAblation() ([]Row, error) {
+	f, err := l.Features(synth.GermanGP)
+	if err != nil {
+		return nil, err
+	}
+	race := l.Race(synth.GermanGP)
+	series := [][]float64{
+		f.Keywords, f.PauseRate,
+		f.STEAvg, f.STEDyn, f.STEMax,
+		f.PitchAvg, f.PitchDyn, f.PitchMax,
+		f.MFCCAvg, f.MFCCMax,
+	}
+	var rows []Row
+	for _, levels := range []int{2, 3, 4} {
+		q := make([][]int, len(series))
+		for k, s := range series {
+			q[k] = QuantizeN(s, levels)
+		}
+		obs := make([][]int, f.N)
+		for i := 0; i < f.N; i++ {
+			row := make([]int, len(series))
+			for k := range series {
+				row[k] = q[k][i]
+			}
+			obs[i] = row
+		}
+		d, err := dbn.New(newAudioSliceLevels(levels), AudioEvidenceNames,
+			audioTemporalEdges(FullyParameterized, TemporalFig8))
+		if err != nil {
+			return nil, err
+		}
+		cfg := dbn.DefaultEMConfig()
+		cfg.MaxIterations = l.Cfg.EMIterations
+		cfg.Anchor = 10
+		if _, err := d.LearnEM(splitSegments(obs[:l.trainClips(f)], l.Cfg.TrainSegments), cfg); err != nil {
+			return nil, err
+		}
+		res, err := d.Filter(obs, nil)
+		if err != nil {
+			return nil, err
+		}
+		s, err := res.MarginalSeries(NodeEA, 1)
+		if err != nil {
+			return nil, err
+		}
+		pr := scoreExcitement(s, race)
+		rows = append(rows, Row{
+			Name: fmt.Sprintf("quantization %d levels", levels), Metric: "excited",
+			Precision: pr.Precision, Recall: pr.Recall,
+			LogLikelihood: res.LogLikelihood,
+		})
+	}
+	return rows, nil
+}
+
+// AnchorAblation compares anchored EM (Dirichlet pseudo-counts on the
+// domain-knowledge initialization) with plain EM for the audio-visual
+// network: without the anchor, EM decouples the sub-event nodes from
+// the Highlight query node because the data never forces the coupling.
+func (l *Lab) AnchorAblation() ([]Row, error) {
+	f, err := l.Features(synth.GermanGP)
+	if err != nil {
+		return nil, err
+	}
+	race := l.Race(synth.GermanGP)
+	obs := f.AVObservations(true)
+	var rows []Row
+	for _, anchor := range []float64{60, 0} {
+		d, err := NewAVDBN(true)
+		if err != nil {
+			return nil, err
+		}
+		cfg := dbn.DefaultEMConfig()
+		cfg.MaxIterations = l.Cfg.EMIterations
+		cfg.Anchor = anchor
+		if _, err := d.LearnEM(splitSegments(obs[:l.trainClips(f)], 6), cfg); err != nil {
+			return nil, err
+		}
+		res, err := d.Filter(obs, nil)
+		if err != nil {
+			return nil, err
+		}
+		s, err := res.MarginalSeries(NodeHighlight, 1)
+		if err != nil {
+			return nil, err
+		}
+		pr := eval.Score(eval.Segments(s, highlightSegConfig), race.Highlights)
+		name := "anchored EM"
+		if anchor == 0 {
+			name = "plain EM"
+		}
+		rows = append(rows, Row{Name: name, Metric: "highlight",
+			Precision: pr.Precision, Recall: pr.Recall})
+	}
+	return rows, nil
+}

@@ -1,0 +1,335 @@
+package f1
+
+import (
+	"fmt"
+
+	"cobra/internal/bayes"
+	"cobra/internal/dbn"
+)
+
+// Audio network node names.
+const (
+	NodeEA = "EA" // Excited Announcer: the query node
+	NodeSA = "SA" // speech activity (hidden)
+	NodeVS = "VS" // voice stress (hidden)
+)
+
+// AudioEvidenceNames lists the ten audio evidence nodes f1..f10 in
+// observation order.
+var AudioEvidenceNames = []string{
+	"Keywords", "PauseRate",
+	"STEAvg", "STEDyn", "STEMax",
+	"PitchAvg", "PitchDyn", "PitchMax",
+	"MFCCAvg", "MFCCMax",
+}
+
+// BNStructure selects one of the Fig. 7 slice structures.
+type BNStructure int
+
+// The three §5.5 audio network structures.
+const (
+	// FullyParameterized is Fig. 7a: EA drives hidden speech-activity
+	// and voice-stress nodes, which drive the evidence.
+	FullyParameterized BNStructure = iota
+	// DirectEvidence is Fig. 7b: every evidence node hangs directly off
+	// the query node.
+	DirectEvidence
+	// InputOutput is Fig. 7c: two hidden input nodes summarize evidence
+	// groups and jointly drive the query node.
+	InputOutput
+)
+
+// String names the structure as in Table 1.
+func (s BNStructure) String() string {
+	switch s {
+	case FullyParameterized:
+		return "fully-parameterized"
+	case DirectEvidence:
+		return "direct-evidence"
+	case InputOutput:
+		return "input-output"
+	default:
+		return fmt.Sprintf("BNStructure(%d)", int(s))
+	}
+}
+
+// lowHigh builds a 3-level evidence CPT for a binary parent: rows are
+// parent=0 then parent=1.
+func lowHigh(off, on [3]float64) []float64 {
+	return []float64{off[0], off[1], off[2], on[0], on[1], on[2]}
+}
+
+// Standard evidence shapes.
+var (
+	shapeOff      = [3]float64{0.75, 0.18, 0.07} // parent inactive: low values
+	shapeOn       = [3]float64{0.15, 0.33, 0.52} // parent active: high values
+	shapePauseOn  = [3]float64{0.70, 0.22, 0.08} // speaking: few pauses
+	shapePauseOff = [3]float64{0.06, 0.14, 0.80} // not speaking: many pauses
+)
+
+// NewAudioSlice builds the intra-slice audio network for the given
+// structure, with informative initial CPTs (the domain knowledge the
+// system stores in the database, §2) that EM then refines.
+func NewAudioSlice(structure BNStructure) *bayes.Network {
+	n := bayes.NewNetwork()
+	switch structure {
+	case FullyParameterized:
+		n.MustAddNode(NodeEA, 2)
+		n.MustAddNode(NodeSA, 2, NodeEA)
+		n.MustAddNode(NodeVS, 2, NodeEA)
+		n.MustSetCPT(NodeEA, []float64{0.85, 0.15})
+		n.MustSetCPT(NodeSA, []float64{0.45, 0.55, 0.05, 0.95})
+		n.MustSetCPT(NodeVS, []float64{0.85, 0.15, 0.10, 0.90})
+		addEvidence(n, "Keywords", NodeEA, shapeOff, [3]float64{0.45, 0.25, 0.30})
+		addEvidence(n, "PauseRate", NodeSA, shapePauseOff, shapePauseOn)
+		for _, name := range []string{"MFCCAvg", "MFCCMax"} {
+			addEvidence(n, name, NodeSA, shapeOff, shapeOn)
+		}
+		for _, name := range []string{"STEAvg", "STEDyn", "STEMax", "PitchAvg", "PitchDyn", "PitchMax"} {
+			addEvidence(n, name, NodeVS, shapeOff, shapeOn)
+		}
+	case DirectEvidence:
+		n.MustAddNode(NodeEA, 2)
+		n.MustSetCPT(NodeEA, []float64{0.85, 0.15})
+		addEvidence(n, "Keywords", NodeEA, shapeOff, [3]float64{0.45, 0.25, 0.30})
+		addEvidence(n, "PauseRate", NodeEA, shapePauseOff, shapePauseOn)
+		for _, name := range []string{"STEAvg", "STEDyn", "STEMax", "PitchAvg", "PitchDyn", "PitchMax", "MFCCAvg", "MFCCMax"} {
+			addEvidence(n, name, NodeEA, shapeOff, shapeOn)
+		}
+	case InputOutput:
+		// Input nodes summarize evidence groups; the query node is the
+		// output of both.
+		n.MustAddNode("I1", 2) // energy/articulation group
+		n.MustAddNode("I2", 2) // pitch/keyword group
+		n.MustAddNode(NodeEA, 2, "I1", "I2")
+		n.MustSetCPT("I1", []float64{0.7, 0.3})
+		n.MustSetCPT("I2", []float64{0.8, 0.2})
+		n.MustSetCPT(NodeEA, []float64{
+			0.98, 0.02, // i1=0 i2=0
+			0.75, 0.25, // i1=0 i2=1
+			0.80, 0.20, // i1=1 i2=0
+			0.15, 0.85, // i1=1 i2=1
+		})
+		addEvidence(n, "PauseRate", "I1", shapePauseOff, shapePauseOn)
+		for _, name := range []string{"STEAvg", "STEDyn", "STEMax", "MFCCAvg", "MFCCMax"} {
+			addEvidence(n, name, "I1", shapeOff, shapeOn)
+		}
+		addEvidence(n, "Keywords", "I2", shapeOff, [3]float64{0.45, 0.25, 0.30})
+		for _, name := range []string{"PitchAvg", "PitchDyn", "PitchMax"} {
+			addEvidence(n, name, "I2", shapeOff, shapeOn)
+		}
+	}
+	return n
+}
+
+func addEvidence(n *bayes.Network, name, parent string, off, on [3]float64) {
+	n.MustAddNode(name, 3, parent)
+	n.MustSetCPT(name, lowHigh(off, on))
+}
+
+// TemporalVariant selects the inter-slice wiring studied in §5.5.
+type TemporalVariant int
+
+// The three temporal-dependency configurations.
+const (
+	// TemporalFig8 is the paper's Fig. 8: every non-observable node
+	// persists, and the query node distributes evidence to the other
+	// non-observables in the next slice.
+	TemporalFig8 TemporalVariant = iota
+	// TemporalToQuery: all non-observable nodes feed the query node in
+	// the next slice, and only the query node receives temporal
+	// evidence (no persistence for SA/VS).
+	TemporalToQuery
+	// TemporalCorresponding: nodes persist and also feed the query
+	// node, but the query node does not feed the other non-observables.
+	TemporalCorresponding
+)
+
+// String names the variant.
+func (v TemporalVariant) String() string {
+	switch v {
+	case TemporalFig8:
+		return "fig8"
+	case TemporalToQuery:
+		return "to-query"
+	case TemporalCorresponding:
+		return "corresponding"
+	default:
+		return fmt.Sprintf("TemporalVariant(%d)", int(v))
+	}
+}
+
+// audioTemporalEdges returns the inter-slice edges for a structure and
+// variant. Structures without SA/VS only get the query self-edge.
+func audioTemporalEdges(structure BNStructure, variant TemporalVariant) []dbn.Edge {
+	switch structure {
+	case DirectEvidence:
+		return []dbn.Edge{{From: NodeEA, To: NodeEA}}
+	case InputOutput:
+		return []dbn.Edge{
+			{From: NodeEA, To: NodeEA},
+			{From: "I1", To: "I1"},
+			{From: "I2", To: "I2"},
+		}
+	}
+	switch variant {
+	case TemporalToQuery:
+		return []dbn.Edge{
+			{From: NodeEA, To: NodeEA},
+			{From: NodeSA, To: NodeEA},
+			{From: NodeVS, To: NodeEA},
+		}
+	case TemporalCorresponding:
+		return []dbn.Edge{
+			{From: NodeEA, To: NodeEA},
+			{From: NodeSA, To: NodeSA},
+			{From: NodeVS, To: NodeVS},
+			{From: NodeSA, To: NodeEA},
+			{From: NodeVS, To: NodeEA},
+		}
+	default: // TemporalFig8
+		return []dbn.Edge{
+			{From: NodeEA, To: NodeEA},
+			{From: NodeSA, To: NodeSA},
+			{From: NodeVS, To: NodeVS},
+			{From: NodeEA, To: NodeSA},
+			{From: NodeEA, To: NodeVS},
+		}
+	}
+}
+
+// NewAudioDBN builds the audio DBN for a structure and temporal
+// variant.
+func NewAudioDBN(structure BNStructure, variant TemporalVariant) (*dbn.DBN, error) {
+	return dbn.New(NewAudioSlice(structure), AudioEvidenceNames, audioTemporalEdges(structure, variant))
+}
+
+// AudioObservations quantizes the ten audio features into the
+// evidence-vector sequence consumed by the audio networks.
+func (f *Features) AudioObservations() [][]int {
+	series := [][]float64{
+		f.Keywords, f.PauseRate,
+		f.STEAvg, f.STEDyn, f.STEMax,
+		f.PitchAvg, f.PitchDyn, f.PitchMax,
+		f.MFCCAvg, f.MFCCMax,
+	}
+	q := make([][]int, len(series))
+	for k, s := range series {
+		q[k] = Quantize3(s)
+	}
+	obs := make([][]int, f.N)
+	for i := 0; i < f.N; i++ {
+		row := make([]int, len(series))
+		for k := range series {
+			row[k] = q[k][i]
+		}
+		obs[i] = row
+	}
+	return obs
+}
+
+// Audio-visual network node names (Fig. 10).
+const (
+	NodeHighlight = "Highlight"
+	NodeStart     = "Start"
+	NodeFlyOut    = "FlyOut"
+	NodePassing   = "Passing"
+)
+
+// avEvidenceNames returns the AV evidence order, with or without the
+// passing sub-network.
+func avEvidenceNames(withPassing bool) []string {
+	names := []string{
+		"AudioEx", "Keywords", "Replay",
+		"Semaphore", "Motion", "PartOfRace",
+		"Dust", "Sand",
+	}
+	if withPassing {
+		names = append(names, "PassingCue")
+	}
+	return names
+}
+
+// NewAVSlice builds the Fig. 10 one-slice structure. The ten audio
+// evidence nodes are summarized into a single 3-level AudioEx node to
+// keep the audio-visual joint state tractable; the audio experiments
+// (Table 1/2) use the full ten-node networks.
+func NewAVSlice(withPassing bool) *bayes.Network {
+	n := bayes.NewNetwork()
+	n.MustAddNode(NodeHighlight, 2)
+	n.MustAddNode(NodeEA, 2, NodeHighlight)
+	n.MustAddNode(NodeStart, 2, NodeHighlight)
+	n.MustAddNode(NodeFlyOut, 2, NodeHighlight)
+	n.MustSetCPT(NodeHighlight, []float64{0.88, 0.12})
+	n.MustSetCPT(NodeEA, []float64{0.97, 0.03, 0.40, 0.60})
+	n.MustSetCPT(NodeStart, []float64{0.999, 0.001, 0.80, 0.20})
+	n.MustSetCPT(NodeFlyOut, []float64{0.999, 0.001, 0.82, 0.18})
+	if withPassing {
+		n.MustAddNode(NodePassing, 2, NodeHighlight)
+		n.MustSetCPT(NodePassing, []float64{0.998, 0.002, 0.70, 0.30})
+	}
+	addEvidence(n, "AudioEx", NodeEA, shapeOff, [3]float64{0.12, 0.30, 0.58})
+	addEvidence(n, "Keywords", NodeEA, shapeOff, [3]float64{0.45, 0.25, 0.30})
+	addEvidence(n, "Replay", NodeHighlight, [3]float64{0.90, 0.05, 0.05}, [3]float64{0.45, 0.15, 0.40})
+	addEvidence(n, "Semaphore", NodeStart, [3]float64{0.97, 0.02, 0.01}, [3]float64{0.35, 0.25, 0.40})
+	addEvidence(n, "Motion", NodeStart, [3]float64{0.45, 0.30, 0.25}, [3]float64{0.20, 0.35, 0.45})
+	addEvidence(n, "PartOfRace", NodeStart, [3]float64{0.30, 0.35, 0.35}, [3]float64{0.85, 0.12, 0.03})
+	addEvidence(n, "Dust", NodeFlyOut, [3]float64{0.92, 0.06, 0.02}, [3]float64{0.20, 0.30, 0.50})
+	addEvidence(n, "Sand", NodeFlyOut, [3]float64{0.92, 0.06, 0.02}, [3]float64{0.25, 0.30, 0.45})
+	if withPassing {
+		addEvidence(n, "PassingCue", NodePassing, [3]float64{0.70, 0.20, 0.10}, [3]float64{0.25, 0.35, 0.40})
+	}
+	return n
+}
+
+// avTemporalEdges is the Fig. 11 wiring: all hidden nodes persist and
+// the main query node distributes evidence to the sub-event nodes.
+func avTemporalEdges(withPassing bool) []dbn.Edge {
+	edges := []dbn.Edge{
+		{From: NodeHighlight, To: NodeHighlight},
+		{From: NodeEA, To: NodeEA},
+		{From: NodeStart, To: NodeStart},
+		{From: NodeFlyOut, To: NodeFlyOut},
+		{From: NodeHighlight, To: NodeEA},
+		{From: NodeHighlight, To: NodeStart},
+		{From: NodeHighlight, To: NodeFlyOut},
+	}
+	if withPassing {
+		edges = append(edges,
+			dbn.Edge{From: NodePassing, To: NodePassing},
+			dbn.Edge{From: NodeHighlight, To: NodePassing})
+	}
+	return edges
+}
+
+// NewAVDBN builds the audio-visual DBN with or without the passing
+// sub-network (the Table 4 ablation).
+func NewAVDBN(withPassing bool) (*dbn.DBN, error) {
+	return dbn.New(NewAVSlice(withPassing), avEvidenceNames(withPassing), avTemporalEdges(withPassing))
+}
+
+// AVObservations quantizes the audio-visual evidence vector sequence.
+func (f *Features) AVObservations(withPassing bool) [][]int {
+	audioEx := f.AudioExcitementScore()
+	series := [][]float64{
+		audioEx, f.Keywords, f.Replay,
+		f.Semaphore, f.Motion, f.PartOfRace,
+		f.Dust, f.Sand,
+	}
+	if withPassing {
+		series = append(series, f.Passing)
+	}
+	q := make([][]int, len(series))
+	for k, s := range series {
+		q[k] = Quantize3(s)
+	}
+	obs := make([][]int, f.N)
+	for i := 0; i < f.N; i++ {
+		row := make([]int, len(series))
+		for k := range series {
+			row[k] = q[k][i]
+		}
+		obs[i] = row
+	}
+	return obs
+}

@@ -1,0 +1,206 @@
+package f1
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"cobra/internal/eval"
+	"cobra/internal/synth"
+)
+
+// TestProbeBN is a diagnostic, enabled with F1_PROBE=1.
+func TestProbeBN(t *testing.T) {
+	if os.Getenv("F1_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	cfg := DefaultExpConfig()
+	cfg.RaceDur = 300
+	cfg.TrainDur = 150
+	cfg.EMIterations = 6
+	l := NewLab(cfg)
+	f, err := l.Features(synth.GermanGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := f.AudioObservations()
+	race := l.Race(synth.GermanGP)
+	net, err := l.trainAudioBN(FullyParameterized, f, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := bnSeries(net, AudioEvidenceNames, obs, NodeEA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := accumulateBN(series)
+	meanIn := func(s []float64, lo, hi float64) float64 {
+		a, n := 0.0, 0
+		for i := int(lo / 0.1); i < int(hi/0.1) && i < len(s); i++ {
+			a += s[i]
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return a / float64(n)
+	}
+	fmt.Printf("BN raw global=%.3f accum global=%.3f\n", meanIn(series, 0, 300), meanIn(acc, 0, 300))
+	for _, s := range race.Excitement {
+		fmt.Printf("  excite [%3.0f-%3.0f] %-8s raw=%.3f accum=%.3f\n", s.Start, s.End, s.Label,
+			meanIn(series, s.Start, s.End), meanIn(acc, s.Start, s.End))
+	}
+	for _, th := range []float64{0.3, 0.4, 0.5, 0.6} {
+		c := eval.SegmentConfig{StepDur: 0.1, Threshold: th, MinDuration: 2, MergeGap: 2}
+		pr := eval.Score(eval.Segments(acc, c), race.Excitement)
+		fmt.Printf("  accum th=%.1f: P=%.2f R=%.2f (TP %d FP %d FN %d)\n", th, pr.Precision, pr.Recall, pr.TP, pr.FP, pr.FN)
+	}
+}
+
+// TestProbeDBNSegments prints DBN predicted segments vs truth.
+func TestProbeDBNSegments(t *testing.T) {
+	if os.Getenv("F1_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	cfg := DefaultExpConfig()
+	cfg.RaceDur = 300
+	cfg.TrainDur = 150
+	cfg.EMIterations = 6
+	l := NewLab(cfg)
+	f, err := l.Features(synth.GermanGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := f.AudioObservations()
+	race := l.Race(synth.GermanGP)
+	d, err := l.trainAudioDBN(FullyParameterized, TemporalFig8, f, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Filter(obs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, _ := res.MarginalSeries(NodeEA, 1)
+	pred := eval.Segments(series, excitedSegConfig)
+	fmt.Println("truth:")
+	for _, s := range race.Excitement {
+		fmt.Printf("  [%6.1f %6.1f] %s\n", s.Start, s.End, s.Label)
+	}
+	fmt.Println("pred:")
+	for _, s := range pred {
+		fmt.Printf("  [%6.1f %6.1f]\n", s.Start, s.End)
+	}
+}
+
+// TestProbeStartWindow inspects audio evidence inside the start window.
+func TestProbeStartWindow(t *testing.T) {
+	if os.Getenv("F1_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	cfg := DefaultExpConfig()
+	cfg.RaceDur = 300
+	cfg.TrainDur = 150
+	l := NewLab(cfg)
+	f, err := l.Features(synth.GermanGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 310; i < 460; i += 10 {
+		fmt.Printf("t=%4.1f speech=%-5v pause=%.2f ste=%.2f pitch=%.2f mfcc=%.2f kw=%.2f\n",
+			float64(i)/10, f.Speech[i], f.PauseRate[i], f.STEAvg[i], f.PitchAvg[i], f.MFCCAvg[i], f.Keywords[i])
+	}
+}
+
+// TestProbeUSAReplay inspects false-replay pressure on shaky races.
+func TestProbeUSAReplay(t *testing.T) {
+	if os.Getenv("F1_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	for _, p := range []synth.Profile{synth.GermanGP, synth.USAGP, synth.BelgianGP} {
+		race := synth.GenerateRace(p, 220, 2001)
+		f, err := Extract(race, Options{Seed: 2001, SkipText: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inReplay, outReplay, inN, outN := 0.0, 0.0, 0, 0
+		for i, v := range f.Replay {
+			tm := float64(i) * ClipDur
+			in := false
+			for _, e := range race.EventsOf(synth.EventReplay) {
+				if tm >= e.Start && tm < e.End {
+					in = true
+				}
+			}
+			if in {
+				inReplay += v
+				inN++
+			} else {
+				outReplay += v
+				outN++
+			}
+		}
+		fmt.Printf("%s: replay in=%.2f out=%.3f (outN=%d)\n", p.Name, inReplay/float64(max(inN, 1)), outReplay/float64(max(outN, 1)), outN)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestProbeStartAttribution inspects start-labeled windows at 600s.
+func TestProbeStartAttribution(t *testing.T) {
+	if os.Getenv("F1_PROBE") == "" {
+		t.Skip("probe disabled")
+	}
+	cfg := DefaultExpConfig()
+	l := NewLab(cfg)
+	d, err := l.trainAVDBN(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := l.Features(synth.GermanGP)
+	race := l.Race(synth.GermanGP)
+	res, err := d.Filter(f.AVObservations(true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSeries, _ := res.MarginalSeries(NodeHighlight, 1)
+	highlights := eval.Segments(hSeries, highlightSegConfig)
+	series := map[string][]float64{}
+	rawSeries := map[string][]float64{}
+	for _, node := range []string{NodeStart, NodeFlyOut, NodePassing} {
+		s, _ := res.MarginalSeries(node, 1)
+		rawSeries[labelOf(node)] = s
+		series[labelOf(node)] = liftSeries(s)
+	}
+	attr := eval.Attribution{Series: series, StepDur: ClipDur, MinProb: 0.2}
+	meanIn := func(s []float64, lo, hi float64) float64 {
+		a, n := 0.0, 0
+		for i := int(lo / ClipDur); i < int(hi/ClipDur) && i < len(s); i++ {
+			a += s[i]
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return a / float64(n)
+	}
+	for _, h := range highlights {
+		fmt.Printf("highlight [%5.1f-%5.1f] rawST=%.2f liftST=%.2f rawFO=%.2f rawPA=%.2f",
+			h.Start, h.End, meanIn(rawSeries["start"], h.Start, h.End), meanIn(series["start"], h.Start, h.End),
+			meanIn(rawSeries["flyout"], h.Start, h.End), meanIn(rawSeries["passing"], h.Start, h.End))
+		for _, e := range race.Events {
+			if e.Start < h.End && h.Start < e.End {
+				fmt.Printf(" | truth %s", e.Type)
+			}
+		}
+		fmt.Println()
+	}
+	for _, s := range attr.Attribute(highlights) {
+		fmt.Printf("label %s [%5.1f-%5.1f]\n", s.Label, s.Start, s.End)
+	}
+}

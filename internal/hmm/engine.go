@@ -1,0 +1,137 @@
+package hmm
+
+import (
+	"fmt"
+	"sort"
+
+	"cobra/internal/monet"
+)
+
+// Evaluation is one model's score over an observation sequence.
+type Evaluation struct {
+	Model         string
+	LogLikelihood float64
+}
+
+// EnginePool evaluates a set of HMMs over observation sequences,
+// optionally in parallel — the in-process rendering of the paper's six
+// remote HMM servers (Fig. 3). Threads follows Monet's threadcnt
+// semantics (Fig. 4 uses threadcnt(7): one coordinator plus six
+// workers).
+type EnginePool struct {
+	models  map[string]*Model
+	Threads int
+}
+
+// NewEnginePool returns a pool using the given worker count (<= 0
+// selects GOMAXPROCS).
+func NewEnginePool(threads int) *EnginePool {
+	return &EnginePool{models: map[string]*Model{}, Threads: threads}
+}
+
+// Register adds a model to the pool, replacing a same-named one.
+func (p *EnginePool) Register(m *Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	p.models[m.Name] = m
+	return nil
+}
+
+// Models returns the sorted registered model names.
+func (p *EnginePool) Models() []string {
+	names := make([]string, 0, len(p.models))
+	for n := range p.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EvaluateAll scores every registered model on the observation sequence
+// in parallel and returns evaluations sorted by descending likelihood.
+func (p *EnginePool) EvaluateAll(obs []int) ([]Evaluation, error) {
+	names := p.Models()
+	evals := make([]Evaluation, len(names))
+	tasks := make([]func() error, len(names))
+	for i, name := range names {
+		i, name := i, name
+		tasks[i] = func() error {
+			ll, err := p.models[name].LogLikelihood(obs)
+			if err != nil {
+				return fmt.Errorf("model %s: %w", name, err)
+			}
+			evals[i] = Evaluation{Model: name, LogLikelihood: ll}
+			return nil
+		}
+	}
+	if err := monet.Parallel(p.Threads, tasks...); err != nil {
+		return nil, err
+	}
+	sort.Slice(evals, func(a, b int) bool {
+		return evals[a].LogLikelihood > evals[b].LogLikelihood
+	})
+	return evals, nil
+}
+
+// Classify returns the best-scoring model name for the observation
+// sequence — the Fig. 4 procedure's reverse().find(max) step.
+func (p *EnginePool) Classify(obs []int) (string, error) {
+	evals, err := p.EvaluateAll(obs)
+	if err != nil {
+		return "", err
+	}
+	if len(evals) == 0 {
+		return "", fmt.Errorf("hmm: no models registered")
+	}
+	return evals[0].Model, nil
+}
+
+// Quantize maps parallel feature vectors (each in [0, 1]) to a single
+// discrete observation symbol per step — the quant1 step of Fig. 4.
+// Each feature is binned into levels bins; the joint code is their
+// mixed-radix combination.
+func Quantize(features [][]float64, levels int) ([]int, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("hmm: need >= 2 quantization levels")
+	}
+	if len(features) == 0 {
+		return nil, nil
+	}
+	T := len(features[0])
+	for i, f := range features {
+		if len(f) != T {
+			return nil, fmt.Errorf("hmm: feature %d length %d != %d", i, len(f), T)
+		}
+	}
+	out := make([]int, T)
+	for t := 0; t < T; t++ {
+		code := 0
+		for _, f := range features {
+			v := f[t]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			level := int(v * float64(levels))
+			if level == levels {
+				level = levels - 1
+			}
+			code = code*levels + level
+		}
+		out[t] = code
+	}
+	return out, nil
+}
+
+// SymbolSpace returns the observation alphabet size produced by
+// Quantize for the given feature count and level count.
+func SymbolSpace(nFeatures, levels int) int {
+	s := 1
+	for i := 0; i < nFeatures; i++ {
+		s *= levels
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+// Package hmm implements discrete hidden Markov models: scaled
+// forward/backward evaluation, Viterbi decoding, and Baum-Welch
+// training — the HMM extension of the Cobra VDBMS (§3). Evaluate-style
+// operations are exposed both directly and through an engine pool that
+// evaluates several models in parallel, mirroring the paper's
+// distributed HMM servers (Figs. 3 and 4).
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a discrete HMM with N states and M observation symbols.
+type Model struct {
+	// Name labels the model (e.g. a tennis stroke class).
+	Name string
+	// Pi is the initial state distribution (length N).
+	Pi []float64
+	// A is the state transition matrix (N rows of length N).
+	A [][]float64
+	// B is the emission matrix (N rows of length M).
+	B [][]float64
+}
+
+// ErrBadModel reports malformed parameters.
+var ErrBadModel = errors.New("hmm: bad model")
+
+// NewModel allocates a uniform model.
+func NewModel(name string, states, symbols int) *Model {
+	m := &Model{Name: name}
+	m.Pi = make([]float64, states)
+	for i := range m.Pi {
+		m.Pi[i] = 1 / float64(states)
+	}
+	m.A = make([][]float64, states)
+	m.B = make([][]float64, states)
+	for i := range m.A {
+		m.A[i] = make([]float64, states)
+		m.B[i] = make([]float64, symbols)
+		for j := range m.A[i] {
+			m.A[i][j] = 1 / float64(states)
+		}
+		for k := range m.B[i] {
+			m.B[i][k] = 1 / float64(symbols)
+		}
+	}
+	return m
+}
+
+// N returns the state count.
+func (m *Model) N() int { return len(m.Pi) }
+
+// M returns the symbol count.
+func (m *Model) M() int {
+	if len(m.B) == 0 {
+		return 0
+	}
+	return len(m.B[0])
+}
+
+// Validate checks shapes and row normalization.
+func (m *Model) Validate() error {
+	n := m.N()
+	if n == 0 {
+		return fmt.Errorf("%w: no states", ErrBadModel)
+	}
+	if len(m.A) != n || len(m.B) != n {
+		return fmt.Errorf("%w: shape mismatch", ErrBadModel)
+	}
+	if !isDistribution(m.Pi) {
+		return fmt.Errorf("%w: Pi not a distribution", ErrBadModel)
+	}
+	for i := 0; i < n; i++ {
+		if len(m.A[i]) != n {
+			return fmt.Errorf("%w: A row %d length", ErrBadModel, i)
+		}
+		if !isDistribution(m.A[i]) {
+			return fmt.Errorf("%w: A row %d not a distribution", ErrBadModel, i)
+		}
+		if len(m.B[i]) != m.M() {
+			return fmt.Errorf("%w: B row %d length", ErrBadModel, i)
+		}
+		if !isDistribution(m.B[i]) {
+			return fmt.Errorf("%w: B row %d not a distribution", ErrBadModel, i)
+		}
+	}
+	return nil
+}
+
+func isDistribution(p []float64) bool {
+	s := 0.0
+	for _, v := range p {
+		if v < 0 {
+			return false
+		}
+		s += v
+	}
+	return math.Abs(s-1) < 1e-6
+}
+
+// Randomize sets random parameters.
+func (m *Model) Randomize(rng *rand.Rand) {
+	randomizeRow(m.Pi, rng)
+	for i := range m.A {
+		randomizeRow(m.A[i], rng)
+		randomizeRow(m.B[i], rng)
+	}
+}
+
+func randomizeRow(p []float64, rng *rand.Rand) {
+	s := 0.0
+	for i := range p {
+		v := 0.1 + rng.Float64()
+		p[i] = v
+		s += v
+	}
+	for i := range p {
+		p[i] /= s
+	}
+}
+
+// checkObs validates an observation sequence against the model.
+func (m *Model) checkObs(obs []int) error {
+	for t, o := range obs {
+		if o < 0 || o >= m.M() {
+			return fmt.Errorf("%w: observation %d at t=%d out of range", ErrBadModel, o, t)
+		}
+	}
+	return nil
+}
+
+// LogLikelihood evaluates log P(obs | model) with the scaled forward
+// algorithm, the paper's costly inference operation that is
+// distributed across HMM engines.
+func (m *Model) LogLikelihood(obs []int) (float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return 0, err
+	}
+	if len(obs) == 0 {
+		return 0, nil
+	}
+	n := m.N()
+	alpha := make([]float64, n)
+	for i := 0; i < n; i++ {
+		alpha[i] = m.Pi[i] * m.B[i][obs[0]]
+	}
+	ll := 0.0
+	z := scaleRow(alpha)
+	if z <= 0 {
+		return math.Inf(-1), nil
+	}
+	ll += math.Log(z)
+	next := make([]float64, n)
+	for t := 1; t < len(obs); t++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += alpha[i] * m.A[i][j]
+			}
+			next[j] = s * m.B[j][obs[t]]
+		}
+		alpha, next = next, alpha
+		z = scaleRow(alpha)
+		if z <= 0 {
+			return math.Inf(-1), nil
+		}
+		ll += math.Log(z)
+	}
+	return ll, nil
+}
+
+func scaleRow(p []float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	if s > 0 {
+		inv := 1 / s
+		for i := range p {
+			p[i] *= inv
+		}
+	}
+	return s
+}
+
+// Viterbi returns the most probable state path and its log
+// probability.
+func (m *Model) Viterbi(obs []int) ([]int, float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, 0, err
+	}
+	if len(obs) == 0 {
+		return nil, 0, nil
+	}
+	n := m.N()
+	T := len(obs)
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, n)
+	psi[0] = make([]int, n)
+	for i := 0; i < n; i++ {
+		delta[0][i] = safeLog(m.Pi[i]) + safeLog(m.B[i][obs[0]])
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, n)
+		psi[t] = make([]int, n)
+		for j := 0; j < n; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < n; i++ {
+				v := delta[t-1][i] + safeLog(m.A[i][j])
+				if v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + safeLog(m.B[j][obs[t]])
+			psi[t][j] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for i := 0; i < n; i++ {
+		if delta[T-1][i] > best {
+			best, arg = delta[T-1][i], i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = arg
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = psi[t][path[t]]
+	}
+	return path, best, nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}

@@ -1,0 +1,330 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/monet"
+)
+
+// coin builds a 2-state model with distinct emissions.
+func coin(name string, stay, emit float64) *Model {
+	m := NewModel(name, 2, 2)
+	m.Pi = []float64{0.5, 0.5}
+	m.A = [][]float64{{stay, 1 - stay}, {1 - stay, stay}}
+	m.B = [][]float64{{emit, 1 - emit}, {1 - emit, emit}}
+	return m
+}
+
+// sample draws an observation sequence from the model.
+func sample(m *Model, T int, rng *rand.Rand) []int {
+	obs := make([]int, T)
+	state := draw(m.Pi, rng)
+	for t := 0; t < T; t++ {
+		obs[t] = draw(m.B[state], rng)
+		state = draw(m.A[state], rng)
+	}
+	return obs
+}
+
+func draw(p []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		if r < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+func TestValidate(t *testing.T) {
+	m := coin("ok", 0.9, 0.8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := coin("bad", 0.9, 0.8)
+	bad.A[0][0] = 0.5 // row no longer sums to 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad A accepted")
+	}
+	empty := &Model{}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestLogLikelihoodBruteForce(t *testing.T) {
+	m := coin("x", 0.7, 0.8)
+	obs := []int{0, 1, 0}
+	// Brute-force enumeration over state paths.
+	want := 0.0
+	for s0 := 0; s0 < 2; s0++ {
+		for s1 := 0; s1 < 2; s1++ {
+			for s2 := 0; s2 < 2; s2++ {
+				want += m.Pi[s0] * m.B[s0][obs[0]] *
+					m.A[s0][s1] * m.B[s1][obs[1]] *
+					m.A[s1][s2] * m.B[s2][obs[2]]
+			}
+		}
+	}
+	got, err := m.LogLikelihood(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Log(want)) > 1e-12 {
+		t.Fatalf("ll = %v, want %v", got, math.Log(want))
+	}
+}
+
+func TestLogLikelihoodValidation(t *testing.T) {
+	m := coin("x", 0.7, 0.8)
+	if _, err := m.LogLikelihood([]int{0, 5}); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+	ll, err := m.LogLikelihood(nil)
+	if err != nil || ll != 0 {
+		t.Fatalf("empty sequence = %v, %v", ll, err)
+	}
+}
+
+func TestViterbiDecodesCleanSequence(t *testing.T) {
+	// Near-deterministic model: the path should follow the symbols.
+	m := coin("v", 0.99, 0.99)
+	obs := []int{0, 0, 0, 1, 1, 1}
+	path, lp, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 1, 1}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("log prob = %v", lp)
+	}
+	if p, _, _ := m.Viterbi(nil); p != nil {
+		t.Fatal("empty viterbi should return nil path")
+	}
+}
+
+func TestTrainRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	truth := coin("truth", 0.9, 0.85)
+	var seqs [][]int
+	for i := 0; i < 20; i++ {
+		seqs = append(seqs, sample(truth, 200, rng))
+	}
+	m := coin("learn", 0.6, 0.7) // biased init, same labeling
+	res, err := m.Train(seqs, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if m.A[0][0] < 0.85 || m.A[1][1] < 0.85 {
+		t.Fatalf("learned A not sticky: %v", m.A)
+	}
+	if m.B[0][0] < 0.75 || m.B[1][1] < 0.75 {
+		t.Fatalf("learned B weak: %v", m.B)
+	}
+}
+
+func TestTrainImprovesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	truth := coin("truth", 0.8, 0.9)
+	seqs := [][]int{sample(truth, 300, rng)}
+	m := NewModel("learn", 2, 2)
+	m.Randomize(rng)
+	before, _ := m.LogLikelihood(seqs[0])
+	if _, err := m.Train(seqs, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.LogLikelihood(seqs[0])
+	if after < before {
+		t.Fatalf("training decreased LL %v -> %v", before, after)
+	}
+}
+
+func TestEnginePoolClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	// Six "stroke" models with distinct emission signatures over 4
+	// symbols, like the paper's six tennis-stroke HMMs.
+	names := []string{"Service", "Forehand", "Smash", "Backhand", "VolleyBackhand", "VolleyForehand"}
+	pool := NewEnginePool(7)
+	models := map[string]*Model{}
+	for i, name := range names {
+		m := NewModel(name, 3, len(names))
+		for s := 0; s < 3; s++ {
+			for k := range m.B[s] {
+				if k == i {
+					m.B[s][k] = 0.75
+				} else {
+					m.B[s][k] = 0.25 / float64(len(names)-1)
+				}
+			}
+		}
+		models[name] = m
+		if err := pool.Register(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.Models(); len(got) != 6 {
+		t.Fatalf("models = %v", got)
+	}
+	// Sequences dominated by symbol i should classify as model i.
+	for i, name := range names {
+		obs := make([]int, 60)
+		for t := range obs {
+			obs[t] = i
+			if rng.Float64() < 0.2 {
+				obs[t] = rng.Intn(len(names))
+			}
+		}
+		got, err := pool.Classify(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != name {
+			t.Fatalf("sequence %d classified as %s, want %s", i, got, name)
+		}
+	}
+}
+
+func TestEvaluateAllSorted(t *testing.T) {
+	pool := NewEnginePool(2)
+	pool.Register(coin("a", 0.9, 0.9))
+	pool.Register(coin("b", 0.5, 0.5))
+	evals, err := pool.EvaluateAll([]int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 2 {
+		t.Fatalf("evals = %v", evals)
+	}
+	if evals[0].LogLikelihood < evals[1].LogLikelihood {
+		t.Fatal("evaluations not sorted")
+	}
+}
+
+func TestClassifyEmptyPool(t *testing.T) {
+	pool := NewEnginePool(1)
+	if _, err := pool.Classify([]int{0}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestRegisterInvalid(t *testing.T) {
+	pool := NewEnginePool(1)
+	bad := coin("bad", 0.9, 0.9)
+	bad.Pi = []float64{0.5, 0.6}
+	if err := pool.Register(bad); err == nil {
+		t.Fatal("invalid model registered")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	f1 := []float64{0.0, 0.6, 1.0}
+	f2 := []float64{0.9, 0.1, 0.5}
+	obs, err := Quantize([][]float64{f1, f2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3} // (0,1)=1, (1,0)=2, (1,1)=3
+	for i := range want {
+		if obs[i] != want[i] {
+			t.Fatalf("obs = %v, want %v", obs, want)
+		}
+	}
+	if SymbolSpace(2, 2) != 4 {
+		t.Fatalf("symbol space = %d", SymbolSpace(2, 2))
+	}
+	// Out-of-range inputs clamp.
+	obs, err = Quantize([][]float64{{-1, 2}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0] != 0 || obs[1] != 3 {
+		t.Fatalf("clamped = %v", obs)
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	if _, err := Quantize([][]float64{{0.5}}, 1); err == nil {
+		t.Fatal("levels=1 accepted")
+	}
+	if _, err := Quantize([][]float64{{0.5}, {0.5, 0.6}}, 2); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+	obs, err := Quantize(nil, 4)
+	if err != nil || obs != nil {
+		t.Fatalf("empty features = %v, %v", obs, err)
+	}
+}
+
+func TestSaveLoadStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := NewModel("Smash", 4, 6)
+	m.Randomize(rng)
+	store := monet.NewStore()
+	m.SaveToStore(store, "models/smash")
+	got, err := LoadFromStore(store, "models/smash", "Smash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 4 || got.M() != 6 {
+		t.Fatalf("dims = %dx%d", got.N(), got.M())
+	}
+	for i := range m.Pi {
+		if math.Abs(got.Pi[i]-m.Pi[i]) > 1e-12 {
+			t.Fatal("Pi mismatch")
+		}
+	}
+	for i := range m.A {
+		for j := range m.A[i] {
+			if math.Abs(got.A[i][j]-m.A[i][j]) > 1e-12 {
+				t.Fatal("A mismatch")
+			}
+		}
+		for k := range m.B[i] {
+			if math.Abs(got.B[i][k]-m.B[i][k]) > 1e-12 {
+				t.Fatal("B mismatch")
+			}
+		}
+	}
+	if _, err := LoadFromStore(store, "models/nope", "x"); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+// Property: the forward log-likelihood of any valid model is <= 0, and
+// the Viterbi path probability never exceeds the total likelihood.
+func TestLikelihoodBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewModel("p", 2+rng.Intn(3), 2+rng.Intn(4))
+		m.Randomize(rng)
+		obs := make([]int, 30)
+		for i := range obs {
+			obs[i] = rng.Intn(m.M())
+		}
+		ll, err := m.LogLikelihood(obs)
+		if err != nil || ll > 1e-9 {
+			return false
+		}
+		_, vp, err := m.Viterbi(obs)
+		if err != nil {
+			return false
+		}
+		return vp <= ll+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

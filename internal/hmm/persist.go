@@ -1,0 +1,86 @@
+package hmm
+
+import (
+	"fmt"
+
+	"cobra/internal/monet"
+)
+
+// SaveToStore stores the model's parameters as kernel BATs under
+// prefix (dimensions, Pi, A, B) — the aMatrix/bMatrix files of the
+// paper's Fig. 4, kept inside the database instead of on disk.
+func (m *Model) SaveToStore(store *monet.Store, prefix string) {
+	dims := monet.NewBAT(monet.Void, monet.IntT)
+	dims.MustInsert(monet.VoidValue(), monet.NewInt(int64(m.N())))
+	dims.MustInsert(monet.VoidValue(), monet.NewInt(int64(m.M())))
+	store.Put(prefix+"/dims", dims)
+	store.Put(prefix+"/pi", floatBAT(m.Pi))
+	store.Put(prefix+"/a", floatBAT(flatten(m.A)))
+	store.Put(prefix+"/b", floatBAT(flatten(m.B)))
+}
+
+// LoadFromStore restores a model saved under prefix.
+func LoadFromStore(store *monet.Store, prefix, name string) (*Model, error) {
+	dims, err := store.Get(prefix + "/dims")
+	if err != nil || dims.Len() != 2 {
+		return nil, fmt.Errorf("hmm: no model saved under %q", prefix)
+	}
+	n := int(dims.Tail(0).Int())
+	symbols := int(dims.Tail(1).Int())
+	if n < 1 || symbols < 1 {
+		return nil, fmt.Errorf("hmm: corrupt dimensions %dx%d under %q", n, symbols, prefix)
+	}
+	m := NewModel(name, n, symbols)
+	pi, err := readFloats(store, prefix+"/pi", n)
+	if err != nil {
+		return nil, err
+	}
+	copy(m.Pi, pi)
+	a, err := readFloats(store, prefix+"/a", n*n)
+	if err != nil {
+		return nil, err
+	}
+	bvals, err := readFloats(store, prefix+"/b", n*symbols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		copy(m.A[i], a[i*n:(i+1)*n])
+		copy(m.B[i], bvals[i*symbols:(i+1)*symbols])
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("hmm: model under %q invalid after load: %w", prefix, err)
+	}
+	return m, nil
+}
+
+func flatten(rows [][]float64) []float64 {
+	var out []float64
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func floatBAT(vals []float64) *monet.BAT {
+	b := monet.NewBATCap(monet.Void, monet.FloatT, len(vals))
+	for _, v := range vals {
+		b.MustInsert(monet.VoidValue(), monet.NewFloat(v))
+	}
+	return b
+}
+
+func readFloats(store *monet.Store, name string, want int) ([]float64, error) {
+	b, err := store.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("hmm: missing BAT %q", name)
+	}
+	if b.Len() != want {
+		return nil, fmt.Errorf("hmm: BAT %q has %d entries, want %d", name, b.Len(), want)
+	}
+	out := make([]float64, want)
+	for i := 0; i < want; i++ {
+		out[i] = b.Tail(i).Float()
+	}
+	return out, nil
+}

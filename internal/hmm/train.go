@@ -1,0 +1,185 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainConfig parameterizes Baum-Welch training.
+type TrainConfig struct {
+	// MaxIterations caps training iterations (default 50).
+	MaxIterations int
+	// Tolerance is the minimum log-likelihood improvement to continue
+	// (default 1e-4).
+	Tolerance float64
+	// Prior is a pseudo-count keeping rows away from zero (default 0.01).
+	Prior float64
+}
+
+// DefaultTrainConfig returns the standard settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{MaxIterations: 50, Tolerance: 1e-4, Prior: 0.01}
+}
+
+// TrainResult reports a Baum-Welch run.
+type TrainResult struct {
+	Iterations    int
+	LogLikelihood float64
+	Converged     bool
+}
+
+// Train fits the model to the observation sequences by multi-sequence
+// Baum-Welch, the HMM extension's training operation (§3).
+func (m *Model) Train(seqs [][]int, cfg TrainConfig) (TrainResult, error) {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 50
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-4
+	}
+	for _, obs := range seqs {
+		if err := m.checkObs(obs); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	n, sym := m.N(), m.M()
+	res := TrainResult{LogLikelihood: math.Inf(-1)}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		piC := fill(make([]float64, n), cfg.Prior)
+		aC := make([][]float64, n)
+		bC := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			aC[i] = fill(make([]float64, n), cfg.Prior)
+			bC[i] = fill(make([]float64, sym), cfg.Prior)
+		}
+		ll := 0.0
+		for _, obs := range seqs {
+			if len(obs) == 0 {
+				continue
+			}
+			sll, err := m.expect(obs, piC, aC, bC)
+			if err != nil {
+				return res, err
+			}
+			ll += sll
+		}
+		normalizeInto(m.Pi, piC)
+		for i := 0; i < n; i++ {
+			normalizeInto(m.A[i], aC[i])
+			normalizeInto(m.B[i], bC[i])
+		}
+		res.Iterations = iter + 1
+		if ll-res.LogLikelihood < cfg.Tolerance && iter > 0 {
+			res.LogLikelihood = ll
+			res.Converged = true
+			return res, nil
+		}
+		res.LogLikelihood = ll
+	}
+	return res, nil
+}
+
+func fill(p []float64, v float64) []float64 {
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+func normalizeInto(dst, counts []float64) {
+	s := 0.0
+	for _, v := range counts {
+		s += v
+	}
+	if s <= 0 {
+		return
+	}
+	for i := range dst {
+		dst[i] = counts[i] / s
+	}
+}
+
+// expect runs scaled forward-backward on one sequence and accumulates
+// expected counts, returning the sequence log-likelihood.
+func (m *Model) expect(obs []int, piC []float64, aC, bC [][]float64) (float64, error) {
+	n := m.N()
+	T := len(obs)
+	alpha := make([][]float64, T)
+	scale := make([]float64, T)
+	alpha[0] = make([]float64, n)
+	for i := 0; i < n; i++ {
+		alpha[0][i] = m.Pi[i] * m.B[i][obs[0]]
+	}
+	scale[0] = scaleRow(alpha[0])
+	if scale[0] <= 0 {
+		return 0, fmt.Errorf("hmm: impossible observation at t=0")
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += alpha[t-1][i] * m.A[i][j]
+			}
+			alpha[t][j] = s * m.B[j][obs[t]]
+		}
+		scale[t] = scaleRow(alpha[t])
+		if scale[t] <= 0 {
+			return 0, fmt.Errorf("hmm: impossible observation at t=%d", t)
+		}
+	}
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, n)
+	for i := range beta[T-1] {
+		beta[T-1][i] = 1
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = s / scale[t+1]
+		}
+	}
+	gamma := make([]float64, n)
+	for t := 0; t < T; t++ {
+		z := 0.0
+		for i := 0; i < n; i++ {
+			gamma[i] = alpha[t][i] * beta[t][i]
+			z += gamma[i]
+		}
+		if z <= 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			g := gamma[i] / z
+			if t == 0 {
+				piC[i] += g
+			}
+			bC[i][obs[t]] += g
+		}
+	}
+	for t := 0; t < T-1; t++ {
+		z := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				z += alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+			}
+		}
+		if z <= 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				aC[i][j] += alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j] / z
+			}
+		}
+	}
+	ll := 0.0
+	for _, s := range scale {
+		ll += math.Log(s)
+	}
+	return ll, nil
+}

@@ -1,0 +1,293 @@
+// Package keyword implements the keyword-spotting subsystem (§5.2).
+// The paper used an external finite-state-grammar spotting tool with
+// two candidate acoustic models ("clean speech" vs "TV news"); here the
+// spotter is a dynamic-programming aligner over a phone stream, and the
+// acoustic models are simulated as confusion processes applied to the
+// true phone sequence of the commentary. The spotter emits the same
+// tuple the paper consumes: word, non-normalized score, start time and
+// duration, plus the normalization step that feeds the probabilistic
+// network.
+package keyword
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// AcousticModel simulates the error profile of a recognizer front-end
+// on broadcast audio.
+type AcousticModel struct {
+	// Name labels the model.
+	Name string
+	// ConfusionRate is the probability a phone is observed as a random
+	// other phone.
+	ConfusionRate float64
+	// DeletionRate is the probability a phone is dropped.
+	DeletionRate float64
+	// InsertionRate is the probability a spurious phone is inserted
+	// after a true one.
+	InsertionRate float64
+}
+
+// CleanSpeech is an acoustic model trained on clean read speech. On
+// noisy Formula 1 broadcast audio it is badly mismatched, which is why
+// the paper rejected it.
+var CleanSpeech = AcousticModel{Name: "clean", ConfusionRate: 0.35, DeletionRate: 0.12, InsertionRate: 0.10}
+
+// TVNews is an acoustic model aimed at word recognition in TV news;
+// the paper found it clearly better on the Formula 1 program.
+var TVNews = AcousticModel{Name: "tvnews", ConfusionRate: 0.12, DeletionRate: 0.04, InsertionRate: 0.04}
+
+// Phone is one observed phone with its confidence and time stamp.
+type Phone struct {
+	Symbol byte
+	Time   float64
+	Score  float64 // recognizer confidence in (0, 1]
+}
+
+// phoneAlphabet is the simulated phone inventory (letter phones).
+const phoneAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// PhoneSequence maps a word to its phone string. The simulation uses
+// letter phones: each letter of the (upper-cased) word is one phone;
+// non-letters are dropped.
+func PhoneSequence(word string) []byte {
+	up := strings.ToUpper(word)
+	out := make([]byte, 0, len(up))
+	for i := 0; i < len(up); i++ {
+		c := up[i]
+		if c >= 'A' && c <= 'Z' {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SpokenWord is one ground-truth word utterance in the commentary.
+type SpokenWord struct {
+	Word string
+	// Time is the utterance start in seconds.
+	Time float64
+}
+
+// PhoneRate is the simulated phones-per-second speaking rate.
+const PhoneRate = 12.0
+
+// SimulateStream converts ground-truth utterances into an observed
+// phone stream under the acoustic model: phones are confused, deleted
+// and joined by insertions; confidences are high for correct phones and
+// lower for corrupted ones.
+func SimulateStream(words []SpokenWord, m AcousticModel, rng *rand.Rand) []Phone {
+	var out []Phone
+	sorted := append([]SpokenWord(nil), words...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	for _, w := range sorted {
+		t := w.Time
+		for _, p := range PhoneSequence(w.Word) {
+			dt := 1 / PhoneRate
+			switch {
+			case rng.Float64() < m.DeletionRate:
+				// dropped
+			case rng.Float64() < m.ConfusionRate:
+				out = append(out, Phone{
+					Symbol: phoneAlphabet[rng.Intn(len(phoneAlphabet))],
+					Time:   t,
+					Score:  0.3 + 0.3*rng.Float64(),
+				})
+			default:
+				out = append(out, Phone{Symbol: p, Time: t, Score: 0.7 + 0.3*rng.Float64()})
+			}
+			if rng.Float64() < m.InsertionRate {
+				out = append(out, Phone{
+					Symbol: phoneAlphabet[rng.Intn(len(phoneAlphabet))],
+					Time:   t + dt/2,
+					Score:  0.2 + 0.3*rng.Float64(),
+				})
+			}
+			t += dt
+		}
+	}
+	return out
+}
+
+// Hit is one spotted keyword occurrence: the tuple the paper's
+// keyword-spotting system outputs.
+type Hit struct {
+	Word string
+	// Score is the non-normalized alignment score.
+	Score float64
+	// Start is the hit's start time in seconds.
+	Start float64
+	// Duration is the hit's length in seconds.
+	Duration float64
+}
+
+// Spotter spots a fixed keyword list in phone streams using a
+// finite-state alignment (one linear phone chain per keyword with
+// skip and insertion arcs).
+type Spotter struct {
+	// Threshold is the minimum per-phone alignment score to report.
+	Threshold float64
+	keywords  []string
+	phones    [][]byte
+}
+
+// NewSpotter builds a spotter for the given keywords (the "couple of
+// tens of words that can usually be heard when the commentator is
+// excited").
+func NewSpotter(keywords []string) (*Spotter, error) {
+	s := &Spotter{Threshold: 0.45}
+	seen := map[string]bool{}
+	for _, k := range keywords {
+		u := strings.ToUpper(strings.TrimSpace(k))
+		if u == "" || seen[u] {
+			continue
+		}
+		ph := PhoneSequence(u)
+		if len(ph) < 2 {
+			return nil, errors.New("keyword: keywords need >= 2 phones")
+		}
+		seen[u] = true
+		s.keywords = append(s.keywords, u)
+		s.phones = append(s.phones, ph)
+	}
+	if len(s.keywords) == 0 {
+		return nil, errors.New("keyword: empty keyword list")
+	}
+	return s, nil
+}
+
+// Keywords returns the spotter's keyword list.
+func (s *Spotter) Keywords() []string { return append([]string(nil), s.keywords...) }
+
+// alignment scoring constants.
+const (
+	gapPenalty      = 0.5 // skipping an observed phone (insertion)
+	deletionPenalty = 0.6 // skipping a keyword phone (deletion)
+)
+
+// Spot scans the phone stream for every keyword and returns hits whose
+// normalized per-phone score clears the threshold, sorted by start
+// time.
+func (s *Spotter) Spot(stream []Phone) []Hit {
+	var hits []Hit
+	for k := range s.keywords {
+		hits = append(hits, s.spotOne(stream, k)...)
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Start < hits[j].Start })
+	return hits
+}
+
+// spotOne aligns one keyword against the stream with a local DP:
+// rows = keyword phones, columns = stream positions.
+func (s *Spotter) spotOne(stream []Phone, k int) []Hit {
+	ph := s.phones[k]
+	n, T := len(ph), len(stream)
+	if T == 0 {
+		return nil
+	}
+	// score[j] = best alignment score covering the first j phones,
+	// ending at the current stream position; start[j] tracks the
+	// stream index where that alignment began.
+	const neg = -1e9
+	score := make([]float64, n+1)
+	start := make([]int, n+1)
+	prevScore := make([]float64, n+1)
+	prevStart := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		prevScore[j] = neg
+	}
+	var hits []Hit
+	bestEnd := map[int]Hit{} // dedupe overlapping hits: keep best per region
+	for i := 0; i < T; i++ {
+		score[0] = 0
+		start[0] = i
+		for j := 1; j <= n; j++ {
+			var match float64
+			if stream[i].Symbol == ph[j-1] {
+				match = prevScore[j-1] + stream[i].Score
+			} else {
+				match = prevScore[j-1] - stream[i].Score // mismatch penalty
+			}
+			// An alignment whose first consumed stream phone is this
+			// one starts here.
+			matchStart := prevStart[j-1]
+			if j == 1 {
+				matchStart = i
+			}
+			skipObs := prevScore[j] - gapPenalty
+			skipPhone := score[j-1] - deletionPenalty
+			best := match
+			bs := matchStart
+			if skipObs > best {
+				best = skipObs
+				bs = prevStart[j]
+			}
+			if skipPhone > best {
+				best = skipPhone
+				bs = start[j-1]
+			}
+			score[j] = best
+			start[j] = bs
+		}
+		if score[n] > neg/2 {
+			norm := score[n] / float64(n)
+			if norm >= s.Threshold {
+				st := stream[start[n]].Time
+				dur := stream[i].Time - st + 1/PhoneRate
+				h := Hit{Word: s.keywords[k], Score: score[n], Start: st, Duration: dur}
+				// Keep the best hit per start region (within a word's span).
+				key := int(st * PhoneRate)
+				if prev, ok := bestEnd[key]; !ok || h.Score > prev.Score {
+					bestEnd[key] = h
+				}
+			}
+		}
+		copy(prevScore, score)
+		copy(prevStart, start)
+	}
+	for _, h := range bestEnd {
+		hits = append(hits, h)
+	}
+	return hits
+}
+
+// Normalize maps non-normalized hit scores into [0, 1] by the per-word
+// maximum attainable score, the paper's normalization step before the
+// scores enter the probabilistic network.
+func (s *Spotter) Normalize(hits []Hit) []Hit {
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		n := float64(len(PhoneSequence(h.Word)))
+		v := h.Score / n
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = h
+		out[i].Score = v
+	}
+	return out
+}
+
+// EvidenceSeries converts normalized hits into a per-clip keyword
+// evidence series over total clips of clipDur seconds: each clip
+// covered by a hit carries the hit's normalized score (max when hits
+// overlap).
+func EvidenceSeries(hits []Hit, total int, clipDur float64) []float64 {
+	out := make([]float64, total)
+	for _, h := range hits {
+		lo := int(h.Start / clipDur)
+		hi := int((h.Start + h.Duration) / clipDur)
+		for c := lo; c <= hi && c < total; c++ {
+			if c >= 0 && h.Score > out[c] {
+				out[c] = h.Score
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package keyword
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPhoneSequence(t *testing.T) {
+	ph := PhoneSequence("Pit-Stop 1")
+	if string(ph) != "PITSTOP" {
+		t.Fatalf("phones = %q", ph)
+	}
+	if len(PhoneSequence("!!")) != 0 {
+		t.Fatal("non-letters should drop")
+	}
+}
+
+func TestNewSpotterValidation(t *testing.T) {
+	if _, err := NewSpotter(nil); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := NewSpotter([]string{"A"}); err == nil {
+		t.Fatal("1-phone keyword accepted")
+	}
+	s, err := NewSpotter([]string{"crash", "CRASH", " crash "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Keywords()) != 1 {
+		t.Fatalf("keywords = %v", s.Keywords())
+	}
+}
+
+// cleanStream renders words into a perfect phone stream.
+func cleanStream(words []SpokenWord) []Phone {
+	var out []Phone
+	for _, w := range words {
+		t := w.Time
+		for _, p := range PhoneSequence(w.Word) {
+			out = append(out, Phone{Symbol: p, Time: t, Score: 1})
+			t += 1 / PhoneRate
+		}
+	}
+	return out
+}
+
+func TestSpotCleanStream(t *testing.T) {
+	s, err := NewSpotter([]string{"CRASH", "OVERTAKE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := cleanStream([]SpokenWord{
+		{Word: "AND", Time: 0},
+		{Word: "CRASH", Time: 1},
+		{Word: "THERE", Time: 2},
+		{Word: "OVERTAKE", Time: 3},
+	})
+	hits := s.Normalize(s.Spot(stream))
+	foundCrash, foundOvertake := false, false
+	for _, h := range hits {
+		switch h.Word {
+		case "CRASH":
+			foundCrash = true
+			if h.Start < 0.9 || h.Start > 1.1 {
+				t.Fatalf("CRASH start = %v", h.Start)
+			}
+			if h.Score < 0.8 {
+				t.Fatalf("CRASH score = %v", h.Score)
+			}
+		case "OVERTAKE":
+			foundOvertake = true
+		}
+	}
+	if !foundCrash || !foundOvertake {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestSpotRejectsAbsentKeyword(t *testing.T) {
+	s, _ := NewSpotter([]string{"MONTOYA"})
+	stream := cleanStream([]SpokenWord{
+		{Word: "THE", Time: 0},
+		{Word: "WEATHER", Time: 1},
+		{Word: "TODAY", Time: 2},
+	})
+	if hits := s.Spot(stream); len(hits) != 0 {
+		t.Fatalf("false hits = %v", hits)
+	}
+}
+
+func TestSpotNoisyStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	s, _ := NewSpotter([]string{"ACCIDENT", "FANTASTIC"})
+	words := []SpokenWord{
+		{Word: "WHAT", Time: 0},
+		{Word: "AN", Time: 0.5},
+		{Word: "ACCIDENT", Time: 1},
+		{Word: "OUT", Time: 2},
+		{Word: "THERE", Time: 2.5},
+	}
+	found := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		stream := SimulateStream(words, TVNews, rng)
+		hits := s.Spot(stream)
+		for _, h := range hits {
+			if h.Word == "ACCIDENT" && h.Start > 0.5 && h.Start < 1.5 {
+				found++
+				break
+			}
+		}
+	}
+	if found < trials*3/4 {
+		t.Fatalf("ACCIDENT found in only %d/%d noisy trials", found, trials)
+	}
+}
+
+// TestAcousticModelComparison reproduces the paper's finding: the TV
+// news model clearly outperforms the clean-speech model on broadcast
+// commentary.
+func TestAcousticModelComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	s, _ := NewSpotter([]string{"SCHUMACHER", "ACCIDENT", "INCREDIBLE"})
+	words := []SpokenWord{
+		{Word: "SCHUMACHER", Time: 0},
+		{Word: "LEADS", Time: 1},
+		{Word: "INCREDIBLE", Time: 2},
+		{Word: "STUFF", Time: 3},
+		{Word: "ACCIDENT", Time: 4},
+	}
+	keywordsIn := map[string][2]float64{
+		"SCHUMACHER": {0, 1}, "INCREDIBLE": {2, 3}, "ACCIDENT": {4, 5},
+	}
+	recall := func(m AcousticModel) float64 {
+		const trials = 30
+		hit := 0
+		for i := 0; i < trials; i++ {
+			stream := SimulateStream(words, m, rng)
+			got := map[string]bool{}
+			for _, h := range s.Spot(stream) {
+				if win, ok := keywordsIn[h.Word]; ok && h.Start >= win[0]-0.3 && h.Start <= win[1] {
+					got[h.Word] = true
+				}
+			}
+			hit += len(got)
+		}
+		return float64(hit) / float64(trials*len(keywordsIn))
+	}
+	rClean := recall(CleanSpeech)
+	rNews := recall(TVNews)
+	if rNews <= rClean {
+		t.Fatalf("tvnews recall %v not above clean %v", rNews, rClean)
+	}
+	if rNews < 0.7 {
+		t.Fatalf("tvnews recall too low: %v", rNews)
+	}
+}
+
+func TestNormalizeClamps(t *testing.T) {
+	s, _ := NewSpotter([]string{"GO", "STOP"})
+	hits := s.Normalize([]Hit{
+		{Word: "GO", Score: 5},
+		{Word: "STOP", Score: -1},
+	})
+	if hits[0].Score != 1 || hits[1].Score != 0 {
+		t.Fatalf("normalized = %v", hits)
+	}
+}
+
+func TestEvidenceSeries(t *testing.T) {
+	hits := []Hit{
+		{Word: "CRASH", Score: 0.8, Start: 1.0, Duration: 0.4},
+		{Word: "CRASH", Score: 0.6, Start: 1.2, Duration: 0.4},
+	}
+	ev := EvidenceSeries(hits, 30, 0.1)
+	if ev[5] != 0 {
+		t.Fatalf("ev[5] = %v", ev[5])
+	}
+	if ev[10] != 0.8 || ev[12] != 0.8 {
+		t.Fatalf("ev[10..12] = %v %v", ev[10], ev[12])
+	}
+	if ev[29] != 0 {
+		t.Fatal("tail should be 0")
+	}
+	// Out-of-range hits are clipped, not panicking.
+	ev2 := EvidenceSeries([]Hit{{Word: "X", Score: 1, Start: 5, Duration: 10}}, 10, 1)
+	if ev2[9] != 1 {
+		t.Fatalf("clipped series = %v", ev2)
+	}
+}
+
+func TestSimulateStreamOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	words := []SpokenWord{{Word: "ZEBRA", Time: 2}, {Word: "APPLE", Time: 0}}
+	stream := SimulateStream(words, TVNews, rng)
+	for i := 1; i < len(stream); i++ {
+		if stream[i].Time < stream[i-1].Time-1e-9 {
+			t.Fatal("stream not time-ordered")
+		}
+	}
+}

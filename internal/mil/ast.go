@@ -1,0 +1,161 @@
+package mil
+
+import "cobra/internal/monet"
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Program is a sequence of top-level statements.
+type Program struct {
+	Stmts []Stmt
+}
+
+// VarDecl is `VAR name := expr;`.
+type VarDecl struct {
+	pos
+	Name string
+	Init Expr
+}
+
+// Assign is `name := expr;` on an existing variable.
+type Assign struct {
+	pos
+	Name string
+	Expr Expr
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	pos
+	Expr Expr
+}
+
+// Return is `RETURN expr;`.
+type Return struct {
+	pos
+	Expr Expr
+}
+
+// If is `IF (cond) block [ELSE block]`.
+type If struct {
+	pos
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// While is `WHILE (cond) block`.
+type While struct {
+	pos
+	Cond Expr
+	Body *Block
+}
+
+// Block is `{ stmts }` with its own scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+func (*Block) stmtNode() {}
+
+// ParallelBlock runs its statements concurrently, the interpreter's
+// rendering of Monet's parallel execution operator.
+type ParallelBlock struct {
+	pos
+	Stmts []Stmt
+}
+
+// ProcDecl is `PROC name(params) [: type] := { body }`.
+type ProcDecl struct {
+	pos
+	Name   string
+	Params []Param
+	Body   *Block
+}
+
+// Param is a typed procedure parameter. For BAT parameters Head/Tail
+// carry the declared column types; for atomic parameters Atom does.
+type Param struct {
+	Name  string
+	IsBAT bool
+	Head  monet.Type
+	Tail  monet.Type
+	Atom  monet.Type
+}
+
+func (*VarDecl) stmtNode()       {}
+func (*Assign) stmtNode()        {}
+func (*ExprStmt) stmtNode()      {}
+func (*Return) stmtNode()        {}
+func (*If) stmtNode()            {}
+func (*While) stmtNode()         {}
+func (*ParallelBlock) stmtNode() {}
+func (*ProcDecl) stmtNode()      {}
+
+// Lit is a literal value.
+type Lit struct {
+	pos
+	Val monet.Value
+}
+
+// Ident references a variable.
+type Ident struct {
+	pos
+	Name string
+}
+
+// Call is `fn(args)` for a builtin or user PROC.
+type Call struct {
+	pos
+	Name string
+	Args []Expr
+}
+
+// MethodCall is `recv.name(args)`; `recv.name` without parentheses
+// parses as a zero-argument method call (the paper writes parEval.max).
+type MethodCall struct {
+	pos
+	Recv Expr
+	Name string
+	Args []Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	pos
+	Op   string
+	L, R Expr
+}
+
+// Unary is unary minus.
+type Unary struct {
+	pos
+	Op string
+	X  Expr
+}
+
+func (*Lit) exprNode()        {}
+func (*Ident) exprNode()      {}
+func (*Call) exprNode()       {}
+func (*MethodCall) exprNode() {}
+func (*Binary) exprNode()     {}
+func (*Unary) exprNode()      {}

@@ -1,0 +1,530 @@
+package mil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cobra/internal/monet"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses MIL source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.advance(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, fmt.Errorf("mil: %d:%d: expected %q, found %q", t.line, t.col, want, t.text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("mil: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && t.text == "var":
+		return p.varDecl()
+	case t.kind == tokKeyword && t.text == "proc":
+		return p.procDecl()
+	case t.kind == tokKeyword && t.text == "return":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Return{pos: pos{t.line, t.col}, Expr: e}, nil
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStmt()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.whileStmt()
+	case t.kind == tokKeyword && t.text == "parallel":
+		p.advance()
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(tokPunct, ";")
+		return &ParallelBlock{pos: pos{t.line, t.col}, Stmts: b.Stmts}, nil
+	case t.kind == tokPunct && t.text == "{":
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(tokPunct, ";")
+		return b, nil
+	case t.kind == tokIdent && p.toks[p.i+1].kind == tokOp && p.toks[p.i+1].text == ":=":
+		p.advance()
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Assign{pos: pos{t.line, t.col}, Name: t.text, Expr: e}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{pos: pos{t.line, t.col}, Expr: e}, nil
+	}
+}
+
+func (p *parser) varDecl() (Stmt, error) {
+	t := p.advance() // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	// Optional type annotation `VAR x : type := e;` is accepted and
+	// ignored (MIL is dynamically checked here).
+	if p.accept(tokPunct, ":") {
+		if err := p.skipTypeSpec(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokOp, ":="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &VarDecl{pos: pos{t.line, t.col}, Name: name.text, Init: e}, nil
+}
+
+func (p *parser) procDecl() (Stmt, error) {
+	t := p.advance() // proc
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.at(tokPunct, ")") {
+		if len(params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, prm)
+	}
+	p.advance() // )
+	if p.accept(tokPunct, ":") {
+		if err := p.skipTypeSpec(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokOp, ":="); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	return &ProcDecl{pos: pos{t.line, t.col}, Name: name.text, Params: params, Body: body}, nil
+}
+
+// param parses `BAT[oid,dbl] name` or `int name`.
+func (p *parser) param() (Param, error) {
+	tt, err := p.expect(tokIdent, "")
+	if err != nil {
+		return Param{}, err
+	}
+	if strings.EqualFold(tt.text, "bat") {
+		if _, err := p.expect(tokPunct, "["); err != nil {
+			return Param{}, err
+		}
+		h, err := p.typeName()
+		if err != nil {
+			return Param{}, err
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return Param{}, err
+		}
+		tl, err := p.typeName()
+		if err != nil {
+			return Param{}, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return Param{}, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return Param{}, err
+		}
+		return Param{Name: name.text, IsBAT: true, Head: h, Tail: tl}, nil
+	}
+	atom, err := parseTypeName(tt.text)
+	if err != nil {
+		return Param{}, fmt.Errorf("mil: %d:%d: %w", tt.line, tt.col, err)
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return Param{}, err
+	}
+	return Param{Name: name.text, Atom: atom}, nil
+}
+
+func (p *parser) typeName() (monet.Type, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return 0, err
+	}
+	ty, err := parseTypeName(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("mil: %d:%d: %w", t.line, t.col, err)
+	}
+	return ty, nil
+}
+
+func parseTypeName(s string) (monet.Type, error) {
+	switch strings.ToLower(s) {
+	case "void":
+		return monet.Void, nil
+	case "oid":
+		return monet.OIDT, nil
+	case "int", "lng":
+		return monet.IntT, nil
+	case "dbl", "flt":
+		return monet.FloatT, nil
+	case "str":
+		return monet.StrT, nil
+	case "bit", "bool":
+		return monet.BoolT, nil
+	}
+	return 0, fmt.Errorf("unknown type %q", s)
+}
+
+// skipTypeSpec consumes a return-type annotation: `str` or `BAT[oid,dbl]`.
+func (p *parser) skipTypeSpec() error {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(t.text, "bat") {
+		if _, err := p.expect(tokPunct, "["); err != nil {
+			return err
+		}
+		if _, err := p.typeName(); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return err
+		}
+		if _, err := p.typeName(); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) block() (*Block, error) {
+	t, err := p.expect(tokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{pos: pos{t.line, t.col}}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.advance() // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{pos: pos{t.line, t.col}, Cond: cond, Then: then}
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = &Block{Stmts: []Stmt{nested}}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.advance() // while
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &While{pos: pos{t.line, t.col}, Cond: cond, Body: body}, nil
+}
+
+// Expression grammar: comparison > additive > multiplicative > unary >
+// postfix > primary.
+
+func (p *parser) expr() (Expr, error) { return p.comparison() }
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp {
+		op := p.cur().text
+		switch op {
+		case "<", ">", "<=", ">=", "=", "!=":
+		default:
+			return l, nil
+		}
+		t := p.advance()
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{pos: pos{t.line, t.col}, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") {
+		t := p.advance()
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{pos: pos{t.line, t.col}, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") || p.at(tokOp, "%") {
+		t := p.advance()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{pos: pos{t.line, t.col}, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.at(tokOp, "-") {
+		t := p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: pos{t.line, t.col}, Op: "-", X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, ".") {
+		t := p.advance()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		mc := &MethodCall{pos: pos{t.line, t.col}, Recv: e, Name: name.text}
+		if p.accept(tokPunct, "(") {
+			for !p.at(tokPunct, ")") {
+				if len(mc.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				mc.Args = append(mc.Args, a)
+			}
+			p.advance() // )
+		}
+		e = mc
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &Lit{pos: pos{t.line, t.col}, Val: monet.NewInt(n)}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &Lit{pos: pos{t.line, t.col}, Val: monet.NewFloat(f)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &Lit{pos: pos{t.line, t.col}, Val: monet.NewStr(t.text)}, nil
+	case t.kind == tokKeyword && (t.text == "true" || t.text == "false"):
+		p.advance()
+		return &Lit{pos: pos{t.line, t.col}, Val: monet.NewBool(t.text == "true")}, nil
+	case t.kind == tokKeyword && t.text == "nil":
+		p.advance()
+		return &Lit{pos: pos{t.line, t.col}, Val: monet.VoidValue()}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.accept(tokPunct, "(") {
+			call := &Call{pos: pos{t.line, t.col}, Name: t.text}
+			for !p.at(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.advance() // )
+			return call, nil
+		}
+		return &Ident{pos: pos{t.line, t.col}, Name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

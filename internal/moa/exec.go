@@ -1,0 +1,199 @@
+package moa
+
+import (
+	"fmt"
+
+	"cobra/internal/monet"
+)
+
+// Kernel-executed algebra: operators over flattened sets run directly
+// on the parallel BATs, the Moa→MIL rewrite of §3 ("for each Moa
+// operation, there is a program written using an interface language
+// understood by the physical layer").
+
+// FlatSet is a handle to a flattened set stored under a prefix.
+type FlatSet struct {
+	store  *monet.Store
+	prefix string
+}
+
+// Open returns a handle to the flattened set under prefix.
+func Open(store *monet.Store, prefix string) (*FlatSet, error) {
+	if !store.Has(prefix + "/_schema") {
+		return nil, fmt.Errorf("moa: no flattened set under %q", prefix)
+	}
+	return &FlatSet{store: store, prefix: prefix}, nil
+}
+
+// Schema returns the field names.
+func (fs *FlatSet) Schema() ([]string, error) {
+	schema, err := fs.store.Get(fs.prefix + "/_schema")
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, schema.Len())
+	for i := range names {
+		names[i] = schema.Tail(i).Str()
+	}
+	return names, nil
+}
+
+// column fetches one field's BAT.
+func (fs *FlatSet) column(field string) (*monet.BAT, error) {
+	b, err := fs.store.Get(fs.prefix + "/" + field)
+	if err != nil {
+		return nil, fmt.Errorf("moa: flattened set %q has no field %q", fs.prefix, field)
+	}
+	return b, nil
+}
+
+// Len returns the row count.
+func (fs *FlatSet) Len() (int, error) {
+	names, err := fs.Schema()
+	if err != nil {
+		return 0, err
+	}
+	if len(names) == 0 {
+		return 0, nil
+	}
+	b, err := fs.column(names[0])
+	if err != nil {
+		return 0, err
+	}
+	return b.Len(), nil
+}
+
+// SelectRange materializes a new flattened set under dstPrefix holding
+// the rows whose field value lies in [lo, hi]. The plan is pure kernel
+// algebra: uselect over the field column for the qualifying OIDs, then
+// a semijoin per column.
+func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*FlatSet, error) {
+	col, err := fs.column(field)
+	if err != nil {
+		return nil, err
+	}
+	keys := col.Uselect(lo, hi) // [oid, void]
+	names, err := fs.Schema()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		b, err := fs.column(name)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := b.Semijoin(keys)
+		if err != nil {
+			return nil, err
+		}
+		fs.store.Put(dstPrefix+"/"+name, sel)
+	}
+	schema, _ := fs.store.Get(fs.prefix + "/_schema")
+	fs.store.Put(dstPrefix+"/_schema", schema)
+	return &FlatSet{store: fs.store, prefix: dstPrefix}, nil
+}
+
+// Aggregate computes count/sum/avg/max/min over one field using the
+// kernel's aggregation operators.
+func (fs *FlatSet) Aggregate(field, op string) (monet.Value, error) {
+	col, err := fs.column(field)
+	if err != nil {
+		return monet.Value{}, err
+	}
+	switch op {
+	case "count":
+		return monet.NewInt(col.Count()), nil
+	case "sum":
+		s, err := col.Sum()
+		return monet.NewFloat(s), err
+	case "avg":
+		a, err := col.Avg()
+		return monet.NewFloat(a), err
+	case "max":
+		v, ok := col.Max()
+		if !ok {
+			return monet.Value{}, fmt.Errorf("moa: max over empty field %q", field)
+		}
+		return v, nil
+	case "min":
+		v, ok := col.Min()
+		if !ok {
+			return monet.Value{}, fmt.Errorf("moa: min over empty field %q", field)
+		}
+		return v, nil
+	}
+	return monet.Value{}, fmt.Errorf("moa: unknown aggregate %q", op)
+}
+
+// JoinOn materializes under dstPrefix the natural join of two
+// flattened sets on leftField == rightField (kernel hash join over the
+// key columns, then positional gathers through OID join results).
+// Output fields are left's fields plus right's fields (right's join
+// field dropped); name collisions take the left value.
+func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField string) (*FlatSet, error) {
+	lk, err := fs.column(leftField)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := other.column(rightField)
+	if err != nil {
+		return nil, err
+	}
+	// [l-oid, value] join [value, r-oid] -> [l-oid, r-oid]
+	pairs, err := lk.Join(rk.Reverse())
+	if err != nil {
+		return nil, err
+	}
+	lNames, err := fs.Schema()
+	if err != nil {
+		return nil, err
+	}
+	rNames, err := other.Schema()
+	if err != nil {
+		return nil, err
+	}
+	outSchema := monet.NewBAT(monet.Void, monet.StrT)
+	emit := func(name string, src *monet.BAT, keySide func(i int) monet.Value) error {
+		out := monet.NewBATCap(monet.Void, src.TailType(), pairs.Len())
+		for i := 0; i < pairs.Len(); i++ {
+			v, ok := src.Find(keySide(i))
+			if !ok {
+				return fmt.Errorf("moa: join lost row %d of field %q", i, name)
+			}
+			out.MustInsert(monet.VoidValue(), v)
+		}
+		fs.store.Put(dstPrefix+"/"+name, out)
+		outSchema.MustInsert(monet.VoidValue(), monet.NewStr(name))
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, name := range lNames {
+		src, err := fs.column(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := emit(name, src, func(i int) monet.Value { return pairs.Head(i) }); err != nil {
+			return nil, err
+		}
+		seen[name] = true
+	}
+	for _, name := range rNames {
+		if name == rightField || seen[name] {
+			continue
+		}
+		src, err := other.column(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := emit(name, src, func(i int) monet.Value { return pairs.Tail(i) }); err != nil {
+			return nil, err
+		}
+	}
+	fs.store.Put(dstPrefix+"/_schema", outSchema)
+	return &FlatSet{store: fs.store, prefix: dstPrefix}, nil
+}
+
+// Materialize reconstructs the flattened set as Moa structures.
+func (fs *FlatSet) Materialize() (*Set, error) {
+	return Unflatten(fs.store, fs.prefix)
+}

@@ -1,0 +1,95 @@
+package moa
+
+import (
+	"fmt"
+
+	"cobra/internal/monet"
+)
+
+// Flatten decomposes a set of flat tuples (atom fields only) into
+// parallel kernel BATs sharing dense head OIDs — the Moa-over-Monet
+// storage mapping ("flattening an object algebra", §3). BATs are
+// registered in the store under prefix/<field>.
+func Flatten(store *monet.Store, prefix string, s *Set) error {
+	if s.Len() == 0 {
+		return fmt.Errorf("moa: cannot flatten an empty set (no schema)")
+	}
+	first, ok := s.Elems[0].(*Tuple)
+	if !ok {
+		return fmt.Errorf("moa: flatten expects a set of tuples, got %T", s.Elems[0])
+	}
+	cols := make(map[string]*monet.BAT, len(first.Names))
+	for _, name := range first.Names {
+		v, _ := first.Field(name)
+		a, ok := v.(Atom)
+		if !ok {
+			return fmt.Errorf("moa: flatten: field %q is not atomic", name)
+		}
+		cols[name] = monet.NewBATCap(monet.Void, a.V.Typ, s.Len())
+	}
+	for i, e := range s.Elems {
+		t, ok := e.(*Tuple)
+		if !ok {
+			return fmt.Errorf("moa: flatten: element %d is not a tuple", i)
+		}
+		if len(t.Names) != len(first.Names) {
+			return fmt.Errorf("moa: flatten: element %d arity mismatch", i)
+		}
+		for _, name := range first.Names {
+			v, ok := t.Field(name)
+			if !ok {
+				return fmt.Errorf("moa: flatten: element %d missing field %q", i, name)
+			}
+			a, ok := v.(Atom)
+			if !ok {
+				return fmt.Errorf("moa: flatten: element %d field %q is not atomic", i, name)
+			}
+			if err := cols[name].Insert(monet.VoidValue(), a.V); err != nil {
+				return fmt.Errorf("moa: flatten: field %q: %w", name, err)
+			}
+		}
+	}
+	for name, b := range cols {
+		store.Put(prefix+"/"+name, b)
+	}
+	schema := monet.NewBAT(monet.Void, monet.StrT)
+	for _, name := range first.Names {
+		schema.MustInsert(monet.VoidValue(), monet.NewStr(name))
+	}
+	store.Put(prefix+"/_schema", schema)
+	return nil
+}
+
+// Unflatten reconstructs a set of tuples from the parallel BATs
+// registered under prefix.
+func Unflatten(store *monet.Store, prefix string) (*Set, error) {
+	schema, err := store.Get(prefix + "/_schema")
+	if err != nil {
+		return nil, fmt.Errorf("moa: unflatten: no schema under %q", prefix)
+	}
+	names := make([]string, schema.Len())
+	cols := make([]*monet.BAT, schema.Len())
+	n := -1
+	for i := 0; i < schema.Len(); i++ {
+		names[i] = schema.Tail(i).Str()
+		b, err := store.Get(prefix + "/" + names[i])
+		if err != nil {
+			return nil, fmt.Errorf("moa: unflatten: missing column %q", names[i])
+		}
+		cols[i] = b
+		if n < 0 {
+			n = b.Len()
+		} else if b.Len() != n {
+			return nil, fmt.Errorf("moa: unflatten: ragged columns under %q", prefix)
+		}
+	}
+	out := &Set{Elems: make([]Value, 0, n)}
+	for row := 0; row < n; row++ {
+		t := &Tuple{Names: append([]string(nil), names...), Values: make([]Value, len(names))}
+		for col := range names {
+			t.Values[col] = NewAtom(cols[col].Tail(row))
+		}
+		out.Elems = append(out.Elems, t)
+	}
+	return out, nil
+}

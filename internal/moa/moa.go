@@ -1,0 +1,339 @@
+// Package moa implements the logical layer of the Cobra VDBMS: an
+// object algebra in the style of Moa (§3), with the structure
+// primitives set, tuple and object over the kernel's base types,
+// algebra operators (map, select, join, project, nest, unnest,
+// aggregate), an extension registry for named operations, and the
+// "flattening" translation that decomposes sets of tuples into
+// parallel kernel BATs.
+package moa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cobra/internal/monet"
+)
+
+// Value is a Moa structure: an Atom, *Tuple, *Set or *Object.
+type Value interface {
+	moa()
+	// String renders the value for the shell.
+	String() string
+}
+
+// Atom wraps an atomic kernel value.
+type Atom struct{ V monet.Value }
+
+// Tuple is an ordered collection of named fields.
+type Tuple struct {
+	Names  []string
+	Values []Value
+}
+
+// Set is an unordered collection (represented in insertion order).
+type Set struct{ Elems []Value }
+
+// Object pairs a class name with a state tuple.
+type Object struct {
+	Class string
+	State *Tuple
+}
+
+func (Atom) moa()    {}
+func (*Tuple) moa()  {}
+func (*Set) moa()    {}
+func (*Object) moa() {}
+
+// String implements Value.
+func (a Atom) String() string { return a.V.String() }
+
+// String implements Value.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Names))
+	for i, n := range t.Names {
+		parts[i] = n + ": " + t.Values[i].String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// String implements Value.
+func (s *Set) String() string {
+	parts := make([]string, len(s.Elems))
+	for i, e := range s.Elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// String implements Value.
+func (o *Object) String() string { return o.Class + o.State.String() }
+
+// Convenience constructors.
+
+// NewAtom wraps a kernel value.
+func NewAtom(v monet.Value) Atom { return Atom{V: v} }
+
+// IntAtom wraps an int.
+func IntAtom(i int64) Atom { return Atom{V: monet.NewInt(i)} }
+
+// FloatAtom wraps a float.
+func FloatAtom(f float64) Atom { return Atom{V: monet.NewFloat(f)} }
+
+// StrAtom wraps a string.
+func StrAtom(s string) Atom { return Atom{V: monet.NewStr(s)} }
+
+// NewTuple builds a tuple; names and values must be parallel.
+func NewTuple(names []string, values []Value) (*Tuple, error) {
+	if len(names) != len(values) {
+		return nil, errors.New("moa: tuple arity mismatch")
+	}
+	return &Tuple{Names: append([]string(nil), names...), Values: append([]Value(nil), values...)}, nil
+}
+
+// MustTuple is NewTuple that panics on error.
+func MustTuple(names []string, values []Value) *Tuple {
+	t, err := NewTuple(names, values)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Field returns the named field value.
+func (t *Tuple) Field(name string) (Value, bool) {
+	for i, n := range t.Names {
+		if n == name {
+			return t.Values[i], true
+		}
+	}
+	return nil, false
+}
+
+// NewSet builds a set from elements.
+func NewSet(elems ...Value) *Set { return &Set{Elems: append([]Value(nil), elems...)} }
+
+// Len returns the element count.
+func (s *Set) Len() int { return len(s.Elems) }
+
+// Algebra operators.
+
+// Map applies f to every element of s.
+func Map(s *Set, f func(Value) (Value, error)) (*Set, error) {
+	out := &Set{Elems: make([]Value, 0, len(s.Elems))}
+	for _, e := range s.Elems {
+		v, err := f(e)
+		if err != nil {
+			return nil, err
+		}
+		out.Elems = append(out.Elems, v)
+	}
+	return out, nil
+}
+
+// SelectWhere keeps the elements for which pred returns true.
+func SelectWhere(s *Set, pred func(Value) (bool, error)) (*Set, error) {
+	out := &Set{}
+	for _, e := range s.Elems {
+		ok, err := pred(e)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Elems = append(out.Elems, e)
+		}
+	}
+	return out, nil
+}
+
+// Join pairs elements of a and b that satisfy pred, combining each
+// pair with combine.
+func Join(a, b *Set, pred func(x, y Value) (bool, error), combine func(x, y Value) (Value, error)) (*Set, error) {
+	out := &Set{}
+	for _, x := range a.Elems {
+		for _, y := range b.Elems {
+			ok, err := pred(x, y)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			v, err := combine(x, y)
+			if err != nil {
+				return nil, err
+			}
+			out.Elems = append(out.Elems, v)
+		}
+	}
+	return out, nil
+}
+
+// Project restricts every tuple in s to the given fields.
+func Project(s *Set, fields ...string) (*Set, error) {
+	return Map(s, func(e Value) (Value, error) {
+		t, ok := e.(*Tuple)
+		if !ok {
+			return nil, fmt.Errorf("moa: project over non-tuple %T", e)
+		}
+		out := &Tuple{}
+		for _, f := range fields {
+			v, ok := t.Field(f)
+			if !ok {
+				return nil, fmt.Errorf("moa: project: no field %q", f)
+			}
+			out.Names = append(out.Names, f)
+			out.Values = append(out.Values, v)
+		}
+		return out, nil
+	})
+}
+
+// Union concatenates two sets.
+func Union(a, b *Set) *Set {
+	return &Set{Elems: append(append([]Value(nil), a.Elems...), b.Elems...)}
+}
+
+// Nest groups a set of tuples by key fields, producing tuples
+// <key..., group: Set>.
+func Nest(s *Set, keyFields []string, groupField string) (*Set, error) {
+	type group struct {
+		key   *Tuple
+		elems []Value
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, e := range s.Elems {
+		t, ok := e.(*Tuple)
+		if !ok {
+			return nil, fmt.Errorf("moa: nest over non-tuple %T", e)
+		}
+		key := &Tuple{}
+		for _, f := range keyFields {
+			v, ok := t.Field(f)
+			if !ok {
+				return nil, fmt.Errorf("moa: nest: no field %q", f)
+			}
+			key.Names = append(key.Names, f)
+			key.Values = append(key.Values, v)
+		}
+		ks := key.String()
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		g.elems = append(g.elems, t)
+	}
+	out := &Set{}
+	for _, ks := range order {
+		g := groups[ks]
+		t := &Tuple{
+			Names:  append(append([]string(nil), g.key.Names...), groupField),
+			Values: append(append([]Value(nil), g.key.Values...), &Set{Elems: g.elems}),
+		}
+		out.Elems = append(out.Elems, t)
+	}
+	return out, nil
+}
+
+// Unnest flattens tuples containing a set field back into one tuple
+// per inner element.
+func Unnest(s *Set, setField string) (*Set, error) {
+	out := &Set{}
+	for _, e := range s.Elems {
+		t, ok := e.(*Tuple)
+		if !ok {
+			return nil, fmt.Errorf("moa: unnest over non-tuple %T", e)
+		}
+		inner, ok := t.Field(setField)
+		if !ok {
+			return nil, fmt.Errorf("moa: unnest: no field %q", setField)
+		}
+		innerSet, ok := inner.(*Set)
+		if !ok {
+			return nil, fmt.Errorf("moa: unnest: field %q is not a set", setField)
+		}
+		for _, iv := range innerSet.Elems {
+			out.Elems = append(out.Elems, iv)
+		}
+	}
+	return out, nil
+}
+
+// Aggregate computes count/sum/avg/max/min over a set of atoms.
+func Aggregate(s *Set, op string) (Atom, error) {
+	switch op {
+	case "count":
+		return IntAtom(int64(len(s.Elems))), nil
+	}
+	if len(s.Elems) == 0 {
+		return Atom{}, errors.New("moa: aggregate over empty set")
+	}
+	sum := 0.0
+	best := 0.0
+	for i, e := range s.Elems {
+		a, ok := e.(Atom)
+		if !ok {
+			return Atom{}, fmt.Errorf("moa: aggregate over non-atom %T", e)
+		}
+		v := a.V.Float()
+		sum += v
+		switch {
+		case i == 0:
+			best = v
+		case op == "max" && v > best:
+			best = v
+		case op == "min" && v < best:
+			best = v
+		}
+	}
+	switch op {
+	case "sum":
+		return FloatAtom(sum), nil
+	case "avg":
+		return FloatAtom(sum / float64(len(s.Elems))), nil
+	case "max", "min":
+		return FloatAtom(best), nil
+	}
+	return Atom{}, fmt.Errorf("moa: unknown aggregate %q", op)
+}
+
+// Operation is a registered extension operation (the Moa extension
+// mechanism of §3: video processing, HMM, DBN and rule operations are
+// exposed to the algebra this way).
+type Operation func(args []Value) (Value, error)
+
+// Registry holds extension operations by name.
+type Registry struct {
+	ops map[string]Operation
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{ops: map[string]Operation{}} }
+
+// Register installs an operation.
+func (r *Registry) Register(name string, op Operation) {
+	r.ops[strings.ToLower(name)] = op
+}
+
+// Call invokes a registered operation.
+func (r *Registry) Call(name string, args ...Value) (Value, error) {
+	op, ok := r.ops[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("moa: unknown operation %q", name)
+	}
+	return op(args)
+}
+
+// Operations lists registered operation names.
+func (r *Registry) Operations() []string {
+	names := make([]string, 0, len(r.ops))
+	for n := range r.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,333 @@
+package moa
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/monet"
+)
+
+func segTuple(id int64, start, end float64, driver string) *Tuple {
+	return MustTuple(
+		[]string{"id", "start", "end", "driver"},
+		[]Value{IntAtom(id), FloatAtom(start), FloatAtom(end), StrAtom(driver)},
+	)
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := segTuple(1, 0, 5, "SCHUMACHER")
+	v, ok := tp.Field("driver")
+	if !ok || v.(Atom).V.Str() != "SCHUMACHER" {
+		t.Fatalf("field = %v", v)
+	}
+	if _, ok := tp.Field("nope"); ok {
+		t.Fatal("missing field found")
+	}
+	if _, err := NewTuple([]string{"a"}, nil); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if !strings.Contains(tp.String(), "driver") {
+		t.Fatalf("String = %q", tp.String())
+	}
+}
+
+func TestMapSelect(t *testing.T) {
+	s := NewSet(IntAtom(1), IntAtom(2), IntAtom(3))
+	doubled, err := Map(s, func(v Value) (Value, error) {
+		return IntAtom(v.(Atom).V.Int() * 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.Elems[2].(Atom).V.Int() != 6 {
+		t.Fatalf("map = %v", doubled)
+	}
+	big, err := SelectWhere(doubled, func(v Value) (bool, error) {
+		return v.(Atom).V.Int() > 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() != 2 {
+		t.Fatalf("select = %v", big)
+	}
+}
+
+func TestJoinTemporalOverlap(t *testing.T) {
+	highlights := NewSet(segTuple(1, 10, 20, ""), segTuple(2, 50, 60, ""))
+	pits := NewSet(segTuple(10, 15, 25, "BARRICHELLO"), segTuple(11, 100, 110, "MONTOYA"))
+	joined, err := Join(highlights, pits,
+		func(x, y Value) (bool, error) {
+			xs, _ := x.(*Tuple).Field("start")
+			xe, _ := x.(*Tuple).Field("end")
+			ys, _ := y.(*Tuple).Field("start")
+			ye, _ := y.(*Tuple).Field("end")
+			return xs.(Atom).V.Float() < ye.(Atom).V.Float() &&
+				ys.(Atom).V.Float() < xe.(Atom).V.Float(), nil
+		},
+		func(x, y Value) (Value, error) {
+			d, _ := y.(*Tuple).Field("driver")
+			return MustTuple([]string{"highlight", "driver"}, []Value{x, d}), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 1 {
+		t.Fatalf("join = %v", joined)
+	}
+	d, _ := joined.Elems[0].(*Tuple).Field("driver")
+	if d.(Atom).V.Str() != "BARRICHELLO" {
+		t.Fatalf("joined driver = %v", d)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := NewSet(segTuple(1, 0, 5, "A"), segTuple(2, 5, 9, "B"))
+	p, err := Project(s, "driver", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := p.Elems[0].(*Tuple)
+	if len(tp.Names) != 2 || tp.Names[0] != "driver" {
+		t.Fatalf("projected = %v", tp)
+	}
+	if _, err := Project(s, "nope"); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	if _, err := Project(NewSet(IntAtom(1)), "x"); err == nil {
+		t.Fatal("non-tuple accepted")
+	}
+}
+
+func TestNestUnnestRoundTrip(t *testing.T) {
+	s := NewSet(
+		segTuple(1, 0, 5, "A"),
+		segTuple(2, 5, 9, "A"),
+		segTuple(3, 9, 12, "B"),
+	)
+	nested, err := Nest(s, []string{"driver"}, "segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nested.Len() != 2 {
+		t.Fatalf("nested = %v", nested)
+	}
+	g0 := nested.Elems[0].(*Tuple)
+	segs, _ := g0.Field("segments")
+	if segs.(*Set).Len() != 2 {
+		t.Fatalf("group A = %v", segs)
+	}
+	flat, err := Unnest(nested, "segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Len() != 3 {
+		t.Fatalf("unnested = %v", flat)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := NewSet(FloatAtom(1), FloatAtom(2), FloatAtom(3))
+	cases := map[string]float64{"sum": 6, "avg": 2, "max": 3, "min": 1}
+	for op, want := range cases {
+		got, err := Aggregate(s, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.V.Float() != want {
+			t.Fatalf("%s = %v, want %v", op, got.V, want)
+		}
+	}
+	if c, _ := Aggregate(s, "count"); c.V.Int() != 3 {
+		t.Fatalf("count = %v", c.V)
+	}
+	if _, err := Aggregate(NewSet(), "sum"); err == nil {
+		t.Fatal("empty sum accepted")
+	}
+	if _, err := Aggregate(s, "median"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("Double", func(args []Value) (Value, error) {
+		return IntAtom(args[0].(Atom).V.Int() * 2), nil
+	})
+	v, err := r.Call("double", IntAtom(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(Atom).V.Int() != 42 {
+		t.Fatalf("call = %v", v)
+	}
+	if _, err := r.Call("nope"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if ops := r.Operations(); len(ops) != 1 || ops[0] != "double" {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	store := monet.NewStore()
+	s := NewSet(
+		segTuple(1, 0, 5, "A"),
+		segTuple(2, 5, 9, "B"),
+	)
+	if err := Flatten(store, "segs", s); err != nil {
+		t.Fatal(err)
+	}
+	// The columns exist as kernel BATs and can be queried directly.
+	b, err := store.Get("segs/driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || b.Tail(1).Str() != "B" {
+		t.Fatalf("driver column = %s", b.Dump(5))
+	}
+	got, err := Unflatten(store, "segs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("unflattened = %v", got)
+	}
+	d, _ := got.Elems[0].(*Tuple).Field("driver")
+	if d.(Atom).V.Str() != "A" {
+		t.Fatalf("row 0 driver = %v", d)
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	store := monet.NewStore()
+	if err := Flatten(store, "x", NewSet()); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if err := Flatten(store, "x", NewSet(IntAtom(1))); err == nil {
+		t.Fatal("non-tuple set accepted")
+	}
+	nested := MustTuple([]string{"inner"}, []Value{NewSet(IntAtom(1))})
+	if err := Flatten(store, "x", NewSet(nested)); err == nil {
+		t.Fatal("nested field accepted")
+	}
+	if _, err := Unflatten(store, "missing"); err == nil {
+		t.Fatal("missing prefix accepted")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union(NewSet(IntAtom(1)), NewSet(IntAtom(2), IntAtom(3)))
+	if u.Len() != 3 {
+		t.Fatalf("union = %v", u)
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	o := &Object{Class: "Driver", State: MustTuple([]string{"name"}, []Value{StrAtom("RALF")})}
+	if !strings.HasPrefix(o.String(), "Driver<") {
+		t.Fatalf("String = %q", o.String())
+	}
+}
+
+func flatFixture(t *testing.T) (*monet.Store, *FlatSet) {
+	t.Helper()
+	store := monet.NewStore()
+	s := NewSet(
+		segTuple(1, 0, 5, "SCHUMACHER"),
+		segTuple(2, 5, 9, "HAKKINEN"),
+		segTuple(3, 9, 30, "SCHUMACHER"),
+	)
+	if err := Flatten(store, "segs", s); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(store, "segs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, fs
+}
+
+func TestFlatSetSelectRange(t *testing.T) {
+	_, fs := flatFixture(t)
+	if n, _ := fs.Len(); n != 3 {
+		t.Fatalf("len = %d", n)
+	}
+	sel, err := fs.SelectRange("long", "end", monet.NewFloat(9), monet.NewFloat(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sel.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("selected = %v", rows)
+	}
+	d, _ := rows.Elems[1].(*Tuple).Field("driver")
+	if d.(Atom).V.Str() != "SCHUMACHER" {
+		t.Fatalf("row 1 = %v", rows.Elems[1])
+	}
+}
+
+func TestFlatSetAggregate(t *testing.T) {
+	_, fs := flatFixture(t)
+	if v, err := fs.Aggregate("end", "max"); err != nil || v.Float() != 30 {
+		t.Fatalf("max = %v, %v", v, err)
+	}
+	if v, _ := fs.Aggregate("id", "count"); v.Int() != 3 {
+		t.Fatalf("count = %v", v)
+	}
+	if v, _ := fs.Aggregate("start", "sum"); v.Float() != 14 {
+		t.Fatalf("sum = %v", v)
+	}
+	if _, err := fs.Aggregate("nope", "sum"); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	if _, err := fs.Aggregate("id", "median"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}
+
+func TestFlatSetJoinOn(t *testing.T) {
+	store, fs := flatFixture(t)
+	teams := NewSet(
+		MustTuple([]string{"name", "team"}, []Value{StrAtom("SCHUMACHER"), StrAtom("FERRARI")}),
+		MustTuple([]string{"name", "team"}, []Value{StrAtom("HAKKINEN"), StrAtom("MCLAREN")}),
+	)
+	if err := Flatten(store, "teams", teams); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Open(store, "teams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := fs.JoinOn(ts, "joined", "driver", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := joined.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("joined = %v", rows)
+	}
+	teamsSeen := map[string]int{}
+	for _, e := range rows.Elems {
+		v, ok := e.(*Tuple).Field("team")
+		if !ok {
+			t.Fatalf("no team field in %v", e)
+		}
+		teamsSeen[v.(Atom).V.Str()]++
+	}
+	if teamsSeen["FERRARI"] != 2 || teamsSeen["MCLAREN"] != 1 {
+		t.Fatalf("teams = %v", teamsSeen)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(monet.NewStore(), "nope"); err == nil {
+		t.Fatal("missing prefix accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package monet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Count returns the number of associations.
+func (b *BAT) Count() int64 { return int64(b.Len()) }
+
+// Sum returns the sum of the tail column as float64. Non-numeric tails
+// yield an error.
+func (b *BAT) Sum() (float64, error) {
+	if err := b.requireNumericTail("sum"); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := 0; i < b.Len(); i++ {
+		s += b.tail.Get(i).Float()
+	}
+	return s, nil
+}
+
+// Avg returns the mean of the tail column; NaN for an empty BAT.
+func (b *BAT) Avg() (float64, error) {
+	if err := b.requireNumericTail("avg"); err != nil {
+		return 0, err
+	}
+	if b.Len() == 0 {
+		return math.NaN(), nil
+	}
+	s, _ := b.Sum()
+	return s / float64(b.Len()), nil
+}
+
+// Max returns the largest tail value; ok is false for an empty BAT.
+func (b *BAT) Max() (Value, bool) {
+	if b.Len() == 0 {
+		return Value{}, false
+	}
+	best := b.tail.Get(0)
+	for i := 1; i < b.Len(); i++ {
+		if v := b.tail.Get(i); Compare(v, best) > 0 {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// Min returns the smallest tail value; ok is false for an empty BAT.
+func (b *BAT) Min() (Value, bool) {
+	if b.Len() == 0 {
+		return Value{}, false
+	}
+	best := b.tail.Get(0)
+	for i := 1; i < b.Len(); i++ {
+		if v := b.tail.Get(i); Compare(v, best) < 0 {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// ArgMax returns the head whose tail is largest (MIL: reverse().find(max));
+// ok is false for an empty BAT.
+func (b *BAT) ArgMax() (Value, bool) {
+	if b.Len() == 0 {
+		return Value{}, false
+	}
+	bi := 0
+	for i := 1; i < b.Len(); i++ {
+		if Compare(b.tail.Get(i), b.tail.Get(bi)) > 0 {
+			bi = i
+		}
+	}
+	return b.head.Get(bi), true
+}
+
+// ArgMin returns the head whose tail is smallest.
+func (b *BAT) ArgMin() (Value, bool) {
+	if b.Len() == 0 {
+		return Value{}, false
+	}
+	bi := 0
+	for i := 1; i < b.Len(); i++ {
+		if Compare(b.tail.Get(i), b.tail.Get(bi)) < 0 {
+			bi = i
+		}
+	}
+	return b.head.Get(bi), true
+}
+
+// Group clusters associations by tail value and returns a BAT
+// [head, oid] mapping each head to its group id, plus a BAT
+// [oid, tail] mapping group ids to representative tail values.
+func (b *BAT) Group() (members, groups *BAT) {
+	members = NewBATCap(materialType(b.head.Type()), OIDT, b.Len())
+	groups = NewBAT(OIDT, b.tail.Type())
+	ids := map[string]OID{}
+	next := OID(0)
+	for i := 0; i < b.Len(); i++ {
+		t := b.tail.Get(i)
+		key := t.String()
+		id, ok := ids[key]
+		if !ok {
+			id = next
+			next++
+			ids[key] = id
+			groups.MustInsert(NewOID(id), t)
+		}
+		members.MustInsert(b.head.Get(i), NewOID(id))
+	}
+	return members, groups
+}
+
+// GroupSum computes, for a BAT [g, x] of numeric x, the per-group sum,
+// returned as a BAT [g, dbl].
+func (b *BAT) GroupSum() (*BAT, error) {
+	return b.groupedFold("sum", func(acc, x float64) float64 { return acc + x }, 0, false)
+}
+
+// GroupCount computes the per-group association count as [g, int].
+func (b *BAT) GroupCount() (*BAT, error) {
+	counts := map[string]int64{}
+	order := []Value{}
+	for i := 0; i < b.Len(); i++ {
+		h := b.head.Get(i)
+		k := h.String()
+		if _, seen := counts[k]; !seen {
+			order = append(order, h)
+		}
+		counts[k]++
+	}
+	out := NewBAT(materialType(b.head.Type()), IntT)
+	for _, h := range order {
+		out.MustInsert(h, NewInt(counts[h.String()]))
+	}
+	return out, nil
+}
+
+// GroupMax computes the per-group maximum tail as [g, dbl].
+func (b *BAT) GroupMax() (*BAT, error) {
+	return b.groupedFold("max", math.Max, math.Inf(-1), true)
+}
+
+// GroupMin computes the per-group minimum tail as [g, dbl].
+func (b *BAT) GroupMin() (*BAT, error) {
+	return b.groupedFold("min", math.Min, math.Inf(1), true)
+}
+
+// GroupAvg computes the per-group mean tail as [g, dbl].
+func (b *BAT) GroupAvg() (*BAT, error) {
+	sums, err := b.GroupSum()
+	if err != nil {
+		return nil, err
+	}
+	counts, _ := b.GroupCount()
+	out := NewBAT(materialType(b.head.Type()), FloatT)
+	for i := 0; i < sums.Len(); i++ {
+		h := sums.Head(i)
+		c, _ := counts.Find(h)
+		out.MustInsert(h, NewFloat(sums.Tail(i).Float()/float64(c.Int())))
+	}
+	return out, nil
+}
+
+func (b *BAT) groupedFold(name string, f func(acc, x float64) float64, init float64, _ bool) (*BAT, error) {
+	if err := b.requireNumericTail(name); err != nil {
+		return nil, err
+	}
+	accs := map[string]float64{}
+	order := []Value{}
+	for i := 0; i < b.Len(); i++ {
+		h := b.head.Get(i)
+		k := h.String()
+		if _, seen := accs[k]; !seen {
+			order = append(order, h)
+			accs[k] = init
+		}
+		accs[k] = f(accs[k], b.tail.Get(i).Float())
+	}
+	out := NewBAT(materialType(b.head.Type()), FloatT)
+	for _, h := range order {
+		out.MustInsert(h, NewFloat(accs[h.String()]))
+	}
+	return out, nil
+}
+
+// Histogram returns a BAT [tail-value, int] counting occurrences of
+// each distinct tail value.
+func (b *BAT) Histogram() *BAT {
+	return b.Reverse().mustGroupCount()
+}
+
+func (b *BAT) mustGroupCount() *BAT {
+	out, err := b.GroupCount()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func (b *BAT) requireNumericTail(op string) error {
+	switch b.tail.Type() {
+	case IntT, FloatT, BoolT, OIDT:
+		return nil
+	default:
+		return fmt.Errorf("%w: %s over %v tail", ErrTypeMismatch, op, b.tail.Type())
+	}
+}

@@ -1,0 +1,337 @@
+package monet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// BAT is a Binary Association Table: a two-column table of
+// (head, tail) pairs, the sole bulk data structure of the kernel.
+// Decomposed storage represents an n-attribute relation as n BATs
+// sharing head OIDs.
+type BAT struct {
+	head Column
+	tail Column
+}
+
+// ErrTypeMismatch is returned when an operation receives values or
+// operand BATs of incompatible types.
+var ErrTypeMismatch = errors.New("monet: type mismatch")
+
+// NewBAT returns an empty BAT with the given head and tail types.
+func NewBAT(headType, tailType Type) *BAT {
+	return &BAT{head: NewColumn(headType), tail: NewColumn(tailType)}
+}
+
+// NewBATCap returns an empty BAT with capacity for n entries.
+func NewBATCap(headType, tailType Type, n int) *BAT {
+	return &BAT{head: NewColumnCap(headType, n), tail: NewColumnCap(tailType, n)}
+}
+
+// HeadType returns the type of the head column.
+func (b *BAT) HeadType() Type { return b.head.Type() }
+
+// TailType returns the type of the tail column.
+func (b *BAT) TailType() Type { return b.tail.Type() }
+
+// Len returns the number of associations (BUNs) in the BAT.
+func (b *BAT) Len() int { return b.head.Len() }
+
+// Insert appends one (head, tail) association.
+func (b *BAT) Insert(h, t Value) error {
+	if b.head.Type() != Void && h.Typ != b.head.Type() {
+		return fmt.Errorf("%w: head %v into [%v,%v]", ErrTypeMismatch, h.Typ, b.head.Type(), b.tail.Type())
+	}
+	if b.tail.Type() != Void && t.Typ != b.tail.Type() {
+		return fmt.Errorf("%w: tail %v into [%v,%v]", ErrTypeMismatch, t.Typ, b.head.Type(), b.tail.Type())
+	}
+	b.head.Append(h)
+	b.tail.Append(t)
+	return nil
+}
+
+// MustInsert is Insert that panics on type mismatch; used by internal
+// operators that construct BATs of known types.
+func (b *BAT) MustInsert(h, t Value) {
+	if err := b.Insert(h, t); err != nil {
+		panic(err)
+	}
+}
+
+// Head returns the i-th head value.
+func (b *BAT) Head(i int) Value { return b.head.Get(i) }
+
+// Tail returns the i-th tail value.
+func (b *BAT) Tail(i int) Value { return b.tail.Get(i) }
+
+// Reverse returns a view of the BAT with head and tail swapped. It is
+// O(1): the result shares columns with the receiver.
+func (b *BAT) Reverse() *BAT { return &BAT{head: b.tail, tail: b.head} }
+
+// Mirror returns a BAT pairing each head value with itself.
+func (b *BAT) Mirror() *BAT { return &BAT{head: b.head, tail: b.head} }
+
+// materialType maps the virtual void type to the concrete OID type:
+// output columns built by value insertion must not lose void-head
+// identities.
+func materialType(t Type) Type {
+	if t == Void {
+		return OIDT
+	}
+	return t
+}
+
+// headCompatible reports whether two head types can be compared
+// value-wise (void heads materialize as OIDs).
+func headCompatible(a, b Type) bool {
+	return materialType(a) == materialType(b)
+}
+
+// Mark returns a BAT pairing each head value with a fresh dense OID
+// sequence starting at base.
+func (b *BAT) Mark(base OID) *BAT {
+	out := NewBATCap(materialType(b.head.Type()), OIDT, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		out.MustInsert(b.head.Get(i), NewOID(base+OID(i)))
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (b *BAT) Clone() *BAT { return &BAT{head: b.head.Clone(), tail: b.tail.Clone()} }
+
+// Slice returns a new BAT holding rows [lo, hi).
+func (b *BAT) Slice(lo, hi int) *BAT {
+	idx := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		idx = append(idx, i)
+	}
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+}
+
+// Select returns the associations whose tail lies in [lo, hi]
+// (inclusive). Pass equal lo and hi for point selection.
+func (b *BAT) Select(lo, hi Value) *BAT {
+	idx := make([]int, 0, 16)
+	for i := 0; i < b.Len(); i++ {
+		t := b.tail.Get(i)
+		if Compare(t, lo) >= 0 && Compare(t, hi) <= 0 {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+}
+
+// SelectEq returns the associations whose tail equals v.
+func (b *BAT) SelectEq(v Value) *BAT { return b.Select(v, v) }
+
+// Uselect returns a BAT [head, void] of the heads whose tail lies in
+// [lo, hi]; the unary form of Select.
+func (b *BAT) Uselect(lo, hi Value) *BAT {
+	out := NewBAT(materialType(b.head.Type()), Void)
+	for i := 0; i < b.Len(); i++ {
+		t := b.tail.Get(i)
+		if Compare(t, lo) >= 0 && Compare(t, hi) <= 0 {
+			out.MustInsert(b.head.Get(i), VoidValue())
+		}
+	}
+	return out
+}
+
+// Filter returns the associations for which pred returns true; the
+// kernel hook for arbitrary selections.
+func (b *BAT) Filter(pred func(h, t Value) bool) *BAT {
+	idx := make([]int, 0, 16)
+	for i := 0; i < b.Len(); i++ {
+		if pred(b.head.Get(i), b.tail.Get(i)) {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+}
+
+// Join returns the equi-join of b with other over b.tail == other.head,
+// producing [b.head, other.tail]. A hash table is built over the
+// smaller operand.
+func (b *BAT) Join(other *BAT) (*BAT, error) {
+	if !headCompatible(b.tail.Type(), other.head.Type()) {
+		return nil, fmt.Errorf("%w: join tail %v with head %v", ErrTypeMismatch, b.tail.Type(), other.head.Type())
+	}
+	out := NewBAT(materialType(b.head.Type()), materialType(other.tail.Type()))
+	// Build hash on other.head → positions.
+	ht := buildHash(other.head)
+	for i := 0; i < b.Len(); i++ {
+		t := b.tail.Get(i)
+		for _, j := range ht.lookup(t) {
+			out.MustInsert(b.head.Get(i), other.tail.Get(j))
+		}
+	}
+	return out, nil
+}
+
+// Semijoin returns the associations of b whose head appears as a head
+// in other.
+func (b *BAT) Semijoin(other *BAT) (*BAT, error) {
+	if !headCompatible(b.head.Type(), other.head.Type()) {
+		return nil, fmt.Errorf("%w: semijoin head %v with head %v", ErrTypeMismatch, b.head.Type(), other.head.Type())
+	}
+	ht := buildHash(other.head)
+	idx := make([]int, 0, 16)
+	for i := 0; i < b.Len(); i++ {
+		if len(ht.lookup(b.head.Get(i))) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}, nil
+}
+
+// KDiff returns the associations of b whose head does not appear as a
+// head in other.
+func (b *BAT) KDiff(other *BAT) (*BAT, error) {
+	if !headCompatible(b.head.Type(), other.head.Type()) {
+		return nil, fmt.Errorf("%w: kdiff head %v with head %v", ErrTypeMismatch, b.head.Type(), other.head.Type())
+	}
+	ht := buildHash(other.head)
+	idx := make([]int, 0, 16)
+	for i := 0; i < b.Len(); i++ {
+		if len(ht.lookup(b.head.Get(i))) == 0 {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}, nil
+}
+
+// KUnion returns b with the associations of other appended. Types must
+// match exactly.
+func (b *BAT) KUnion(other *BAT) (*BAT, error) {
+	if b.head.Type() != other.head.Type() || b.tail.Type() != other.tail.Type() {
+		return nil, fmt.Errorf("%w: kunion [%v,%v] with [%v,%v]", ErrTypeMismatch,
+			b.head.Type(), b.tail.Type(), other.head.Type(), other.tail.Type())
+	}
+	out := b.Clone()
+	for i := 0; i < other.Len(); i++ {
+		out.MustInsert(other.Head(i), other.Tail(i))
+	}
+	return out, nil
+}
+
+// Find returns the tail associated with the first occurrence of head h,
+// and whether any was found — the kernel's point lookup (MIL find).
+func (b *BAT) Find(h Value) (Value, bool) {
+	for i := 0; i < b.Len(); i++ {
+		if Equal(b.head.Get(i), h) {
+			return b.tail.Get(i), true
+		}
+	}
+	return Value{}, false
+}
+
+// Exists reports whether head h occurs in the BAT.
+func (b *BAT) Exists(h Value) bool {
+	_, ok := b.Find(h)
+	return ok
+}
+
+// SortTail returns a copy of the BAT ordered by ascending tail.
+func (b *BAT) SortTail() *BAT {
+	idx := make([]int, b.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return Compare(b.tail.Get(idx[i]), b.tail.Get(idx[j])) < 0
+	})
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+}
+
+// SortHead returns a copy of the BAT ordered by ascending head.
+func (b *BAT) SortHead() *BAT {
+	idx := make([]int, b.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return Compare(b.head.Get(idx[i]), b.head.Get(idx[j])) < 0
+	})
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+}
+
+// String renders a short description of the BAT.
+func (b *BAT) String() string {
+	return fmt.Sprintf("bat[%v,%v]#%d", b.head.Type(), b.tail.Type(), b.Len())
+}
+
+// Dump renders up to max associations for debugging.
+func (b *BAT) Dump(max int) string {
+	s := b.String() + "{"
+	n := b.Len()
+	if max > 0 && n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("[%v,%v]", b.Head(i), b.Tail(i))
+	}
+	if n < b.Len() {
+		s += ", ..."
+	}
+	return s + "}"
+}
+
+// hashTable indexes column positions by value.
+type hashTable struct {
+	byInt map[int64][]int
+	byStr map[string][]int
+	byFlt map[float64][]int
+	dense bool // void column: position == value
+	n     int
+}
+
+func buildHash(c Column) *hashTable {
+	ht := &hashTable{n: c.Len()}
+	switch c.Type() {
+	case Void:
+		ht.dense = true
+	case OIDT, IntT, BoolT:
+		ht.byInt = make(map[int64][]int, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			k := c.Get(i).Int()
+			ht.byInt[k] = append(ht.byInt[k], i)
+		}
+	case FloatT:
+		ht.byFlt = make(map[float64][]int, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			k := c.Get(i).Float()
+			ht.byFlt[k] = append(ht.byFlt[k], i)
+		}
+	case StrT:
+		ht.byStr = make(map[string][]int, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			k := c.Get(i).Str()
+			ht.byStr[k] = append(ht.byStr[k], i)
+		}
+	}
+	return ht
+}
+
+func (ht *hashTable) lookup(v Value) []int {
+	if ht.dense {
+		i := int(v.Int())
+		if v.Typ == OIDT && i >= 0 && i < ht.n {
+			return []int{i}
+		}
+		return nil
+	}
+	switch v.Typ {
+	case OIDT, IntT, BoolT:
+		return ht.byInt[v.Int()]
+	case FloatT:
+		return ht.byFlt[v.Float()]
+	case StrT:
+		return ht.byStr[v.Str()]
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package monet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Columnar calculus over dense numeric BATs: the batcalc-style bulk
+// operations the feature pipeline and MIL sessions use to combine
+// feature streams without leaving the kernel.
+
+// numericTail extracts a BAT's tail as float64s, requiring a numeric
+// type.
+func numericTail(b *BAT, op string) ([]float64, error) {
+	if err := b.requireNumericTail(op); err != nil {
+		return nil, err
+	}
+	if fs := Floats(b.tail); fs != nil {
+		return fs, nil
+	}
+	out := make([]float64, b.Len())
+	for i := range out {
+		out[i] = b.Tail(i).Float()
+	}
+	return out, nil
+}
+
+// CalcBinary applies an elementwise arithmetic operation over two
+// aligned numeric BATs, producing a [void, dbl] BAT. Supported ops:
+// "+", "-", "*", "/", "min", "max".
+func CalcBinary(a, b *BAT, op string) (*BAT, error) {
+	if a.Len() != b.Len() {
+		return nil, fmt.Errorf("monet: calc %q over misaligned BATs (%d vs %d)", op, a.Len(), b.Len())
+	}
+	av, err := numericTail(a, "calc")
+	if err != nil {
+		return nil, err
+	}
+	bv, err := numericTail(b, "calc")
+	if err != nil {
+		return nil, err
+	}
+	var f func(x, y float64) float64
+	switch op {
+	case "+":
+		f = func(x, y float64) float64 { return x + y }
+	case "-":
+		f = func(x, y float64) float64 { return x - y }
+	case "*":
+		f = func(x, y float64) float64 { return x * y }
+	case "/":
+		f = func(x, y float64) float64 {
+			if y == 0 {
+				return math.NaN()
+			}
+			return x / y
+		}
+	case "min":
+		f = math.Min
+	case "max":
+		f = math.Max
+	default:
+		return nil, fmt.Errorf("monet: unknown calc op %q", op)
+	}
+	out := NewBATCap(Void, FloatT, len(av))
+	for i := range av {
+		out.MustInsert(VoidValue(), NewFloat(f(av[i], bv[i])))
+	}
+	return out, nil
+}
+
+// CalcScale multiplies every tail value by factor and adds offset,
+// producing [void, dbl].
+func CalcScale(b *BAT, factor, offset float64) (*BAT, error) {
+	vs, err := numericTail(b, "scale")
+	if err != nil {
+		return nil, err
+	}
+	out := NewBATCap(Void, FloatT, len(vs))
+	for _, v := range vs {
+		out.MustInsert(VoidValue(), NewFloat(v*factor+offset))
+	}
+	return out, nil
+}
+
+// CalcClamp limits every tail value to [lo, hi], producing [void, dbl].
+func CalcClamp(b *BAT, lo, hi float64) (*BAT, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("monet: clamp bounds inverted [%g, %g]", lo, hi)
+	}
+	vs, err := numericTail(b, "clamp")
+	if err != nil {
+		return nil, err
+	}
+	out := NewBATCap(Void, FloatT, len(vs))
+	for _, v := range vs {
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		out.MustInsert(VoidValue(), NewFloat(v))
+	}
+	return out, nil
+}
+
+// CalcThreshold marks tail values strictly above the threshold,
+// producing [void, bit].
+func CalcThreshold(b *BAT, threshold float64) (*BAT, error) {
+	vs, err := numericTail(b, "threshold")
+	if err != nil {
+		return nil, err
+	}
+	out := NewBATCap(Void, BoolT, len(vs))
+	for _, v := range vs {
+		out.MustInsert(VoidValue(), NewBool(v > threshold))
+	}
+	return out, nil
+}
+
+// CalcMovingAvg computes a trailing moving average with the given
+// window (in rows), producing [void, dbl]. Rows before a full window
+// average what is available — the accumulation the paper applies to
+// static-BN outputs.
+func CalcMovingAvg(b *BAT, window int) (*BAT, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("monet: moving average window %d < 1", window)
+	}
+	vs, err := numericTail(b, "mavg")
+	if err != nil {
+		return nil, err
+	}
+	out := NewBATCap(Void, FloatT, len(vs))
+	sum := 0.0
+	for i, v := range vs {
+		sum += v
+		if i >= window {
+			sum -= vs[i-window]
+		}
+		n := i + 1
+		if n > window {
+			n = window
+		}
+		out.MustInsert(VoidValue(), NewFloat(sum/float64(n)))
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package monet
+
+import "fmt"
+
+// Column is a typed, growable vector of kernel values. Concrete
+// implementations store values unboxed; Get/Append box values only at
+// the kernel API boundary.
+type Column interface {
+	// Type returns the element type of the column.
+	Type() Type
+	// Len returns the number of elements.
+	Len() int
+	// Get returns the i-th element.
+	Get(i int) Value
+	// Append adds a value to the end of the column. The value must be
+	// of the column's type (void columns accept anything and record
+	// only length).
+	Append(v Value)
+	// Gather returns a new column holding the elements at the given
+	// positions, in order.
+	Gather(idx []int) Column
+	// Clone returns a deep copy of the column.
+	Clone() Column
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t Type) Column {
+	switch t {
+	case Void:
+		return &voidColumn{}
+	case OIDT:
+		return &oidColumn{}
+	case IntT:
+		return &intColumn{}
+	case FloatT:
+		return &floatColumn{}
+	case StrT:
+		return &strColumn{}
+	case BoolT:
+		return &boolColumn{}
+	default:
+		panic(fmt.Sprintf("monet: unknown column type %v", t))
+	}
+}
+
+// NewColumnCap returns an empty column of the given type with capacity
+// for n elements.
+func NewColumnCap(t Type, n int) Column {
+	switch t {
+	case Void:
+		return &voidColumn{}
+	case OIDT:
+		return &oidColumn{v: make([]OID, 0, n)}
+	case IntT:
+		return &intColumn{v: make([]int64, 0, n)}
+	case FloatT:
+		return &floatColumn{v: make([]float64, 0, n)}
+	case StrT:
+		return &strColumn{v: make([]string, 0, n)}
+	case BoolT:
+		return &boolColumn{v: make([]bool, 0, n)}
+	default:
+		panic(fmt.Sprintf("monet: unknown column type %v", t))
+	}
+}
+
+// voidColumn is a virtual dense sequence 0,1,2,... of OIDs offset by
+// seq base zero; it stores only its length.
+type voidColumn struct{ n int }
+
+func (c *voidColumn) Type() Type { return Void }
+func (c *voidColumn) Len() int   { return c.n }
+func (c *voidColumn) Get(i int) Value {
+	return NewOID(OID(i))
+}
+func (c *voidColumn) Append(Value) { c.n++ }
+func (c *voidColumn) Gather(idx []int) Column {
+	// Gathering from a dense sequence materializes real OIDs.
+	out := &oidColumn{v: make([]OID, len(idx))}
+	for i, p := range idx {
+		out.v[i] = OID(p)
+	}
+	return out
+}
+func (c *voidColumn) Clone() Column { return &voidColumn{n: c.n} }
+
+type oidColumn struct{ v []OID }
+
+func (c *oidColumn) Type() Type      { return OIDT }
+func (c *oidColumn) Len() int        { return len(c.v) }
+func (c *oidColumn) Get(i int) Value { return NewOID(c.v[i]) }
+func (c *oidColumn) Append(v Value)  { c.v = append(c.v, v.OID()) }
+func (c *oidColumn) Gather(idx []int) Column {
+	out := &oidColumn{v: make([]OID, len(idx))}
+	for i, p := range idx {
+		out.v[i] = c.v[p]
+	}
+	return out
+}
+func (c *oidColumn) Clone() Column {
+	out := &oidColumn{v: make([]OID, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+type intColumn struct{ v []int64 }
+
+func (c *intColumn) Type() Type      { return IntT }
+func (c *intColumn) Len() int        { return len(c.v) }
+func (c *intColumn) Get(i int) Value { return NewInt(c.v[i]) }
+func (c *intColumn) Append(v Value)  { c.v = append(c.v, v.Int()) }
+func (c *intColumn) Gather(idx []int) Column {
+	out := &intColumn{v: make([]int64, len(idx))}
+	for i, p := range idx {
+		out.v[i] = c.v[p]
+	}
+	return out
+}
+func (c *intColumn) Clone() Column {
+	out := &intColumn{v: make([]int64, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+type floatColumn struct{ v []float64 }
+
+func (c *floatColumn) Type() Type      { return FloatT }
+func (c *floatColumn) Len() int        { return len(c.v) }
+func (c *floatColumn) Get(i int) Value { return NewFloat(c.v[i]) }
+func (c *floatColumn) Append(v Value)  { c.v = append(c.v, v.Float()) }
+func (c *floatColumn) Gather(idx []int) Column {
+	out := &floatColumn{v: make([]float64, len(idx))}
+	for i, p := range idx {
+		out.v[i] = c.v[p]
+	}
+	return out
+}
+func (c *floatColumn) Clone() Column {
+	out := &floatColumn{v: make([]float64, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+type strColumn struct{ v []string }
+
+func (c *strColumn) Type() Type      { return StrT }
+func (c *strColumn) Len() int        { return len(c.v) }
+func (c *strColumn) Get(i int) Value { return NewStr(c.v[i]) }
+func (c *strColumn) Append(v Value)  { c.v = append(c.v, v.Str()) }
+func (c *strColumn) Gather(idx []int) Column {
+	out := &strColumn{v: make([]string, len(idx))}
+	for i, p := range idx {
+		out.v[i] = c.v[p]
+	}
+	return out
+}
+func (c *strColumn) Clone() Column {
+	out := &strColumn{v: make([]string, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+type boolColumn struct{ v []bool }
+
+func (c *boolColumn) Type() Type      { return BoolT }
+func (c *boolColumn) Len() int        { return len(c.v) }
+func (c *boolColumn) Get(i int) Value { return NewBool(c.v[i]) }
+func (c *boolColumn) Append(v Value)  { c.v = append(c.v, v.Bool()) }
+func (c *boolColumn) Gather(idx []int) Column {
+	out := &boolColumn{v: make([]bool, len(idx))}
+	for i, p := range idx {
+		out.v[i] = c.v[p]
+	}
+	return out
+}
+func (c *boolColumn) Clone() Column {
+	out := &boolColumn{v: make([]bool, len(c.v))}
+	copy(out.v, c.v)
+	return out
+}
+
+// Floats returns the raw float64 slice backing a dbl column, or nil if
+// the column is not a dbl column. The slice aliases the column; callers
+// must not modify it.
+func Floats(c Column) []float64 {
+	if fc, ok := c.(*floatColumn); ok {
+		return fc.v
+	}
+	return nil
+}
+
+// AppendFloats bulk-appends raw float64 values to a dbl column. It
+// panics if the column is not a dbl column.
+func AppendFloats(c Column, vs []float64) {
+	fc, ok := c.(*floatColumn)
+	if !ok {
+		panic("monet: AppendFloats on non-dbl column")
+	}
+	fc.v = append(fc.v, vs...)
+}

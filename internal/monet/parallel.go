@@ -1,0 +1,94 @@
+package monet
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel mirrors Monet's intra-query parallel execution operator (the
+// threadcnt block in the paper's Fig. 4): it runs the given tasks
+// concurrently on at most threads worker goroutines and waits for all
+// of them. A threads value <= 0 uses GOMAXPROCS. The first error
+// returned by any task (in task order) is returned.
+func Parallel(threads int, tasks ...func() error) error {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(tasks) {
+		threads = len(tasks)
+	}
+	if threads <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = tasks[i]()
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelMap applies f to every index in [0, n) using at most threads
+// workers, collecting results positionally. It is the bulk variant of
+// Parallel used by kernel operators that partition a BAT.
+func ParallelMap[T any](threads, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,341 @@
+package monet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a named catalog of BATs: the kernel's database. It is safe
+// for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	bats map[string]*BAT
+}
+
+// ErrNoSuchBAT is returned when a named BAT does not exist.
+var ErrNoSuchBAT = errors.New("monet: no such BAT")
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{bats: make(map[string]*BAT)}
+}
+
+// Put registers (or replaces) a BAT under the given name.
+func (s *Store) Put(name string, b *BAT) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bats[name] = b
+}
+
+// Get returns the BAT registered under name.
+func (s *Store) Get(name string) (*BAT, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.bats[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchBAT, name)
+	}
+	return b, nil
+}
+
+// Has reports whether a BAT is registered under name.
+func (s *Store) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.bats[name]
+	return ok
+}
+
+// Drop removes the BAT registered under name, if any.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.bats, name)
+}
+
+// Names returns the sorted names of all registered BATs.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.bats))
+	for n := range s.bats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered BATs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bats)
+}
+
+// Stats summarizes the store contents.
+type Stats struct {
+	// BATs is the number of registered BATs.
+	BATs int
+	// BUNs is the total association count across all BATs.
+	BUNs int
+	// ByPrefix counts BUNs per first path segment of the BAT name
+	// (before the first '/').
+	ByPrefix map[string]int
+}
+
+// Stats computes summary statistics over the store.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{ByPrefix: map[string]int{}}
+	for name, b := range s.bats {
+		st.BATs++
+		st.BUNs += b.Len()
+		prefix := name
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			prefix = name[:i]
+		}
+		st.ByPrefix[prefix] += b.Len()
+	}
+	return st
+}
+
+// batFileMagic identifies the snapshot file format.
+const batFileMagic = uint32(0xC0B2A001)
+
+// WriteTo serializes the BAT in the kernel snapshot format.
+func (b *BAT) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if err := writeU32(cw, batFileMagic); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, uint32(b.head.Type())<<8|uint32(b.tail.Type())); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, uint32(b.Len())); err != nil {
+		return cw.n, err
+	}
+	for i := 0; i < b.Len(); i++ {
+		// Serialize by declared column type: a void column boxes its
+		// elements as OIDs, which the reader skips entirely.
+		if b.head.Type() != Void {
+			if err := writeValue(cw, b.Head(i)); err != nil {
+				return cw.n, err
+			}
+		}
+		if b.tail.Type() != Void {
+			if err := writeValue(cw, b.Tail(i)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadBAT deserializes a BAT from the kernel snapshot format.
+func ReadBAT(r io.Reader) (*BAT, error) {
+	br := bufio.NewReader(r)
+	magic, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != batFileMagic {
+		return nil, fmt.Errorf("monet: bad snapshot magic %#x", magic)
+	}
+	types, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	ht, tt := Type(types>>8), Type(types&0xff)
+	n, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBATCap(ht, tt, int(n))
+	for i := uint32(0); i < n; i++ {
+		h, err := readValue(br, ht)
+		if err != nil {
+			return nil, err
+		}
+		t, err := readValue(br, tt)
+		if err != nil {
+			return nil, err
+		}
+		b.head.Append(h)
+		b.tail.Append(t)
+	}
+	return b, nil
+}
+
+// Snapshot writes every BAT in the store to dir, one file per BAT.
+func (s *Store) Snapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, b := range s.bats {
+		f, err := os.Create(filepath.Join(dir, encodeBATFileName(name)))
+		if err != nil {
+			return err
+		}
+		if _, err := b.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reads every BAT file from dir into the store,
+// replacing same-named BATs.
+func (s *Store) LoadSnapshot(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".bat") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		b, err := ReadBAT(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("monet: loading %s: %w", e.Name(), err)
+		}
+		s.Put(decodeBATFileName(e.Name()), b)
+	}
+	return nil
+}
+
+// encodeBATFileName maps a BAT name to a filesystem-safe file name.
+func encodeBATFileName(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			sb.WriteRune(r)
+		default:
+			fmt.Fprintf(&sb, "%%%04x", r)
+		}
+	}
+	sb.WriteString(".bat")
+	return sb.String()
+}
+
+func decodeBATFileName(file string) string {
+	name := strings.TrimSuffix(file, ".bat")
+	var sb strings.Builder
+	for i := 0; i < len(name); {
+		if name[i] == '%' && i+5 <= len(name) {
+			var r rune
+			if _, err := fmt.Sscanf(name[i+1:i+5], "%04x", &r); err == nil {
+				sb.WriteRune(r)
+				i += 5
+				continue
+			}
+		}
+		sb.WriteByte(name[i])
+		i++
+	}
+	return sb.String()
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeValue(w io.Writer, v Value) error {
+	switch v.Typ {
+	case Void:
+		return nil
+	case OIDT, IntT, BoolT:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+		_, err := w.Write(buf[:])
+		return err
+	case FloatT:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+		_, err := w.Write(buf[:])
+		return err
+	case StrT:
+		if err := writeU32(w, uint32(len(v.S))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, v.S)
+		return err
+	default:
+		return fmt.Errorf("monet: cannot serialize %v", v.Typ)
+	}
+}
+
+func readValue(r *bufio.Reader, t Type) (Value, error) {
+	switch t {
+	case Void:
+		return VoidValue(), nil
+	case OIDT, IntT, BoolT:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return Value{Typ: t, I: int64(binary.LittleEndian.Uint64(buf[:]))}, nil
+	case FloatT:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Value{}, err
+		}
+		return NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case StrT:
+		n, err := readU32(r)
+		if err != nil {
+			return Value{}, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		return NewStr(string(buf)), nil
+	default:
+		return Value{}, fmt.Errorf("monet: cannot deserialize %v", t)
+	}
+}

@@ -1,0 +1,181 @@
+// Package monet implements the physical layer of the Cobra VDBMS: a
+// main-memory database kernel with a binary relational model, modeled
+// after the Monet system the paper builds on.
+//
+// The central structure is the BAT (Binary Association Table), a
+// two-column table of (head, tail) associations. All kernel operations
+// — selections, joins, aggregation, grouping — are defined over BATs.
+// A Store names BATs and provides snapshot persistence, and Parallel
+// mirrors Monet's intra-query parallel execution operator (the
+// threadcnt block of the paper's Fig. 4).
+package monet
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type identifies the atomic type of a kernel value or column.
+type Type uint8
+
+// Atomic kernel types. Void is the virtual dense-OID column type used
+// for BAT heads that are simply consecutive object identifiers.
+const (
+	Void Type = iota
+	OIDT
+	IntT
+	FloatT
+	StrT
+	BoolT
+)
+
+// String returns the MIL-style name of the type.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case OIDT:
+		return "oid"
+	case IntT:
+		return "int"
+	case FloatT:
+		return "dbl"
+	case StrT:
+		return "str"
+	case BoolT:
+		return "bit"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// OID is an object identifier, the glue type of the binary relational
+// model: multi-attribute relations are decomposed into BATs that share
+// head OIDs.
+type OID uint64
+
+// Value is a tagged atomic kernel value. The zero Value is void.
+type Value struct {
+	Typ Type
+	I   int64   // IntT, OIDT (as int64), BoolT (0/1)
+	F   float64 // FloatT
+	S   string  // StrT
+}
+
+// Convenience constructors.
+
+// NewOID returns an OID-typed value.
+func NewOID(o OID) Value { return Value{Typ: OIDT, I: int64(o)} }
+
+// NewInt returns an int-typed value.
+func NewInt(i int64) Value { return Value{Typ: IntT, I: i} }
+
+// NewFloat returns a dbl-typed value.
+func NewFloat(f float64) Value { return Value{Typ: FloatT, F: f} }
+
+// NewStr returns a str-typed value.
+func NewStr(s string) Value { return Value{Typ: StrT, S: s} }
+
+// NewBool returns a bit-typed value.
+func NewBool(b bool) Value {
+	v := Value{Typ: BoolT}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// VoidValue is the single value of the void type.
+func VoidValue() Value { return Value{Typ: Void} }
+
+// OID returns the value as an OID; valid for OIDT values.
+func (v Value) OID() OID { return OID(v.I) }
+
+// Int returns the integer payload (IntT, OIDT, BoolT).
+func (v Value) Int() int64 { return v.I }
+
+// Float returns the value as float64, converting integers.
+func (v Value) Float() float64 {
+	switch v.Typ {
+	case FloatT:
+		return v.F
+	case IntT, OIDT, BoolT:
+		return float64(v.I)
+	default:
+		return math.NaN()
+	}
+}
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.S }
+
+// Bool reports the boolean payload.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// IsNil reports whether the value is the void value.
+func (v Value) IsNil() bool { return v.Typ == Void }
+
+// String renders the value in MIL literal style.
+func (v Value) String() string {
+	switch v.Typ {
+	case Void:
+		return "nil"
+	case OIDT:
+		return fmt.Sprintf("%d@0", v.I)
+	case IntT:
+		return strconv.FormatInt(v.I, 10)
+	case FloatT:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case StrT:
+		return strconv.Quote(v.S)
+	case BoolT:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values of the same type. It returns a negative
+// number, zero, or a positive number as a sorts before, equal to, or
+// after b. Comparing values of different types compares their types.
+func Compare(a, b Value) int {
+	if a.Typ != b.Typ {
+		return int(a.Typ) - int(b.Typ)
+	}
+	switch a.Typ {
+	case Void:
+		return 0
+	case OIDT, IntT, BoolT:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case FloatT:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case StrT:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two values are identical in type and payload.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }

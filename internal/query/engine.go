@@ -1,0 +1,391 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cobra/internal/cobra"
+	"cobra/internal/rules"
+)
+
+// Result is one retrieved video segment.
+type Result struct {
+	Interval   cobra.Interval
+	Confidence float64
+	Attrs      map[string]string
+}
+
+// CaptionEventType is the event type under which recognized
+// superimposed-text words are stored in the catalog; TextCond queries
+// read it.
+const CaptionEventType = "caption"
+
+// Engine evaluates COQL queries against a catalog, routing missing
+// metadata through the query preprocessor.
+type Engine struct {
+	pre *cobra.Preprocessor
+	// MinQuality is the quality floor passed to the preprocessor.
+	MinQuality float64
+}
+
+// NewEngine returns a query engine over the preprocessor.
+func NewEngine(pre *cobra.Preprocessor) *Engine {
+	return &Engine{pre: pre, MinQuality: 0.5}
+}
+
+// Run parses and executes a COQL statement.
+func (e *Engine) Run(src string) ([]Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute evaluates a parsed query: it ensures required metadata is
+// materialized, then evaluates the condition tree bottom-up over
+// segment sets. Event types no engine provides are treated as
+// user-defined, materialized-only types (they evaluate against
+// whatever the catalog holds, possibly nothing); other extraction
+// failures abort the query.
+func (e *Engine) Execute(q *Query) ([]Result, error) {
+	reqs := requirements(q.Where)
+	if _, err := e.pre.Ensure(q.Video, reqs, e.MinQuality); err != nil &&
+		!errors.Is(err, cobra.ErrNoExtractor) {
+		return nil, err
+	}
+	cat := e.pre.Catalog()
+	if q.Where == nil {
+		v, err := cat.Video(q.Video)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{{Interval: cobra.Interval{Start: 0, End: v.Duration}, Confidence: 1}}, nil
+	}
+	v, err := cat.Video(q.Video)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.eval(cat, q.Video, v.Duration, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	less := func(i, j int) bool { return res[i].Interval.Start < res[j].Interval.Start }
+	if q.OrderBy == "confidence" {
+		less = func(i, j int) bool {
+			if res[i].Confidence != res[j].Confidence {
+				return res[i].Confidence < res[j].Confidence
+			}
+			return res[i].Interval.Start < res[j].Interval.Start
+		}
+	}
+	if q.Desc {
+		inner := less
+		less = func(i, j int) bool { return inner(j, i) }
+	}
+	sort.SliceStable(res, less)
+	if q.Limit > 0 && len(res) > q.Limit {
+		res = res[:q.Limit]
+	}
+	return res, nil
+}
+
+// requirements walks the condition tree collecting metadata needs.
+func requirements(c Cond) []cobra.Requirement {
+	seen := map[string]bool{}
+	var out []cobra.Requirement
+	add := func(r cobra.Requirement) {
+		k := r.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	var walk func(Cond)
+	walk = func(c Cond) {
+		switch n := c.(type) {
+		case *EventCond:
+			add(cobra.Requirement{Kind: cobra.NeedEvents, Name: n.Type})
+		case *TextCond:
+			add(cobra.Requirement{Kind: cobra.NeedEvents, Name: CaptionEventType})
+		case *ObjectCond:
+			add(cobra.Requirement{Kind: cobra.NeedObjects, Name: ""})
+		case *FeatureCond:
+			add(cobra.Requirement{Kind: cobra.NeedFeature, Name: n.Name})
+		case *NotCond:
+			walk(n.X)
+		case *AndCond:
+			walk(n.L)
+			walk(n.R)
+		case *OrCond:
+			walk(n.L)
+			walk(n.R)
+		case *TemporalCond:
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	if c != nil {
+		walk(c)
+	}
+	return out
+}
+
+func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond) ([]Result, error) {
+	switch n := c.(type) {
+	case *EventCond:
+		var out []Result
+		for _, ev := range cat.Events(video, n.Type) {
+			if !attrsMatch(ev.Attrs, n.Attrs) {
+				continue
+			}
+			out = append(out, Result{Interval: ev.Interval, Confidence: ev.Confidence, Attrs: ev.Attrs})
+		}
+		return out, nil
+
+	case *ObjectCond:
+		obj, err := cat.Object(video, n.Name)
+		if err != nil {
+			return nil, nil // object never appears: empty result
+		}
+		var out []Result
+		for _, iv := range obj.Appearances {
+			out = append(out, Result{Interval: iv, Confidence: 1,
+				Attrs: map[string]string{"object": obj.Name, "class": obj.Class}})
+		}
+		return out, nil
+
+	case *TextCond:
+		var out []Result
+		for _, ev := range cat.Events(video, CaptionEventType) {
+			if strings.EqualFold(ev.Attr("word"), n.Word) {
+				out = append(out, Result{Interval: ev.Interval, Confidence: ev.Confidence, Attrs: ev.Attrs})
+			}
+		}
+		return out, nil
+
+	case *FeatureCond:
+		f, err := cat.Feature(video, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return featureRuns(f, n.Op, n.Val)
+
+	case *NotCond:
+		x, err := e.eval(cat, video, duration, n.X)
+		if err != nil {
+			return nil, err
+		}
+		return complement(x, duration), nil
+
+	case *AndCond:
+		l, err := e.eval(cat, video, duration, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(cat, video, duration, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return intersect(l, r), nil
+
+	case *OrCond:
+		l, err := e.eval(cat, video, duration, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(cat, video, duration, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+
+	case *TemporalCond:
+		l, err := e.eval(cat, video, duration, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.eval(cat, video, duration, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return temporalSemijoin(l, r, n.Rel, n.Gap)
+	}
+	return nil, fmt.Errorf("query: unknown condition %T", c)
+}
+
+func attrsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if !strings.EqualFold(have[k], v) {
+			return false
+		}
+	}
+	return true
+}
+
+// featureRuns converts threshold-satisfying runs of a feature series
+// into segments (runs shorter than 0.3 s are noise).
+func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
+	test := func(v float64) bool {
+		switch op {
+		case ">":
+			return v > val
+		case ">=":
+			return v >= val
+		case "<":
+			return v < val
+		case "<=":
+			return v <= val
+		case "=":
+			return v == val
+		}
+		return false
+	}
+	step := 1 / f.SampleRate
+	const minDur = 0.3
+	var out []Result
+	open := false
+	start := 0.0
+	for i, v := range f.Values {
+		t := float64(i) * step
+		if test(v) {
+			if !open {
+				open = true
+				start = t
+			}
+			continue
+		}
+		if open {
+			open = false
+			if t-start >= minDur {
+				out = append(out, Result{Interval: cobra.Interval{Start: start, End: t}, Confidence: 1})
+			}
+		}
+	}
+	if open {
+		end := float64(len(f.Values)) * step
+		if end-start >= minDur {
+			out = append(out, Result{Interval: cobra.Interval{Start: start, End: end}, Confidence: 1})
+		}
+	}
+	return out, nil
+}
+
+// intersect pairs overlapping segments from both sides, returning the
+// intersection intervals with merged attributes and the minimum
+// confidence.
+func intersect(l, r []Result) []Result {
+	var out []Result
+	for _, a := range l {
+		for _, b := range r {
+			if !a.Interval.Intersects(b.Interval) {
+				continue
+			}
+			iv := a.Interval
+			if b.Interval.Start > iv.Start {
+				iv.Start = b.Interval.Start
+			}
+			if b.Interval.End < iv.End {
+				iv.End = b.Interval.End
+			}
+			conf := a.Confidence
+			if b.Confidence < conf {
+				conf = b.Confidence
+			}
+			attrs := map[string]string{}
+			for k, v := range a.Attrs {
+				attrs[k] = v
+			}
+			for k, v := range b.Attrs {
+				attrs[k] = v
+			}
+			out = append(out, Result{Interval: iv, Confidence: conf, Attrs: attrs})
+		}
+	}
+	return out
+}
+
+// temporalSemijoin keeps left segments standing in the relation to at
+// least one right segment.
+func temporalSemijoin(l, r []Result, rel string, gap float64) ([]Result, error) {
+	var rels []rules.Relation
+	switch rel {
+	case "before":
+		rels = []rules.Relation{rules.Before, rules.Meets}
+	case "after":
+		rels = []rules.Relation{rules.After, rules.MetBy}
+	case "during":
+		rels = []rules.Relation{rules.During, rules.Starts, rules.Finishes, rules.Equals}
+	case "overlaps":
+		rels = []rules.Relation{rules.Overlaps, rules.OverlappedBy, rules.During,
+			rules.Contains, rules.Starts, rules.StartedBy, rules.Finishes,
+			rules.FinishedBy, rules.Equals}
+	case "meets":
+		rels = []rules.Relation{rules.Meets, rules.MetBy}
+	case "within":
+		// handled separately below
+	default:
+		return nil, fmt.Errorf("query: unknown temporal relation %q", rel)
+	}
+	var out []Result
+	for _, a := range l {
+		matched := false
+		for _, b := range r {
+			if rel == "within" {
+				if gapBetween(a.Interval, b.Interval) <= gap {
+					matched = true
+				}
+			} else {
+				for _, rr := range rels {
+					if rules.Holds(rr, a.Interval, b.Interval) {
+						// Respect the gap for before/after if set.
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if matched {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// gapBetween returns 0 for intersecting intervals, else the distance
+// between their closest endpoints.
+func gapBetween(a, b rules.Interval) float64 {
+	if a.Intersects(b) {
+		return 0
+	}
+	if a.End <= b.Start {
+		return b.Start - a.End
+	}
+	return a.Start - b.End
+}
+
+// complement returns the gaps the given segments leave within
+// [0, duration).
+func complement(res []Result, duration float64) []Result {
+	sorted := append([]Result(nil), res...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Interval.Start < sorted[j].Interval.Start })
+	var out []Result
+	cursor := 0.0
+	for _, r := range sorted {
+		if r.Interval.Start > cursor {
+			out = append(out, Result{Interval: cobra.Interval{Start: cursor, End: r.Interval.Start}, Confidence: 1})
+		}
+		if r.Interval.End > cursor {
+			cursor = r.Interval.End
+		}
+	}
+	if cursor < duration {
+		out = append(out, Result{Interval: cobra.Interval{Start: cursor, End: duration}, Confidence: 1})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package query implements COQL, the conceptual-level query language
+// of the Cobra VDBMS (§5.6). Queries select video segments by event
+// predicates, recognized caption text, raw feature thresholds and
+// temporal relationships; the engine asks the query preprocessor to
+// materialize any missing metadata before evaluation (dynamic
+// feature/semantic extraction, §2).
+//
+// Examples from the paper, in COQL:
+//
+//	SELECT SEGMENTS FROM german-gp WHERE EVENT('pitstop', driver='BARRICHELLO')
+//	SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight') AND TEXT CONTAINS 'SCHUMACHER'
+//	SELECT SEGMENTS FROM german-gp WHERE EVENT('flyout') OR FEATURE('dust') > 0.5
+//	SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight') WITHIN 10 OF EVENT('pitstop')
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tPunct // ( ) , =
+	tOp    // > >= < <=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// keywords are case-insensitive.
+var keywords = map[string]bool{
+	"select": true, "retrieve": true, "segments": true, "events": true,
+	"from": true, "where": true, "and": true, "or": true, "not": true,
+	"event": true, "text": true, "contains": true, "feature": true,
+	"object": true,
+	"within": true, "of": true, "before": true, "after": true,
+	"during": true, "overlaps": true, "meets": true, "s": true,
+	"order": true, "by": true, "confidence": true, "start": true,
+	"desc": true, "asc": true, "limit": true,
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: %d: unterminated string", i)
+			}
+			toks = append(toks, token{kind: tString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tNumber, text: src[i:j], pos: i})
+			i = j
+		case c == '(' || c == ')' || c == ',' || c == '=':
+			toks = append(toks, token{kind: tPunct, text: string(c), pos: i})
+			i++
+		case c == '>' || c == '<':
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			toks = append(toks, token{kind: tOp, text: src[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				j++
+			}
+			toks = append(toks, token{kind: tIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: %d: unexpected character %q", i, rune(c))
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: len(src)})
+	return toks, nil
+}
+
+// isKeyword matches an ident token against a keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tIdent && strings.EqualFold(t.text, kw) && keywords[strings.ToLower(kw)]
+}

@@ -1,0 +1,173 @@
+// Package rules implements the rule-based extension of the Cobra VDBMS
+// (§3): a forward-chaining inference engine over event facts with
+// attribute constraints and Allen-interval temporal reasoning. Rules
+// formalize high-level concepts ("a pit-stop highlight is a highlight
+// overlapping a pit stop of the queried driver") and derive new events
+// until fixpoint, which is how users define compound events through
+// the interface (§5.6).
+package rules
+
+import "fmt"
+
+// Interval is a time interval [Start, End) in seconds.
+type Interval struct {
+	Start, End float64
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Valid reports whether the interval is well-formed and non-empty.
+func (iv Interval) Valid() bool { return iv.End > iv.Start }
+
+// Intersects reports whether two intervals share any time.
+func (iv Interval) Intersects(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Union returns the smallest interval covering both.
+func (iv Interval) Union(o Interval) Interval {
+	out := iv
+	if o.Start < out.Start {
+		out.Start = o.Start
+	}
+	if o.End > out.End {
+		out.End = o.End
+	}
+	return out
+}
+
+// Relation is one of Allen's thirteen interval relations.
+type Relation int
+
+// Allen's interval relations. The inverse of each forward relation R
+// satisfies R(a,b) == Inverse(R)(b,a); Equals is its own inverse.
+const (
+	Before Relation = iota
+	Meets
+	Overlaps
+	Starts
+	During
+	Finishes
+	Equals
+	After
+	MetBy
+	OverlappedBy
+	StartedBy
+	Contains
+	FinishedBy
+)
+
+// relationNames maps relations to their DSL spellings.
+var relationNames = map[Relation]string{
+	Before: "BEFORE", Meets: "MEETS", Overlaps: "OVERLAPS",
+	Starts: "STARTS", During: "DURING", Finishes: "FINISHES",
+	Equals: "EQUALS", After: "AFTER", MetBy: "METBY",
+	OverlappedBy: "OVERLAPPEDBY", StartedBy: "STARTEDBY",
+	Contains: "CONTAINS", FinishedBy: "FINISHEDBY",
+}
+
+// String returns the DSL spelling of the relation.
+func (r Relation) String() string {
+	if s, ok := relationNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// ParseRelation resolves a DSL spelling.
+func ParseRelation(s string) (Relation, bool) {
+	for r, name := range relationNames {
+		if name == s {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Inverse returns the converse relation.
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Before:
+		return After
+	case After:
+		return Before
+	case Meets:
+		return MetBy
+	case MetBy:
+		return Meets
+	case Overlaps:
+		return OverlappedBy
+	case OverlappedBy:
+		return Overlaps
+	case Starts:
+		return StartedBy
+	case StartedBy:
+		return Starts
+	case During:
+		return Contains
+	case Contains:
+		return During
+	case Finishes:
+		return FinishedBy
+	case FinishedBy:
+		return Finishes
+	default:
+		return Equals
+	}
+}
+
+// eqTol is the tolerance for endpoint equality, accommodating the 0.1 s
+// clip grid of the feature streams.
+const eqTol = 1e-9
+
+func feq(a, b float64) bool {
+	d := a - b
+	return d < eqTol && d > -eqTol
+}
+
+// Holds reports whether relation r holds between intervals a and b.
+func Holds(r Relation, a, b Interval) bool {
+	switch r {
+	case Before:
+		return a.End < b.Start
+	case After:
+		return Holds(Before, b, a)
+	case Meets:
+		return feq(a.End, b.Start)
+	case MetBy:
+		return Holds(Meets, b, a)
+	case Overlaps:
+		return a.Start < b.Start && a.End > b.Start && a.End < b.End
+	case OverlappedBy:
+		return Holds(Overlaps, b, a)
+	case Starts:
+		return feq(a.Start, b.Start) && a.End < b.End
+	case StartedBy:
+		return Holds(Starts, b, a)
+	case During:
+		return a.Start > b.Start && a.End < b.End
+	case Contains:
+		return Holds(During, b, a)
+	case Finishes:
+		return feq(a.End, b.End) && a.Start > b.Start
+	case FinishedBy:
+		return Holds(Finishes, b, a)
+	case Equals:
+		return feq(a.Start, b.Start) && feq(a.End, b.End)
+	default:
+		return false
+	}
+}
+
+// RelationBetween classifies the (unique) Allen relation between two
+// valid intervals.
+func RelationBetween(a, b Interval) Relation {
+	for r := Before; r <= FinishedBy; r++ {
+		if Holds(r, a, b) {
+			return r
+		}
+	}
+	// Unreachable for valid intervals, but keep a defined answer.
+	return Equals
+}

@@ -1,0 +1,299 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is a fact: a typed, timed occurrence with a confidence and
+// free-form attributes (driver names, caption text, etc.).
+type Event struct {
+	Type       string
+	Interval   Interval
+	Confidence float64
+	Attrs      map[string]string
+}
+
+// Attr returns an attribute value ("" when absent).
+func (e Event) Attr(key string) string { return e.Attrs[key] }
+
+// key canonicalizes an event for duplicate suppression.
+func (e Event) key() string {
+	attrs := make([]string, 0, len(e.Attrs))
+	for k, v := range e.Attrs {
+		attrs = append(attrs, k+"="+v)
+	}
+	sort.Strings(attrs)
+	return fmt.Sprintf("%s|%.4f|%.4f|%s", e.Type, e.Interval.Start, e.Interval.End, strings.Join(attrs, ","))
+}
+
+// Store is the fact base.
+type Store struct {
+	events []Event
+	seen   map[string]bool
+}
+
+// NewStore returns an empty fact base.
+func NewStore() *Store {
+	return &Store{seen: map[string]bool{}}
+}
+
+// Assert adds an event unless an identical one exists; it reports
+// whether the event was new.
+func (s *Store) Assert(e Event) bool {
+	k := e.key()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.events = append(s.events, e)
+	return true
+}
+
+// Events returns all events of the given type (all events when typ is
+// ""), ordered by start time.
+func (s *Store) Events(typ string) []Event {
+	var out []Event
+	for _, e := range s.events {
+		if typ == "" || e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
+	return out
+}
+
+// Len returns the number of stored events.
+func (s *Store) Len() int { return len(s.events) }
+
+// Pattern selects events by type and attribute equality, with a
+// minimum confidence.
+type Pattern struct {
+	// Var names the binding used by temporal constraints.
+	Var string
+	// Type is the required event type.
+	Type string
+	// Attrs are required attribute values (all must match).
+	Attrs map[string]string
+	// MinConfidence is the minimum confidence (0 accepts all).
+	MinConfidence float64
+}
+
+func (p Pattern) matches(e Event) bool {
+	if e.Type != p.Type {
+		return false
+	}
+	if e.Confidence < p.MinConfidence {
+		return false
+	}
+	for k, v := range p.Attrs {
+		if e.Attrs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TemporalConstraint requires one of the given Allen relations (a
+// disjunction) between two bound variables, optionally within a
+// maximum gap for Before/After.
+type TemporalConstraint struct {
+	A, B      string
+	Relations []Relation
+	// MaxGap bounds the gap for Before/After relations; 0 = unbounded.
+	MaxGap float64
+}
+
+func (tc TemporalConstraint) holds(a, b Interval) bool {
+	for _, r := range tc.Relations {
+		if !Holds(r, a, b) {
+			continue
+		}
+		if tc.MaxGap > 0 {
+			switch r {
+			case Before:
+				if b.Start-a.End > tc.MaxGap {
+					continue
+				}
+			case After:
+				if a.Start-b.End > tc.MaxGap {
+					continue
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Rule derives a new event from a conjunction of patterns subject to
+// temporal constraints. The derived event spans the union of the bound
+// intervals, carries the minimum confidence of its premises, and
+// copies CopyAttrs from the named bindings.
+type Rule struct {
+	Name     string
+	Produces string
+	Patterns []Pattern
+	Where    []TemporalConstraint
+	// CopyAttrs maps produced attribute name -> "var.attr" source.
+	CopyAttrs map[string]string
+	// SetAttrs are constant attributes on the produced event.
+	SetAttrs map[string]string
+}
+
+// Validate checks rule well-formedness.
+func (r Rule) Validate() error {
+	if r.Name == "" || r.Produces == "" {
+		return errors.New("rules: rule needs a name and a produced type")
+	}
+	if len(r.Patterns) == 0 {
+		return errors.New("rules: rule needs at least one pattern")
+	}
+	vars := map[string]bool{}
+	for _, p := range r.Patterns {
+		if p.Var == "" || p.Type == "" {
+			return fmt.Errorf("rules: rule %s: pattern needs var and type", r.Name)
+		}
+		if vars[p.Var] {
+			return fmt.Errorf("rules: rule %s: duplicate var %s", r.Name, p.Var)
+		}
+		vars[p.Var] = true
+	}
+	for _, tc := range r.Where {
+		if !vars[tc.A] || !vars[tc.B] {
+			return fmt.Errorf("rules: rule %s: constraint references unknown var", r.Name)
+		}
+		if len(tc.Relations) == 0 {
+			return fmt.Errorf("rules: rule %s: empty relation disjunction", r.Name)
+		}
+	}
+	for _, src := range r.CopyAttrs {
+		parts := strings.SplitN(src, ".", 2)
+		if len(parts) != 2 || !vars[parts[0]] {
+			return fmt.Errorf("rules: rule %s: bad attribute source %q", r.Name, src)
+		}
+	}
+	return nil
+}
+
+// Engine forward-chains a rule set over a store.
+type Engine struct {
+	rules []Rule
+	// MaxRounds caps fixpoint iteration (default 8).
+	MaxRounds int
+}
+
+// NewEngine validates and collects the rules.
+func NewEngine(rules ...Rule) (*Engine, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{rules: append([]Rule(nil), rules...), MaxRounds: 8}, nil
+}
+
+// Run derives events until fixpoint (or MaxRounds) and returns the
+// number of newly asserted events.
+func (en *Engine) Run(s *Store) int {
+	total := 0
+	rounds := en.MaxRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		added := 0
+		for _, r := range en.rules {
+			added += en.fire(r, s)
+		}
+		total += added
+		if added == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// fire enumerates all bindings of the rule's patterns and asserts the
+// derived events.
+func (en *Engine) fire(r Rule, s *Store) int {
+	// Candidate lists per pattern.
+	cands := make([][]Event, len(r.Patterns))
+	for i, p := range r.Patterns {
+		for _, e := range s.Events(p.Type) {
+			if p.matches(e) {
+				cands[i] = append(cands[i], e)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return 0
+		}
+	}
+	added := 0
+	binding := make([]Event, len(r.Patterns))
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(r.Patterns) {
+			if derived, ok := en.derive(r, binding); ok {
+				if s.Assert(derived) {
+					added++
+				}
+			}
+			return
+		}
+		for _, e := range cands[k] {
+			binding[k] = e
+			// Early constraint check: any constraint fully bound by the
+			// first k+1 vars must hold.
+			if en.partialOK(r, binding[:k+1]) {
+				rec(k + 1)
+			}
+		}
+	}
+	rec(0)
+	return added
+}
+
+func (en *Engine) partialOK(r Rule, bound []Event) bool {
+	pos := map[string]int{}
+	for i := range bound {
+		pos[r.Patterns[i].Var] = i
+	}
+	for _, tc := range r.Where {
+		ai, aok := pos[tc.A]
+		bi, bok := pos[tc.B]
+		if !aok || !bok {
+			continue
+		}
+		if !tc.holds(bound[ai].Interval, bound[bi].Interval) {
+			return false
+		}
+	}
+	return true
+}
+
+func (en *Engine) derive(r Rule, binding []Event) (Event, bool) {
+	iv := binding[0].Interval
+	conf := binding[0].Confidence
+	for _, e := range binding[1:] {
+		iv = iv.Union(e.Interval)
+		if e.Confidence < conf {
+			conf = e.Confidence
+		}
+	}
+	attrs := map[string]string{}
+	for k, v := range r.SetAttrs {
+		attrs[k] = v
+	}
+	pos := map[string]int{}
+	for i, p := range r.Patterns {
+		pos[p.Var] = i
+	}
+	for dst, src := range r.CopyAttrs {
+		parts := strings.SplitN(src, ".", 2)
+		attrs[dst] = binding[pos[parts[0]]].Attrs[parts[1]]
+	}
+	return Event{Type: r.Produces, Interval: iv, Confidence: conf, Attrs: attrs}, true
+}

@@ -1,0 +1,239 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRule parses the textual rule DSL through which users define
+// compound events (§5.6: "a user can define new compound events by
+// specifying different temporal relationships among already defined
+// events"). The syntax is line-oriented:
+//
+//	RULE pit-highlight:
+//	  h: highlight CONF >= 0.5
+//	  p: pitstop WHERE driver = "BARRICHELLO"
+//	  h OVERLAPS|DURING p
+//	  h BEFORE p MAXGAP 10
+//	  => pit-highlight SET source = "rule" COPY driver = p.driver
+//
+// The first line names the rule; each following indented line is a
+// pattern binding (`var: type [WHERE attr = "v" [, ...]] [CONF >= x]`),
+// a temporal constraint (`a REL[|REL...] b [MAXGAP n]`), or the
+// production (`=> type [SET k = "v" ...] [COPY k = var.attr ...]`).
+func ParseRule(src string) (Rule, error) {
+	var r Rule
+	lines := strings.Split(src, "\n")
+	vars := map[string]bool{}
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "RULE "):
+			name := strings.TrimSpace(line[5:])
+			name = strings.TrimSuffix(name, ":")
+			if name == "" {
+				return r, fmt.Errorf("rules: line %d: empty rule name", ln+1)
+			}
+			r.Name = name
+		case strings.HasPrefix(line, "=>"):
+			if err := parseProduction(&r, strings.TrimSpace(line[2:]), ln+1); err != nil {
+				return r, err
+			}
+		case strings.Contains(line, ":"):
+			p, err := parsePattern(line, ln+1)
+			if err != nil {
+				return r, err
+			}
+			if vars[p.Var] {
+				return r, fmt.Errorf("rules: line %d: duplicate variable %q", ln+1, p.Var)
+			}
+			vars[p.Var] = true
+			r.Patterns = append(r.Patterns, p)
+		default:
+			tc, err := parseConstraint(line, ln+1)
+			if err != nil {
+				return r, err
+			}
+			r.Where = append(r.Where, tc)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// parsePattern handles `var: type [WHERE attr = "v", ...] [CONF >= x]`.
+func parsePattern(line string, ln int) (Pattern, error) {
+	var p Pattern
+	name, rest, _ := strings.Cut(line, ":")
+	p.Var = strings.TrimSpace(name)
+	rest = strings.TrimSpace(rest)
+
+	// CONF clause (strip from the end first).
+	if idx := indexWord(rest, "CONF"); idx >= 0 {
+		clause := strings.TrimSpace(rest[idx+4:])
+		rest = strings.TrimSpace(rest[:idx])
+		clause = strings.TrimPrefix(clause, ">=")
+		v, err := strconv.ParseFloat(strings.TrimSpace(clause), 64)
+		if err != nil {
+			return p, fmt.Errorf("rules: line %d: bad CONF value", ln)
+		}
+		p.MinConfidence = v
+	}
+	if idx := indexWord(rest, "WHERE"); idx >= 0 {
+		attrPart := strings.TrimSpace(rest[idx+5:])
+		rest = strings.TrimSpace(rest[:idx])
+		p.Attrs = map[string]string{}
+		for _, clause := range strings.Split(attrPart, ",") {
+			k, v, ok := strings.Cut(clause, "=")
+			if !ok {
+				return p, fmt.Errorf("rules: line %d: bad WHERE clause %q", ln, clause)
+			}
+			p.Attrs[strings.TrimSpace(k)] = unquote(strings.TrimSpace(v))
+		}
+	}
+	p.Type = strings.TrimSpace(rest)
+	if p.Var == "" || p.Type == "" {
+		return p, fmt.Errorf("rules: line %d: pattern needs `var: type`", ln)
+	}
+	return p, nil
+}
+
+// parseConstraint handles `a REL[|REL...] b [MAXGAP n]`.
+func parseConstraint(line string, ln int) (TemporalConstraint, error) {
+	var tc TemporalConstraint
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return tc, fmt.Errorf("rules: line %d: expected `a REL b`", ln)
+	}
+	tc.A = fields[0]
+	for _, relName := range strings.Split(strings.ToUpper(fields[1]), "|") {
+		rel, ok := ParseRelation(relName)
+		if !ok {
+			return tc, fmt.Errorf("rules: line %d: unknown relation %q", ln, relName)
+		}
+		tc.Relations = append(tc.Relations, rel)
+	}
+	tc.B = fields[2]
+	if len(fields) >= 5 && strings.EqualFold(fields[3], "MAXGAP") {
+		v, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			return tc, fmt.Errorf("rules: line %d: bad MAXGAP", ln)
+		}
+		tc.MaxGap = v
+	} else if len(fields) > 3 {
+		return tc, fmt.Errorf("rules: line %d: unexpected trailing %q", ln, fields[3])
+	}
+	return tc, nil
+}
+
+// parseProduction handles `type [SET k = "v" ...] [COPY k = var.attr ...]`.
+func parseProduction(r *Rule, rest string, ln int) error {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("rules: line %d: production needs a type", ln)
+	}
+	r.Produces = fields[0]
+	i := 1
+	for i < len(fields) {
+		switch strings.ToUpper(fields[i]) {
+		case "SET":
+			if i+3 >= len(fields) || fields[i+2] != "=" {
+				return fmt.Errorf("rules: line %d: SET needs `k = \"v\"`", ln)
+			}
+			if r.SetAttrs == nil {
+				r.SetAttrs = map[string]string{}
+			}
+			r.SetAttrs[fields[i+1]] = unquote(fields[i+3])
+			i += 4
+		case "COPY":
+			if i+3 >= len(fields) || fields[i+2] != "=" {
+				return fmt.Errorf("rules: line %d: COPY needs `k = var.attr`", ln)
+			}
+			if r.CopyAttrs == nil {
+				r.CopyAttrs = map[string]string{}
+			}
+			r.CopyAttrs[fields[i+1]] = fields[i+3]
+			i += 4
+		default:
+			return fmt.Errorf("rules: line %d: unexpected %q in production", ln, fields[i])
+		}
+	}
+	return nil
+}
+
+// indexWord finds a whole-word, case-insensitive occurrence.
+func indexWord(s, word string) int {
+	upper := strings.ToUpper(s)
+	word = strings.ToUpper(word)
+	from := 0
+	for {
+		idx := strings.Index(upper[from:], word)
+		if idx < 0 {
+			return -1
+		}
+		idx += from
+		beforeOK := idx == 0 || upper[idx-1] == ' '
+		after := idx + len(word)
+		afterOK := after >= len(upper) || upper[after] == ' '
+		if beforeOK && afterOK {
+			return idx
+		}
+		from = idx + len(word)
+	}
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' && s[len(s)-1] == '"' || s[0] == '\'' && s[len(s)-1] == '\'') {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// ParseRules parses several RULE blocks separated by blank-line
+// boundaries at RULE keywords.
+func ParseRules(src string) ([]Rule, error) {
+	var blocks []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, strings.Join(cur, "\n"))
+			cur = nil
+		}
+	}
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(line)), "RULE ") {
+			flush()
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	var out []Rule
+	for _, b := range blocks {
+		// Skip blocks holding no RULE line (leading comments/blanks).
+		hasRule := false
+		for _, line := range strings.Split(b, "\n") {
+			if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(line)), "RULE ") {
+				hasRule = true
+				break
+			}
+		}
+		if !hasRule {
+			continue
+		}
+		r, err := ParseRule(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rules: no RULE blocks found")
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+const pitHighlightSrc = `
+RULE pit-highlight:
+  h: highlight CONF >= 0.5
+  p: pitstop WHERE driver = "BARRICHELLO"
+  h OVERLAPS|DURING|CONTAINS p
+  => pit-highlight SET source = "rule" COPY driver = p.driver
+`
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule(pitHighlightSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "pit-highlight" || r.Produces != "pit-highlight" {
+		t.Fatalf("rule = %+v", r)
+	}
+	if len(r.Patterns) != 2 {
+		t.Fatalf("patterns = %v", r.Patterns)
+	}
+	if r.Patterns[0].MinConfidence != 0.5 {
+		t.Fatalf("conf = %v", r.Patterns[0].MinConfidence)
+	}
+	if r.Patterns[1].Attrs["driver"] != "BARRICHELLO" {
+		t.Fatalf("attrs = %v", r.Patterns[1].Attrs)
+	}
+	if len(r.Where) != 1 || len(r.Where[0].Relations) != 3 {
+		t.Fatalf("where = %v", r.Where)
+	}
+	if r.SetAttrs["source"] != "rule" || r.CopyAttrs["driver"] != "p.driver" {
+		t.Fatalf("production = %+v", r)
+	}
+}
+
+func TestParsedRuleFires(t *testing.T) {
+	r, err := ParseRule(pitHighlightSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	s.Assert(Event{Type: "highlight", Interval: iv(100, 110), Confidence: 0.9})
+	s.Assert(Event{Type: "pitstop", Interval: iv(104, 112), Confidence: 1,
+		Attrs: map[string]string{"driver": "BARRICHELLO"}})
+	if en.Run(s) != 1 {
+		t.Fatal("parsed rule did not fire")
+	}
+	got := s.Events("pit-highlight")
+	if len(got) != 1 || got[0].Attr("driver") != "BARRICHELLO" || got[0].Attr("source") != "rule" {
+		t.Fatalf("derived = %v", got)
+	}
+}
+
+func TestParseRuleMaxGap(t *testing.T) {
+	r, err := ParseRule(`
+RULE replay-of:
+  e: passing
+  r: replay
+  e BEFORE r MAXGAP 15
+  => passing-replayed
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Where[0].MaxGap != 15 {
+		t.Fatalf("maxgap = %v", r.Where[0].MaxGap)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		``,                                      // empty
+		`RULE x:`,                               // no patterns/production
+		"RULE x:\n  a: t\n  => y TRAILING",      // bad production keyword
+		"RULE x:\n  a: t\n  a NEXTTO b\n  => y", // unknown relation
+		"RULE x:\n  a: t\n  a BEFORE\n  => y",   // short constraint
+		"RULE x:\n  a: t\n  a: t\n  => y",       // duplicate var
+		"RULE x:\n  a: t WHERE driver\n  => y",  // bad WHERE
+		"RULE x:\n  a: t CONF >= abc\n  => y",   // bad CONF
+		"RULE x:\n  a: t\n  a BEFORE b\n  => y", // constraint references unknown var
+		"RULE :\n  a: t\n  => y",                // empty name
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	src := pitHighlightSrc + `
+RULE second:
+  a: start
+  => race-begin
+`
+	rs, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[1].Name != "second" {
+		t.Fatalf("rules = %v", rs)
+	}
+	if _, err := ParseRules("   \n  "); err == nil {
+		t.Fatal("empty source accepted")
+	}
+}
+
+func TestParseRuleComments(t *testing.T) {
+	r, err := ParseRule(`
+# a comment
+RULE c:
+  a: start
+  # another comment
+  => begin
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "c" || r.Produces != "begin" {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+func TestIndexWord(t *testing.T) {
+	if indexWord("type WHERE x", "WHERE") != 5 {
+		t.Fatal("indexWord basic")
+	}
+	if indexWord("typewhere x", "WHERE") != -1 {
+		t.Fatal("indexWord should require word boundary")
+	}
+	if idx := indexWord("a whereabouts WHERE b", "WHERE"); idx != strings.Index("a whereabouts WHERE b", "WHERE") {
+		t.Fatalf("indexWord skipping = %d", idx)
+	}
+}
+
+func TestParseRulesLeadingComments(t *testing.T) {
+	rs, err := ParseRules(`
+# leading commentary before any rule
+
+RULE only:
+  a: start
+  => begin
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Name != "only" {
+		t.Fatalf("rules = %v", rs)
+	}
+}

@@ -1,0 +1,260 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func iv(a, b float64) Interval { return Interval{Start: a, End: b} }
+
+func TestIntervalBasics(t *testing.T) {
+	if !iv(1, 2).Valid() || iv(2, 2).Valid() || iv(3, 2).Valid() {
+		t.Fatal("Valid wrong")
+	}
+	if iv(1, 2).Duration() != 1 {
+		t.Fatal("Duration wrong")
+	}
+	if !iv(1, 3).Intersects(iv(2, 4)) || iv(1, 2).Intersects(iv(2, 3)) {
+		t.Fatal("Intersects wrong")
+	}
+	u := iv(1, 3).Union(iv(2, 5))
+	if u != iv(1, 5) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestAllenRelations(t *testing.T) {
+	cases := []struct {
+		rel  Relation
+		a, b Interval
+	}{
+		{Before, iv(0, 1), iv(2, 3)},
+		{Meets, iv(0, 1), iv(1, 2)},
+		{Overlaps, iv(0, 2), iv(1, 3)},
+		{Starts, iv(0, 1), iv(0, 2)},
+		{During, iv(1, 2), iv(0, 3)},
+		{Finishes, iv(1, 2), iv(0, 2)},
+		{Equals, iv(0, 1), iv(0, 1)},
+	}
+	for _, c := range cases {
+		if !Holds(c.rel, c.a, c.b) {
+			t.Errorf("%v should hold for %v, %v", c.rel, c.a, c.b)
+		}
+		if got := RelationBetween(c.a, c.b); got != c.rel {
+			t.Errorf("RelationBetween(%v, %v) = %v, want %v", c.a, c.b, got, c.rel)
+		}
+		// The inverse holds with swapped arguments.
+		if !Holds(c.rel.Inverse(), c.b, c.a) {
+			t.Errorf("inverse of %v should hold for swapped args", c.rel)
+		}
+	}
+}
+
+// Property: exactly one Allen relation holds between any two valid
+// intervals with distinct-enough endpoints.
+func TestAllenExclusivityProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a := iv(float64(a0), float64(a0)+float64(a1%50)+1)
+		b := iv(float64(b0), float64(b0)+float64(b1%50)+1)
+		count := 0
+		for r := Before; r <= FinishedBy; r++ {
+			if Holds(r, a, b) {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRelation(t *testing.T) {
+	r, ok := ParseRelation("DURING")
+	if !ok || r != During {
+		t.Fatalf("ParseRelation = %v, %v", r, ok)
+	}
+	if _, ok := ParseRelation("NOPE"); ok {
+		t.Fatal("bad relation parsed")
+	}
+	if During.String() != "DURING" {
+		t.Fatalf("String = %q", During.String())
+	}
+}
+
+func TestStoreAssertDedupe(t *testing.T) {
+	s := NewStore()
+	e := Event{Type: "highlight", Interval: iv(1, 2), Confidence: 0.9,
+		Attrs: map[string]string{"driver": "SCHUMACHER"}}
+	if !s.Assert(e) {
+		t.Fatal("first assert rejected")
+	}
+	if s.Assert(e) {
+		t.Fatal("duplicate accepted")
+	}
+	e2 := e
+	e2.Attrs = map[string]string{"driver": "HAKKINEN"}
+	if !s.Assert(e2) {
+		t.Fatal("distinct attrs rejected")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStoreEventsSorted(t *testing.T) {
+	s := NewStore()
+	s.Assert(Event{Type: "x", Interval: iv(5, 6)})
+	s.Assert(Event{Type: "x", Interval: iv(1, 2)})
+	s.Assert(Event{Type: "y", Interval: iv(0, 1)})
+	xs := s.Events("x")
+	if len(xs) != 2 || xs[0].Interval.Start != 1 {
+		t.Fatalf("events = %v", xs)
+	}
+	if len(s.Events("")) != 3 {
+		t.Fatal("all-events query wrong")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{},
+		{Name: "r", Produces: "p"},
+		{Name: "r", Produces: "p", Patterns: []Pattern{{Var: "", Type: "t"}}},
+		{Name: "r", Produces: "p", Patterns: []Pattern{{Var: "a", Type: "t"}, {Var: "a", Type: "t"}}},
+		{Name: "r", Produces: "p", Patterns: []Pattern{{Var: "a", Type: "t"}},
+			Where: []TemporalConstraint{{A: "a", B: "zz", Relations: []Relation{Before}}}},
+		{Name: "r", Produces: "p", Patterns: []Pattern{{Var: "a", Type: "t"}},
+			Where: []TemporalConstraint{{A: "a", B: "a"}}},
+		{Name: "r", Produces: "p", Patterns: []Pattern{{Var: "a", Type: "t"}},
+			CopyAttrs: map[string]string{"d": "zz.attr"}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %d accepted", i)
+		}
+	}
+}
+
+// pitStopHighlightRule is the paper's running example: a highlight at
+// the pit line involving a given driver.
+func pitStopHighlightRule() Rule {
+	return Rule{
+		Name:     "pit-highlight",
+		Produces: "pit-highlight",
+		Patterns: []Pattern{
+			{Var: "h", Type: "highlight", MinConfidence: 0.5},
+			{Var: "p", Type: "pitstop"},
+		},
+		Where: []TemporalConstraint{
+			{A: "h", B: "p", Relations: []Relation{Overlaps, OverlappedBy, During, Contains, Equals, Starts, StartedBy, Finishes, FinishedBy}},
+		},
+		CopyAttrs: map[string]string{"driver": "p.driver"},
+		SetAttrs:  map[string]string{"source": "rule"},
+	}
+}
+
+func TestEngineDerivesCompoundEvent(t *testing.T) {
+	s := NewStore()
+	s.Assert(Event{Type: "highlight", Interval: iv(100, 110), Confidence: 0.8})
+	s.Assert(Event{Type: "highlight", Interval: iv(300, 310), Confidence: 0.9})
+	s.Assert(Event{Type: "pitstop", Interval: iv(105, 112), Confidence: 1,
+		Attrs: map[string]string{"driver": "BARRICHELLO"}})
+	en, err := NewEngine(pitStopHighlightRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := en.Run(s)
+	if added != 1 {
+		t.Fatalf("added = %d", added)
+	}
+	got := s.Events("pit-highlight")
+	if len(got) != 1 {
+		t.Fatalf("derived = %v", got)
+	}
+	e := got[0]
+	if e.Attr("driver") != "BARRICHELLO" || e.Attr("source") != "rule" {
+		t.Fatalf("attrs = %v", e.Attrs)
+	}
+	if e.Interval != iv(100, 112) {
+		t.Fatalf("interval = %v", e.Interval)
+	}
+	if e.Confidence != 0.8 {
+		t.Fatalf("confidence = %v", e.Confidence)
+	}
+}
+
+func TestEngineMinConfidenceFilter(t *testing.T) {
+	s := NewStore()
+	s.Assert(Event{Type: "highlight", Interval: iv(100, 110), Confidence: 0.3})
+	s.Assert(Event{Type: "pitstop", Interval: iv(105, 112), Confidence: 1,
+		Attrs: map[string]string{"driver": "X"}})
+	en, _ := NewEngine(pitStopHighlightRule())
+	if added := en.Run(s); added != 0 {
+		t.Fatalf("low-confidence highlight fired rule: %d", added)
+	}
+}
+
+func TestEngineChainedRules(t *testing.T) {
+	// Rule 2 consumes what rule 1 produces: requires fixpoint rounds.
+	r1 := Rule{
+		Name: "r1", Produces: "ab",
+		Patterns: []Pattern{{Var: "a", Type: "a"}, {Var: "b", Type: "b"}},
+		Where:    []TemporalConstraint{{A: "a", B: "b", Relations: []Relation{Before}, MaxGap: 10}},
+	}
+	r2 := Rule{
+		Name: "r2", Produces: "abc",
+		Patterns: []Pattern{{Var: "x", Type: "ab"}, {Var: "c", Type: "c"}},
+		Where:    []TemporalConstraint{{A: "x", B: "c", Relations: []Relation{Before, Meets, Overlaps}}},
+	}
+	en, err := NewEngine(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	s.Assert(Event{Type: "a", Interval: iv(0, 1), Confidence: 1})
+	s.Assert(Event{Type: "b", Interval: iv(3, 4), Confidence: 1})
+	s.Assert(Event{Type: "c", Interval: iv(10, 11), Confidence: 1})
+	en.Run(s)
+	if len(s.Events("abc")) != 1 {
+		t.Fatalf("chained derivation failed: %v", s.Events(""))
+	}
+}
+
+func TestEngineMaxGap(t *testing.T) {
+	r := Rule{
+		Name: "near", Produces: "near",
+		Patterns: []Pattern{{Var: "a", Type: "a"}, {Var: "b", Type: "b"}},
+		Where:    []TemporalConstraint{{A: "a", B: "b", Relations: []Relation{Before}, MaxGap: 5}},
+	}
+	en, _ := NewEngine(r)
+	s := NewStore()
+	s.Assert(Event{Type: "a", Interval: iv(0, 1), Confidence: 1})
+	s.Assert(Event{Type: "b", Interval: iv(20, 21), Confidence: 1}) // gap 19 > 5
+	if en.Run(s) != 0 {
+		t.Fatal("gap constraint ignored")
+	}
+	s.Assert(Event{Type: "b", Interval: iv(3, 4), Confidence: 1}) // gap 2 <= 5
+	if en.Run(s) != 1 {
+		t.Fatal("near pair not derived")
+	}
+}
+
+func TestEngineTerminatesOnSelfFeeding(t *testing.T) {
+	// A rule producing its own input type must still terminate via
+	// duplicate suppression and round capping.
+	r := Rule{
+		Name: "loop", Produces: "x",
+		Patterns: []Pattern{{Var: "a", Type: "x"}},
+	}
+	en, _ := NewEngine(r)
+	en.MaxRounds = 4
+	s := NewStore()
+	s.Assert(Event{Type: "x", Interval: iv(0, 1), Confidence: 1})
+	added := en.Run(s)
+	if added != 0 {
+		// The derived event equals its premise (same type, interval,
+		// confidence, no attrs) so dedupe kills it immediately.
+		t.Fatalf("self-feeding rule added %d", added)
+	}
+}

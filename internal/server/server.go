@@ -1,0 +1,312 @@
+// Package server exposes the Cobra VDBMS over a line-oriented TCP
+// protocol: COQL queries at the conceptual level, MIL statements at
+// the physical level, and remote HMM evaluation in the style of the
+// paper's distributed HMM servers (Fig. 3).
+//
+// Protocol: one request per line.
+//
+//	COQL <statement>      -> "OK <n>" then n result lines, then "END"
+//	MIL <statement(s)>    -> "OK 1", the value, "END"
+//	HMM EVAL <model> <c,s,v>  -> "OK 1", log-likelihood, "END"
+//	HMM CLASSIFY <c,s,v>      -> "OK 1", best model name, "END"
+//	LIST VIDEOS           -> videos known to the catalog
+//	EXPORT <video>        -> MPEG-7-style metadata XML
+//	PING                  -> "OK 0", "END"
+//
+// Errors answer "ERR <message>".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cobra/internal/cobra"
+	"cobra/internal/ext"
+	"cobra/internal/hmm"
+	"cobra/internal/mil"
+	"cobra/internal/query"
+)
+
+// Server serves the database over TCP.
+type Server struct {
+	eng    *query.Engine
+	cat    *cobra.Catalog
+	interp *mil.Interp
+	pool   *hmm.EnginePool
+
+	mu       sync.Mutex
+	listener net.Listener
+}
+
+// New builds a server over the preprocessor (COQL), its catalog's
+// store (MIL) and an optional HMM pool (nil disables HMM commands).
+// When a pool is attached, the MIL session gains the Fig. 4 extension
+// operations (hmmOneCall, hmmClassify).
+func New(pre *cobra.Preprocessor, pool *hmm.EnginePool) *Server {
+	interp := mil.NewInterp(pre.Catalog().Store())
+	if pool != nil {
+		ext.RegisterHMM(interp, pool)
+	}
+	return &Server{
+		eng:    query.NewEngine(pre),
+		cat:    pre.Catalog(),
+		interp: interp,
+		pool:   pool,
+	}
+}
+
+// Listen binds the address and starts serving until the listener is
+// closed. It returns the bound address immediately via the channel
+// pattern: callers use ListenAddr.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	err := s.listener.Close()
+	s.listener = nil
+	return err
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			fmt.Fprintln(w, "OK 0")
+			fmt.Fprintln(w, "END")
+			w.Flush()
+			return
+		}
+		s.Execute(line, w)
+		w.Flush()
+	}
+}
+
+// Execute runs one protocol line, writing the response to w. Exposed
+// for in-process use and testing.
+func (s *Server) Execute(line string, w io.Writer) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		fmt.Fprintln(w, "OK 0")
+		fmt.Fprintln(w, "END")
+	case "COQL", "SELECT", "RETRIEVE":
+		stmt := rest
+		if !strings.EqualFold(cmd, "COQL") {
+			stmt = line // SELECT/RETRIEVE given directly
+		}
+		res, err := s.eng.Run(stmt)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "OK %d\n", len(res))
+		for _, r := range res {
+			fmt.Fprintf(w, "%.1f %.1f %.3f %s\n", r.Interval.Start, r.Interval.End, r.Confidence, encodeAttrs(r.Attrs))
+		}
+		fmt.Fprintln(w, "END")
+	case "MIL":
+		v, err := s.interp.Exec(rest)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK 1")
+		fmt.Fprintln(w, v.String())
+		fmt.Fprintln(w, "END")
+	case "HMM":
+		s.execHMM(rest, w)
+	case "EXPORT":
+		video := strings.TrimSpace(rest)
+		out, err := cobra.ExportMPEG7(s.cat, video)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintln(w, "END")
+	case "LIST":
+		if strings.EqualFold(strings.TrimSpace(rest), "videos") {
+			videos := s.cat.Videos()
+			fmt.Fprintf(w, "OK %d\n", len(videos))
+			for _, v := range videos {
+				fmt.Fprintln(w, v)
+			}
+			fmt.Fprintln(w, "END")
+			return
+		}
+		fmt.Fprintln(w, "ERR unknown LIST target")
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+}
+
+func (s *Server) execHMM(rest string, w io.Writer) {
+	if s.pool == nil {
+		fmt.Fprintln(w, "ERR no HMM pool attached")
+		return
+	}
+	op, args, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	switch strings.ToUpper(op) {
+	case "EVAL":
+		model, obsCSV, ok := strings.Cut(strings.TrimSpace(args), " ")
+		if !ok {
+			fmt.Fprintln(w, "ERR usage: HMM EVAL <model> <obs,csv>")
+			return
+		}
+		obs, err := parseObs(obsCSV)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		evals, err := s.pool.EvaluateAll(obs)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		for _, e := range evals {
+			if e.Model == model {
+				fmt.Fprintln(w, "OK 1")
+				fmt.Fprintf(w, "%g\n", e.LogLikelihood)
+				fmt.Fprintln(w, "END")
+				return
+			}
+		}
+		fmt.Fprintf(w, "ERR unknown model %q\n", model)
+	case "CLASSIFY":
+		obs, err := parseObs(strings.TrimSpace(args))
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		best, err := s.pool.Classify(obs)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "OK 1")
+		fmt.Fprintln(w, best)
+		fmt.Fprintln(w, "END")
+	default:
+		fmt.Fprintf(w, "ERR unknown HMM operation %q\n", op)
+	}
+}
+
+func parseObs(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	obs := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad observation %q", p)
+		}
+		obs = append(obs, v)
+	}
+	return obs, nil
+}
+
+func encodeAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(attrs))
+	for k, v := range attrs {
+		parts = append(parts, k+"="+v)
+	}
+	// Stable output for tests and scripts.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Client is a minimal protocol client for the shell and tests.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Do sends one request line and collects the response body.
+func (c *Client) Do(line string) ([]string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return nil, err
+	}
+	head, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	head = strings.TrimSpace(head)
+	if strings.HasPrefix(head, "ERR ") {
+		return nil, fmt.Errorf("server: %s", strings.TrimPrefix(head, "ERR "))
+	}
+	var out []string
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		l = strings.TrimRight(l, "\n")
+		if l == "END" {
+			return out, nil
+		}
+		out = append(out, l)
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

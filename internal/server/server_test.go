@@ -1,0 +1,185 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/cobra"
+	"cobra/internal/hmm"
+	"cobra/internal/monet"
+)
+
+func testServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	cat.PutVideo(cobra.Video{Name: "v", Duration: 100, FPS: 10})
+	cat.PutEvents("v", []cobra.Event{
+		{Type: "highlight", Interval: cobra.Interval{Start: 10, End: 20}, Confidence: 0.9,
+			Attrs: map[string]string{"driver": "RALF"}},
+	})
+	pre := cobra.NewPreprocessor(cat)
+
+	pool := hmm.NewEnginePool(2)
+	m := hmm.NewModel("Service", 2, 2)
+	if err := pool.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(pre, pool)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestPing(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do("PING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestCOQLOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do(`SELECT SEGMENTS FROM v WHERE EVENT('highlight')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !strings.Contains(out[0], "driver=RALF") {
+		t.Fatalf("out = %v", out)
+	}
+	// Explicit COQL prefix works too.
+	out, err = cl.Do(`COQL SELECT SEGMENTS FROM v WHERE EVENT('highlight')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestCOQLError(t *testing.T) {
+	_, cl := testServer(t)
+	if _, err := cl.Do(`SELECT NONSENSE`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestMILOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do(`MIL VAR b := new(void,int); b.insert(nil, 41); RETURN b.sum + 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "42" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMILReachesCatalogBATs(t *testing.T) {
+	_, cl := testServer(t)
+	// The catalog's event columns are plain BATs visible to MIL.
+	out, err := cl.Do(`MIL RETURN bat("cobra/event/v/type").count;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "1" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestHMMOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do("HMM EVAL Service 0,1,0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	out, err = cl.Do("HMM CLASSIFY 0,1,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "Service" {
+		t.Fatalf("classify = %v", out)
+	}
+	if _, err := cl.Do("HMM EVAL Nope 0,1"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := cl.Do("HMM EVAL Service x,y"); err == nil {
+		t.Fatal("bad observations accepted")
+	}
+}
+
+func TestListVideos(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do("LIST VIDEOS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "v" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, cl := testServer(t)
+	if _, err := cl.Do("FROBNICATE"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := testServer(t)
+	addrStr := srv.listener.Addr().String()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			cl, err := Dial(addrStr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := cl.Do("PING"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExportOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do("EXPORT v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out, "\n")
+	if !strings.Contains(joined, "<Mpeg7>") || !strings.Contains(joined, `type="highlight"`) {
+		t.Fatalf("export = %s", joined)
+	}
+	if _, err := cl.Do("EXPORT nope"); err == nil {
+		t.Fatal("unknown video accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package vtext
+
+import (
+	"cobra/internal/video"
+)
+
+// BandFraction is the fraction of the frame height occupied by the
+// caption band at the bottom of the picture: the paper exploits the
+// domain property that superimposed text lives there.
+const BandFraction = 0.18
+
+// BandBounds returns the caption band [y0, y1) for a frame of height h.
+func BandBounds(h int) (y0, y1 int) {
+	y0 = h - int(float64(h)*BandFraction)
+	return y0, h
+}
+
+// ShadedRegion describes the detection measurements of one frame's
+// caption band.
+type ShadedRegion struct {
+	// Present reports whether a shaded (darkened) band with bright
+	// character pixels was found.
+	Present bool
+	// MeanLuma is the band's mean luminance.
+	MeanLuma float64
+	// BrightCount is the number of bright (character-candidate) pixels.
+	BrightCount int
+	// BrightVariance is the column variance of bright pixels, high when
+	// text (rather than a bright stripe) is present.
+	BrightVariance float64
+}
+
+// shadedMaxLuma is the maximum mean luminance of a shaded backdrop;
+// brightMinLuma is the minimum luminance of a character pixel.
+const (
+	shadedMaxLuma = 110
+	brightMinLuma = 180
+)
+
+// AnalyzeBand measures the caption band of one frame (detection step 1:
+// "analyze if the shaded region is present in the bottom part").
+func AnalyzeBand(f *video.Frame) ShadedRegion {
+	y0, y1 := BandBounds(f.H)
+	var sum float64
+	bright := 0
+	colHas := make([]int, f.W)
+	n := 0
+	for y := y0; y < y1; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, b := f.At(x, y)
+			luma := (299*int(r) + 587*int(g) + 114*int(b)) / 1000
+			sum += float64(luma)
+			n++
+			if luma >= brightMinLuma {
+				bright++
+				colHas[x]++
+			}
+		}
+	}
+	mean := sum / float64(n)
+	// Column variance of bright-pixel counts: text alternates ink and
+	// gap columns, a uniform bright bar does not.
+	var mu float64
+	for _, c := range colHas {
+		mu += float64(c)
+	}
+	mu /= float64(len(colHas))
+	var varsum float64
+	for _, c := range colHas {
+		d := float64(c) - mu
+		varsum += d * d
+	}
+	variance := varsum / float64(len(colHas))
+
+	present := mean < shadedMaxLuma &&
+		bright > (y1-y0)*f.W/100 && // enough character pixels
+		bright < (y1-y0)*f.W/2 && // not a washed-out band
+		variance > 0.5
+	return ShadedRegion{
+		Present:        present,
+		MeanLuma:       mean,
+		BrightCount:    bright,
+		BrightVariance: variance,
+	}
+}
+
+// Detector runs the two-pass text detection over a frame stream:
+// consecutive shaded-band frames shorter than MinFrames are skipped
+// (the duration criterion), longer runs become text segments.
+type Detector struct {
+	// MinFrames is the minimum run length (the paper skips "all the
+	// short segments that do not satisfy the duration criteria").
+	MinFrames int
+
+	run      int
+	frame    int
+	start    int
+	Segments [][2]int // [start, end) frame intervals containing text
+}
+
+// NewDetector returns a detector requiring runs of at least minFrames.
+func NewDetector(minFrames int) *Detector {
+	if minFrames < 1 {
+		minFrames = 1
+	}
+	return &Detector{MinFrames: minFrames}
+}
+
+// Feed processes the next frame's band measurement; it returns true
+// when a completed text segment is recorded.
+func (d *Detector) Feed(sr ShadedRegion) bool {
+	done := false
+	if sr.Present {
+		if d.run == 0 {
+			d.start = d.frame
+		}
+		d.run++
+	} else {
+		if d.run >= d.MinFrames {
+			d.Segments = append(d.Segments, [2]int{d.start, d.frame})
+			done = true
+		}
+		d.run = 0
+	}
+	d.frame++
+	return done
+}
+
+// Flush closes a segment still open at stream end.
+func (d *Detector) Flush() {
+	if d.run >= d.MinFrames {
+		d.Segments = append(d.Segments, [2]int{d.start, d.frame})
+	}
+	d.run = 0
+}
+
+// MinFilterBand extracts the caption band from each frame and computes
+// the pixel-wise minimum luminance across them — the refinement step
+// that suppresses flickering background while keeping stable text.
+func MinFilterBand(frames []*video.Frame) *video.Gray {
+	if len(frames) == 0 {
+		return &video.Gray{W: 0, H: 0}
+	}
+	y0, y1 := BandBounds(frames[0].H)
+	w, h := frames[0].W, y1-y0
+	out := &video.Gray{W: w, H: h, Pix: make([]byte, w*h)}
+	for i := range out.Pix {
+		out.Pix[i] = 255
+	}
+	for _, f := range frames {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				r, g, b := f.At(x, y0+y)
+				luma := byte((299*int(r) + 587*int(g) + 114*int(b)) / 1000)
+				if luma < out.Pix[y*w+x] {
+					out.Pix[y*w+x] = luma
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Interpolate4x magnifies the image four times in both directions with
+// bilinear interpolation, the paper's enlargement step that makes
+// characters "clearer and cleaner".
+func Interpolate4x(g *video.Gray) *video.Gray {
+	const k = 4
+	w, h := g.W*k, g.H*k
+	out := &video.Gray{W: w, H: h, Pix: make([]byte, w*h)}
+	for y := 0; y < h; y++ {
+		fy := float64(y) / k
+		y0 := int(fy)
+		y1 := y0 + 1
+		if y1 >= g.H {
+			y1 = g.H - 1
+		}
+		wy := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / k
+			x0 := int(fx)
+			x1 := x0 + 1
+			if x1 >= g.W {
+				x1 = g.W - 1
+			}
+			wx := fx - float64(x0)
+			v := (1-wy)*((1-wx)*float64(g.At(x0, y0))+wx*float64(g.At(x1, y0))) +
+				wy*((1-wx)*float64(g.At(x0, y1))+wx*float64(g.At(x1, y1)))
+			out.Pix[y*w+x] = byte(v)
+		}
+	}
+	return out
+}
+
+// Binarize thresholds the refined band: bright pixels become ink on a
+// black background ("we marked characters as a white space on the
+// black background").
+func Binarize(g *video.Gray, threshold byte) *Mask {
+	m := NewMask(g.W, g.H)
+	for i, v := range g.Pix {
+		m.Pix[i] = v >= threshold
+	}
+	return m
+}

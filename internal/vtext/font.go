@@ -1,0 +1,178 @@
+// Package vtext implements the paper's superimposed-text processing
+// chain (§5.4): detection of the shaded caption band, duration
+// filtering, refinement (minimum-intensity filtering over consecutive
+// frames and 4x interpolation), projection-based character
+// segmentation, word-region grouping and length-bucketed pattern
+// matching against reference word patterns.
+//
+// The 5x7 bitmap font below plays the role of the broadcast caption
+// typeface: the synthesizer renders captions with it and the
+// recognizer matches against reference patterns rendered from the same
+// glyphs — exactly the paper's setup, where reference patterns were
+// extracted from the known, uniform set of superimposed words.
+package vtext
+
+import "strings"
+
+// GlyphW and GlyphH are the base glyph dimensions.
+const (
+	GlyphW = 5
+	GlyphH = 7
+)
+
+// font maps each supported rune to 7 rows of 5 cells ('#' = ink).
+var font = map[rune][GlyphH]string{
+	'A': {".###.", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"},
+	'B': {"####.", "#...#", "#...#", "####.", "#...#", "#...#", "####."},
+	'C': {".###.", "#...#", "#....", "#....", "#....", "#...#", ".###."},
+	'D': {"####.", "#...#", "#...#", "#...#", "#...#", "#...#", "####."},
+	'E': {"#####", "#....", "#....", "####.", "#....", "#....", "#####"},
+	'F': {"#####", "#....", "#....", "####.", "#....", "#....", "#...."},
+	'G': {".###.", "#...#", "#....", "#.###", "#...#", "#...#", ".###."},
+	'H': {"#...#", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"},
+	'I': {"#####", "..#..", "..#..", "..#..", "..#..", "..#..", "#####"},
+	'J': {"..###", "...#.", "...#.", "...#.", "...#.", "#..#.", ".##.."},
+	'K': {"#...#", "#..#.", "#.#..", "##...", "#.#..", "#..#.", "#...#"},
+	'L': {"#....", "#....", "#....", "#....", "#....", "#....", "#####"},
+	'M': {"#...#", "##.##", "#.#.#", "#.#.#", "#...#", "#...#", "#...#"},
+	'N': {"#...#", "##..#", "#.#.#", "#..##", "#...#", "#...#", "#...#"},
+	'O': {".###.", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."},
+	'P': {"####.", "#...#", "#...#", "####.", "#....", "#....", "#...."},
+	'Q': {".###.", "#...#", "#...#", "#...#", "#.#.#", "#..#.", ".##.#"},
+	'R': {"####.", "#...#", "#...#", "####.", "#.#..", "#..#.", "#...#"},
+	'S': {".####", "#....", "#....", ".###.", "....#", "....#", "####."},
+	'T': {"#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."},
+	'U': {"#...#", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."},
+	'V': {"#...#", "#...#", "#...#", "#...#", "#...#", ".#.#.", "..#.."},
+	'W': {"#...#", "#...#", "#...#", "#.#.#", "#.#.#", "##.##", "#...#"},
+	'X': {"#...#", "#...#", ".#.#.", "..#..", ".#.#.", "#...#", "#...#"},
+	'Y': {"#...#", "#...#", ".#.#.", "..#..", "..#..", "..#..", "..#.."},
+	'Z': {"#####", "....#", "...#.", "..#..", ".#...", "#....", "#####"},
+	'0': {".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."},
+	'1': {"..#..", ".##..", "..#..", "..#..", "..#..", "..#..", "#####"},
+	'2': {".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"},
+	'3': {".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###."},
+	'4': {"...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."},
+	'5': {"#####", "#....", "####.", "....#", "....#", "#...#", ".###."},
+	'6': {".###.", "#....", "#....", "####.", "#...#", "#...#", ".###."},
+	'7': {"#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."},
+	'8': {".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."},
+	'9': {".###.", "#...#", "#...#", ".####", "....#", "....#", ".###."},
+	' ': {".....", ".....", ".....", ".....", ".....", ".....", "....."},
+	'.': {".....", ".....", ".....", ".....", ".....", "..#..", "..#.."},
+	'-': {".....", ".....", ".....", "#####", ".....", ".....", "....."},
+}
+
+// GlyphMask returns the glyph bitmap for r (upper-cased), or the space
+// glyph for unsupported runes, as rows of booleans.
+func GlyphMask(r rune) [GlyphH][GlyphW]bool {
+	rows, ok := font[r]
+	if !ok {
+		rows, ok = font[toUpper(r)]
+	}
+	if !ok {
+		rows = font[' ']
+	}
+	var m [GlyphH][GlyphW]bool
+	for y := 0; y < GlyphH; y++ {
+		for x := 0; x < GlyphW; x++ {
+			m[y][x] = rows[y][x] == '#'
+		}
+	}
+	return m
+}
+
+func toUpper(r rune) rune {
+	if r >= 'a' && r <= 'z' {
+		return r - 'a' + 'A'
+	}
+	return r
+}
+
+// Mask is a binary image: true = ink.
+type Mask struct {
+	W, H int
+	Pix  []bool
+}
+
+// NewMask allocates an empty mask.
+func NewMask(w, h int) *Mask { return &Mask{W: w, H: h, Pix: make([]bool, w*h)} }
+
+// At returns the cell at (x, y).
+func (m *Mask) At(x, y int) bool { return m.Pix[y*m.W+x] }
+
+// Set writes the cell at (x, y).
+func (m *Mask) Set(x, y int, v bool) { m.Pix[y*m.W+x] = v }
+
+// InkCount returns the number of set cells.
+func (m *Mask) InkCount() int {
+	n := 0
+	for _, v := range m.Pix {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// charSpacing is the inter-character gap in base-scale cells;
+// wordSpacing separates words well beyond it so region grouping can
+// tell them apart.
+const (
+	charSpacing = 1
+	wordSpacing = 4
+)
+
+// RenderWord rasterizes text at the given integer scale into a mask.
+// Unsupported runes render as spaces. The text is upper-cased.
+func RenderWord(text string, scale int) *Mask {
+	if scale < 1 {
+		scale = 1
+	}
+	text = strings.ToUpper(text)
+	w := 0
+	for i, r := range text {
+		if i > 0 {
+			if r == ' ' {
+				// space glyph handled below like any glyph
+			}
+			w += charSpacing
+		}
+		_ = r
+		w += GlyphW
+	}
+	if w == 0 {
+		w = 1
+	}
+	m := NewMask(w*scale, GlyphH*scale)
+	x0 := 0
+	for i, r := range text {
+		if i > 0 {
+			x0 += charSpacing
+		}
+		g := GlyphMask(r)
+		for y := 0; y < GlyphH; y++ {
+			for x := 0; x < GlyphW; x++ {
+				if !g[y][x] {
+					continue
+				}
+				for dy := 0; dy < scale; dy++ {
+					for dx := 0; dx < scale; dx++ {
+						m.Set((x0+x)*scale+dx, y*scale+dy, true)
+					}
+				}
+			}
+		}
+		x0 += GlyphW
+	}
+	return m
+}
+
+// SupportedRunes returns the set of renderable characters.
+func SupportedRunes() []rune {
+	rs := make([]rune, 0, len(font))
+	for r := range font {
+		rs = append(rs, r)
+	}
+	return rs
+}

@@ -1,0 +1,285 @@
+package vtext
+
+import (
+	"sort"
+	"strings"
+)
+
+// WordHit is one recognized word in a caption band.
+type WordHit struct {
+	// Word is the matched lexicon entry (upper case).
+	Word string
+	// Score is the pixel-agreement metric in [0, 1].
+	Score float64
+	// X is the left edge of the word region in band pixels.
+	X int
+}
+
+// Recognizer matches caption word regions against reference patterns
+// rendered from a lexicon. Patterns are bucketed by character count so
+// matching only compares words of similar length (§5.4).
+type Recognizer struct {
+	// Threshold is the minimum pixel-agreement score (paper: "a
+	// reference pattern with the largest metric above this threshold is
+	// selected").
+	Threshold float64
+	lexicon   []string
+}
+
+// NewRecognizer builds a recognizer for the given word list (driver
+// names and informative words such as PIT STOP or FINAL LAP).
+func NewRecognizer(lexicon []string, threshold float64) *Recognizer {
+	lx := make([]string, 0, len(lexicon))
+	seen := map[string]bool{}
+	for _, w := range lexicon {
+		u := strings.ToUpper(strings.TrimSpace(w))
+		if u != "" && !seen[u] {
+			seen[u] = true
+			lx = append(lx, u)
+		}
+	}
+	sort.Strings(lx)
+	return &Recognizer{Threshold: threshold, lexicon: lx}
+}
+
+// Lexicon returns the recognizer's word list.
+func (r *Recognizer) Lexicon() []string { return append([]string(nil), r.lexicon...) }
+
+// segment is a [lo, hi) interval.
+type segment struct{ lo, hi int }
+
+// columnRuns returns maximal runs of columns whose ink count exceeds
+// zero, separated by gaps of at least minGap empty columns — the
+// vertical-projection character/word segmentation.
+func columnRuns(m *Mask, minGap int) []segment {
+	ink := make([]int, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.At(x, y) {
+				ink[x]++
+			}
+		}
+	}
+	var runs []segment
+	inRun := false
+	start := 0
+	gap := 0
+	for x := 0; x <= m.W; x++ {
+		filled := x < m.W && ink[x] > 0
+		switch {
+		case filled && !inRun:
+			inRun = true
+			start = x
+			gap = 0
+		case !filled && inRun:
+			gap++
+			if gap >= minGap || x == m.W {
+				runs = append(runs, segment{start, x - gap + 1})
+				inRun = false
+			}
+		case filled && inRun:
+			gap = 0
+		}
+	}
+	if inRun {
+		runs = append(runs, segment{start, m.W})
+	}
+	return runs
+}
+
+// rowBounds returns the tight [lo, hi) vertical ink bounds of the mask
+// within columns [x0, x1) — the horizontal projection used to refine
+// character height (the paper's "double vertical projection" refines
+// characters of different heights).
+func rowBounds(m *Mask, x0, x1 int) (int, int) {
+	lo, hi := m.H, 0
+	for y := 0; y < m.H; y++ {
+		for x := x0; x < x1; x++ {
+			if m.At(x, y) {
+				if y < lo {
+					lo = y
+				}
+				if y+1 > hi {
+					hi = y + 1
+				}
+				break
+			}
+		}
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// extract crops the mask to [x0,x1)x[y0,y1).
+func extract(m *Mask, x0, y0, x1, y1 int) *Mask {
+	out := NewMask(x1-x0, y1-y0)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			out.Set(x-x0, y-y0, m.At(x, y))
+		}
+	}
+	return out
+}
+
+// resizeMask box-resizes a mask to (w, h): each target cell is set when
+// at least half of its source box is ink, which preserves stroke shape
+// far better than nearest-neighbor sampling when shrinking.
+func resizeMask(m *Mask, w, h int) *Mask {
+	out := NewMask(w, h)
+	for y := 0; y < h; y++ {
+		sy0 := y * m.H / h
+		sy1 := (y + 1) * m.H / h
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w; x++ {
+			sx0 := x * m.W / w
+			sx1 := (x + 1) * m.W / w
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			ink, n := 0, 0
+			for sy := sy0; sy < sy1 && sy < m.H; sy++ {
+				for sx := sx0; sx < sx1 && sx < m.W; sx++ {
+					if m.At(sx, sy) {
+						ink++
+					}
+					n++
+				}
+			}
+			out.Set(x, y, n > 0 && 2*ink >= n)
+		}
+	}
+	return out
+}
+
+// agreement is the pixel-difference metric: the ink-overlap F1 of the
+// two equal-size masks. Overlap scoring is insensitive to the large
+// empty background that plain cell agreement would reward.
+func agreement(a, b *Mask) float64 {
+	if a.W != b.W || a.H != b.H || len(a.Pix) == 0 {
+		return 0
+	}
+	both, inkA, inkB := 0, 0, 0
+	for i := range a.Pix {
+		if a.Pix[i] {
+			inkA++
+		}
+		if b.Pix[i] {
+			inkB++
+		}
+		if a.Pix[i] && b.Pix[i] {
+			both++
+		}
+	}
+	if inkA+inkB == 0 {
+		return 0
+	}
+	return 2 * float64(both) / float64(inkA+inkB)
+}
+
+// estimateCharCount estimates how many characters a word region of the
+// given width and height spans under the caption font metrics.
+func estimateCharCount(w, h int) int {
+	if h <= 0 {
+		return 0
+	}
+	scale := float64(h) / float64(GlyphH)
+	per := scale * float64(GlyphW+charSpacing)
+	n := int(float64(w)/per + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RecognizeBand segments the binarized caption band into word regions
+// (characters grouped by pixel distance) and matches each region
+// against reference patterns of similar length. Gap geometry scales
+// with the region height.
+func (r *Recognizer) RecognizeBand(band *Mask) []WordHit {
+	if band.W == 0 || band.H == 0 {
+		return nil
+	}
+	// Estimate glyph scale from overall ink height to derive the
+	// character/word gap threshold.
+	y0, y1 := rowBounds(band, 0, band.W)
+	if y1 <= y0 {
+		return nil
+	}
+	scale := (y1 - y0 + GlyphH/2) / GlyphH
+	if scale < 1 {
+		scale = 1
+	}
+	// Words are separated by gaps clearly larger than the intra-word
+	// character spacing.
+	minWordGap := scale * (charSpacing + wordSpacing) / 2
+	if minWordGap < 2 {
+		minWordGap = 2
+	}
+	var hits []WordHit
+	for _, run := range columnRuns(band, minWordGap) {
+		ry0, ry1 := rowBounds(band, run.lo, run.hi)
+		if ry1 <= ry0 {
+			continue
+		}
+		region := extract(band, run.lo, ry0, run.hi, ry1)
+		if hit, ok := r.matchRegion(region); ok {
+			hit.X = run.lo
+			hits = append(hits, hit)
+		}
+	}
+	return hits
+}
+
+// matchRegion finds the best lexicon word for one region.
+func (r *Recognizer) matchRegion(region *Mask) (WordHit, bool) {
+	chars := estimateCharCount(region.W, region.H)
+	best := WordHit{}
+	for _, w := range r.lexicon {
+		// Length bucketing: only compare words within ±2 characters.
+		d := len(w) - chars
+		if d < -2 || d > 2 {
+			continue
+		}
+		ref := RenderWord(w, 2)
+		ref = trimMask(ref)
+		cand := resizeMask(region, ref.W, ref.H)
+		score := agreement(cand, ref)
+		if score > best.Score {
+			best = WordHit{Word: w, Score: score}
+		}
+	}
+	if best.Score >= r.Threshold {
+		return best, true
+	}
+	return WordHit{}, false
+}
+
+// trimMask crops a mask to its tight ink bounding box.
+func trimMask(m *Mask) *Mask {
+	y0, y1 := rowBounds(m, 0, m.W)
+	if y1 <= y0 {
+		return m
+	}
+	x0, x1 := m.W, 0
+	for x := 0; x < m.W; x++ {
+		for y := y0; y < y1; y++ {
+			if m.At(x, y) {
+				if x < x0 {
+					x0 = x
+				}
+				if x+1 > x1 {
+					x1 = x + 1
+				}
+				break
+			}
+		}
+	}
+	if x1 <= x0 {
+		return m
+	}
+	return extract(m, x0, y0, x1, y1)
+}

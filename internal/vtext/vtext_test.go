@@ -1,0 +1,287 @@
+package vtext
+
+import (
+	"math/rand"
+	"testing"
+
+	"cobra/internal/video"
+)
+
+func TestGlyphMask(t *testing.T) {
+	a := GlyphMask('A')
+	if !a[3][0] || !a[3][4] {
+		t.Fatal("A crossbar missing")
+	}
+	lower := GlyphMask('a')
+	if lower != a {
+		t.Fatal("lower-case should map to upper-case glyph")
+	}
+	if GlyphMask('~') != GlyphMask(' ') {
+		t.Fatal("unsupported rune should render as space")
+	}
+}
+
+func TestRenderWordDimensions(t *testing.T) {
+	m := RenderWord("AB", 1)
+	wantW := GlyphW*2 + charSpacing
+	if m.W != wantW || m.H != GlyphH {
+		t.Fatalf("dims = %dx%d, want %dx%d", m.W, m.H, wantW, GlyphH)
+	}
+	m2 := RenderWord("AB", 3)
+	if m2.W != wantW*3 || m2.H != GlyphH*3 {
+		t.Fatalf("scaled dims = %dx%d", m2.W, m2.H)
+	}
+	if m2.InkCount() != m.InkCount()*9 {
+		t.Fatalf("scaled ink %d != 9x base %d", m2.InkCount(), m.InkCount())
+	}
+	if RenderWord("", 1).W != 1 {
+		t.Fatal("empty word should render a minimal mask")
+	}
+}
+
+// drawCaption renders a shaded caption band with the given text onto a
+// frame, imitating the broadcast overlay.
+func drawCaption(f *video.Frame, text string, scale int, rng *rand.Rand) {
+	y0, y1 := BandBounds(f.H)
+	// Shaded backdrop.
+	for y := y0; y < y1; y++ {
+		for x := 0; x < f.W; x++ {
+			v := byte(40 + rng.Intn(20))
+			f.Set(x, y, v, v, v+10)
+		}
+	}
+	m := RenderWord(text, scale)
+	ox := (f.W - m.W) / 2
+	oy := y0 + (y1-y0-m.H)/2
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.At(x, y) {
+				f.Set(ox+x, oy+y, 240, 240, 100) // yellow caption ink
+			}
+		}
+	}
+}
+
+func sceneFrame(w, h int, rng *rand.Rand) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i] = byte(90 + rng.Intn(60))
+		f.Pix[i+1] = byte(110 + rng.Intn(60))
+		f.Pix[i+2] = byte(90 + rng.Intn(60))
+	}
+	return f
+}
+
+func TestAnalyzeBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	withText := sceneFrame(384, 288, rng)
+	drawCaption(withText, "SCHUMACHER", 3, rng)
+	sr := AnalyzeBand(withText)
+	if !sr.Present {
+		t.Fatalf("caption band not detected: %+v", sr)
+	}
+	plain := sceneFrame(384, 288, rng)
+	if got := AnalyzeBand(plain); got.Present {
+		t.Fatalf("false positive on plain frame: %+v", got)
+	}
+	// A fully bright band is not text.
+	bright := sceneFrame(384, 288, rng)
+	y0, y1 := BandBounds(bright.H)
+	bright.FillRect(0, y0, bright.W, y1, 250, 250, 250)
+	if got := AnalyzeBand(bright); got.Present {
+		t.Fatalf("false positive on bright bar: %+v", got)
+	}
+}
+
+func TestDetectorDurationCriterion(t *testing.T) {
+	d := NewDetector(5)
+	feed := func(present bool, n int) {
+		for i := 0; i < n; i++ {
+			d.Feed(ShadedRegion{Present: present})
+		}
+	}
+	feed(false, 10)
+	feed(true, 3) // too short: skipped
+	feed(false, 5)
+	feed(true, 8) // long enough
+	feed(false, 5)
+	d.Flush()
+	if len(d.Segments) != 1 {
+		t.Fatalf("segments = %v, want 1", d.Segments)
+	}
+	if d.Segments[0] != [2]int{18, 26} {
+		t.Fatalf("segment = %v, want [18, 26)", d.Segments[0])
+	}
+}
+
+func TestDetectorFlushOpenSegment(t *testing.T) {
+	d := NewDetector(3)
+	for i := 0; i < 4; i++ {
+		d.Feed(ShadedRegion{Present: true})
+	}
+	d.Flush()
+	if len(d.Segments) != 1 || d.Segments[0] != [2]int{0, 4} {
+		t.Fatalf("segments = %v", d.Segments)
+	}
+}
+
+func TestMinFilterSuppressesFlicker(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	frames := make([]*video.Frame, 5)
+	for i := range frames {
+		f := video.NewFrame(64, 64)
+		// Band with stable text pixel at (10, y) and flickering noise.
+		y0, _ := BandBounds(f.H)
+		for y := y0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				if rng.Intn(5) == 0 {
+					f.Set(x, y, 255, 255, 255) // flicker
+				} else {
+					f.Set(x, y, 30, 30, 30)
+				}
+			}
+		}
+		f.Set(10, y0+3, 255, 255, 255) // stable text pixel
+		frames[i] = f
+	}
+	g := MinFilterBand(frames)
+	if g.At(10, 3) < 200 {
+		t.Fatalf("stable text pixel filtered out: %d", g.At(10, 3))
+	}
+	flickerSurvivors := 0
+	for i, v := range g.Pix {
+		if v > 200 && i != 3*g.W+10 {
+			flickerSurvivors++
+		}
+	}
+	if flickerSurvivors > len(g.Pix)/100 {
+		t.Fatalf("%d flicker pixels survived min filter", flickerSurvivors)
+	}
+}
+
+func TestInterpolate4x(t *testing.T) {
+	g := &video.Gray{W: 4, H: 4, Pix: make([]byte, 16)}
+	g.Pix[5] = 200
+	out := Interpolate4x(g)
+	if out.W != 16 || out.H != 16 {
+		t.Fatalf("dims = %dx%d", out.W, out.H)
+	}
+	if out.At(5, 5) < 100 {
+		t.Fatalf("magnified peak = %d", out.At(5, 5))
+	}
+}
+
+func TestBinarize(t *testing.T) {
+	g := &video.Gray{W: 2, H: 1, Pix: []byte{100, 220}}
+	m := Binarize(g, 180)
+	if m.At(0, 0) || !m.At(1, 0) {
+		t.Fatal("binarize wrong")
+	}
+}
+
+func TestRecognizeRenderedWords(t *testing.T) {
+	lex := []string{"SCHUMACHER", "BARRICHELLO", "HAKKINEN", "PIT", "STOP", "WINNER", "LAP"}
+	r := NewRecognizer(lex, 0.8)
+	for _, w := range lex {
+		band := RenderWord(w, 4)
+		hits := r.RecognizeBand(band)
+		if len(hits) != 1 {
+			t.Fatalf("%s: hits = %v", w, hits)
+		}
+		if hits[0].Word != w {
+			t.Fatalf("%s recognized as %s (score %v)", w, hits[0].Word, hits[0].Score)
+		}
+	}
+}
+
+func TestRecognizeMultipleWords(t *testing.T) {
+	r := NewRecognizer([]string{"PIT", "STOP", "SCHUMACHER"}, 0.8)
+	band := RenderWord("PIT STOP", 4)
+	hits := r.RecognizeBand(band)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v, want PIT and STOP", hits)
+	}
+	if hits[0].Word != "PIT" || hits[1].Word != "STOP" {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].X >= hits[1].X {
+		t.Fatal("word order not preserved")
+	}
+}
+
+func TestRecognizeRejectsUnknownWord(t *testing.T) {
+	r := NewRecognizer([]string{"WINNER", "HAKKINEN"}, 0.8)
+	band := RenderWord("XYZZY", 4)
+	hits := r.RecognizeBand(band)
+	if len(hits) != 0 {
+		t.Fatalf("unknown word matched: %v", hits)
+	}
+}
+
+func TestRecognizeWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewRecognizer([]string{"SCHUMACHER", "BARRICHELLO", "MONTOYA", "PIT", "STOP"}, 0.75)
+	band := RenderWord("MONTOYA", 4)
+	// Flip 3% of cells.
+	for i := range band.Pix {
+		if rng.Float64() < 0.03 {
+			band.Pix[i] = !band.Pix[i]
+		}
+	}
+	hits := r.RecognizeBand(band)
+	if len(hits) != 1 || hits[0].Word != "MONTOYA" {
+		t.Fatalf("noisy recognition = %v", hits)
+	}
+}
+
+func TestEndToEndCaptionPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Render the same caption over several frames with band noise,
+	// then run the full chain: min filter -> interpolate -> binarize ->
+	// recognize.
+	frames := make([]*video.Frame, 6)
+	for i := range frames {
+		f := sceneFrame(384, 288, rng)
+		drawCaption(f, "SCHUMACHER", 3, rng)
+		frames[i] = f
+	}
+	for _, f := range frames {
+		if !AnalyzeBand(f).Present {
+			t.Fatal("caption band not detected in pipeline frame")
+		}
+	}
+	g := MinFilterBand(frames)
+	g = Interpolate4x(g)
+	band := Binarize(g, 170)
+	r := NewRecognizer([]string{"SCHUMACHER", "BARRICHELLO", "HAKKINEN", "COULTHARD", "PIT", "STOP"}, 0.7)
+	hits := r.RecognizeBand(band)
+	if len(hits) != 1 || hits[0].Word != "SCHUMACHER" {
+		t.Fatalf("pipeline hits = %v", hits)
+	}
+}
+
+func TestEstimateCharCount(t *testing.T) {
+	m := RenderWord("ABCDE", 3)
+	if got := estimateCharCount(m.W, m.H); got < 4 || got > 6 {
+		t.Fatalf("estimate = %d, want ~5", got)
+	}
+	if estimateCharCount(10, 0) != 0 {
+		t.Fatal("zero height should give 0")
+	}
+}
+
+// Property: every supported A-Z word renders and recognizes back to
+// itself at any scale 2-5 against a small decoy lexicon.
+func TestRenderRecognizeRoundTripProperty(t *testing.T) {
+	words := []string{"GRAVEL", "ENGINE", "WINNER", "BOX", "SLICK", "DRY"}
+	r := NewRecognizer(append(words, "DECOY", "ANOTHER"), 0.8)
+	for _, w := range words {
+		for scale := 2; scale <= 5; scale++ {
+			band := RenderWord(w, scale)
+			hits := r.RecognizeBand(band)
+			if len(hits) != 1 || hits[0].Word != w {
+				t.Fatalf("%s at scale %d -> %v", w, scale, hits)
+			}
+		}
+	}
+}
