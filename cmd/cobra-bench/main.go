@@ -5,9 +5,14 @@
 // Usage:
 //
 //	cobra-bench [-dur 600] [-train 300] [-seed 2001] [-em 10] [-run all]
+//	cobra-bench -run micro [-benchout DIR]
 //
 // -run selects one experiment: table1, table2, table3, table4, fig9,
 // temporal, clustering, shots, audiovsav, keywords, parallelhmm, all.
+// "micro" (not part of "all") runs kernel/engine microbenchmarks and,
+// with -benchout set, writes one machine-readable BENCH_<op>.json per
+// benchmark (op name, ns/op, allocs/op, bytes/op) so the repo's perf
+// trajectory can be tracked across PRs.
 package main
 
 import (
@@ -23,12 +28,16 @@ import (
 	"cobra/internal/hmm"
 )
 
+// benchOut is the -benchout directory ("" disables BENCH_*.json files).
+var benchOut string
+
 func main() {
 	dur := flag.Float64("dur", 600, "simulated race duration in seconds")
 	train := flag.Float64("train", 300, "training prefix in seconds")
 	seed := flag.Int64("seed", 2001, "simulation seed")
 	em := flag.Int("em", 10, "EM iterations")
 	run := flag.String("run", "all", "experiment to run")
+	flag.StringVar(&benchOut, "benchout", "", "directory for BENCH_*.json microbenchmark results (empty: print only)")
 	flag.Parse()
 
 	cfg := f1.DefaultExpConfig()
@@ -43,6 +52,9 @@ func main() {
 	for _, exp := range experiments {
 		if want != "all" && want != exp.name {
 			continue
+		}
+		if exp.name == "micro" && want != "micro" {
+			continue // microbenchmarks only run when requested explicitly
 		}
 		fmt.Printf("=== %s: %s ===\n", exp.name, exp.title)
 		start := time.Now()
@@ -77,6 +89,7 @@ var experiments = []experiment{
 	{"parallelhmm", "parallel evaluation of 6 HMMs (Figs. 3-4)", runParallelHMM},
 	{"ablation-quant", "ablation: evidence quantization levels", runQuantAblation},
 	{"ablation-anchor", "ablation: anchored vs plain EM for the AV network", runAnchorAblation},
+	{"micro", "kernel/engine microbenchmarks (BENCH_*.json)", runMicro},
 }
 
 func runQuantAblation(lab *f1.Lab) error {

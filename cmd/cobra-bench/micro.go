@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cobra/internal/cobra"
+	"cobra/internal/f1"
+	"cobra/internal/hmm"
+	"cobra/internal/mil"
+	"cobra/internal/monet"
+	"cobra/internal/query"
+)
+
+// benchResult is the machine-readable BENCH_*.json record tracking one
+// operation's performance across PRs.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runMicro benchmarks one representative hot operation per level of
+// the stack via testing.Benchmark and emits the results as
+// BENCH_<name>.json files when -benchout is set.
+func runMicro(*f1.Lab) error {
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BATJoin", benchBATJoin},
+		{"BATUselect", benchBATUselect},
+		{"MILExec", benchMILExec},
+		{"HMMEvalParallel", benchHMMEvalParallel},
+		{"COQLQuery", benchCOQLQuery},
+	}
+	for _, bench := range benches {
+		fn := bench.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		res := benchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("  %-16s %12.0f ns/op %8d allocs/op %10d B/op (%d iterations)\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
+		if benchOut != "" {
+			if err := writeBenchJSON(res); err != nil {
+				return err
+			}
+		}
+	}
+	if benchOut != "" {
+		fmt.Printf("  BENCH_*.json written to %s\n", benchOut)
+	}
+	return nil
+}
+
+func writeBenchJSON(res benchResult) error {
+	if err := os.MkdirAll(benchOut, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(benchOut, "BENCH_"+res.Name+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func benchBATJoin(b *testing.B) {
+	const n = 5000
+	left := monet.NewBATCap(monet.OIDT, monet.IntT, n)
+	right := monet.NewBATCap(monet.IntT, monet.StrT, n)
+	for i := 0; i < n; i++ {
+		left.MustInsert(monet.NewOID(monet.OID(i)), monet.NewInt(int64(i)))
+		right.MustInsert(monet.NewInt(int64(i)), monet.NewStr("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := left.Join(right); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBATUselect(b *testing.B) {
+	const n = 100000
+	bat := monet.NewBATCap(monet.OIDT, monet.IntT, n)
+	for i := 0; i < n; i++ {
+		bat.MustInsert(monet.NewOID(monet.OID(i)), monet.NewInt(int64(i%1000)))
+	}
+	lo, hi := monet.NewInt(100), monet.NewInt(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bat.Uselect(lo, hi)
+	}
+}
+
+func benchMILExec(b *testing.B) {
+	in := mil.NewInterp(monet.NewStore())
+	const prog = `VAR b := new(void,int); b.insert(nil, 41); RETURN b.sum + 1;`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Exec(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHMMEvalParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pool := hmm.NewEnginePool(7)
+	for _, name := range []string{"Service", "Forehand", "Smash", "Backhand", "VolleyBackhand", "VolleyForehand"} {
+		m := hmm.NewModel(name, 8, 16)
+		m.Randomize(rng)
+		if err := pool.Register(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	obs := make([]int, 2000)
+	for i := range obs {
+		obs[i] = rng.Intn(16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.EvaluateAll(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCOQLQuery(b *testing.B) {
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	if err := cat.PutVideo(cobra.Video{Name: "v", Duration: 600, FPS: 10}); err != nil {
+		b.Fatal(err)
+	}
+	events := make([]cobra.Event, 0, 200)
+	for i := 0; i < 200; i++ {
+		events = append(events, cobra.Event{
+			Type:       "highlight",
+			Interval:   cobra.Interval{Start: float64(i * 3), End: float64(i*3 + 2)},
+			Confidence: 0.9,
+		})
+	}
+	if err := cat.PutEvents("v", events); err != nil {
+		b.Fatal(err)
+	}
+	eng := query.NewEngine(cobra.NewPreprocessor(cat))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(`SELECT SEGMENTS FROM v WHERE EVENT('highlight')`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 // Shell commands:
 //
 //	SELECT/RETRIEVE ...   COQL query
+//	EXPLAIN ANALYZE <q>   run a COQL query and print its span tree
 //	mil <statement>       MIL statement against the kernel
 //	.videos               list videos
 //	.features <video>     list materialized features
@@ -183,6 +184,19 @@ func localShell(db string) error {
 			for _, out := range interp.Output() {
 				fmt.Println(" ", out)
 			}
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE "):
+			// EXPLAIN ANALYZE <query>: run the query and render its trace
+			// span tree across the conceptual/logical/physical levels.
+			stmt := strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
+			res, span, err := eng.RunTraced(stmt)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, l := range strings.Split(strings.TrimRight(span.Render(), "\n"), "\n") {
+				fmt.Println("  " + l)
+			}
+			fmt.Printf("  (%d segments)\n", len(res))
 		default:
 			res, err := eng.Run(line)
 			if err != nil {
@@ -214,6 +228,7 @@ func printHelp() {
           FEATURE('name') > 0.5 | OBJECT('NAME') | NOT cond |
           cond AND/OR cond | cond BEFORE/AFTER/DURING/OVERLAPS cond |
           cond WITHIN <n> OF cond
+  EXPLAIN ANALYZE <query>   run a COQL query, print its trace span tree
   mil <stmt>        MIL against the kernel, e.g. mil RETURN bat("cobra/videos").count;
   .videos           list videos
   .features <v>     list materialized features of a video
@@ -280,6 +295,10 @@ func remoteShell(addr string) error {
 		}
 		if line == ".quit" || line == ".exit" {
 			return nil
+		}
+		// EXPLAIN ANALYZE maps to the protocol's TRACE command.
+		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE ") {
+			line = "TRACE " + strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
 		}
 		out, err := cl.Do(line)
 		if err != nil {

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	cobra-server -addr :4242 [-db ./f1db]
+//	cobra-server -addr :4242 [-db ./f1db] [-metrics-addr :6060] [-slow-query-ms 250]
+//
+// With -metrics-addr set, the process additionally serves /metrics
+// (telemetry JSON) and /debug/pprof over HTTP. -slow-query-ms enables
+// the slow-query log, readable over the protocol via SLOWLOG.
 package main
 
 import (
@@ -14,18 +18,33 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"time"
 
 	"cobra/internal/cobra"
 	"cobra/internal/f1"
 	"cobra/internal/hmm"
 	"cobra/internal/monet"
+	"cobra/internal/obs"
 	"cobra/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":4242", "listen address")
 	db := flag.String("db", "", "snapshot directory to load")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty: disabled)")
+	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0: disabled)")
 	flag.Parse()
+
+	if *slowMs > 0 {
+		obs.DefaultSlowLog.SetThreshold(time.Duration(*slowMs) * time.Millisecond)
+	}
+	if *metricsAddr != "" {
+		maddr, _, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof)\n", maddr)
+	}
 
 	store := monet.NewStore()
 	cat := cobra.NewCatalog(store)

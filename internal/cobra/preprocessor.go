@@ -4,6 +4,18 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+
+	"cobra/internal/obs"
+)
+
+// Preprocessor metrics: how often dynamic extraction runs and how long
+// the engines take — the observable face of the paper's cost/quality
+// method selection.
+var (
+	cEnsures     = obs.C("preprocess.ensures")
+	cExtractions = obs.C("preprocess.extractions")
+	hExtractLat  = obs.H("preprocess.extract.latency")
 )
 
 // RequirementKind distinguishes feature-layer from event-layer needs.
@@ -105,6 +117,15 @@ type Plan struct {
 // one wins; if none meets it, the highest-quality engine is used (best
 // effort, as the paper's cost/quality trade-off).
 func (p *Preprocessor) Ensure(video string, reqs []Requirement, minQuality float64) (*Plan, error) {
+	return p.EnsureTraced(video, reqs, minQuality, nil)
+}
+
+// EnsureTraced is Ensure with an optional (nil-safe) parent trace
+// span: each method selection becomes a "select:<req>" child recording
+// the chosen engine and its cost/quality, and each engine invocation a
+// timed "extract:<engine>" child.
+func (p *Preprocessor) EnsureTraced(video string, reqs []Requirement, minQuality float64, span *obs.Span) (*Plan, error) {
+	cEnsures.Inc()
 	if _, err := p.cat.Video(video); err != nil {
 		return nil, err
 	}
@@ -115,10 +136,18 @@ func (p *Preprocessor) Ensure(video string, reqs []Requirement, minQuality float
 			plan.Satisfied = append(plan.Satisfied, r)
 			continue
 		}
+		sel := span.StartChild("select:" + r.String())
+		sel.SetAttr("level", "conceptual")
 		e, err := p.choose(r, minQuality)
 		if err != nil {
+			sel.SetAttr("error", err.Error())
+			sel.Finish()
 			return plan, err
 		}
+		sel.SetAttr("engine", e.Name())
+		sel.SetAttr("cost", strconv.FormatFloat(e.Cost(), 'g', -1, 64))
+		sel.SetAttr("quality", strconv.FormatFloat(e.Quality(), 'g', -1, 64))
+		sel.Finish()
 		if ran[e.Name()] {
 			// Engine already ran for an earlier requirement but did not
 			// produce this one.
@@ -127,8 +156,13 @@ func (p *Preprocessor) Ensure(video string, reqs []Requirement, minQuality float
 			}
 			continue
 		}
-		if err := e.Extract(p.cat, video); err != nil {
-			return plan, fmt.Errorf("cobra: extractor %s: %w", e.Name(), err)
+		ext := span.StartChild("extract:" + e.Name())
+		ext.SetAttr("level", "conceptual")
+		extErr := e.Extract(p.cat, video)
+		cExtractions.Inc()
+		hExtractLat.Observe(ext.Finish())
+		if extErr != nil {
+			return plan, fmt.Errorf("cobra: extractor %s: %w", e.Name(), extErr)
 		}
 		ran[e.Name()] = true
 		plan.Ran = append(plan.Ran, e.Name())

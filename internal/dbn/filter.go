@@ -3,6 +3,17 @@ package dbn
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"cobra/internal/obs"
+)
+
+// Boyen-Koller filter metrics. Handles are cached here because Filter
+// shadows the package name with its `obs` observation parameter.
+var (
+	cBKSteps       = obs.C("dbn.bk.steps")
+	cBKProjections = obs.C("dbn.bk.projections")
+	hFilterLat     = obs.H("dbn.filter.latency")
 )
 
 // Clusters partitions hidden node names for the Boyen-Koller
@@ -112,6 +123,7 @@ func (d *DBN) project(belief []float64, spec *clusterSpec) []float64 {
 	if len(spec.members) == 1 {
 		return belief
 	}
+	cBKProjections.Inc()
 	// Compute each cluster's marginal.
 	marginals := make([]map[string]float64, len(spec.members))
 	keys := make([][]int, d.S) // decoded states, cached
@@ -163,6 +175,8 @@ func normalize(p []float64) float64 {
 // obs[t] holds the state of each evidence node (observation order) at
 // step t. clusters selects the belief factorization (nil = exact).
 func (d *DBN) Filter(obs [][]int, clusters Clusters) (*FilterResult, error) {
+	defer func(start time.Time) { hFilterLat.Observe(time.Since(start)) }(time.Now())
+	cBKSteps.Add(int64(len(obs)))
 	spec, err := d.compileClusters(clusters)
 	if err != nil {
 		return nil, err

@@ -3,8 +3,21 @@ package hmm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"cobra/internal/monet"
+	"cobra/internal/obs"
+)
+
+// HMM pool metrics: per-model evaluation latency (one observation per
+// model per EvaluateAll) plus whole-pool fan-out/join latency.
+// Handles are cached here because several methods shadow the package
+// name with their `obs` observation parameter.
+var (
+	cEvaluations = obs.C("hmm.evaluations")
+	cClassifies  = obs.C("hmm.classifications")
+	hModelEval   = obs.H("hmm.eval.model.latency")
+	hPoolEval    = obs.H("hmm.eval.pool.latency")
 )
 
 // Evaluation is one model's score over an observation sequence.
@@ -51,13 +64,17 @@ func (p *EnginePool) Models() []string {
 // EvaluateAll scores every registered model on the observation sequence
 // in parallel and returns evaluations sorted by descending likelihood.
 func (p *EnginePool) EvaluateAll(obs []int) ([]Evaluation, error) {
+	defer func(start time.Time) { hPoolEval.Observe(time.Since(start)) }(time.Now())
 	names := p.Models()
 	evals := make([]Evaluation, len(names))
 	tasks := make([]func() error, len(names))
 	for i, name := range names {
 		i, name := i, name
 		tasks[i] = func() error {
+			start := time.Now()
 			ll, err := p.models[name].LogLikelihood(obs)
+			hModelEval.Observe(time.Since(start))
+			cEvaluations.Inc()
 			if err != nil {
 				return fmt.Errorf("model %s: %w", name, err)
 			}
@@ -77,6 +94,7 @@ func (p *EnginePool) EvaluateAll(obs []int) ([]Evaluation, error) {
 // Classify returns the best-scoring model name for the observation
 // sequence — the Fig. 4 procedure's reverse().find(max) step.
 func (p *EnginePool) Classify(obs []int) (string, error) {
+	cClassifies.Inc()
 	evals, err := p.EvaluateAll(obs)
 	if err != nil {
 		return "", err

@@ -6,8 +6,20 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cobra/internal/monet"
+	"cobra/internal/obs"
+)
+
+// MIL interpretation metrics: per-program latency, statement volume
+// and the fan-out of Fig. 4-style PARALLEL blocks.
+var (
+	hRunLat            = obs.H("mil.run.latency")
+	cStatements        = obs.C("mil.statements")
+	cParallelBlocks    = obs.C("mil.parallel.blocks")
+	cParallelBranches  = obs.C("mil.parallel.branches")
+	hParallelBlockTime = obs.H("mil.parallel.latency")
 )
 
 // Value is a MIL runtime value: an atomic kernel value, a BAT, or a
@@ -174,6 +186,8 @@ func (in *Interp) Exec(src string) (Value, error) {
 
 // Run executes a parsed program.
 func (in *Interp) Run(prog *Program) (Value, error) {
+	defer func(start time.Time) { hRunLat.Observe(time.Since(start)) }(time.Now())
+	cStatements.Add(int64(len(prog.Stmts)))
 	root := &env{in: in, vars: map[string]Value{}}
 	var last Value
 	for _, s := range prog.Stmts {
@@ -270,6 +284,9 @@ func (in *Interp) execBlock(e *env, b *Block) (Value, error) {
 // variables declared before the block (the Fig. 4 pattern: six
 // hmmOneCall branches inserting into parEval).
 func (in *Interp) execParallel(e *env, b *ParallelBlock) (Value, error) {
+	defer func(start time.Time) { hParallelBlockTime.Observe(time.Since(start)) }(time.Now())
+	cParallelBlocks.Inc()
+	cParallelBranches.Add(int64(len(b.Stmts)))
 	in.mu.Lock()
 	threads := in.threadCnt
 	in.mu.Unlock()

@@ -2,8 +2,18 @@ package moa
 
 import (
 	"fmt"
+	"time"
 
 	"cobra/internal/monet"
+	"cobra/internal/obs"
+)
+
+// Per-operation timing histograms for the Moa→MIL rewrite layer; each
+// histogram's count doubles as the operation counter.
+var (
+	hSelectRange = obs.H("moa.select_range.latency")
+	hAggregate   = obs.H("moa.aggregate.latency")
+	hJoinOn      = obs.H("moa.join_on.latency")
 )
 
 // Kernel-executed algebra: operators over flattened sets run directly
@@ -68,6 +78,7 @@ func (fs *FlatSet) Len() (int, error) {
 // algebra: uselect over the field column for the qualifying OIDs, then
 // a semijoin per column.
 func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*FlatSet, error) {
+	defer func(start time.Time) { hSelectRange.Observe(time.Since(start)) }(time.Now())
 	col, err := fs.column(field)
 	if err != nil {
 		return nil, err
@@ -96,6 +107,7 @@ func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*Fl
 // Aggregate computes count/sum/avg/max/min over one field using the
 // kernel's aggregation operators.
 func (fs *FlatSet) Aggregate(field, op string) (monet.Value, error) {
+	defer func(start time.Time) { hAggregate.Observe(time.Since(start)) }(time.Now())
 	col, err := fs.column(field)
 	if err != nil {
 		return monet.Value{}, err
@@ -131,6 +143,7 @@ func (fs *FlatSet) Aggregate(field, op string) (monet.Value, error) {
 // Output fields are left's fields plus right's fields (right's join
 // field dropped); name collisions take the left value.
 func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField string) (*FlatSet, error) {
+	defer func(start time.Time) { hJoinOn.Observe(time.Since(start)) }(time.Now())
 	lk, err := fs.column(leftField)
 	if err != nil {
 		return nil, err

@@ -2,8 +2,16 @@ package moa
 
 import (
 	"fmt"
+	"time"
 
 	"cobra/internal/monet"
+	"cobra/internal/obs"
+)
+
+// Flatten/unflatten timings: the storage-mapping half of the Moa layer.
+var (
+	hFlatten   = obs.H("moa.flatten.latency")
+	hUnflatten = obs.H("moa.unflatten.latency")
 )
 
 // Flatten decomposes a set of flat tuples (atom fields only) into
@@ -11,6 +19,7 @@ import (
 // storage mapping ("flattening an object algebra", §3). BATs are
 // registered in the store under prefix/<field>.
 func Flatten(store *monet.Store, prefix string, s *Set) error {
+	defer func(start time.Time) { hFlatten.Observe(time.Since(start)) }(time.Now())
 	if s.Len() == 0 {
 		return fmt.Errorf("moa: cannot flatten an empty set (no schema)")
 	}
@@ -63,6 +72,7 @@ func Flatten(store *monet.Store, prefix string, s *Set) error {
 // Unflatten reconstructs a set of tuples from the parallel BATs
 // registered under prefix.
 func Unflatten(store *monet.Store, prefix string) (*Set, error) {
+	defer func(start time.Time) { hUnflatten.Observe(time.Since(start)) }(time.Now())
 	schema, err := store.Get(prefix + "/_schema")
 	if err != nil {
 		return nil, fmt.Errorf("moa: unflatten: no schema under %q", prefix)

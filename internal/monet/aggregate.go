@@ -3,7 +3,12 @@ package monet
 import (
 	"fmt"
 	"math"
+
+	"cobra/internal/obs"
 )
+
+// opAggregate counts kernel aggregate invocations (sum/avg/min/max).
+var opAggregate = obs.C("monet.bat.aggregate")
 
 // Count returns the number of associations.
 func (b *BAT) Count() int64 { return int64(b.Len()) }
@@ -11,6 +16,7 @@ func (b *BAT) Count() int64 { return int64(b.Len()) }
 // Sum returns the sum of the tail column as float64. Non-numeric tails
 // yield an error.
 func (b *BAT) Sum() (float64, error) {
+	opAggregate.Inc()
 	if err := b.requireNumericTail("sum"); err != nil {
 		return 0, err
 	}
@@ -23,6 +29,7 @@ func (b *BAT) Sum() (float64, error) {
 
 // Avg returns the mean of the tail column; NaN for an empty BAT.
 func (b *BAT) Avg() (float64, error) {
+	opAggregate.Inc()
 	if err := b.requireNumericTail("avg"); err != nil {
 		return 0, err
 	}
@@ -35,6 +42,7 @@ func (b *BAT) Avg() (float64, error) {
 
 // Max returns the largest tail value; ok is false for an empty BAT.
 func (b *BAT) Max() (Value, bool) {
+	opAggregate.Inc()
 	if b.Len() == 0 {
 		return Value{}, false
 	}
@@ -49,6 +57,7 @@ func (b *BAT) Max() (Value, bool) {
 
 // Min returns the smallest tail value; ok is false for an empty BAT.
 func (b *BAT) Min() (Value, bool) {
+	opAggregate.Inc()
 	if b.Len() == 0 {
 		return Value{}, false
 	}

@@ -4,6 +4,23 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"cobra/internal/obs"
+)
+
+// Per-operator invocation counters for the kernel's bulk operators.
+// Counters are cached package-side so the hot paths pay one atomic add
+// per operator call, never a registry lookup.
+var (
+	opSelect   = obs.C("monet.bat.select")
+	opUselect  = obs.C("monet.bat.uselect")
+	opFilter   = obs.C("monet.bat.filter")
+	opJoin     = obs.C("monet.bat.join")
+	opSemijoin = obs.C("monet.bat.semijoin")
+	opKDiff    = obs.C("monet.bat.kdiff")
+	opKUnion   = obs.C("monet.bat.kunion")
+	opSort     = obs.C("monet.bat.sort")
+	opMark     = obs.C("monet.bat.mark")
 )
 
 // BAT is a Binary Association Table: a two-column table of
@@ -91,6 +108,7 @@ func headCompatible(a, b Type) bool {
 // Mark returns a BAT pairing each head value with a fresh dense OID
 // sequence starting at base.
 func (b *BAT) Mark(base OID) *BAT {
+	opMark.Inc()
 	out := NewBATCap(materialType(b.head.Type()), OIDT, b.Len())
 	for i := 0; i < b.Len(); i++ {
 		out.MustInsert(b.head.Get(i), NewOID(base+OID(i)))
@@ -113,6 +131,7 @@ func (b *BAT) Slice(lo, hi int) *BAT {
 // Select returns the associations whose tail lies in [lo, hi]
 // (inclusive). Pass equal lo and hi for point selection.
 func (b *BAT) Select(lo, hi Value) *BAT {
+	opSelect.Inc()
 	idx := make([]int, 0, 16)
 	for i := 0; i < b.Len(); i++ {
 		t := b.tail.Get(i)
@@ -129,6 +148,7 @@ func (b *BAT) SelectEq(v Value) *BAT { return b.Select(v, v) }
 // Uselect returns a BAT [head, void] of the heads whose tail lies in
 // [lo, hi]; the unary form of Select.
 func (b *BAT) Uselect(lo, hi Value) *BAT {
+	opUselect.Inc()
 	out := NewBAT(materialType(b.head.Type()), Void)
 	for i := 0; i < b.Len(); i++ {
 		t := b.tail.Get(i)
@@ -142,6 +162,7 @@ func (b *BAT) Uselect(lo, hi Value) *BAT {
 // Filter returns the associations for which pred returns true; the
 // kernel hook for arbitrary selections.
 func (b *BAT) Filter(pred func(h, t Value) bool) *BAT {
+	opFilter.Inc()
 	idx := make([]int, 0, 16)
 	for i := 0; i < b.Len(); i++ {
 		if pred(b.head.Get(i), b.tail.Get(i)) {
@@ -155,6 +176,7 @@ func (b *BAT) Filter(pred func(h, t Value) bool) *BAT {
 // producing [b.head, other.tail]. A hash table is built over the
 // smaller operand.
 func (b *BAT) Join(other *BAT) (*BAT, error) {
+	opJoin.Inc()
 	if !headCompatible(b.tail.Type(), other.head.Type()) {
 		return nil, fmt.Errorf("%w: join tail %v with head %v", ErrTypeMismatch, b.tail.Type(), other.head.Type())
 	}
@@ -173,6 +195,7 @@ func (b *BAT) Join(other *BAT) (*BAT, error) {
 // Semijoin returns the associations of b whose head appears as a head
 // in other.
 func (b *BAT) Semijoin(other *BAT) (*BAT, error) {
+	opSemijoin.Inc()
 	if !headCompatible(b.head.Type(), other.head.Type()) {
 		return nil, fmt.Errorf("%w: semijoin head %v with head %v", ErrTypeMismatch, b.head.Type(), other.head.Type())
 	}
@@ -189,6 +212,7 @@ func (b *BAT) Semijoin(other *BAT) (*BAT, error) {
 // KDiff returns the associations of b whose head does not appear as a
 // head in other.
 func (b *BAT) KDiff(other *BAT) (*BAT, error) {
+	opKDiff.Inc()
 	if !headCompatible(b.head.Type(), other.head.Type()) {
 		return nil, fmt.Errorf("%w: kdiff head %v with head %v", ErrTypeMismatch, b.head.Type(), other.head.Type())
 	}
@@ -205,6 +229,7 @@ func (b *BAT) KDiff(other *BAT) (*BAT, error) {
 // KUnion returns b with the associations of other appended. Types must
 // match exactly.
 func (b *BAT) KUnion(other *BAT) (*BAT, error) {
+	opKUnion.Inc()
 	if b.head.Type() != other.head.Type() || b.tail.Type() != other.tail.Type() {
 		return nil, fmt.Errorf("%w: kunion [%v,%v] with [%v,%v]", ErrTypeMismatch,
 			b.head.Type(), b.tail.Type(), other.head.Type(), other.tail.Type())
@@ -235,6 +260,7 @@ func (b *BAT) Exists(h Value) bool {
 
 // SortTail returns a copy of the BAT ordered by ascending tail.
 func (b *BAT) SortTail() *BAT {
+	opSort.Inc()
 	idx := make([]int, b.Len())
 	for i := range idx {
 		idx[i] = i
@@ -247,6 +273,7 @@ func (b *BAT) SortTail() *BAT {
 
 // SortHead returns a copy of the BAT ordered by ascending head.
 func (b *BAT) SortHead() *BAT {
+	opSort.Inc()
 	idx := make([]int, b.Len())
 	for i := range idx {
 		idx[i] = i

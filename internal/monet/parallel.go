@@ -3,6 +3,21 @@ package monet
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"cobra/internal/obs"
+)
+
+// Parallel-execution metrics: how many blocks fan out, how wide, and
+// how long the fork/join takes end to end (the threadcnt block of the
+// paper's Fig. 4).
+var (
+	cParCalls    = obs.C("monet.parallel.calls")
+	cParTasks    = obs.C("monet.parallel.tasks")
+	gParWidth    = obs.G("monet.parallel.width")
+	hParJoin     = obs.H("monet.parallel.join.latency")
+	cParMapCalls = obs.C("monet.parallel.map.calls")
+	hParMapJoin  = obs.H("monet.parallel.map.join.latency")
 )
 
 // Parallel mirrors Monet's intra-query parallel execution operator (the
@@ -11,12 +26,16 @@ import (
 // of them. A threads value <= 0 uses GOMAXPROCS. The first error
 // returned by any task (in task order) is returned.
 func Parallel(threads int, tasks ...func() error) error {
+	defer func(start time.Time) { hParJoin.Observe(time.Since(start)) }(time.Now())
+	cParCalls.Inc()
+	cParTasks.Add(int64(len(tasks)))
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	if threads > len(tasks) {
 		threads = len(tasks)
 	}
+	gParWidth.Set(int64(threads))
 	if threads <= 1 {
 		for _, t := range tasks {
 			if err := t(); err != nil {
@@ -54,6 +73,8 @@ func Parallel(threads int, tasks ...func() error) error {
 // workers, collecting results positionally. It is the bulk variant of
 // Parallel used by kernel operators that partition a BAT.
 func ParallelMap[T any](threads, n int, f func(i int) T) []T {
+	defer func(start time.Time) { hParMapJoin.Observe(time.Since(start)) }(time.Now())
+	cParMapCalls.Inc()
 	out := make([]T, n)
 	if n == 0 {
 		return out

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Handler serves the registry as expvar-style indented JSON, with a
+// small runtime section (goroutines, heap) appended at request time.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		out := struct {
+			Snapshot
+			Runtime map[string]int64 `json:"runtime"`
+		}{
+			Snapshot: r.Snapshot(),
+			Runtime: map[string]int64{
+				"goroutines":     int64(runtime.NumGoroutine()),
+				"heap_alloc":     int64(ms.HeapAlloc),
+				"total_alloc":    int64(ms.TotalAlloc),
+				"gc_cycles":      int64(ms.NumGC),
+				"gc_pause_total": int64(ms.PauseTotalNs),
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// NewMux builds the diagnostics mux: /metrics and /debug/vars serve
+// the registry JSON; /debug/pprof/* serves the standard profiler
+// endpoints.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	h := Handler(r)
+	mux.Handle("/metrics", h)
+	mux.Handle("/debug/vars", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the diagnostics endpoint for the registry on addr,
+// returning the bound address and a closer.
+func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

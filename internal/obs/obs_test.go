@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, incs = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			for i := 0; i < incs; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*incs {
+		t.Fatalf("counter = %d, want %d", got, workers*incs)
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same name returned distinct counters")
+	}
+	if r.Histogram("x") == nil || r.Gauge("x") == nil {
+		t.Fatal("name collision across metric kinds should be allowed")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	const workers, obsPer = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < obsPer; i++ {
+				h.ObserveNs(int64(w*obsPer + i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*obsPer {
+		t.Fatalf("count = %d, want %d", got, workers*obsPer)
+	}
+	const n = workers * obsPer
+	if got, want := h.SumNs(), int64(n)*(n+1)/2; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if got := h.MaxNs(); got != n {
+		t.Fatalf("max = %d, want %d", got, n)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	const n = 100000
+	for i := int64(1); i <= n; i++ {
+		h.ObserveNs(i)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, n / 2},
+		{0.95, n * 0.95},
+		{0.99, n * 0.99},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.10 {
+			t.Errorf("q%.2f = %.0f, want %.0f (±10%%)", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantilePointMass(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 0; i < 1000; i++ {
+		h.ObserveNs(4096)
+	}
+	got := h.Quantile(0.5)
+	if rel := math.Abs(got-4096) / 4096; rel > 0.30 {
+		t.Fatalf("p50 of constant 4096 = %.0f", got)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestQuantileEmptyAndNegative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.ObserveNs(-5) // clamps to 0
+	if h.Count() != 1 || h.MaxNs() != 0 {
+		t.Fatalf("negative observation mishandled: count=%d max=%d", h.Count(), h.MaxNs())
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 100, 4095, 4096, 1 << 20, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		lower, width := bucketBounds(idx)
+		if fv := float64(v); fv < lower || fv >= lower+width {
+			// MaxInt64 sits exactly on the last bucket's upper edge after
+			// float rounding; tolerate the boundary.
+			if v != math.MaxInt64 {
+				t.Errorf("value %d outside bucket %d [%g, %g)", v, idx, lower, lower+width)
+			}
+		}
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	root := StartSpan("root")
+	root.SetAttr("level", "conceptual")
+	a := root.StartChild("a")
+	aa := a.StartChild("aa")
+	time.Sleep(time.Millisecond)
+	aa.Finish()
+	a.Finish()
+	b := root.StartChild("b")
+	b.SetAttr("rows", "42")
+	b.Finish()
+	root.Finish()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "a" || kids[1].Name() != "b" {
+		t.Fatalf("children = %v", kids)
+	}
+	if len(a.Children()) != 1 || a.Children()[0].Name() != "aa" {
+		t.Fatalf("grandchildren = %v", a.Children())
+	}
+	if aa.Duration() < time.Millisecond {
+		t.Fatalf("aa duration = %v", aa.Duration())
+	}
+	if root.Duration() < a.Duration() {
+		t.Fatalf("root %v shorter than child %v", root.Duration(), a.Duration())
+	}
+	out := root.Render()
+	for _, want := range []string{"root ", "\n  a ", "\n    aa ", "\n  b ", "rows=42", "level=conceptual"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanFinishIdempotent(t *testing.T) {
+	s := StartSpan("s")
+	d1 := s.Finish()
+	time.Sleep(time.Millisecond)
+	if d2 := s.Finish(); d2 != d1 {
+		t.Fatalf("second Finish changed duration: %v != %v", d2, d1)
+	}
+	if d1 <= 0 {
+		t.Fatalf("finished span has non-positive duration %v", d1)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	s.SetAttr("k", "v")
+	if s.Finish() != 0 || s.Duration() != 0 || s.Name() != "" || s.Attr("k") != "" {
+		t.Fatal("nil span not inert")
+	}
+	if s.Render() != "" || s.Children() != nil {
+		t.Fatal("nil span rendered content")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(3)
+	if l.Record("q", time.Second) {
+		t.Fatal("disabled slow log recorded an entry")
+	}
+	l.SetThreshold(10 * time.Millisecond)
+	if l.Record("fast", 5*time.Millisecond) {
+		t.Fatal("fast query logged")
+	}
+	for i, q := range []string{"a", "b", "c", "d"} {
+		if !l.Record(q, time.Duration(20+i)*time.Millisecond) {
+			t.Fatalf("slow query %q not logged", q)
+		}
+	}
+	es := l.Entries()
+	if len(es) != 3 {
+		t.Fatalf("len = %d", len(es))
+	}
+	if es[0].Query != "b" || es[2].Query != "d" {
+		t.Fatalf("ring order = %v", es)
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries").Add(3)
+	r.Gauge("width").Set(7)
+	r.Histogram("lat").Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"counter queries 3", "gauge width 7", "hist lat count=1", "p95_ns="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text missing %q:\n%s", want, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.Counters["queries"] != 3 || snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	r.Histogram("lat").Observe(time.Millisecond)
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Counters   map[string]int64    `json:"counters"`
+		Histograms map[string]HistStat `json:"histograms"`
+		Runtime    map[string]int64    `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Counters["hits"] != 1 {
+		t.Fatalf("counters = %v", body.Counters)
+	}
+	if body.Histograms["lat"].Count != 1 {
+		t.Fatalf("histograms = %v", body.Histograms)
+	}
+	if body.Runtime["goroutines"] < 1 {
+		t.Fatalf("runtime = %v", body.Runtime)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp2.StatusCode)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	done := Timer("obs.test.timer")
+	time.Sleep(time.Millisecond)
+	done()
+	h := H("obs.test.timer")
+	if h.Count() < 1 || h.MaxNs() < int64(time.Millisecond) {
+		t.Fatalf("timer recorded count=%d max=%d", h.Count(), h.MaxNs())
+	}
+}

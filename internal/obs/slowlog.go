@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one logged slow query.
+type SlowEntry struct {
+	When     time.Time
+	Duration time.Duration
+	Query    string
+}
+
+// SlowLog keeps the most recent queries that exceeded a configurable
+// latency threshold in a fixed-size ring. A zero threshold disables
+// logging, so the default-constructed log costs one atomic load per
+// query.
+type SlowLog struct {
+	threshold atomic.Int64 // ns; <= 0 disables
+
+	mu      sync.Mutex
+	entries []SlowEntry // ring once len == cap
+	next    int
+	cap     int
+}
+
+// NewSlowLog returns a slow-query log retaining up to capacity entries.
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// DefaultSlowLog is the process-wide slow-query log the COQL engine
+// records into.
+var DefaultSlowLog = NewSlowLog(128)
+
+// SetThreshold sets the latency above which queries are logged
+// (0 disables).
+func (l *SlowLog) SetThreshold(d time.Duration) { l.threshold.Store(int64(d)) }
+
+// Threshold returns the current threshold.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// Record logs the query if its duration reaches the threshold,
+// reporting whether it was logged.
+func (l *SlowLog) Record(query string, d time.Duration) bool {
+	th := l.threshold.Load()
+	if th <= 0 || int64(d) < th {
+		return false
+	}
+	e := SlowEntry{When: time.Now(), Duration: d, Query: query}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return true
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.cap
+	return true
+}
+
+// Entries returns the retained entries, oldest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.entries))
+	if len(l.entries) == l.cap {
+		out = append(out, l.entries[l.next:]...)
+		out = append(out, l.entries[:l.next]...)
+		return out
+	}
+	return append(out, l.entries...)
+}
+
+// Len returns the number of retained entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one timed node of a hierarchical query trace. Every method
+// is safe on a nil receiver, so instrumented code can thread an
+// optional parent span without nil checks: untraced calls pass nil and
+// the span machinery vanishes.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration // 0 while the span is open
+	attrs    []Attr
+	children []*Span
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild starts and attaches a child span. Nil-safe.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span. Nil-safe.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// Finish closes the span (idempotent) and returns its duration, which
+// is clamped to at least 1 ns so finished spans always report a
+// non-zero timing. Nil-safe.
+func (s *Span) Finish() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+		if s.dur <= 0 {
+			s.dur = time.Nanosecond
+		}
+	}
+	return s.dur
+}
+
+// Name returns the span name. Nil-safe.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's duration (elapsed time if still open).
+// Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == 0 {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns a copy of the child spans. Nil-safe.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attr returns the first value recorded for key ("" when absent).
+// Nil-safe.
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+// Render formats the span tree as indented text, one span per line:
+//
+//	coql.query 1.82ms level=conceptual query="SELECT ..."
+//	  moa.eval 1.71ms level=logical
+//	    monet.scan 1.60ms level=physical rows=42
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	d := s.dur
+	if d == 0 {
+		d = time.Since(s.start)
+	}
+	name := s.name
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(FormatDuration(d))
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		if strings.ContainsAny(a.Val, " \t\"") {
+			fmt.Fprintf(b, "%q", a.Val)
+		} else {
+			b.WriteString(a.Val)
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range children {
+		c.render(b, depth+1)
+	}
+}
+
+// FormatDuration renders a duration compactly for trace output.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

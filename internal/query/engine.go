@@ -4,10 +4,21 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"cobra/internal/cobra"
+	"cobra/internal/obs"
 	"cobra/internal/rules"
+)
+
+// Query-level metrics. The latency histogram backs the server's STATS
+// p50/p95/p99 report; slow queries additionally land in
+// obs.DefaultSlowLog.
+var (
+	cQueries     = obs.C("coql.queries")
+	cQueryErrors = obs.C("coql.query.errors")
+	hQueryLat    = obs.H("coql.query.latency")
 )
 
 // Result is one retrieved video segment.
@@ -37,11 +48,43 @@ func NewEngine(pre *cobra.Preprocessor) *Engine {
 
 // Run parses and executes a COQL statement.
 func (e *Engine) Run(src string) ([]Result, error) {
-	q, err := Parse(src)
-	if err != nil {
-		return nil, err
+	res, _, err := e.RunTraced(src)
+	return res, err
+}
+
+// RunTraced parses and executes a COQL statement under a root trace
+// span ("coql.query"). The returned span tree covers all three levels
+// of the stack: conceptual (parse, preprocessing, method selection),
+// logical (condition-tree evaluation) and physical (catalog/BAT
+// scans). The span is returned even on error, annotated with the
+// failure.
+func (e *Engine) RunTraced(src string) ([]Result, *obs.Span, error) {
+	root := obs.StartSpan("coql.query")
+	root.SetAttr("level", "conceptual")
+	root.SetAttr("query", src)
+	cQueries.Inc()
+
+	finish := func(err error) {
+		if err != nil {
+			cQueryErrors.Inc()
+			root.SetAttr("error", err.Error())
+		}
+		d := root.Finish()
+		hQueryLat.Observe(d)
+		obs.DefaultSlowLog.Record(src, d)
 	}
-	return e.Execute(q)
+
+	parseSp := root.StartChild("coql.parse")
+	parseSp.SetAttr("level", "conceptual")
+	q, err := Parse(src)
+	parseSp.Finish()
+	if err != nil {
+		finish(err)
+		return nil, root, err
+	}
+	res, err := e.executeTraced(q, root)
+	finish(err)
+	return res, root, err
 }
 
 // Execute evaluates a parsed query: it ensures required metadata is
@@ -51,9 +94,21 @@ func (e *Engine) Run(src string) ([]Result, error) {
 // whatever the catalog holds, possibly nothing); other extraction
 // failures abort the query.
 func (e *Engine) Execute(q *Query) ([]Result, error) {
+	return e.executeTraced(q, nil)
+}
+
+// executeTraced is Execute with an optional (nil-safe) parent span.
+func (e *Engine) executeTraced(q *Query, span *obs.Span) ([]Result, error) {
 	reqs := requirements(q.Where)
-	if _, err := e.pre.Ensure(q.Video, reqs, e.MinQuality); err != nil &&
-		!errors.Is(err, cobra.ErrNoExtractor) {
+	ensSp := span.StartChild("preprocess.ensure")
+	ensSp.SetAttr("level", "conceptual")
+	plan, err := e.pre.EnsureTraced(q.Video, reqs, e.MinQuality, ensSp)
+	if plan != nil {
+		ensSp.SetAttr("satisfied", strconv.Itoa(len(plan.Satisfied)))
+		ensSp.SetAttr("ran", strconv.Itoa(len(plan.Ran)))
+	}
+	ensSp.Finish()
+	if err != nil && !errors.Is(err, cobra.ErrNoExtractor) {
 		return nil, err
 	}
 	cat := e.pre.Catalog()
@@ -68,7 +123,11 @@ func (e *Engine) Execute(q *Query) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.eval(cat, q.Video, v.Duration, q.Where)
+	evalSp := span.StartChild("moa.eval")
+	evalSp.SetAttr("level", "logical")
+	res, err := e.eval(cat, q.Video, v.Duration, q.Where, evalSp)
+	evalSp.SetAttr("segments", strconv.Itoa(len(res)))
+	evalSp.Finish()
 	if err != nil {
 		return nil, err
 	}
@@ -133,11 +192,28 @@ func requirements(c Cond) []cobra.Requirement {
 	return out
 }
 
-func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond) ([]Result, error) {
+// scanSpan opens a physical-level span for a catalog/BAT scan; the
+// caller finishes it via the returned func after recording row counts.
+func scanSpan(parent *obs.Span, bat string) *obs.Span {
+	sp := parent.StartChild("monet.scan")
+	sp.SetAttr("level", "physical")
+	sp.SetAttr("bat", bat)
+	return sp
+}
+
+func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond, span *obs.Span) ([]Result, error) {
 	switch n := c.(type) {
 	case *EventCond:
+		leaf := span.StartChild("eval:event")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("type", n.Type)
+		defer leaf.Finish()
+		scan := scanSpan(leaf, "cobra/event/"+video+"/*")
+		evs := cat.Events(video, n.Type)
+		scan.SetAttr("rows", strconv.Itoa(len(evs)))
+		scan.Finish()
 		var out []Result
-		for _, ev := range cat.Events(video, n.Type) {
+		for _, ev := range evs {
 			if !attrsMatch(ev.Attrs, n.Attrs) {
 				continue
 			}
@@ -146,7 +222,13 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		return out, nil
 
 	case *ObjectCond:
+		leaf := span.StartChild("eval:object")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("name", n.Name)
+		defer leaf.Finish()
+		scan := scanSpan(leaf, "cobra/object/"+video+"/appearances")
 		obj, err := cat.Object(video, n.Name)
+		scan.Finish()
 		if err != nil {
 			return nil, nil // object never appears: empty result
 		}
@@ -158,8 +240,16 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		return out, nil
 
 	case *TextCond:
+		leaf := span.StartChild("eval:text")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("word", n.Word)
+		defer leaf.Finish()
+		scan := scanSpan(leaf, "cobra/event/"+video+"/*")
+		evs := cat.Events(video, CaptionEventType)
+		scan.SetAttr("rows", strconv.Itoa(len(evs)))
+		scan.Finish()
 		var out []Result
-		for _, ev := range cat.Events(video, CaptionEventType) {
+		for _, ev := range evs {
 			if strings.EqualFold(ev.Attr("word"), n.Word) {
 				out = append(out, Result{Interval: ev.Interval, Confidence: ev.Confidence, Attrs: ev.Attrs})
 			}
@@ -167,47 +257,69 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		return out, nil
 
 	case *FeatureCond:
+		leaf := span.StartChild("eval:feature")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("feature", n.Name)
+		defer leaf.Finish()
+		scan := scanSpan(leaf, "cobra/feature/"+video+"/"+n.Name)
 		f, err := cat.Feature(video, n.Name)
+		if err == nil {
+			scan.SetAttr("rows", strconv.Itoa(len(f.Values)))
+		}
+		scan.Finish()
 		if err != nil {
 			return nil, err
 		}
 		return featureRuns(f, n.Op, n.Val)
 
 	case *NotCond:
-		x, err := e.eval(cat, video, duration, n.X)
+		op := span.StartChild("eval:not")
+		op.SetAttr("level", "logical")
+		defer op.Finish()
+		x, err := e.eval(cat, video, duration, n.X, op)
 		if err != nil {
 			return nil, err
 		}
 		return complement(x, duration), nil
 
 	case *AndCond:
-		l, err := e.eval(cat, video, duration, n.L)
+		op := span.StartChild("eval:and")
+		op.SetAttr("level", "logical")
+		defer op.Finish()
+		l, err := e.eval(cat, video, duration, n.L, op)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.eval(cat, video, duration, n.R)
+		r, err := e.eval(cat, video, duration, n.R, op)
 		if err != nil {
 			return nil, err
 		}
 		return intersect(l, r), nil
 
 	case *OrCond:
-		l, err := e.eval(cat, video, duration, n.L)
+		op := span.StartChild("eval:or")
+		op.SetAttr("level", "logical")
+		defer op.Finish()
+		l, err := e.eval(cat, video, duration, n.L, op)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.eval(cat, video, duration, n.R)
+		r, err := e.eval(cat, video, duration, n.R, op)
 		if err != nil {
 			return nil, err
 		}
 		return append(l, r...), nil
 
 	case *TemporalCond:
-		l, err := e.eval(cat, video, duration, n.L)
+		op := span.StartChild("eval:temporal")
+		op.SetAttr("level", "logical")
+		op.SetAttr("rel", n.Rel)
+		defer op.Finish()
+		l, err := e.eval(cat, video, duration, n.L, op)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.eval(cat, video, duration, n.R)
+		r, err := e.eval(cat, video, duration, n.R, op)
 		if err != nil {
 			return nil, err
 		}

@@ -11,6 +11,9 @@
 //	HMM CLASSIFY <c,s,v>      -> "OK 1", best model name, "END"
 //	LIST VIDEOS           -> videos known to the catalog
 //	EXPORT <video>        -> MPEG-7-style metadata XML
+//	STATS                 -> telemetry counters, gauges and latency quantiles
+//	TRACE <statement>     -> run the COQL statement, return its span tree
+//	SLOWLOG               -> recent queries over the slow-query threshold
 //	PING                  -> "OK 0", "END"
 //
 // Errors answer "ERR <message>".
@@ -18,19 +21,32 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"cobra/internal/cobra"
 	"cobra/internal/ext"
 	"cobra/internal/hmm"
 	"cobra/internal/mil"
+	"cobra/internal/obs"
 	"cobra/internal/query"
 )
+
+// Protocol-level metrics.
+var (
+	cRequests    = obs.C("server.requests")
+	cConnections = obs.C("server.connections")
+)
+
+// ErrServerClosed is returned by Close and Listen after the server has
+// already been shut down.
+var ErrServerClosed = errors.New("server: already closed")
 
 // Server serves the database over TCP.
 type Server struct {
@@ -41,6 +57,9 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // New builds a server over the preprocessor (COQL), its catalog's
@@ -64,6 +83,12 @@ func New(pre *cobra.Preprocessor, pool *hmm.EnginePool) *Server {
 // closed. It returns the bound address immediately via the channel
 // pattern: callers use ListenAddr.
 func (s *Server) Listen(addr string) (net.Addr, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.mu.Unlock()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -75,16 +100,58 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return l.Addr(), nil
 }
 
-// Close stops the listener.
+// Close shuts the server down: it stops the listener, unblocks every
+// connection's pending read so in-flight handlers finish their current
+// request and drain, and waits for all of them to exit before
+// returning. A second Close returns ErrServerClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.listener == nil {
-		return nil
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
 	}
-	err := s.listener.Close()
-	s.listener = nil
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+		s.listener = nil
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	// Expire pending reads instead of closing the connections outright:
+	// a handler mid-request finishes and flushes its response, then its
+	// next read fails and it exits, closing the connection itself.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection, reporting false once the server
+// is closed.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
 }
 
 func (s *Server) acceptLoop(l net.Listener) {
@@ -93,7 +160,15 @@ func (s *Server) acceptLoop(l net.Listener) {
 		if err != nil {
 			return
 		}
-		go s.handle(conn)
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		cConnections.Inc()
+		go func() {
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
 	}
 }
 
@@ -121,6 +196,7 @@ func (s *Server) handle(conn net.Conn) {
 // Execute runs one protocol line, writing the response to w. Exposed
 // for in-process use and testing.
 func (s *Server) Execute(line string, w io.Writer) {
+	cRequests.Inc()
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch strings.ToUpper(cmd) {
 	case "PING":
@@ -165,6 +241,36 @@ func (s *Server) Execute(line string, w io.Writer) {
 			fmt.Fprintln(w, l)
 		}
 		fmt.Fprintln(w, "END")
+	case "STATS":
+		var sb strings.Builder
+		if err := obs.Default.WriteText(&sb); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		writeLines(w, strings.Split(strings.TrimRight(sb.String(), "\n"), "\n"))
+	case "TRACE":
+		stmt := strings.TrimSpace(rest)
+		if stmt == "" {
+			fmt.Fprintln(w, "ERR usage: TRACE <coql statement>")
+			return
+		}
+		res, span, err := s.eng.RunTraced(stmt)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		lines := []string{fmt.Sprintf("# %d segments", len(res))}
+		lines = append(lines, strings.Split(strings.TrimRight(span.Render(), "\n"), "\n")...)
+		writeLines(w, lines)
+	case "SLOWLOG":
+		entries := obs.DefaultSlowLog.Entries()
+		lines := make([]string, 0, len(entries)+1)
+		lines = append(lines, fmt.Sprintf("# threshold %v", obs.DefaultSlowLog.Threshold()))
+		for _, e := range entries {
+			lines = append(lines, fmt.Sprintf("%s %v %s",
+				e.When.Format(time.RFC3339), e.Duration, e.Query))
+		}
+		writeLines(w, lines)
 	case "LIST":
 		if strings.EqualFold(strings.TrimSpace(rest), "videos") {
 			videos := s.cat.Videos()
@@ -179,6 +285,15 @@ func (s *Server) Execute(line string, w io.Writer) {
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
+}
+
+// writeLines emits a standard "OK <n>" body.
+func writeLines(w io.Writer, lines []string) {
+	fmt.Fprintf(w, "OK %d\n", len(lines))
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	fmt.Fprintln(w, "END")
 }
 
 func (s *Server) execHMM(rest string, w io.Writer) {

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"cobra/internal/cobra"
 	"cobra/internal/hmm"
 	"cobra/internal/monet"
+	"cobra/internal/obs"
 )
 
 func testServer(t *testing.T) (*Server, *Client) {
@@ -166,6 +169,116 @@ func TestConcurrentClients(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	if _, err := cl.Do(`SELECT SEGMENTS FROM v WHERE EVENT('highlight')`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.Do("STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out, "\n")
+	for _, want := range []string{
+		"counter coql.queries ",
+		"counter server.requests ",
+		"hist coql.query.latency count=",
+		"p95_ns=",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("STATS missing %q:\n%s", want, joined)
+		}
+	}
+	// The query counter must be at least the one query this test ran.
+	for _, l := range out {
+		if strings.HasPrefix(l, "counter coql.queries ") {
+			if strings.TrimPrefix(l, "counter coql.queries ") == "0" {
+				t.Errorf("coql.queries = 0 after a query: %s", l)
+			}
+		}
+	}
+}
+
+func TestTraceOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do(`TRACE SELECT SEGMENTS FROM v WHERE EVENT('highlight')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out, "\n")
+	// The span tree must cover all three levels with non-zero timings.
+	for _, want := range []string{
+		"# 1 segments",
+		"coql.query ",
+		"level=conceptual",
+		"moa.eval ",
+		"level=logical",
+		"monet.scan ",
+		"level=physical",
+		"rows=1",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("TRACE missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, " 0ns") {
+		t.Errorf("TRACE has a zero timing:\n%s", joined)
+	}
+	if _, err := cl.Do("TRACE"); err == nil {
+		t.Fatal("bare TRACE accepted")
+	}
+	if _, err := cl.Do("TRACE SELECT NONSENSE"); err == nil {
+		t.Fatal("bad traced query accepted")
+	}
+}
+
+func TestSlowlogOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	old := obs.DefaultSlowLog.Threshold()
+	obs.DefaultSlowLog.SetThreshold(time.Nanosecond)
+	defer obs.DefaultSlowLog.SetThreshold(old)
+	if _, err := cl.Do(`SELECT SEGMENTS FROM v WHERE EVENT('highlight')`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.Do("SLOWLOG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out, "\n")
+	if !strings.HasPrefix(out[0], "# threshold ") {
+		t.Fatalf("SLOWLOG header = %q", out[0])
+	}
+	if !strings.Contains(joined, "EVENT('highlight')") {
+		t.Errorf("SLOWLOG missing the slow query:\n%s", joined)
+	}
+}
+
+func TestCloseSentinelAndDrain(t *testing.T) {
+	srv, cl := testServer(t)
+	// A live client is connected; Close must drain it and return.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("first Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain in-flight connections")
+	}
+	if err := srv.Close(); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("second Close = %v, want ErrServerClosed", err)
+	}
+	// The drained connection no longer serves requests.
+	if _, err := cl.Do("PING"); err == nil {
+		t.Fatal("request succeeded after Close")
+	}
+	// Listen after Close is refused.
+	if _, err := srv.Listen("127.0.0.1:0"); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Listen after Close = %v, want ErrServerClosed", err)
 	}
 }
 
