@@ -5,7 +5,19 @@
 //
 // Usage:
 //
-//	cobra-server -addr :4242 [-db ./f1db] [-metrics-addr :6060] [-slow-query-ms 250]
+//	cobra-server -addr :4242 [-db ./f1db | -data-dir ./cobra-data]
+//	             [-wal-sync always|interval|none] [-checkpoint-every 5m]
+//	             [-metrics-addr :6060] [-slow-query-ms 250]
+//
+// With -db, a plain snapshot directory is loaded read-only and the
+// process is main-memory only, as in the paper. With -data-dir, the
+// durability subsystem takes over: the directory is recovered on start
+// (latest checkpoint snapshot plus write-ahead-log replay), every
+// store mutation is WAL-logged under the -wal-sync policy, checkpoints
+// run every -checkpoint-every (and on demand via the CHECKPOINT
+// protocol command), and a final checkpoint runs on clean shutdown.
+// Kill the process at any moment and restart it with the same
+// -data-dir: it recovers every acknowledged write.
 //
 // With -metrics-addr set, the process additionally serves /metrics
 // (telemetry JSON) and /debug/pprof over HTTP. -slow-query-ms enables
@@ -26,15 +38,22 @@ import (
 	"cobra/internal/monet"
 	"cobra/internal/obs"
 	"cobra/internal/server"
+	"cobra/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", ":4242", "listen address")
-	db := flag.String("db", "", "snapshot directory to load")
+	db := flag.String("db", "", "snapshot directory to load (read-only, no durability)")
+	dataDir := flag.String("data-dir", "", "durable data directory: recover on start, WAL every mutation")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or none")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint period with -data-dir (0: manual CHECKPOINT only)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty: disabled)")
 	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0: disabled)")
 	flag.Parse()
 
+	if *db != "" && *dataDir != "" {
+		fatal(fmt.Errorf("-db and -data-dir are mutually exclusive"))
+	}
 	if *slowMs > 0 {
 		obs.DefaultSlowLog.SetThreshold(time.Duration(*slowMs) * time.Millisecond)
 	}
@@ -48,19 +67,45 @@ func main() {
 
 	store := monet.NewStore()
 	cat := cobra.NewCatalog(store)
+
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal(err)
+		}
+		mgr, err = wal.Open(*dataDir, store, wal.Options{
+			Sync:            policy,
+			CheckpointEvery: *checkpointEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		r := mgr.Recovery
+		fmt.Printf("recovered %s: %d BATs from snapshot, %d WAL records replayed in %v",
+			*dataDir, r.SnapshotBATs, r.Replayed, r.Elapsed.Round(time.Millisecond))
+		if r.Torn {
+			fmt.Print(" (torn tail repaired)")
+		}
+		fmt.Println()
+	}
 	if *db != "" {
 		if err := store.LoadSnapshot(*db); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("loaded %d BATs from %s\n", store.Len(), *db)
 	}
+
 	pre := cobra.NewPreprocessor(cat)
 	cfg := f1.DefaultExpConfig()
 	cfg.RaceDur = 200
 	cfg.TrainDur = 120
 	cfg.EMIterations = 3
 	corpus := f1.NewCorpus(cfg)
-	if *db == "" {
+	if *db == "" && store.Len() == 0 {
+		// Fresh start: simulate and ingest the broadcasts. With
+		// -data-dir the ingest itself is WAL-logged, so a crash during
+		// it recovers the finished prefix.
 		if err := corpus.IngestVideos(cat); err != nil {
 			fatal(err)
 		}
@@ -79,6 +124,9 @@ func main() {
 	}
 
 	srv := server.New(pre, pool)
+	if mgr != nil {
+		srv.SetCheckpointer(mgr)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
@@ -88,6 +136,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	srv.Close()
+	if mgr != nil {
+		// Final checkpoint: the next start recovers without replay.
+		if err := mgr.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,147 @@
+// Command doclint fails when exported identifiers lack godoc
+// comments; it is the documentation gate run in CI alongside gofmt and
+// vet, equivalent to revive's exported-comment rule but dependency
+// free.
+//
+// Usage:
+//
+//	go run ./cmd/doclint ./internal/monet ./internal/wal ...
+//
+// For every named package directory it checks that the package has a
+// package comment and that each exported top-level declaration — func,
+// type, method on an exported type, and var/const (grouped
+// declarations may share one doc comment) — carries a doc comment.
+// Test files are skipped. Violations print as file:line: messages and
+// the exit status is 1 if any were found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		dir = strings.TrimPrefix(dir, "./")
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one package directory and returns the violation count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		for name, f := range pkg.Files {
+			bad += lintFile(fset, name, f)
+		}
+	}
+	return bad
+}
+
+// lintFile checks one parsed file and returns the violation count.
+func lintFile(fset *token.FileSet, name string, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: exported %s is undocumented\n", fset.Position(pos), what)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue // method on an unexported type
+			}
+			kind := "function " + d.Name.Name
+			if d.Recv != nil {
+				kind = "method " + d.Name.Name
+			}
+			report(d.Pos(), kind)
+		case *ast.GenDecl:
+			// A doc comment on the group covers every spec in it.
+			if d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "type "+sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if sp.Doc != nil || sp.Comment != nil {
+						continue
+					}
+					for _, id := range sp.Names {
+						if id.IsExported() {
+							report(id.Pos(), kindOf(d.Tok)+" "+id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// kindOf spells a GenDecl token for messages.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

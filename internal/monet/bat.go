@@ -340,6 +340,12 @@ func buildHash(c Column) *hashTable {
 			k := c.Get(i).Str()
 			ht.byStr[k] = append(ht.byStr[k], i)
 		}
+	case BlobT:
+		ht.byStr = make(map[string][]int, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			k := string(c.Get(i).Blob())
+			ht.byStr[k] = append(ht.byStr[k], i)
+		}
 	}
 	return ht
 }
@@ -359,6 +365,8 @@ func (ht *hashTable) lookup(v Value) []int {
 		return ht.byFlt[v.Float()]
 	case StrT:
 		return ht.byStr[v.Str()]
+	case BlobT:
+		return ht.byStr[string(v.Blob())]
 	}
 	return nil
 }

@@ -38,6 +38,8 @@ func NewColumn(t Type) Column {
 		return &strColumn{}
 	case BoolT:
 		return &boolColumn{}
+	case BlobT:
+		return &blobColumn{}
 	default:
 		panic(fmt.Sprintf("monet: unknown column type %v", t))
 	}
@@ -59,6 +61,8 @@ func NewColumnCap(t Type, n int) Column {
 		return &strColumn{v: make([]string, 0, n)}
 	case BoolT:
 		return &boolColumn{v: make([]bool, 0, n)}
+	case BlobT:
+		return &blobColumn{v: make([][]byte, 0, n)}
 	default:
 		panic(fmt.Sprintf("monet: unknown column type %v", t))
 	}
@@ -176,6 +180,29 @@ func (c *boolColumn) Gather(idx []int) Column {
 func (c *boolColumn) Clone() Column {
 	out := &boolColumn{v: make([]bool, len(c.v))}
 	copy(out.v, c.v)
+	return out
+}
+
+// blobColumn stores opaque byte strings. Gather shares the underlying
+// byte slices (values are treated as immutable); Clone deep-copies.
+type blobColumn struct{ v [][]byte }
+
+func (c *blobColumn) Type() Type      { return BlobT }
+func (c *blobColumn) Len() int        { return len(c.v) }
+func (c *blobColumn) Get(i int) Value { return NewBlob(c.v[i]) }
+func (c *blobColumn) Append(v Value)  { c.v = append(c.v, v.Blob()) }
+func (c *blobColumn) Gather(idx []int) Column {
+	out := &blobColumn{v: make([][]byte, len(idx))}
+	for i, p := range idx {
+		out.v[i] = c.v[p]
+	}
+	return out
+}
+func (c *blobColumn) Clone() Column {
+	out := &blobColumn{v: make([][]byte, len(c.v))}
+	for i, b := range c.v {
+		out.v[i] = append([]byte(nil), b...)
+	}
 	return out
 }
 

@@ -1,0 +1,226 @@
+package monet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// batsEqual compares two BATs association-by-association.
+func batsEqual(a, b *BAT) bool {
+	if a.HeadType() != b.HeadType() || a.TailType() != b.TailType() || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !Equal(a.Head(i), b.Head(i)) || !Equal(a.Tail(i), b.Tail(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBATSerializationRoundTripAllTypes round-trips a BAT of every
+// column type through the snapshot wire format, both populated and
+// empty.
+func TestBATSerializationRoundTripAllTypes(t *testing.T) {
+	cases := map[string]*BAT{}
+
+	ints := NewBAT(Void, IntT)
+	for _, v := range []int64{0, -1, 42, 1 << 60} {
+		ints.MustInsert(VoidValue(), NewInt(v))
+	}
+	cases["int"] = ints
+
+	floats := NewBAT(OIDT, FloatT)
+	for i, v := range []float64{0, -2.5, 3.14159, 1e300} {
+		floats.MustInsert(NewOID(OID(i)), NewFloat(v))
+	}
+	cases["float"] = floats
+
+	strs := NewBAT(Void, StrT)
+	for _, v := range []string{"", "schumacher", "grand prix", "nürburgring\n\x00"} {
+		strs.MustInsert(VoidValue(), NewStr(v))
+	}
+	cases["string"] = strs
+
+	blobs := NewBAT(OIDT, BlobT)
+	for i, v := range [][]byte{nil, {0}, {0xde, 0xad, 0xbe, 0xef}, bytes.Repeat([]byte{7}, 1000)} {
+		blobs.MustInsert(NewOID(OID(i)), NewBlob(v))
+	}
+	cases["blob"] = blobs
+
+	bools := NewBAT(Void, BoolT)
+	bools.MustInsert(VoidValue(), NewBool(true))
+	bools.MustInsert(VoidValue(), NewBool(false))
+	cases["bool"] = bools
+
+	oids := NewBAT(OIDT, OIDT)
+	oids.MustInsert(NewOID(1), NewOID(2))
+	cases["oid"] = oids
+
+	// Empty BATs of each type.
+	for _, tt := range []Type{IntT, FloatT, StrT, BlobT, BoolT, OIDT} {
+		cases["empty-"+tt.String()] = NewBAT(Void, tt)
+	}
+	cases["empty-void-void"] = NewBAT(Void, Void)
+
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := b.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadBAT(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !batsEqual(b, got) {
+				t.Fatalf("round trip mismatch:\n in: %s\nout: %s", b.Dump(10), got.Dump(10))
+			}
+		})
+	}
+}
+
+// TestStoreSnapshotRoundTripEscapedNames snapshots BATs whose names
+// need filesystem escaping and verifies names and contents survive.
+func TestStoreSnapshotRoundTripEscapedNames(t *testing.T) {
+	names := []string{
+		"plain",
+		"f1/imola/laps",             // path separators
+		"per cent % and space",      // the escape character itself
+		"unicode/nürburgring/日本",    // multi-byte runes
+		"dots.and-dashes_ok.v2",     // passthrough characters
+		"..",                        // must not escape the directory
+		"trailing/",                 // empty last segment
+		strings.Repeat("long-", 20), // long name
+	}
+	src := NewStore()
+	for i, name := range names {
+		b := NewBAT(Void, StrT)
+		b.MustInsert(VoidValue(), NewStr(name)) // content encodes the name
+		b.MustInsert(VoidValue(), NewStr("row2"))
+		if i%2 == 0 {
+			b = NewBAT(Void, StrT) // every other one empty
+		}
+		if err := src.Put(name, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := src.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing may land outside the snapshot directory.
+	parentEntries, err := os.ReadDir(filepath.Dir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parentEntries) != 1 {
+		t.Fatalf("snapshot escaped its directory: %v", parentEntries)
+	}
+
+	dst := NewStore()
+	if err := dst.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != len(names) {
+		t.Fatalf("loaded %d BATs, want %d: %v", dst.Len(), len(names), dst.Names())
+	}
+	for _, name := range names {
+		b, err := dst.Get(name)
+		if err != nil {
+			t.Fatalf("name %q did not survive the round trip: %v", name, err)
+		}
+		if b.Len() > 0 && b.Tail(0).Str() != name {
+			t.Fatalf("BAT %q holds %q", name, b.Tail(0).Str())
+		}
+	}
+}
+
+// TestSnapshotOverwriteKeepsOldUntilComplete verifies that
+// re-snapshotting over an existing directory swaps atomically and the
+// result loads.
+func TestSnapshotOverwriteKeepsOldUntilComplete(t *testing.T) {
+	s := NewStore()
+	b := NewBAT(Void, IntT)
+	b.MustInsert(VoidValue(), NewInt(1))
+	if err := s.Put("a", b); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := s.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBAT(Void, IntT)
+	b2.MustInsert(VoidValue(), NewInt(2))
+	if err := s.Put("b", b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	got := NewStore()
+	if err := got.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Has("a") || !got.Has("b") {
+		t.Fatalf("second snapshot contents: %v", got.Names())
+	}
+	// Neither temp nor .old residue may remain.
+	entries, _ := os.ReadDir(filepath.Dir(dir))
+	for _, e := range entries {
+		if e.Name() != "snap" {
+			t.Errorf("residue %q next to snapshot", e.Name())
+		}
+	}
+}
+
+// TestStoreAppendJournalsAndApplies exercises the durable append path
+// without a journal attached (pure in-memory semantics).
+func TestStoreAppend(t *testing.T) {
+	s := NewStore()
+	if err := s.Append("missing", NewOID(1), NewInt(1)); err == nil {
+		t.Fatal("Append to missing BAT succeeded")
+	}
+	if err := s.Put("t", NewBAT(OIDT, IntT)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("t", NewOID(1), NewInt(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("t", NewStr("wrong"), NewInt(10)); err == nil {
+		t.Fatal("type-mismatched Append succeeded")
+	}
+	b, _ := s.Get("t")
+	if b.Len() != 1 || b.Tail(0).Int() != 10 {
+		t.Fatalf("appended BAT: %s", b.Dump(5))
+	}
+}
+
+// TestBlobValueSemantics pins down comparison, hashing and stringing
+// of the blob type.
+func TestBlobValueSemantics(t *testing.T) {
+	a := NewBlob([]byte{1, 2})
+	b := NewBlob([]byte{1, 3})
+	if Compare(a, b) >= 0 || !Equal(a, NewBlob([]byte{1, 2})) {
+		t.Fatal("blob compare broken")
+	}
+	if a.String() != "blob(2)" {
+		t.Fatalf("blob string = %q", a.String())
+	}
+	// Join over blob keys goes through the hash table.
+	left := NewBAT(BlobT, IntT)
+	left.MustInsert(a, NewInt(1))
+	left.MustInsert(b, NewInt(2))
+	right := NewBAT(BlobT, StrT)
+	right.MustInsert(NewBlob([]byte{1, 2}), NewStr("x"))
+	j, err := left.Reverse().Join(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 || j.Tail(0).Str() != "x" {
+		t.Fatalf("blob join: %s", j.Dump(5))
+	}
+}

@@ -12,13 +12,43 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"cobra/internal/obs"
 )
 
+// cJournalErr counts journal write failures observed by the store. A
+// non-zero value means durability is degraded: some mutations were
+// applied in memory but could not be logged.
+var cJournalErr = obs.C("monet.store.journal_errors")
+
+// Journal receives a record for every store-level mutation before it
+// becomes visible, in mutation order. The durability subsystem
+// (internal/wal) implements it with a write-ahead log; a nil journal
+// keeps the store purely in-memory, as in the original Monet kernel.
+//
+// Journal methods are invoked while the store's write lock is held, so
+// implementations observe mutations in exactly the order they are
+// applied and must not call back into the Store.
+type Journal interface {
+	// JournalPut records the registration (or replacement) of a whole
+	// BAT under name. The BAT must be serialized or copied before the
+	// call returns; it may be mutated afterwards.
+	JournalPut(name string, b *BAT) error
+	// JournalAppend records the append of one (head, tail) association
+	// to the named BAT.
+	JournalAppend(name string, h, t Value) error
+	// JournalDrop records the removal of the named BAT.
+	JournalDrop(name string) error
+}
+
 // Store is a named catalog of BATs: the kernel's database. It is safe
-// for concurrent use.
+// for concurrent use. With a Journal attached (SetJournal), every
+// mutation is logged before it is applied, giving the write-ahead
+// discipline the durability layer builds on.
 type Store struct {
-	mu   sync.RWMutex
-	bats map[string]*BAT
+	mu      sync.RWMutex
+	bats    map[string]*BAT
+	journal Journal
 }
 
 // ErrNoSuchBAT is returned when a named BAT does not exist.
@@ -29,11 +59,54 @@ func NewStore() *Store {
 	return &Store{bats: make(map[string]*BAT)}
 }
 
-// Put registers (or replaces) a BAT under the given name.
-func (s *Store) Put(name string, b *BAT) {
+// SetJournal attaches (or, with nil, detaches) the mutation journal.
+// Attach after recovery has replayed historical mutations, so replay
+// itself is not re-logged.
+func (s *Store) SetJournal(j Journal) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// Put registers (or replaces) a BAT under the given name. With a
+// journal attached the mutation is logged first; a journal error is
+// returned (and counted in monet.store.journal_errors) but the
+// in-memory mutation still applies, so callers that ignore the error
+// keep the original main-memory semantics.
+func (s *Store) Put(name string, b *BAT) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.journal != nil {
+		if err = s.journal.JournalPut(name, b); err != nil {
+			cJournalErr.Inc()
+		}
+	}
 	s.bats[name] = b
+	return err
+}
+
+// Append appends one (head, tail) association to the named BAT,
+// journaling the mutation when a journal is attached. It is the
+// durable counterpart of Get-then-Insert: direct BAT mutation bypasses
+// the journal and is lost on crash.
+func (s *Store) Append(name string, h, t Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bats[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchBAT, name)
+	}
+	if err := b.Insert(h, t); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.JournalAppend(name, h, t); err != nil {
+			cJournalErr.Inc()
+			return err
+		}
+	}
+	return nil
 }
 
 // Get returns the BAT registered under name.
@@ -55,11 +128,20 @@ func (s *Store) Has(name string) bool {
 	return ok
 }
 
-// Drop removes the BAT registered under name, if any.
-func (s *Store) Drop(name string) {
+// Drop removes the BAT registered under name, if any. Like Put, the
+// mutation is journaled first and a journal error is reported but does
+// not undo the in-memory drop.
+func (s *Store) Drop(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var err error
+	if s.journal != nil {
+		if err = s.journal.JournalDrop(name); err != nil {
+			cJournalErr.Inc()
+		}
+	}
 	delete(s.bats, name)
+	return err
 }
 
 // Names returns the sorted names of all registered BATs.
@@ -129,12 +211,12 @@ func (b *BAT) WriteTo(w io.Writer) (int64, error) {
 		// Serialize by declared column type: a void column boxes its
 		// elements as OIDs, which the reader skips entirely.
 		if b.head.Type() != Void {
-			if err := writeValue(cw, b.Head(i)); err != nil {
+			if err := WriteValue(cw, b.Head(i)); err != nil {
 				return cw.n, err
 			}
 		}
 		if b.tail.Type() != Void {
-			if err := writeValue(cw, b.Tail(i)); err != nil {
+			if err := WriteValue(cw, b.Tail(i)); err != nil {
 				return cw.n, err
 			}
 		}
@@ -163,11 +245,11 @@ func ReadBAT(r io.Reader) (*BAT, error) {
 	}
 	b := NewBATCap(ht, tt, int(n))
 	for i := uint32(0); i < n; i++ {
-		h, err := readValue(br, ht)
+		h, err := ReadValue(br, ht)
 		if err != nil {
 			return nil, err
 		}
-		t, err := readValue(br, tt)
+		t, err := ReadValue(br, tt)
 		if err != nil {
 			return nil, err
 		}
@@ -178,26 +260,98 @@ func ReadBAT(r io.Reader) (*BAT, error) {
 }
 
 // Snapshot writes every BAT in the store to dir, one file per BAT.
+// The snapshot is written into a temporary sibling directory, synced,
+// and atomically renamed into place, so a crash mid-snapshot never
+// leaves a half-written, unloadable snapshot at dir: readers observe
+// either the previous complete snapshot or the new one.
 func (s *Store) Snapshot(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for name, b := range s.bats {
-		f, err := os.Create(filepath.Join(dir, encodeBATFileName(name)))
-		if err != nil {
-			return err
-		}
-		if _, err := b.WriteTo(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+	return s.snapshotLocked(dir)
+}
+
+// Checkpoint writes an atomic snapshot of the store to dir while
+// holding the store's write lock, so no mutation can interleave with
+// the snapshot. If prepare is non-nil it runs under the same lock
+// before any state is written — the durability layer uses it to rotate
+// the write-ahead log at the exact point the snapshot captures, making
+// "snapshot + later segments" a consistent recovery pair.
+func (s *Store) Checkpoint(dir string, prepare func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prepare != nil {
+		if err := prepare(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return s.snapshotLocked(dir)
+}
+
+// snapshotLocked writes the snapshot with at least a read lock held.
+func (s *Store) snapshotLocked(dir string) error {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, ".snap-tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for name, b := range s.bats {
+		if err := writeBATFile(filepath.Join(tmp, encodeBATFileName(name)), b); err != nil {
+			return err
+		}
+	}
+	if err := syncDir(tmp); err != nil {
+		return err
+	}
+	// Swap the finished snapshot into place. If dir already holds an
+	// old snapshot, move it aside first (rename cannot replace a
+	// non-empty directory); the one crash window between the two
+	// renames leaves no dir at all — never a torn one.
+	if _, err := os.Stat(dir); err == nil {
+		old := dir + ".old"
+		if err := os.RemoveAll(old); err != nil {
+			return err
+		}
+		if err := os.Rename(dir, old); err != nil {
+			return err
+		}
+		defer os.RemoveAll(old)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return err
+	}
+	return syncDir(parent)
+}
+
+// writeBATFile writes one BAT to path and fsyncs it.
+func writeBATFile(path string, b *BAT) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := b.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadSnapshot reads every BAT file from dir into the store,
@@ -284,7 +438,11 @@ func readU32(r io.Reader) (uint32, error) {
 	return binary.LittleEndian.Uint32(buf[:]), nil
 }
 
-func writeValue(w io.Writer, v Value) error {
+// WriteValue serializes one kernel value in the snapshot wire format:
+// fixed 8 bytes for integral and float types, a u32 length prefix plus
+// payload for str and blob, nothing at all for void. The write-ahead
+// log and the snapshot files share this codec.
+func WriteValue(w io.Writer, v Value) error {
 	switch v.Typ {
 	case Void:
 		return nil
@@ -304,12 +462,20 @@ func writeValue(w io.Writer, v Value) error {
 		}
 		_, err := io.WriteString(w, v.S)
 		return err
+	case BlobT:
+		if err := writeU32(w, uint32(len(v.B))); err != nil {
+			return err
+		}
+		_, err := w.Write(v.B)
+		return err
 	default:
 		return fmt.Errorf("monet: cannot serialize %v", v.Typ)
 	}
 }
 
-func readValue(r *bufio.Reader, t Type) (Value, error) {
+// ReadValue deserializes one kernel value of type t from the snapshot
+// wire format; the inverse of WriteValue.
+func ReadValue(r io.Reader, t Type) (Value, error) {
 	switch t {
 	case Void:
 		return VoidValue(), nil
@@ -335,6 +501,16 @@ func readValue(r *bufio.Reader, t Type) (Value, error) {
 			return Value{}, err
 		}
 		return NewStr(string(buf)), nil
+	case BlobT:
+		n, err := readU32(r)
+		if err != nil {
+			return Value{}, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		return NewBlob(buf), nil
 	default:
 		return Value{}, fmt.Errorf("monet: cannot deserialize %v", t)
 	}

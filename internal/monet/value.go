@@ -5,12 +5,18 @@
 // The central structure is the BAT (Binary Association Table), a
 // two-column table of (head, tail) associations. All kernel operations
 // — selections, joins, aggregation, grouping — are defined over BATs.
-// A Store names BATs and provides snapshot persistence, and Parallel
-// mirrors Monet's intra-query parallel execution operator (the
-// threadcnt block of the paper's Fig. 4).
+// A Store names BATs and provides atomic snapshot persistence, and
+// Parallel mirrors Monet's intra-query parallel execution operator
+// (the threadcnt block of the paper's Fig. 4).
+//
+// Unlike the 2002 Monet, the Store can be made durable: a Journal
+// attached via SetJournal receives every store-level mutation (Put,
+// Append, Drop) before it becomes visible, which internal/wal uses to
+// write-ahead log the kernel and recover it after a crash.
 package monet
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"strconv"
@@ -20,7 +26,9 @@ import (
 type Type uint8
 
 // Atomic kernel types. Void is the virtual dense-OID column type used
-// for BAT heads that are simply consecutive object identifiers.
+// for BAT heads that are simply consecutive object identifiers. BlobT
+// holds raw byte strings — MPEG-7 binary descriptors, thumbnails, or
+// any other opaque extracted content stored inside the DBMS proper.
 const (
 	Void Type = iota
 	OIDT
@@ -28,6 +36,7 @@ const (
 	FloatT
 	StrT
 	BoolT
+	BlobT
 )
 
 // String returns the MIL-style name of the type.
@@ -45,6 +54,8 @@ func (t Type) String() string {
 		return "str"
 	case BoolT:
 		return "bit"
+	case BlobT:
+		return "blob"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -61,6 +72,7 @@ type Value struct {
 	I   int64   // IntT, OIDT (as int64), BoolT (0/1)
 	F   float64 // FloatT
 	S   string  // StrT
+	B   []byte  // BlobT
 }
 
 // Convenience constructors.
@@ -86,6 +98,10 @@ func NewBool(b bool) Value {
 	return v
 }
 
+// NewBlob returns a blob-typed value. The byte slice is held by
+// reference, not copied; callers must not mutate it afterwards.
+func NewBlob(b []byte) Value { return Value{Typ: BlobT, B: b} }
+
 // VoidValue is the single value of the void type.
 func VoidValue() Value { return Value{Typ: Void} }
 
@@ -109,6 +125,9 @@ func (v Value) Float() float64 {
 
 // Str returns the string payload.
 func (v Value) Str() string { return v.S }
+
+// Blob returns the byte payload of a blob value.
+func (v Value) Blob() []byte { return v.B }
 
 // Bool reports the boolean payload.
 func (v Value) Bool() bool { return v.I != 0 }
@@ -134,6 +153,8 @@ func (v Value) String() string {
 			return "true"
 		}
 		return "false"
+	case BlobT:
+		return fmt.Sprintf("blob(%d)", len(v.B))
 	default:
 		return "?"
 	}
@@ -173,6 +194,8 @@ func Compare(a, b Value) int {
 			return 1
 		}
 		return 0
+	case BlobT:
+		return bytes.Compare(a.B, b.B)
 	}
 	return 0
 }

@@ -2,9 +2,11 @@
 // VDBMS: atomic counters and gauges, striped latency histograms with
 // quantile estimation, hierarchical trace spans, and a slow-query log.
 // Every level of the stack (COQL engine, preprocessor, Moa algebra,
-// MIL interpreter, Monet kernel, HMM/DBN engines) records into the
-// package-level Default registry; the server exposes it over the TCP
-// protocol (STATS, TRACE, SLOWLOG) and over HTTP (/metrics plus
+// MIL interpreter, Monet kernel, HMM/DBN engines, and the wal
+// durability subsystem with its record/byte counters, fsync latency
+// histogram and recovery gauges) records into the package-level
+// Default registry; the server exposes it over the TCP protocol
+// (STATS, TRACE, SLOWLOG) and over HTTP (/metrics plus
 // net/http/pprof).
 //
 // The package deliberately imports only the standard library so any

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cobra/internal/cobra"
+	"cobra/internal/monet"
+	"cobra/internal/wal"
+)
+
+func TestCheckpointWithoutDurability(t *testing.T) {
+	_, cl := testServer(t)
+	_, err := cl.Do("CHECKPOINT")
+	if err == nil || !strings.Contains(err.Error(), "durability disabled") {
+		t.Fatalf("err = %v, want durability-disabled error", err)
+	}
+}
+
+type stubCheckpointer struct {
+	calls int
+	err   error
+}
+
+func (s *stubCheckpointer) Checkpoint() error {
+	s.calls++
+	return s.err
+}
+
+func TestCheckpointOverWire(t *testing.T) {
+	srv, cl := testServer(t)
+	cp := &stubCheckpointer{}
+	srv.SetCheckpointer(cp)
+	out, err := cl.Do("CHECKPOINT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.calls != 1 {
+		t.Fatalf("checkpointer invoked %d times", cp.calls)
+	}
+	if len(out) != 1 || !strings.Contains(out[0], "checkpoint complete") {
+		t.Fatalf("out = %v", out)
+	}
+	cp.err = errors.New("disk on fire")
+	if _, err := cl.Do("CHECKPOINT"); err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err = %v, want propagated checkpoint error", err)
+	}
+}
+
+// TestServerKillRecoverServe is the end-to-end durability test: write
+// through a durable store, "kill" the process (abandon the manager
+// without closing), recover the data directory into a fresh store, and
+// serve queries over the recovered data through a new server.
+func TestServerKillRecoverServe(t *testing.T) {
+	dir := t.TempDir()
+
+	// Life 1: durable writes, no clean shutdown.
+	store := monet.NewStore()
+	if _, err := wal.Open(dir, store, wal.Options{Sync: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	laps := monet.NewBAT(monet.OIDT, monet.FloatT)
+	if err := store.Put("f1/laps", laps); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := store.Append("f1/laps", monet.NewOID(monet.OID(i)), monet.NewFloat(80+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Life 2: recover and serve.
+	store2 := monet.NewStore()
+	mgr, err := wal.Open(dir, store2, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	cat := cobra.NewCatalog(store2)
+	pre := cobra.NewPreprocessor(cat)
+	srv := New(pre, nil)
+	srv.SetCheckpointer(mgr)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	out, err := cl.Do(`MIL bat("f1/laps").count;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "10" {
+		t.Fatalf("count over recovered data = %v, want 10", out)
+	}
+	out, err = cl.Do(`MIL bat("f1/laps").max;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "89" {
+		t.Fatalf("max over recovered data = %v, want 89", out)
+	}
+
+	// CHECKPOINT over the wire against the real manager.
+	if _, err := cl.Do("CHECKPOINT"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 3: recovery after the checkpoint needs no replay.
+	store3 := monet.NewStore()
+	mgr3, err := wal.Open(dir, store3, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr3.Close()
+	if mgr3.Recovery.Replayed != 0 {
+		t.Errorf("post-checkpoint recovery replayed %d records", mgr3.Recovery.Replayed)
+	}
+	b, err := store3.Get("f1/laps")
+	if err != nil || b.Len() != 10 {
+		t.Fatalf("life 3 laps: %v, %v", b, err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.Tail(i).Float(); got != 80+float64(i) {
+			t.Fatalf("row %d = %v", i, got)
+		}
+	}
+}

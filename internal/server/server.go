@@ -14,9 +14,11 @@
 //	STATS                 -> telemetry counters, gauges and latency quantiles
 //	TRACE <statement>     -> run the COQL statement, return its span tree
 //	SLOWLOG               -> recent queries over the slow-query threshold
+//	CHECKPOINT            -> force a durability checkpoint (WAL truncation)
 //	PING                  -> "OK 0", "END"
 //
-// Errors answer "ERR <message>".
+// Errors answer "ERR <message>". The full wire protocol, with framing
+// and examples, is specified in docs/PROTOCOL.md.
 package server
 
 import (
@@ -42,7 +44,17 @@ import (
 var (
 	cRequests    = obs.C("server.requests")
 	cConnections = obs.C("server.connections")
+	cCheckpoints = obs.C("server.checkpoint_requests")
 )
+
+// Checkpointer forces a durability checkpoint: snapshot the store,
+// flip the snapshot pointer, truncate the write-ahead log. The wal
+// package's Manager implements it; a server without one rejects the
+// CHECKPOINT command.
+type Checkpointer interface {
+	// Checkpoint blocks until the checkpoint is durable.
+	Checkpoint() error
+}
 
 // ErrServerClosed is returned by Close and Listen after the server has
 // already been shut down.
@@ -60,6 +72,8 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	cp Checkpointer
 }
 
 // New builds a server over the preprocessor (COQL), its catalog's
@@ -77,6 +91,15 @@ func New(pre *cobra.Preprocessor, pool *hmm.EnginePool) *Server {
 		interp: interp,
 		pool:   pool,
 	}
+}
+
+// SetCheckpointer attaches the durability subsystem serving the
+// CHECKPOINT command. Call before Listen; a nil (or absent)
+// checkpointer makes CHECKPOINT answer an error.
+func (s *Server) SetCheckpointer(cp Checkpointer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cp = cp
 }
 
 // Listen binds the address and starts serving until the listener is
@@ -262,6 +285,21 @@ func (s *Server) Execute(line string, w io.Writer) {
 		lines := []string{fmt.Sprintf("# %d segments", len(res))}
 		lines = append(lines, strings.Split(strings.TrimRight(span.Render(), "\n"), "\n")...)
 		writeLines(w, lines)
+	case "CHECKPOINT":
+		cCheckpoints.Inc()
+		s.mu.Lock()
+		cp := s.cp
+		s.mu.Unlock()
+		if cp == nil {
+			fmt.Fprintln(w, "ERR durability disabled (start the server with -data-dir)")
+			return
+		}
+		start := time.Now()
+		if err := cp.Checkpoint(); err != nil {
+			fmt.Fprintf(w, "ERR checkpoint: %v\n", err)
+			return
+		}
+		writeLines(w, []string{fmt.Sprintf("checkpoint complete in %v", time.Since(start).Round(time.Millisecond))})
 	case "SLOWLOG":
 		entries := obs.DefaultSlowLog.Entries()
 		lines := make([]string, 0, len(entries)+1)

@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cobra/internal/monet"
+)
+
+// Record operation codes. The op byte is the first byte of every
+// record payload.
+const (
+	// OpPut registers or replaces a whole BAT: the payload carries the
+	// BAT name followed by the BAT in the kernel snapshot format.
+	OpPut byte = 1
+	// OpAppend appends one (head, tail) association: the payload
+	// carries the BAT name, the two value types, and the two values in
+	// the snapshot value codec.
+	OpAppend byte = 2
+	// OpDrop removes a BAT: the payload carries only the name.
+	OpDrop byte = 3
+)
+
+// Record is one decoded write-ahead-log entry.
+type Record struct {
+	// Op is one of OpPut, OpAppend, OpDrop.
+	Op byte
+	// Name is the BAT the mutation targets.
+	Name string
+	// BAT is the full table carried by an OpPut record.
+	BAT *monet.BAT
+	// Head and Tail are the appended association of an OpAppend record.
+	Head, Tail monet.Value
+}
+
+// EncodePut encodes an OpPut record for name and b.
+func EncodePut(name string, b *monet.BAT) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(OpPut)
+	writeName(&buf, name)
+	if _, err := b.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeAppend encodes an OpAppend record for one association.
+func EncodeAppend(name string, h, t monet.Value) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(OpAppend)
+	writeName(&buf, name)
+	buf.WriteByte(byte(h.Typ))
+	buf.WriteByte(byte(t.Typ))
+	if err := monet.WriteValue(&buf, h); err != nil {
+		return nil, err
+	}
+	if err := monet.WriteValue(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeDrop encodes an OpDrop record for name.
+func EncodeDrop(name string) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(OpDrop)
+	writeName(&buf, name)
+	return buf.Bytes()
+}
+
+// DecodeRecord parses one record payload.
+func DecodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record")
+	}
+	r := bytes.NewReader(payload)
+	op, _ := r.ReadByte()
+	name, err := readName(r)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: record name: %w", err)
+	}
+	rec := Record{Op: op, Name: name}
+	switch op {
+	case OpPut:
+		b, err := monet.ReadBAT(r)
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: put %q: %w", name, err)
+		}
+		rec.BAT = b
+	case OpAppend:
+		var types [2]byte
+		if _, err := io.ReadFull(r, types[:]); err != nil {
+			return Record{}, fmt.Errorf("wal: append %q: %w", name, err)
+		}
+		if rec.Head, err = monet.ReadValue(r, monet.Type(types[0])); err != nil {
+			return Record{}, fmt.Errorf("wal: append %q head: %w", name, err)
+		}
+		if rec.Tail, err = monet.ReadValue(r, monet.Type(types[1])); err != nil {
+			return Record{}, fmt.Errorf("wal: append %q tail: %w", name, err)
+		}
+	case OpDrop:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", op)
+	}
+	return rec, nil
+}
+
+// writeName frames a BAT name as u32 length + bytes.
+func writeName(buf *bytes.Buffer, name string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(name)))
+	buf.Write(n[:])
+	buf.WriteString(name)
+}
+
+// readName is the inverse of writeName.
+func readName(r *bytes.Reader) (string, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	ln := binary.LittleEndian.Uint32(n[:])
+	if int(ln) > r.Len() {
+		return "", fmt.Errorf("name length %d exceeds record", ln)
+	}
+	buf := make([]byte, ln)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cobra/internal/monet"
+)
+
+func TestSyncPolicyParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{
+		{"always", SyncAlways},
+		{"Interval", SyncInterval},
+		{" none ", SyncNone},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Error("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	st, err := Replay(dir, 0, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Torn {
+		t.Error("clean log reported torn")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Sync: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 5 {
+		t.Fatalf("expected rotation to create several segments, got %d", len(seqs))
+	}
+	st, err := Replay(dir, 0, func([]byte) error { return nil })
+	if err != nil || st.Records != 20 || st.Torn {
+		t.Fatalf("replay across segments: %+v, %v", st, err)
+	}
+	// minSeq skips early segments.
+	st, err = Replay(dir, seqs[len(seqs)-1], func([]byte) error { return nil })
+	if err != nil || st.Records >= 20 {
+		t.Fatalf("minSeq did not skip segments: %+v, %v", st, err)
+	}
+}
+
+func TestLogGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dir, 0, func([]byte) error { return nil })
+	if err != nil || st.Records != writers*per || st.Torn {
+		t.Fatalf("replay: %+v, %v", st, err)
+	}
+}
+
+func TestLogIntervalSyncFlushesEventually(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Sync: SyncInterval, SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dir, 0, func([]byte) error { return nil })
+	if err != nil || st.Records != 1 {
+		t.Fatalf("replay: %+v, %v", st, err)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := Segments(dir)
+	path := filepath.Join(dir, segmentName(seqs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the last 3 bytes: a torn tail record.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(dir, 0, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Torn || st.Records != 9 {
+		t.Fatalf("torn replay: %+v", st)
+	}
+	// Repair truncates to the intact prefix; replay is then clean.
+	if err := Repair(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Replay(dir, 0, func([]byte) error { return nil })
+	if err != nil || st.Torn || st.Records != 9 {
+		t.Fatalf("post-repair replay: %+v, %v", st, err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	b := monet.NewBAT(monet.Void, monet.StrT)
+	b.MustInsert(monet.VoidValue(), monet.NewStr("schumacher"))
+	b.MustInsert(monet.VoidValue(), monet.NewStr("barrichello"))
+
+	put, err := EncodePut("f1/drivers", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeRecord(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Op != OpPut || rec.Name != "f1/drivers" || rec.BAT.Len() != 2 {
+		t.Fatalf("put round trip: %+v", rec)
+	}
+	if got := rec.BAT.Tail(1).Str(); got != "barrichello" {
+		t.Fatalf("put BAT tail = %q", got)
+	}
+
+	app, err := EncodeAppend("laps", monet.NewOID(7), monet.NewFloat(81.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = DecodeRecord(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Op != OpAppend || rec.Name != "laps" || rec.Head.OID() != 7 || rec.Tail.Float() != 81.3 {
+		t.Fatalf("append round trip: %+v", rec)
+	}
+
+	rec, err = DecodeRecord(EncodeDrop("laps"))
+	if err != nil || rec.Op != OpDrop || rec.Name != "laps" {
+		t.Fatalf("drop round trip: %+v, %v", rec, err)
+	}
+
+	if _, err := DecodeRecord(nil); err == nil {
+		t.Error("DecodeRecord accepted empty payload")
+	}
+	if _, err := DecodeRecord([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Error("DecodeRecord accepted unknown op")
+	}
+}
