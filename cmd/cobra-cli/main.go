@@ -12,8 +12,10 @@
 // Shell commands:
 //
 //	SELECT/RETRIEVE ...   COQL query
+//	EXPLAIN <q>           emit and verify the MIL access plan (no execution)
 //	EXPLAIN ANALYZE <q>   run a COQL query and print its span tree
 //	mil <statement>       MIL statement against the kernel
+//	check <statement>     statically verify a MIL statement (milcheck)
 //	.videos               list videos
 //	.features <video>     list materialized features
 //	.plot <video> <feat>  text plot of a feature stream
@@ -34,6 +36,7 @@ import (
 	"cobra/internal/cobra"
 	"cobra/internal/f1"
 	"cobra/internal/mil"
+	"cobra/internal/milcheck"
 	"cobra/internal/monet"
 	"cobra/internal/query"
 	"cobra/internal/rules"
@@ -184,6 +187,29 @@ func localShell(db string) error {
 			for _, out := range interp.Output() {
 				fmt.Println(" ", out)
 			}
+		case strings.HasPrefix(strings.ToLower(line), "check "):
+			// check <mil>: static verification only, nothing executes.
+			opts := &milcheck.Options{
+				Globals:    map[string]milcheck.VType{},
+				Funcs:      milcheck.ExtensionSigs(),
+				KnownFuncs: append(interp.BuiltinNames(), interp.Procs()...),
+				ResolveBAT: milcheck.StoreResolver(store),
+			}
+			for _, n := range interp.GlobalNames() {
+				opts.Globals[n] = milcheck.Any()
+			}
+			diags, err := milcheck.CheckSource(strings.TrimSpace(line[6:]), opts)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if len(diags) == 0 {
+				fmt.Println("  program OK")
+				continue
+			}
+			for _, d := range diags {
+				fmt.Println(" ", d)
+			}
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE "):
 			// EXPLAIN ANALYZE <query>: run the query and render its trace
 			// span tree across the conceptual/logical/physical levels.
@@ -197,6 +223,17 @@ func localShell(db string) error {
 				fmt.Println("  " + l)
 			}
 			fmt.Printf("  (%d segments)\n", len(res))
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
+			// EXPLAIN <query>: emit and verify the MIL access plan
+			// without running the query.
+			ex, err := eng.Explain(strings.TrimSpace(line[len("EXPLAIN "):]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, l := range strings.Split(strings.TrimRight(ex.String(), "\n"), "\n") {
+				fmt.Println("  " + l)
+			}
 		default:
 			res, err := eng.Run(line)
 			if err != nil {
@@ -228,8 +265,10 @@ func printHelp() {
           FEATURE('name') > 0.5 | OBJECT('NAME') | NOT cond |
           cond AND/OR cond | cond BEFORE/AFTER/DURING/OVERLAPS cond |
           cond WITHIN <n> OF cond
+  EXPLAIN <query>           emit and statically verify the MIL access plan
   EXPLAIN ANALYZE <query>   run a COQL query, print its trace span tree
   mil <stmt>        MIL against the kernel, e.g. mil RETURN bat("cobra/videos").count;
+  check <stmt>      statically verify MIL without running it (milcheck)
   .videos           list videos
   .features <v>     list materialized features of a video
   .plot <v> <feat>  text plot of a materialized feature stream

@@ -1,0 +1,84 @@
+// Command cobravet runs the project's own static-analysis suite — the
+// invariants gofmt and go vet cannot see — over the module, using the
+// dependency-free framework in internal/vet:
+//
+//	spanend    obs spans must be finished on every path
+//	gofatal    no t.Fatal-class calls from spawned test goroutines
+//	storelock  Journal* hooks must not call back into monet.Store
+//	errwrap    fmt.Errorf over an error must wrap with %w
+//
+// Usage:
+//
+//	cobravet [-list] [package ...]
+//
+// With no packages the whole module is checked. Package arguments are
+// import paths ("cobra/internal/wal") or module-relative directories
+// ("./internal/wal"). Findings print as file:line:col lines and the
+// exit status is 1 when there are any, 2 on load failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cobra/internal/vet"
+	"cobra/internal/vet/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	paths := flag.Args()
+	if len(paths) == 0 {
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			fail(err)
+		}
+	}
+	pkgs := make([]*vet.Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := loader.Load(normalize(loader, p))
+		if err != nil {
+			fail(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := vet.Run(pkgs, analyzers.All)
+	if err != nil {
+		fail(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cobravet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// normalize maps "./internal/wal"-style directory arguments onto
+// import paths.
+func normalize(l *vet.Loader, arg string) string {
+	if !strings.HasPrefix(arg, ".") {
+		return arg
+	}
+	return l.ModPath + "/" + filepath.ToSlash(strings.TrimPrefix(filepath.Clean(arg), "./"))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cobravet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExamplesCorpusIsClean(t *testing.T) {
+	files, err := collect([]string{"../../examples"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .mil files under examples/")
+	}
+	var out strings.Builder
+	errs, warns := lintFiles(files, &out)
+	if errs != 0 || warns != 0 {
+		t.Errorf("examples corpus not clean (%d errors, %d warnings):\n%s", errs, warns, out.String())
+	}
+}
+
+func TestSeededBadFileFails(t *testing.T) {
+	var out strings.Builder
+	errs, _ := lintFiles([]string{"testdata/bad.mil"}, &out)
+	if errs == 0 {
+		t.Fatalf("bad.mil passed:\n%s", out.String())
+	}
+	body := out.String()
+	// Diagnostics carry the file and a position, and cover the type
+	// mismatch, the PARALLEL write-write conflict and the unbound var.
+	for _, want := range []string{
+		"testdata/bad.mil:4:",
+		"parallel-write-write",
+		"unbound-var",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestCollectRejectsMissingPath(t *testing.T) {
+	if _, err := collect([]string{"testdata/nosuch.mil"}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}

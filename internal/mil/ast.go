@@ -28,10 +28,22 @@ type Program struct {
 	Stmts []Stmt
 }
 
-// VarDecl is `VAR name := expr;`.
+// TypeSpec is a parsed type annotation: either an atomic type or a
+// BAT[head,tail] column pair.
+type TypeSpec struct {
+	IsBAT bool
+	Head  monet.Type
+	Tail  monet.Type
+	Atom  monet.Type
+}
+
+// VarDecl is `VAR name := expr;`. Type, when non-nil, is the optional
+// `VAR name : type := expr;` annotation (the interpreter ignores it;
+// milcheck verifies it).
 type VarDecl struct {
 	pos
 	Name string
+	Type *TypeSpec
 	Init Expr
 }
 
@@ -84,22 +96,27 @@ type ParallelBlock struct {
 	Stmts []Stmt
 }
 
-// ProcDecl is `PROC name(params) [: type] := { body }`.
+// ProcDecl is `PROC name(params) [: type] := { body }`. Ret, when
+// non-nil, is the declared return type annotation.
 type ProcDecl struct {
 	pos
 	Name   string
 	Params []Param
+	Ret    *TypeSpec
 	Body   *Block
 }
 
 // Param is a typed procedure parameter. For BAT parameters Head/Tail
 // carry the declared column types; for atomic parameters Atom does.
+// Line and Col locate the parameter name for diagnostics.
 type Param struct {
 	Name  string
 	IsBAT bool
 	Head  monet.Type
 	Tail  monet.Type
 	Atom  monet.Type
+	Line  int
+	Col   int
 }
 
 func (*VarDecl) stmtNode()       {}

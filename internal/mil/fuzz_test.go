@@ -1,0 +1,76 @@
+package mil
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the lexer and parser: any input must either
+// parse or fail with an error — never panic, and errors must carry a
+// position.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"VAR a := 1;",
+		"VAR b := new(void, dbl);\nb.insert(nil, 0.5);\nprint(b.sum);",
+		"PROC f(int x) : int := { RETURN x * 2; }\nprint(f(21));",
+		"PARALLEL {\n  parEval.insert(\"a\", 0.9);\n  parEval.insert(\"b\", 0.7);\n}",
+		"IF (a < 1) { print(a); } ELSE IF (a < 2) { print(-a); }",
+		"WHILE (i < 10) { i := i + 1; }",
+		"VAR s := bat(\"cobra/videos\").uselect(\"gp\").mirror.join(bat(\"x\"));",
+		"# comment\nRETURN 1 + 2 * 3 / 4 % 5;",
+		"VAR t : BAT[oid,dbl] := new(oid, dbl);",
+		"((((((((1))))))))",
+		"\"unterminated",
+		"1.e-; VAR",
+		"PROC p() := { PARALLEL { RETURN 1; } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			if prog != nil {
+				t.Fatalf("non-nil program alongside error %v", err)
+			}
+			if !strings.HasPrefix(err.Error(), "mil: ") {
+				t.Fatalf("error without mil: position prefix: %v", err)
+			}
+			return
+		}
+		// Every node must report a position; walk the top level.
+		for _, s := range prog.Stmts {
+			if l, c := s.Pos(); l < 0 || c < 0 {
+				t.Fatalf("negative position %d:%d", l, c)
+			}
+		}
+	})
+}
+
+// FuzzRun feeds parsed programs to the interpreter with a small step
+// budget: evaluation must return a value or an error, never panic.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"VAR a := 1; RETURN a + 1;",
+		"VAR b := new(void, int);\nb.insert(nil, 3);\nRETURN b.sum;",
+		"PROC f(int x) : int := { RETURN x; }\nRETURN f(7);",
+		"RETURN 1 / 0;",
+		"PARALLEL { print(1); print(2); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // keep interpreter runs cheap
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		in := NewInterp(nil)
+		in.MaxSteps = 50000
+		_, _ = in.Run(prog)
+	})
+}

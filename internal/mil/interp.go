@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cobra/internal/monet"
@@ -59,12 +60,31 @@ type Builtin func(in *Interp, args []Value) (Value, error)
 type Interp struct {
 	store    *monet.Store
 	builtins map[string]Builtin
-	procs    map[string]*ProcDecl
 
-	mu        sync.Mutex // guards globals, output, and threadCnt
+	// MaxSteps bounds the number of statements one Run may execute; 0
+	// means unbounded. Fuzzing and untrusted plans set it so WHILE
+	// loops stay finite.
+	MaxSteps int64
+	steps    atomic.Int64
+
+	mu        sync.Mutex // guards globals, procs, output, and threadCnt
+	procs     map[string]*ProcDecl
 	globals   map[string]Value
 	output    []string
 	threadCnt int
+}
+
+// ErrBudget is returned when a Run exceeds the MaxSteps statement
+// budget.
+var ErrBudget = errors.New("mil: statement budget exceeded")
+
+// proc looks up a declared procedure under the interpreter lock;
+// PARALLEL branches may declare procedures while others call them.
+func (in *Interp) proc(name string) (*ProcDecl, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p, ok := in.procs[name]
+	return p, ok
 }
 
 // ErrUndefined is returned when a name is not bound.
@@ -128,20 +148,43 @@ type env struct {
 	mu     *sync.Mutex // non-nil when this scope is shared by PARALLEL branches
 }
 
+// unlockPath releases scope locks acquired during an env walk, in
+// reverse acquisition order. Walks always acquire child-to-parent, a
+// consistent order across goroutines, which keeps them deadlock-free.
+func unlockPath(held []*sync.Mutex) {
+	for i := len(held) - 1; i >= 0; i-- {
+		held[i].Unlock()
+	}
+}
+
 func (e *env) lookup(name string) (Value, bool) {
+	var held []*sync.Mutex
+	defer func() { unlockPath(held) }()
 	for s := e; s != nil; s = s.parent {
 		if s.mu != nil {
 			s.mu.Lock()
+			held = append(held, s.mu)
 		}
 		v, ok := s.vars[name]
-		if s.mu != nil {
-			s.mu.Unlock()
-		}
 		if ok {
 			return v, true
 		}
 	}
 	return e.in.Global(name)
+}
+
+// outermostParMu returns the lock of the outermost enclosing PARALLEL
+// scope, or nil outside any PARALLEL block. Branches of the same block
+// — and of any nested blocks — share it, so it serializes in-place
+// mutation of values reachable from more than one branch.
+func (e *env) outermostParMu() *sync.Mutex {
+	var mu *sync.Mutex
+	for s := e; s != nil; s = s.parent {
+		if s.mu != nil {
+			mu = s.mu
+		}
+	}
+	return mu
 }
 
 func (e *env) define(name string, v Value) {
@@ -153,20 +196,20 @@ func (e *env) define(name string, v Value) {
 }
 
 // set assigns an existing variable, searching outward; if undefined
-// anywhere it becomes a global (MIL sessions assign freely).
+// anywhere it becomes a global (MIL sessions assign freely). Locks of
+// enclosing PARALLEL scopes stay held while outer scopes are touched,
+// so branch assignments to pre-block variables cannot race on the
+// scope maps.
 func (e *env) set(name string, v Value) {
+	var held []*sync.Mutex
+	defer func() { unlockPath(held) }()
 	for s := e; s != nil; s = s.parent {
 		if s.mu != nil {
 			s.mu.Lock()
+			held = append(held, s.mu)
 		}
-		_, ok := s.vars[name]
-		if ok {
+		if _, ok := s.vars[name]; ok {
 			s.vars[name] = v
-		}
-		if s.mu != nil {
-			s.mu.Unlock()
-		}
-		if ok {
 			return
 		}
 	}
@@ -188,6 +231,7 @@ func (in *Interp) Exec(src string) (Value, error) {
 func (in *Interp) Run(prog *Program) (Value, error) {
 	defer func(start time.Time) { hRunLat.Observe(time.Since(start)) }(time.Now())
 	cStatements.Add(int64(len(prog.Stmts)))
+	in.steps.Store(0)
 	root := &env{in: in, vars: map[string]Value{}}
 	var last Value
 	for _, s := range prog.Stmts {
@@ -205,6 +249,10 @@ func (in *Interp) Run(prog *Program) (Value, error) {
 }
 
 func (in *Interp) exec(e *env, s Stmt) (Value, error) {
+	if in.MaxSteps > 0 && in.steps.Add(1) > in.MaxSteps {
+		l, c := s.Pos()
+		return Value{}, fmt.Errorf("%w at %d:%d (limit %d)", ErrBudget, l, c, in.MaxSteps)
+	}
 	switch st := s.(type) {
 	case *VarDecl:
 		v, err := in.eval(e, st.Init)
@@ -258,7 +306,9 @@ func (in *Interp) exec(e *env, s Stmt) (Value, error) {
 	case *ParallelBlock:
 		return in.execParallel(e, st)
 	case *ProcDecl:
+		in.mu.Lock()
 		in.procs[strings.ToLower(st.Name)] = st
+		in.mu.Unlock()
 		return Value{}, nil
 	default:
 		return Value{}, fmt.Errorf("mil: unknown statement %T", s)
@@ -458,7 +508,7 @@ func (in *Interp) evalCall(e *env, ex *Call) (Value, error) {
 		args[i] = v
 	}
 	name := strings.ToLower(ex.Name)
-	if proc, ok := in.procs[name]; ok {
+	if proc, ok := in.proc(name); ok {
 		return in.callProc(proc, args)
 	}
 	if fn, ok := in.builtins[name]; ok {
@@ -503,8 +553,34 @@ func (in *Interp) callProc(proc *ProcDecl, args []Value) (Value, error) {
 	return last, nil
 }
 
+// GlobalNames returns the sorted names of bound global variables,
+// including the pre-bound atomic type names.
+func (in *Interp) GlobalNames() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.globals))
+	for n := range in.globals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuiltinNames returns the sorted names of registered builtin
+// functions, covering the stdlib and any extension modules.
+func (in *Interp) BuiltinNames() []string {
+	names := make([]string, 0, len(in.builtins))
+	for n := range in.builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Procs returns the sorted names of declared procedures.
 func (in *Interp) Procs() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	names := make([]string, 0, len(in.procs))
 	for n := range in.procs {
 		names = append(names, n)

@@ -10,9 +10,28 @@ import (
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// maxParseDepth bounds statement/expression nesting so hostile input
+// (deeply nested parentheses or blocks) fails with a diagnostic
+// instead of exhausting the goroutine stack.
+const maxParseDepth = 256
+
+// enter increments the nesting depth, failing when the program nests
+// deeper than maxParseDepth. Callers must pair it with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		t := p.cur()
+		return fmt.Errorf("mil: %d:%d: program nests deeper than %d levels", t.line, t.col, maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses MIL source into a Program.
 func Parse(src string) (*Program, error) {
@@ -61,17 +80,54 @@ func (p *parser) expect(kind tokenKind, text string) (token, error) {
 	t := p.cur()
 	want := text
 	if want == "" {
-		want = fmt.Sprintf("token kind %d", kind)
+		want = kindName(kind)
 	}
-	return token{}, fmt.Errorf("mil: %d:%d: expected %q, found %q", t.line, t.col, want, t.text)
+	found := t.text
+	if t.kind == tokEOF {
+		found = "end of input"
+	}
+	return token{}, fmt.Errorf("mil: %d:%d: expected %q, found %q", t.line, t.col, want, found)
 }
 
 func (p *parser) errf(format string, args ...any) error {
 	t := p.cur()
+	return p.errAt(t, format, args...)
+}
+
+// errAt reports an error anchored at a specific token, for paths where
+// the parser has already advanced past the offending token.
+func (p *parser) errAt(t token, format string, args ...any) error {
 	return fmt.Errorf("mil: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
 }
 
+// kindName renders a token kind for "expected ..." diagnostics.
+func kindName(k tokenKind) string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokPunct:
+		return "punctuation"
+	case tokOp:
+		return "operator"
+	case tokKeyword:
+		return "keyword"
+	}
+	return "token"
+}
+
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.kind == tokKeyword && t.text == "var":
@@ -136,12 +192,15 @@ func (p *parser) varDecl() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Optional type annotation `VAR x : type := e;` is accepted and
-	// ignored (MIL is dynamically checked here).
+	// Optional type annotation `VAR x : type := e;` is recorded for the
+	// static checker; the interpreter stays dynamically checked.
+	var spec *TypeSpec
 	if p.accept(tokPunct, ":") {
-		if err := p.skipTypeSpec(); err != nil {
+		s, err := p.typeSpec()
+		if err != nil {
 			return nil, err
 		}
+		spec = s
 	}
 	if _, err := p.expect(tokOp, ":="); err != nil {
 		return nil, err
@@ -153,7 +212,7 @@ func (p *parser) varDecl() (Stmt, error) {
 	if _, err := p.expect(tokPunct, ";"); err != nil {
 		return nil, err
 	}
-	return &VarDecl{pos: pos{t.line, t.col}, Name: name.text, Init: e}, nil
+	return &VarDecl{pos: pos{t.line, t.col}, Name: name.text, Type: spec, Init: e}, nil
 }
 
 func (p *parser) procDecl() (Stmt, error) {
@@ -179,10 +238,13 @@ func (p *parser) procDecl() (Stmt, error) {
 		params = append(params, prm)
 	}
 	p.advance() // )
+	var ret *TypeSpec
 	if p.accept(tokPunct, ":") {
-		if err := p.skipTypeSpec(); err != nil {
+		s, err := p.typeSpec()
+		if err != nil {
 			return nil, err
 		}
+		ret = s
 	}
 	if _, err := p.expect(tokOp, ":="); err != nil {
 		return nil, err
@@ -192,7 +254,7 @@ func (p *parser) procDecl() (Stmt, error) {
 		return nil, err
 	}
 	p.accept(tokPunct, ";")
-	return &ProcDecl{pos: pos{t.line, t.col}, Name: name.text, Params: params, Body: body}, nil
+	return &ProcDecl{pos: pos{t.line, t.col}, Name: name.text, Params: params, Ret: ret, Body: body}, nil
 }
 
 // param parses `BAT[oid,dbl] name` or `int name`.
@@ -223,7 +285,7 @@ func (p *parser) param() (Param, error) {
 		if err != nil {
 			return Param{}, err
 		}
-		return Param{Name: name.text, IsBAT: true, Head: h, Tail: tl}, nil
+		return Param{Name: name.text, IsBAT: true, Head: h, Tail: tl, Line: name.line, Col: name.col}, nil
 	}
 	atom, err := parseTypeName(tt.text)
 	if err != nil {
@@ -233,7 +295,7 @@ func (p *parser) param() (Param, error) {
 	if err != nil {
 		return Param{}, err
 	}
-	return Param{Name: name.text, Atom: atom}, nil
+	return Param{Name: name.text, Atom: atom, Line: name.line, Col: name.col}, nil
 }
 
 func (p *parser) typeName() (monet.Type, error) {
@@ -247,6 +309,10 @@ func (p *parser) typeName() (monet.Type, error) {
 	}
 	return ty, nil
 }
+
+// ParseTypeName resolves a MIL atomic type name (void, oid, int, lng,
+// dbl, flt, str, bit, bool) to its kernel type.
+func ParseTypeName(s string) (monet.Type, error) { return parseTypeName(s) }
 
 func parseTypeName(s string) (monet.Type, error) {
 	switch strings.ToLower(s) {
@@ -266,30 +332,37 @@ func parseTypeName(s string) (monet.Type, error) {
 	return 0, fmt.Errorf("unknown type %q", s)
 }
 
-// skipTypeSpec consumes a return-type annotation: `str` or `BAT[oid,dbl]`.
-func (p *parser) skipTypeSpec() error {
+// typeSpec parses a type annotation: `str` or `BAT[oid,dbl]`.
+func (p *parser) typeSpec() (*TypeSpec, error) {
 	t, err := p.expect(tokIdent, "")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if strings.EqualFold(t.text, "bat") {
 		if _, err := p.expect(tokPunct, "["); err != nil {
-			return err
+			return nil, err
 		}
-		if _, err := p.typeName(); err != nil {
-			return err
+		h, err := p.typeName()
+		if err != nil {
+			return nil, err
 		}
 		if _, err := p.expect(tokPunct, ","); err != nil {
-			return err
+			return nil, err
 		}
-		if _, err := p.typeName(); err != nil {
-			return err
+		tl, err := p.typeName()
+		if err != nil {
+			return nil, err
 		}
 		if _, err := p.expect(tokPunct, "]"); err != nil {
-			return err
+			return nil, err
 		}
+		return &TypeSpec{IsBAT: true, Head: h, Tail: tl}, nil
 	}
-	return nil
+	atom, err := parseTypeName(t.text)
+	if err != nil {
+		return nil, p.errAt(t, "%v", err)
+	}
+	return &TypeSpec{Atom: atom}, nil
 }
 
 func (p *parser) block() (*Block, error) {
@@ -331,11 +404,14 @@ func (p *parser) ifStmt() (Stmt, error) {
 	node := &If{pos: pos{t.line, t.col}, Cond: cond, Then: then}
 	if p.accept(tokKeyword, "else") {
 		if p.at(tokKeyword, "if") {
+			ift := p.cur()
 			nested, err := p.ifStmt()
 			if err != nil {
 				return nil, err
 			}
-			node.Else = &Block{Stmts: []Stmt{nested}}
+			// The synthetic block wrapping an `else if` carries the
+			// nested if's position so diagnostics never report 0:0.
+			node.Else = &Block{pos: pos{ift.line, ift.col}, Stmts: []Stmt{nested}}
 		} else {
 			els, err := p.block()
 			if err != nil {
@@ -369,7 +445,13 @@ func (p *parser) whileStmt() (Stmt, error) {
 // Expression grammar: comparison > additive > multiplicative > unary >
 // postfix > primary.
 
-func (p *parser) expr() (Expr, error) { return p.comparison() }
+func (p *parser) expr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.comparison()
+}
 
 func (p *parser) comparison() (Expr, error) {
 	l, err := p.additive()
@@ -427,6 +509,10 @@ func (p *parser) multiplicative() (Expr, error) {
 
 func (p *parser) unary() (Expr, error) {
 	if p.at(tokOp, "-") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		t := p.advance()
 		x, err := p.unary()
 		if err != nil {
@@ -476,14 +562,14 @@ func (p *parser) primary() (Expr, error) {
 		p.advance()
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, p.errf("bad integer %q", t.text)
+			return nil, p.errAt(t, "bad integer %q", t.text)
 		}
 		return &Lit{pos: pos{t.line, t.col}, Val: monet.NewInt(n)}, nil
 	case t.kind == tokFloat:
 		p.advance()
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, p.errf("bad float %q", t.text)
+			return nil, p.errAt(t, "bad float %q", t.text)
 		}
 		return &Lit{pos: pos{t.line, t.col}, Val: monet.NewFloat(f)}, nil
 	case t.kind == tokString:

@@ -242,7 +242,7 @@ func wantAtoms(name string, args []Value, n int) error {
 // callNamedProc invokes a declared PROC by name with the given
 // arguments; used by the higher-order BAT methods.
 func (in *Interp) callNamedProc(name string, args []Value) (Value, error) {
-	proc, ok := in.procs[strings.ToLower(name)]
+	proc, ok := in.proc(strings.ToLower(name))
 	if !ok {
 		return Value{}, fmt.Errorf("mil: no PROC %q", name)
 	}
@@ -286,6 +286,13 @@ func (in *Interp) evalMethod(e *env, ex *MethodCall) (Value, error) {
 		h := args[0].Atom
 		if b.HeadType() == monet.Void {
 			h = monet.VoidValue()
+		}
+		// Inside a PARALLEL block the receiver may be shared across
+		// branches (the Fig. 4 parEval pattern); in-place mutation is
+		// serialized on the block's lock so the columns cannot race.
+		if mu := e.outermostParMu(); mu != nil {
+			mu.Lock()
+			defer mu.Unlock()
 		}
 		return wrap(BATValue(b), b.Insert(h, args[1].Atom))
 	case "append":

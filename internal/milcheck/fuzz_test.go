@@ -1,0 +1,52 @@
+package milcheck
+
+import (
+	"testing"
+
+	"cobra/internal/mil"
+	"cobra/internal/monet"
+)
+
+// FuzzCheck runs the full analyzer over arbitrary source: the checker
+// must never panic, and every diagnostic must carry a non-negative
+// position.
+func FuzzCheck(f *testing.F) {
+	seeds := []string{
+		"VAR a := 1; print(a);",
+		"VAR b := new(void, dbl);\nb.insert(nil, 0.5);\nRETURN b.sum;",
+		"PROC f(int x) : int := { RETURN f(x - 1); }\nprint(f(3));",
+		"PARALLEL {\n  x := 1;\n  x := 2;\n}",
+		"VAR t : BAT[oid,dbl] := new(oid, dbl);\nRETURN t.reverse.mark.histogram;",
+		"register(\"a/b\", new(void, int));\nRETURN bat(\"a/b\").map(\"nope\");",
+		"IF (true) { RETURN 1; } ELSE { RETURN \"x\"; }\nprint(1);",
+		"PROC a() := { RETURN b(); }\nPROC b() := { RETURN a(); }\nprint(a());",
+		"VAR m := new(oid, dbl).uselect(\"k\");",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	opts := &Options{
+		Funcs: ExtensionSigs(),
+		ResolveBAT: func(name string) (monet.Type, monet.Type, bool) {
+			if name == "cobra/videos" {
+				return monet.OIDT, monet.StrT, true
+			}
+			return 0, 0, false
+		},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := mil.Parse(src)
+		if err != nil {
+			return
+		}
+		res := Analyze(prog, opts)
+		for _, d := range res.Diags {
+			if d.Line < 0 || d.Col < 0 {
+				t.Fatalf("negative diagnostic position: %s", d)
+			}
+			if d.Msg == "" || d.Code == "" {
+				t.Fatalf("empty diagnostic fields: %+v", d)
+			}
+		}
+	})
+}

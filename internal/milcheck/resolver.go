@@ -1,0 +1,19 @@
+package milcheck
+
+import "cobra/internal/monet"
+
+// StoreResolver adapts a live kernel store into Options.ResolveBAT, so
+// bat("name") calls over registered BATs check against their actual
+// column types.
+func StoreResolver(store *monet.Store) func(string) (monet.Type, monet.Type, bool) {
+	return func(name string) (monet.Type, monet.Type, bool) {
+		if store == nil {
+			return 0, 0, false
+		}
+		b, err := store.Get(name)
+		if err != nil {
+			return 0, 0, false
+		}
+		return b.HeadType(), b.TailType(), true
+	}
+}

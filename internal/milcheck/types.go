@@ -1,0 +1,173 @@
+package milcheck
+
+import (
+	"fmt"
+
+	"cobra/internal/mil"
+	"cobra/internal/monet"
+)
+
+// Kind classifies an inferred MIL value type.
+type Kind uint8
+
+// Value kinds: AnyK is the unknown top element, AtomK an atomic kernel
+// value, BATK a two-column BAT, NoneK the absence of a value (the
+// result of statements like print that yield nothing usable).
+const (
+	AnyK Kind = iota
+	AtomK
+	BATK
+	NoneK
+)
+
+// AnyAtom marks an atomic type that could not be inferred; it unifies
+// with every atomic type.
+const AnyAtom = monet.Type(0xFF)
+
+// VType is the inferred type of a MIL expression: a kind plus, for
+// atoms, the atomic type and, for BATs, the head/tail column types.
+// Column types may be AnyAtom when unknown.
+type VType struct {
+	Kind Kind
+	Atom monet.Type
+	Head monet.Type
+	Tail monet.Type
+}
+
+// Any returns the unknown type.
+func Any() VType { return VType{Kind: AnyK} }
+
+// AtomOf returns the type of an atomic value.
+func AtomOf(t monet.Type) VType { return VType{Kind: AtomK, Atom: t} }
+
+// AnyAtomType returns an atom of unknown atomic type.
+func AnyAtomType() VType { return VType{Kind: AtomK, Atom: AnyAtom} }
+
+// BATOf returns the type of a BAT with the given column types.
+func BATOf(h, t monet.Type) VType { return VType{Kind: BATK, Head: h, Tail: t} }
+
+// AnyBAT returns a BAT type with unknown column types.
+func AnyBAT() VType { return BATOf(AnyAtom, AnyAtom) }
+
+// None returns the no-value type.
+func None() VType { return VType{Kind: NoneK} }
+
+// String renders the type MIL-style: "int", "BAT[void,dbl]", "any",
+// "none".
+func (v VType) String() string {
+	switch v.Kind {
+	case AtomK:
+		return atomName(v.Atom)
+	case BATK:
+		return fmt.Sprintf("BAT[%s,%s]", atomName(v.Head), atomName(v.Tail))
+	case NoneK:
+		return "none"
+	default:
+		return "any"
+	}
+}
+
+func atomName(t monet.Type) string {
+	if t == AnyAtom {
+		return "any"
+	}
+	return t.String()
+}
+
+// IsBAT reports whether the type is (or may be) a BAT: AnyK counts.
+func (v VType) IsBAT() bool { return v.Kind == BATK || v.Kind == AnyK }
+
+// IsAtom reports whether the type is (or may be) an atom.
+func (v VType) IsAtom() bool { return v.Kind == AtomK || v.Kind == AnyK }
+
+// numericAtom reports whether t behaves numerically in the kernel
+// (ints, floats, OIDs and bits all coerce through Float/Int).
+func numericAtom(t monet.Type) bool {
+	return t == monet.IntT || t == monet.FloatT || t == monet.OIDT || t == monet.BoolT || t == AnyAtom
+}
+
+// IsNumeric reports whether the type is (or may be) a numeric atom.
+func (v VType) IsNumeric() bool {
+	return v.Kind == AnyK || (v.Kind == AtomK && numericAtom(v.Atom))
+}
+
+// materialAtom mirrors the kernel's materialType: void columns
+// materialize as dense OIDs when their values are observed.
+func materialAtom(t monet.Type) monet.Type {
+	if t == monet.Void {
+		return monet.OIDT
+	}
+	return t
+}
+
+// atomsUnify reports whether two atomic types can be the same type:
+// either unknown, or equal after void materialization.
+func atomsUnify(a, b monet.Type) bool {
+	return a == AnyAtom || b == AnyAtom || materialAtom(a) == materialAtom(b)
+}
+
+// mergeAtom joins two atomic types, widening to AnyAtom on conflict.
+func mergeAtom(a, b monet.Type) monet.Type {
+	if a == b {
+		return a
+	}
+	if a == AnyAtom || b == AnyAtom {
+		return AnyAtom
+	}
+	if materialAtom(a) == materialAtom(b) {
+		return materialAtom(a)
+	}
+	return AnyAtom
+}
+
+// merge joins two types at a control-flow join point, widening where
+// the branches disagree.
+func merge(a, b VType) VType {
+	if a == b {
+		return a
+	}
+	if a.Kind == AnyK || b.Kind == AnyK {
+		return Any()
+	}
+	if a.Kind != b.Kind {
+		return Any()
+	}
+	switch a.Kind {
+	case AtomK:
+		return AtomOf(mergeAtom(a.Atom, b.Atom))
+	case BATK:
+		return BATOf(mergeAtom(a.Head, b.Head), mergeAtom(a.Tail, b.Tail))
+	}
+	return a
+}
+
+// assignable reports whether a value of type v may be assigned to a
+// variable currently holding cur without changing its nature: kinds
+// must agree, atom reassignments may move between numeric types, and
+// BAT columns may be retyped (plans rebind BAT variables freely).
+func assignable(cur, v VType) bool {
+	if cur.Kind == AnyK || v.Kind == AnyK || cur.Kind == NoneK {
+		return true
+	}
+	if cur.Kind != v.Kind {
+		return false
+	}
+	if cur.Kind == AtomK {
+		if atomsUnify(cur.Atom, v.Atom) {
+			return true
+		}
+		return numericAtom(cur.Atom) && numericAtom(v.Atom)
+	}
+	return true
+}
+
+// specType converts a parsed annotation into a VType.
+func specType(s *mil.TypeSpec) VType {
+	if s == nil {
+		return Any()
+	}
+	if s.IsBAT {
+		return BATOf(s.Head, s.Tail)
+	}
+	return AtomOf(s.Atom)
+}

@@ -1,0 +1,313 @@
+package moa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cobra/internal/monet"
+)
+
+// MIL plan emission: the §3 translation made literal. Each FlatSet
+// operation can, instead of calling the kernel directly, emit the MIL
+// program that performs the same work at the physical layer. The
+// emitted plans are verified by milcheck in tests (every structure op
+// must type-check) and power the engine's EXPLAIN output.
+
+// MILLit renders an atomic kernel value as a MIL literal.
+func MILLit(v monet.Value) (string, error) {
+	switch v.Typ {
+	case monet.Void:
+		return "nil", nil
+	case monet.IntT:
+		return strconv.FormatInt(v.Int(), 10), nil
+	case monet.OIDT:
+		return fmt.Sprintf("oid(%d)", v.OID()), nil
+	case monet.BoolT:
+		if v.Bool() {
+			return "true", nil
+		}
+		return "false", nil
+	case monet.FloatT:
+		s := strconv.FormatFloat(v.Float(), 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s, nil
+	case monet.StrT:
+		return quoteMIL(v.Str())
+	}
+	return "", fmt.Errorf("moa: no MIL literal for type %v", v.Typ)
+}
+
+// quoteMIL quotes a string with the escapes the MIL lexer understands.
+func quoteMIL(s string) (string, error) {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if c < 0x20 {
+				return "", fmt.Errorf("moa: control byte %#x not representable in a MIL literal", c)
+			}
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String(), nil
+}
+
+// identSafe converts a field name into a MIL variable suffix.
+func identSafe(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PlanFlatten emits the MIL load script equivalent of Flatten: one
+// void-headed BAT per field filled by inserts, registered under
+// prefix/<field>, plus the prefix/_schema name list.
+func PlanFlatten(prefix string, s *Set) (string, error) {
+	if s.Len() == 0 {
+		return "", fmt.Errorf("moa: cannot plan flatten of an empty set (no schema)")
+	}
+	first, ok := s.Elems[0].(*Tuple)
+	if !ok {
+		return "", fmt.Errorf("moa: flatten expects a set of tuples, got %T", s.Elems[0])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# flatten %d tuple(s) into %s/*\n", s.Len(), prefix)
+	for _, name := range first.Names {
+		v, _ := first.Field(name)
+		a, ok := v.(Atom)
+		if !ok {
+			return "", fmt.Errorf("moa: flatten: field %q is not atomic", name)
+		}
+		fmt.Fprintf(&b, "VAR col_%s := new(void, %s);\n", identSafe(name), milTypeName(a.V.Typ))
+	}
+	for i, e := range s.Elems {
+		t, ok := e.(*Tuple)
+		if !ok {
+			return "", fmt.Errorf("moa: flatten: element %d is not a tuple", i)
+		}
+		if len(t.Names) != len(first.Names) {
+			return "", fmt.Errorf("moa: flatten: element %d arity mismatch", i)
+		}
+		for _, name := range first.Names {
+			v, ok := t.Field(name)
+			if !ok {
+				return "", fmt.Errorf("moa: flatten: element %d missing field %q", i, name)
+			}
+			a, ok := v.(Atom)
+			if !ok {
+				return "", fmt.Errorf("moa: flatten: element %d field %q is not atomic", i, name)
+			}
+			lit, err := MILLit(a.V)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "col_%s.insert(nil, %s);\n", identSafe(name), lit)
+		}
+	}
+	b.WriteString("VAR schema := new(void, str);\n")
+	for _, name := range first.Names {
+		q, err := quoteMIL(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "schema.insert(nil, %s);\n", q)
+	}
+	for _, name := range first.Names {
+		q, err := quoteMIL(prefix + "/" + name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "register(%s, col_%s);\n", q, identSafe(name))
+	}
+	q, err := quoteMIL(prefix + "/_schema")
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "register(%s, schema);\n", q)
+	return b.String(), nil
+}
+
+func milTypeName(t monet.Type) string {
+	switch t {
+	case monet.Void:
+		return "void"
+	case monet.OIDT:
+		return "oid"
+	case monet.IntT:
+		return "int"
+	case monet.FloatT:
+		return "dbl"
+	case monet.StrT:
+		return "str"
+	case monet.BoolT:
+		return "bit"
+	}
+	return "void"
+}
+
+// PlanSelectRange emits the MIL equivalent of SelectRange: uselect
+// over the predicate column for the qualifying OIDs, then one semijoin
+// per column.
+func (fs *FlatSet) PlanSelectRange(dstPrefix, field string, lo, hi monet.Value) (string, error) {
+	names, err := fs.Schema()
+	if err != nil {
+		return "", err
+	}
+	loLit, err := MILLit(lo)
+	if err != nil {
+		return "", err
+	}
+	hiLit, err := MILLit(hi)
+	if err != nil {
+		return "", err
+	}
+	fieldBAT, err := quoteMIL(fs.prefix + "/" + field)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# select %s in [%s,%s] from %s into %s\n", field, loLit, hiLit, fs.prefix, dstPrefix)
+	fmt.Fprintf(&b, "VAR keys := bat(%s).uselect(%s, %s);\n", fieldBAT, loLit, hiLit)
+	for _, name := range names {
+		src, err := quoteMIL(fs.prefix + "/" + name)
+		if err != nil {
+			return "", err
+		}
+		dst, err := quoteMIL(dstPrefix + "/" + name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "register(%s, bat(%s).semijoin(keys));\n", dst, src)
+	}
+	srcSchema, err := quoteMIL(fs.prefix + "/_schema")
+	if err != nil {
+		return "", err
+	}
+	dstSchema, err := quoteMIL(dstPrefix + "/_schema")
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "register(%s, bat(%s));\n", dstSchema, srcSchema)
+	return b.String(), nil
+}
+
+// PlanAggregate emits the MIL equivalent of Aggregate: a single kernel
+// aggregation over the field column.
+func (fs *FlatSet) PlanAggregate(field, op string) (string, error) {
+	switch op {
+	case "count", "sum", "avg", "max", "min":
+	default:
+		return "", fmt.Errorf("moa: unknown aggregate %q", op)
+	}
+	src, err := quoteMIL(fs.prefix + "/" + field)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("RETURN bat(%s).%s;\n", src, op), nil
+}
+
+// PlanJoinOn emits the MIL equivalent of JoinOn. The key columns join
+// into [l-oid, r-oid] pairs; marking the pairs yields per-side gather
+// maps from output row number to source OID, and a join through each
+// source column gathers the output columns in pair order.
+func (fs *FlatSet) PlanJoinOn(other *FlatSet, dstPrefix, leftField, rightField string) (string, error) {
+	lNames, err := fs.Schema()
+	if err != nil {
+		return "", err
+	}
+	rNames, err := other.Schema()
+	if err != nil {
+		return "", err
+	}
+	lk, err := quoteMIL(fs.prefix + "/" + leftField)
+	if err != nil {
+		return "", err
+	}
+	rk, err := quoteMIL(other.prefix + "/" + rightField)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# join %s.%s == %s.%s into %s\n", fs.prefix, leftField, other.prefix, rightField, dstPrefix)
+	fmt.Fprintf(&b, "VAR pairs := bat(%s).join(bat(%s).reverse);\n", lk, rk)
+	b.WriteString("VAR lmap := pairs.mark.reverse;\n")
+	b.WriteString("VAR rmap := pairs.reverse.mark.reverse;\n")
+	b.WriteString("VAR schema := new(void, str);\n")
+	emit := func(side string, prefix, name string) error {
+		src, err := quoteMIL(prefix + "/" + name)
+		if err != nil {
+			return err
+		}
+		dst, err := quoteMIL(dstPrefix + "/" + name)
+		if err != nil {
+			return err
+		}
+		q, err := quoteMIL(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "register(%s, %s.join(bat(%s)));\n", dst, side, src)
+		fmt.Fprintf(&b, "schema.insert(nil, %s);\n", q)
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, name := range lNames {
+		if err := emit("lmap", fs.prefix, name); err != nil {
+			return "", err
+		}
+		seen[name] = true
+	}
+	for _, name := range rNames {
+		if name == rightField || seen[name] {
+			continue
+		}
+		if err := emit("rmap", other.prefix, name); err != nil {
+			return "", err
+		}
+	}
+	dstSchema, err := quoteMIL(dstPrefix + "/_schema")
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "register(%s, schema);\n", dstSchema)
+	return b.String(), nil
+}
+
+// PlanMaterialize emits the MIL that dumps every column of the
+// flattened set, the shell-level equivalent of Unflatten.
+func (fs *FlatSet) PlanMaterialize() (string, error) {
+	names, err := fs.Schema()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# materialize %s\n", fs.prefix)
+	for _, name := range names {
+		src, err := quoteMIL(fs.prefix + "/" + name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "print(bat(%s));\n", src)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,274 @@
+package moa
+
+import (
+	"testing"
+
+	"cobra/internal/mil"
+	"cobra/internal/milcheck"
+	"cobra/internal/monet"
+)
+
+// planFixture flattens the two familiar F1 sets used across the moa
+// tests: lap records and driver records.
+func planFixture(t *testing.T) (*monet.Store, *FlatSet, *FlatSet) {
+	t.Helper()
+	store := monet.NewStore()
+	laps := NewSet(
+		MustTuple([]string{"lap", "time", "driver"},
+			[]Value{IntAtom(1), FloatAtom(83.2), StrAtom("mschumacher")}),
+		MustTuple([]string{"lap", "time", "driver"},
+			[]Value{IntAtom(2), FloatAtom(85.9), StrAtom("mschumacher")}),
+		MustTuple([]string{"lap", "time", "driver"},
+			[]Value{IntAtom(1), FloatAtom(84.1), StrAtom("dcoulthard")}),
+	)
+	if err := Flatten(store, "laps", laps); err != nil {
+		t.Fatal(err)
+	}
+	drivers := NewSet(
+		MustTuple([]string{"driver", "team"},
+			[]Value{StrAtom("mschumacher"), StrAtom("ferrari")}),
+		MustTuple([]string{"driver", "team"},
+			[]Value{StrAtom("dcoulthard"), StrAtom("mclaren")}),
+	)
+	if err := Flatten(store, "drivers", drivers); err != nil {
+		t.Fatal(err)
+	}
+	lfs, err := Open(store, "laps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := Open(store, "drivers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, lfs, dfs
+}
+
+// checkPlan type-checks an emitted plan against the store and fails on
+// any diagnostic at all — emitted plans must be warning-clean too.
+func checkPlan(t *testing.T, store *monet.Store, plan string) *milcheck.Result {
+	t.Helper()
+	prog, err := mil.Parse(plan)
+	if err != nil {
+		t.Fatalf("emitted plan does not parse: %v\nplan:\n%s", err, plan)
+	}
+	res := milcheck.Analyze(prog, &milcheck.Options{ResolveBAT: milcheck.StoreResolver(store)})
+	for _, d := range res.Diags {
+		t.Errorf("emitted plan diagnostic: %s", d)
+	}
+	if t.Failed() {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	return res
+}
+
+// tailStrings renders a BAT's tail column for comparison.
+func tailStrings(b *monet.BAT) []string {
+	out := make([]string, b.Len())
+	for i := range out {
+		out[i] = b.Tail(i).String()
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanFlattenTypeChecksAndRoundTrips(t *testing.T) {
+	_, lfs, _ := planFixture(t)
+	set, err := lfs.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFlatten("laps2", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := monet.NewStore()
+	res := checkPlan(t, fresh, plan)
+	if got := res.Registered["laps2/time"].String(); got != "BAT[void,dbl]" {
+		t.Errorf("laps2/time inferred as %s, want BAT[void,dbl]", got)
+	}
+	if got := res.Registered["laps2/_schema"].String(); got != "BAT[void,str]" {
+		t.Errorf("laps2/_schema inferred as %s, want BAT[void,str]", got)
+	}
+
+	// The plan must reproduce the original set when executed.
+	if _, err := mil.NewInterp(fresh).Exec(plan); err != nil {
+		t.Fatalf("plan execution: %v\nplan:\n%s", err, plan)
+	}
+	back, err := Unflatten(fresh, "laps2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != set.String() {
+		t.Errorf("round trip mismatch:\n got %s\nwant %s", back, set)
+	}
+}
+
+func TestPlanSelectRangeMatchesKernelExecution(t *testing.T) {
+	store, lfs, _ := planFixture(t)
+	lo, hi := monet.NewFloat(83.0), monet.NewFloat(85.0)
+	plan, err := lfs.PlanSelectRange("fastP", "time", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkPlan(t, store, plan)
+	if got := res.Vars["keys"].String(); got != "BAT[oid,void]" {
+		t.Errorf("keys inferred as %s, want BAT[oid,void]", got)
+	}
+	if got := res.Registered["fastP/driver"].String(); got != "BAT[void,str]" {
+		t.Errorf("fastP/driver inferred as %s, want BAT[void,str]", got)
+	}
+
+	if _, err := mil.NewInterp(store).Exec(plan); err != nil {
+		t.Fatalf("plan execution: %v\nplan:\n%s", err, plan)
+	}
+	if _, err := lfs.SelectRange("fastG", "time", lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"lap", "time", "driver"} {
+		p, err := store.Get("fastP/" + col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := store.Get("fastG/" + col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqStrings(tailStrings(p), tailStrings(g)) {
+			t.Errorf("column %s: plan %v vs kernel %v", col, tailStrings(p), tailStrings(g))
+		}
+	}
+}
+
+func TestPlanAggregateAllOps(t *testing.T) {
+	store, lfs, _ := planFixture(t)
+	wantType := map[string]string{
+		"count": "int", "sum": "dbl", "avg": "dbl", "max": "dbl", "min": "dbl",
+	}
+	for _, op := range []string{"count", "sum", "avg", "max", "min"} {
+		plan, err := lfs.PlanAggregate("time", op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := checkPlan(t, store, plan)
+		if got := res.Value.String(); got != wantType[op] {
+			t.Errorf("%s plan value inferred as %s, want %s", op, got, wantType[op])
+		}
+		pv, err := mil.NewInterp(store).Exec(plan)
+		if err != nil {
+			t.Fatalf("%s plan execution: %v", op, err)
+		}
+		gv, err := lfs.Aggregate("time", op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv.Atom.String() != gv.String() {
+			t.Errorf("%s: plan %s vs kernel %s", op, pv.Atom, gv)
+		}
+	}
+	if _, err := lfs.PlanAggregate("time", "median"); err == nil {
+		t.Error("expected error for unknown aggregate")
+	}
+}
+
+func TestPlanJoinOnMatchesKernelExecution(t *testing.T) {
+	store, lfs, dfs := planFixture(t)
+	plan, err := lfs.PlanJoinOn(dfs, "joinedP", "driver", "driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkPlan(t, store, plan)
+	if got := res.Vars["pairs"].String(); got != "BAT[oid,oid]" {
+		t.Errorf("pairs inferred as %s, want BAT[oid,oid]", got)
+	}
+	if got := res.Registered["joinedP/team"].String(); got != "BAT[oid,str]" {
+		t.Errorf("joinedP/team inferred as %s, want BAT[oid,str]", got)
+	}
+
+	if _, err := mil.NewInterp(store).Exec(plan); err != nil {
+		t.Fatalf("plan execution: %v\nplan:\n%s", err, plan)
+	}
+	if _, err := lfs.JoinOn(dfs, "joinedG", "driver", "driver"); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"lap", "time", "driver", "team"} {
+		p, err := store.Get("joinedP/" + col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := store.Get("joinedG/" + col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqStrings(tailStrings(p), tailStrings(g)) {
+			t.Errorf("column %s: plan %v vs kernel %v", col, tailStrings(p), tailStrings(g))
+		}
+	}
+	// The join plan's schema must list left fields then right-only
+	// fields, key deduplicated.
+	sch, err := store.Get("joinedP/_schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, 4)
+	for _, n := range []string{"lap", "time", "driver", "team"} {
+		want = append(want, monet.NewStr(n).String())
+	}
+	if got := tailStrings(sch); !eqStrings(got, want) {
+		t.Errorf("schema = %v, want %v", got, want)
+	}
+}
+
+func TestPlanMaterializeTypeChecks(t *testing.T) {
+	store, lfs, _ := planFixture(t)
+	plan, err := lfs.PlanMaterialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, store, plan)
+	if _, err := mil.NewInterp(store).Exec(plan); err != nil {
+		t.Fatalf("plan execution: %v", err)
+	}
+}
+
+func TestMILLit(t *testing.T) {
+	cases := []struct {
+		v    monet.Value
+		want string
+	}{
+		{monet.NewInt(42), "42"},
+		{monet.NewFloat(1.5), "1.5"},
+		{monet.NewFloat(2), "2.0"},
+		{monet.NewStr(`he said "hi"`), `"he said \"hi\""`},
+		{monet.NewOID(7), "oid(7)"},
+		{monet.VoidValue(), "nil"},
+	}
+	for _, c := range cases {
+		got, err := MILLit(c.v)
+		if err != nil {
+			t.Fatalf("MILLit(%v): %v", c.v, err)
+		}
+		if got != c.want {
+			t.Errorf("MILLit(%v) = %s, want %s", c.v, got, c.want)
+		}
+		// Every emitted literal must parse back to the same value.
+		iv, err := mil.NewInterp(nil).Exec("RETURN " + got + ";")
+		if err != nil {
+			t.Fatalf("literal %s does not evaluate: %v", got, err)
+		}
+		if c.v.Typ != monet.Void && iv.Atom.String() != c.v.String() {
+			t.Errorf("literal %s evaluates to %s, want %s", got, iv.Atom, c.v)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainEventQueryVerifies(t *testing.T) {
+	e := testEngine(t)
+	ex, err := e.Explain(`SELECT SEGMENTS FROM v WHERE EVENT('pitstop', driver='BARRICHELLO')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.OK() {
+		t.Fatalf("plan has errors:\n%s", ex)
+	}
+	if len(ex.Diags) != 0 {
+		t.Errorf("plan should be warning-clean, got:\n%s", ex)
+	}
+	for _, want := range []string{
+		`bat("cobra/event/v/type").uselect("pitstop")`,
+		`bat("cobra/event/v/start").semijoin(s1)`,
+		"RETURN res_start;",
+		"# milcheck: plan OK",
+	} {
+		if !strings.Contains(ex.String(), want) {
+			t.Errorf("explanation missing %q:\n%s", want, ex)
+		}
+	}
+}
+
+func TestExplainCompositeQueryVerifies(t *testing.T) {
+	e := testEngine(t)
+	ex, err := e.Explain(`SELECT SEGMENTS FROM v WHERE
+		(EVENT('highlight') AND TEXT CONTAINS 'SCHUMACHER')
+		OR FEATURE('dust') >= 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Diags) != 0 {
+		t.Fatalf("composite plan should be clean, got:\n%s", ex)
+	}
+	for _, want := range []string{
+		".semijoin(", // the AND node
+		".kunion(",   // the OR node
+		`threshold(bat("cobra/feature/v/dust"), 0.5)`, // the feature scan
+	} {
+		if !strings.Contains(ex.Plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, ex.Plan)
+		}
+	}
+}
+
+func TestExplainTemporalAndNot(t *testing.T) {
+	e := testEngine(t)
+	ex, err := e.Explain(`SELECT SEGMENTS FROM v WHERE EVENT('highlight') WITHIN 10 S OF EVENT('pitstop')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Diags) != 0 {
+		t.Fatalf("temporal plan should be clean:\n%s", ex)
+	}
+	if !strings.Contains(ex.Plan, "WITHIN") {
+		t.Errorf("temporal relation not annotated:\n%s", ex.Plan)
+	}
+
+	ex, err = e.Explain(`SELECT SEGMENTS FROM v WHERE NOT EVENT('pitstop')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Diags) != 0 {
+		t.Fatalf("NOT plan should be clean:\n%s", ex)
+	}
+}
+
+func TestExplainNoWhere(t *testing.T) {
+	e := testEngine(t)
+	ex, err := e.Explain(`RETRIEVE EVENTS FROM v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Diags) != 0 {
+		t.Fatalf("no-WHERE plan should be clean:\n%s", ex)
+	}
+	if !strings.Contains(ex.Plan, `bat("cobra/videos").find("v")`) {
+		t.Errorf("plan = %s", ex.Plan)
+	}
+}
+
+func TestExplainUnknownVideoDiagnoses(t *testing.T) {
+	// Scanning a video absent from the catalog must surface as
+	// unknown-bat diagnostics carrying positions, not silently pass as
+	// clean nor panic.
+	e := testEngine(t)
+	ex, err := e.Explain(`SELECT SEGMENTS FROM nosuch WHERE EVENT('pitstop')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Diags) == 0 {
+		t.Fatalf("expected unknown-bat diagnostics:\n%s", ex)
+	}
+	found := false
+	for _, d := range ex.Diags {
+		if d.Code == "unknown-bat" {
+			found = true
+			if d.Line <= 0 || d.Col <= 0 {
+				t.Errorf("diagnostic lacks position: %s", d)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no unknown-bat diagnostic in:\n%s", ex)
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.Explain(`SELECT SEGMENTS FROM`); err == nil {
+		t.Fatal("expected a parse error")
+	}
+}

@@ -7,6 +7,8 @@
 //
 //	COQL <statement>      -> "OK <n>" then n result lines, then "END"
 //	MIL <statement(s)>    -> "OK 1", the value, "END"
+//	CHECK <mil>           -> static verification: diagnostics, or "program OK"
+//	EXPLAIN <coql>        -> the verified MIL access plan for the statement
 //	HMM EVAL <model> <c,s,v>  -> "OK 1", log-likelihood, "END"
 //	HMM CLASSIFY <c,s,v>      -> "OK 1", best model name, "END"
 //	LIST VIDEOS           -> videos known to the catalog
@@ -36,6 +38,7 @@ import (
 	"cobra/internal/ext"
 	"cobra/internal/hmm"
 	"cobra/internal/mil"
+	"cobra/internal/milcheck"
 	"cobra/internal/obs"
 	"cobra/internal/query"
 )
@@ -249,6 +252,38 @@ func (s *Server) Execute(line string, w io.Writer) {
 		fmt.Fprintln(w, "OK 1")
 		fmt.Fprintln(w, v.String())
 		fmt.Fprintln(w, "END")
+	case "CHECK":
+		stmt := strings.TrimSpace(rest)
+		if stmt == "" {
+			fmt.Fprintln(w, "ERR usage: CHECK <mil statement(s)>")
+			return
+		}
+		diags, err := milcheck.CheckSource(stmt, s.checkOptions())
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		if len(diags) == 0 {
+			writeLines(w, []string{"program OK"})
+			return
+		}
+		lines := make([]string, len(diags))
+		for i, d := range diags {
+			lines[i] = d.String()
+		}
+		writeLines(w, lines)
+	case "EXPLAIN":
+		stmt := strings.TrimSpace(rest)
+		if stmt == "" {
+			fmt.Fprintln(w, "ERR usage: EXPLAIN <coql statement>")
+			return
+		}
+		ex, err := s.eng.Explain(stmt)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		writeLines(w, strings.Split(strings.TrimRight(ex.String(), "\n"), "\n"))
 	case "HMM":
 		s.execHMM(rest, w)
 	case "EXPORT":
@@ -323,6 +358,26 @@ func (s *Server) Execute(line string, w io.Writer) {
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
+}
+
+// checkOptions builds the verification context for CHECK: the live
+// session's globals and registered procs are in scope (typed Any —
+// their values are only known at run time), extension operations carry
+// their real signatures, and bat() calls resolve against the store.
+func (s *Server) checkOptions() *milcheck.Options {
+	opts := &milcheck.Options{
+		Globals:    map[string]milcheck.VType{},
+		Funcs:      milcheck.ExtensionSigs(),
+		KnownFuncs: s.interp.BuiltinNames(),
+		ResolveBAT: milcheck.StoreResolver(s.cat.Store()),
+	}
+	for _, name := range s.interp.GlobalNames() {
+		opts.Globals[name] = milcheck.Any()
+	}
+	for _, name := range s.interp.Procs() {
+		opts.KnownFuncs = append(opts.KnownFuncs, name)
+	}
+	return opts
 }
 
 // writeLines emits a standard "OK <n>" body.

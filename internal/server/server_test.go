@@ -296,3 +296,86 @@ func TestExportOverWire(t *testing.T) {
 		t.Fatal("unknown video accepted")
 	}
 }
+
+func TestCheckOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	// A clean program answers "program OK".
+	out, err := cl.Do(`CHECK VAR b := new(void,int); b.insert(nil, 41); RETURN b.sum;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "program OK" {
+		t.Fatalf("out = %v", out)
+	}
+	// An unbound variable is diagnosed with its position — and the
+	// statement is NOT executed.
+	out, err = cl.Do(`CHECK RETURN nosuchvar;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !strings.Contains(out[0], "unbound") {
+		t.Fatalf("out = %v", out)
+	}
+	// Catalog BATs resolve with their true types: a string uselect over
+	// the dbl start column is a type error.
+	out, err = cl.Do(`CHECK RETURN bat("cobra/event/v/start").uselect("x");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !strings.Contains(strings.Join(out, "\n"), "error") {
+		t.Fatalf("out = %v", out)
+	}
+	// Parse errors come back as protocol errors.
+	if _, err := cl.Do(`CHECK VAR := ;`); err == nil {
+		t.Fatal("unparseable program accepted")
+	}
+}
+
+func TestCheckSeesSessionState(t *testing.T) {
+	_, cl := testServer(t)
+	// Globals and procs created by earlier MIL commands are in scope
+	// for CHECK on the same server.
+	if _, err := cl.Do(`MIL sessiong := 7; PROC twice(int x) : int := { RETURN x + x; } RETURN sessiong;`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.Do(`CHECK RETURN twice(sessiong);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "program OK" {
+		t.Fatalf("out = %v", out)
+	}
+	// The extension operations registered with the HMM pool carry
+	// signatures: wrong argument types are diagnosed.
+	out, err = cl.Do(`CHECK RETURN hmmonecall(1, 2);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || out[0] == "program OK" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestExplainOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	out, err := cl.Do(`EXPLAIN SELECT SEGMENTS FROM v WHERE EVENT('highlight')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join(out, "\n")
+	for _, want := range []string{
+		`bat("cobra/event/v/type").uselect("highlight")`,
+		"RETURN res_start;",
+		"# milcheck: plan OK",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, body)
+		}
+	}
+	if _, err := cl.Do(`EXPLAIN`); err == nil {
+		t.Fatal("bare EXPLAIN accepted")
+	}
+	if _, err := cl.Do(`EXPLAIN SELECT NONSENSE`); err == nil {
+		t.Fatal("unparseable COQL accepted")
+	}
+}

@@ -1,0 +1,15 @@
+// Package analyzers holds the project-specific checks run by
+// cobravet: invariants of this codebase that gofmt, go vet and the
+// compiler cannot express, each encoding a rule documented in the
+// package it protects.
+package analyzers
+
+import "cobra/internal/vet"
+
+// All is the cobravet suite in stable order.
+var All = []*vet.Analyzer{
+	SpanEnd,
+	GoFatal,
+	StoreLock,
+	ErrWrap,
+}

@@ -1,0 +1,23 @@
+package analyzers
+
+import (
+	"testing"
+
+	"cobra/internal/vet/vettest"
+)
+
+func TestSpanEnd(t *testing.T) {
+	vettest.Run(t, SpanEnd, "testdata/spanend")
+}
+
+func TestGoFatal(t *testing.T) {
+	vettest.Run(t, GoFatal, "testdata/gofatal")
+}
+
+func TestStoreLock(t *testing.T) {
+	vettest.Run(t, StoreLock, "testdata/storelock")
+}
+
+func TestErrWrap(t *testing.T) {
+	vettest.Run(t, ErrWrap, "testdata/errwrap")
+}

@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"cobra/internal/vet"
+)
+
+// ErrWrap reports fmt.Errorf calls that format an error value with %v
+// or %s instead of wrapping it with %w. Unwrapped errors break
+// errors.Is/errors.As chains — the caller can no longer match sentinel
+// errors like monet.ErrNotFound through the message.
+var ErrWrap = &vet.Analyzer{
+	Name: "errwrap",
+	Doc: "report fmt.Errorf formatting an error with %v/%s; wrap with " +
+		"%w so errors.Is and errors.As keep working",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *vet.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(call) || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkVerbs(pass, format, call.Args[1:])
+			return true
+		})
+	}
+	return nil
+}
+
+// isFmtErrorf matches fmt.Errorf by selector shape.
+func isFmtErrorf(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "fmt"
+}
+
+// checkVerbs pairs each format verb with its argument and reports
+// error-typed arguments rendered by %v or %s.
+func checkVerbs(pass *vet.Pass, format string, args []ast.Expr) {
+	argi := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width and precision; an explicit argument index
+		// resets pairing, which this simple scanner does not model.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0' || format[i] == '.' ||
+			(format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			return
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		if verb == '[' {
+			return
+		}
+		if argi >= len(args) {
+			return
+		}
+		arg := args[argi]
+		argi++
+		if (verb == 'v' || verb == 's') && isErrorType(pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c; use %%w so callers can unwrap it", verb)
+		}
+	}
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"cobra/internal/vet"
+)
+
+// GoFatal reports calls that terminate the test runner from inside a
+// spawned goroutine. testing.T's Fatal, Fatalf, FailNow, Skip, Skipf
+// and SkipNow call runtime.Goexit, which only stops the goroutine that
+// calls it — from any goroutine but the test's own, the test keeps
+// running and the failure may be lost or deadlock the harness. The
+// check is syntactic (test files are not type-checked) and matches the
+// conventional receiver names t and tb.
+var GoFatal = &vet.Analyzer{
+	Name: "gofatal",
+	Doc: "report t.Fatal/FailNow/Skip-class calls inside goroutines " +
+		"spawned by tests; use t.Error plus a return, or report over a channel",
+	Run: runGoFatal,
+}
+
+// fatalCalls are the testing.TB methods that must not run off the test
+// goroutine.
+var fatalCalls = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+func runGoFatal(pass *vet.Pass) error {
+	files := make([]*ast.File, 0, len(pass.Pkg.Files)+len(pass.Pkg.TestFiles))
+	files = append(files, pass.Pkg.Files...)
+	files = append(files, pass.Pkg.TestFiles...)
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt flags fatal testing calls reachable inside one go
+// statement.
+func checkGoStmt(pass *vet.Pass, g *ast.GoStmt) {
+	// go t.Fatal(...) directly.
+	if name, ok := fatalTestingCall(g.Call); ok {
+		pass.Reportf(g.Call.Pos(), "%s called in a spawned goroutine exits only that goroutine; use Error and return", name)
+		return
+	}
+	fn, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := fatalTestingCall(call); ok {
+			pass.Reportf(call.Pos(), "%s called in a spawned goroutine exits only that goroutine; use Error and return", name)
+		}
+		return true
+	})
+}
+
+// fatalTestingCall matches t.Fatal-class selector calls on the
+// conventional t / tb receivers.
+func fatalTestingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fatalCalls[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || (id.Name != "t" && id.Name != "tb") {
+		return "", false
+	}
+	return id.Name + "." + sel.Sel.Name, true
+}

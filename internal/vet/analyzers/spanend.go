@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cobra/internal/vet"
+)
+
+// SpanEnd verifies that every obs trace span created in a function is
+// finished: a span held in a local must either be finished on the spot
+// (with no return statement able to skip past it), carry a deferred
+// Finish, or escape the function (returned or passed on, making the
+// caller responsible). Unfinished spans report zero duration and hold
+// their parents open in the rendered trace tree.
+var SpanEnd = &vet.Analyzer{
+	Name: "spanend",
+	Doc: "report obs.Span values that are created but not finished on " +
+		"all paths (no Finish call, or an early return before the only one)",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(pass *vet.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncSpans(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncSpans inspects one function body for span locals.
+func checkFuncSpans(pass *vet.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if !isSpanStart(pass, as.Rhs[0]) {
+			return true
+		}
+		reportUnfinished(pass, body, id)
+		return true
+	})
+}
+
+// isSpanStart reports whether e creates a span: a call yielding
+// *obs.Span whose callee name starts a span.
+func isSpanStart(pass *vet.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if !isSpanType(pass.TypeOf(call)) {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "Start")
+	case *ast.SelectorExpr:
+		return strings.HasPrefix(fun.Sel.Name, "Start")
+	}
+	return false
+}
+
+// isSpanType matches *obs.Span.
+func isSpanType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Span" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+// reportUnfinished applies the rule to one span local: deferred Finish
+// or escape excuses it; otherwise a Finish must exist with no return
+// statement between the creation and the first one.
+func reportUnfinished(pass *vet.Pass, body *ast.BlockStmt, id *ast.Ident) {
+	var (
+		deferred  bool
+		escapes   bool
+		firstFin  token.Pos
+		earlyRets []token.Pos
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if isFinishCallOn(st.Call, id.Name) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isFinishCallOn(st, id.Name) {
+				if firstFin == token.NoPos || st.Pos() < firstFin {
+					firstFin = st.Pos()
+				}
+				return true
+			}
+			// The span passed as an argument escapes to the callee.
+			for _, arg := range st.Args {
+				if a, ok := arg.(*ast.Ident); ok && a.Name == id.Name && a.Pos() != id.Pos() {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if a, ok := r.(*ast.Ident); ok && a.Name == id.Name {
+					escapes = true
+				}
+			}
+			if st.Pos() > id.Pos() {
+				earlyRets = append(earlyRets, st.Pos())
+			}
+		}
+		return true
+	})
+	if deferred || escapes {
+		return
+	}
+	if firstFin == token.NoPos {
+		pass.Reportf(id.Pos(), "span %q is never finished (call %s.Finish or defer it)", id.Name, id.Name)
+		return
+	}
+	for _, ret := range earlyRets {
+		if ret < firstFin {
+			pass.Reportf(ret, "return may leak span %q: it is finished only later at %s (defer %s.Finish instead)",
+				id.Name, pass.Pkg.Fset.Position(firstFin), id.Name)
+			return
+		}
+	}
+}
+
+// isFinishCallOn matches <name>.Finish(...).
+func isFinishCallOn(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Finish" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,29 @@
+// Package errwrap is the errwrap analyzer's fixture.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func bad(name string) error {
+	return fmt.Errorf("load %s: %v", name, errSentinel) // want "use %w"
+}
+
+func badS(err error) error {
+	return fmt.Errorf("run: %s", err) // want "use %w"
+}
+
+func good(name string, err error) error {
+	return fmt.Errorf("load %s: %w", name, err)
+}
+
+func notAnError(name string) error {
+	return fmt.Errorf("bad name %q at %v", name, 42)
+}
+
+func widthFlags(err error) error {
+	return fmt.Errorf("pad %-8s end: %+v", "x", err) // want "use %w"
+}

@@ -1,0 +1,2 @@
+// Package gofatal is the gofatal analyzer's fixture.
+package gofatal

@@ -1,0 +1,43 @@
+package gofatal
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBad(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if true {
+			t.Fatal("boom") // want "spawned goroutine"
+		}
+		t.Fatalf("boom %d", 1) // want "spawned goroutine"
+	}()
+	wg.Wait()
+}
+
+func TestSkipInGoroutine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.SkipNow() // want "spawned goroutine"
+	}()
+	<-done
+}
+
+func TestGood(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work(t)
+	}()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func work(tb testing.TB) error {
+	tb.Helper()
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package spanend is the spanend analyzer's fixture.
+package spanend
+
+import "cobra/internal/obs"
+
+func leaks() {
+	sp := obs.StartSpan("work") // want "never finished"
+	_ = sp.Name()
+}
+
+func earlyReturn(fail bool) {
+	sp := obs.StartSpan("work")
+	if fail {
+		return // want "may leak span"
+	}
+	sp.Finish()
+}
+
+func finished() {
+	sp := obs.StartSpan("work")
+	sp.SetAttr("k", "v")
+	sp.Finish()
+}
+
+func deferred(fail bool) {
+	sp := obs.StartSpan("work")
+	defer sp.Finish()
+	if fail {
+		return
+	}
+	sp.SetAttr("k", "v")
+}
+
+func escapesByReturn() *obs.Span {
+	sp := obs.StartSpan("work")
+	return sp
+}
+
+func escapesAsArg() {
+	sp := obs.StartSpan("work")
+	consume(sp)
+}
+
+func consume(sp *obs.Span) { sp.Finish() }
+
+func child(parent *obs.Span) {
+	c := parent.StartChild("step") // want "never finished"
+	_ = c.Name()
+}

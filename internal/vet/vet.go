@@ -1,0 +1,113 @@
+// Package vet is a dependency-free static-analysis framework for the
+// project's own invariants, in the spirit of go/analysis but built
+// entirely on the standard library's go/ast, go/types and go/importer.
+// Analyzers receive one type-checked package at a time plus its test
+// files (syntax only) and report position-carrying diagnostics. The
+// cobravet command drives the project analyzer suite over the module
+// in CI.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line.
+	Name string
+	// Doc is the one-paragraph description shown by cobravet -help.
+	Doc string
+	// Run inspects the package via the pass and reports findings with
+	// pass.Reportf. A non-nil error aborts the whole run.
+	Run func(*Pass) error
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Fset maps positions for every file of the package.
+	Fset *token.FileSet
+	// Path is the import path the package was loaded as.
+	Path string
+	// Files are the non-test source files, type-checked.
+	Files []*ast.File
+	// TestFiles are the package's _test.go files, parsed but not
+	// type-checked (test packages may form cycles the loader avoids).
+	TestFiles []*ast.File
+	// Types is the checked package.
+	Types *types.Package
+	// Info holds the type-checker's facts for Files.
+	Info *types.Info
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves the static type of an expression, or nil for test
+// files (which are not type-checked).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the check that fired.
+	Analyzer string
+	// Position locates the finding.
+	Position token.Position
+	// Message describes it.
+	Message string
+}
+
+// String renders the diagnostic in file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package, returning the combined
+// findings in file/position order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("vet: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}

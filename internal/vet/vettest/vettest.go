@@ -1,0 +1,109 @@
+// Package vettest runs vet analyzers over testdata packages and
+// matches their diagnostics against // want "substring" comments, the
+// dependency-free counterpart of analysistest.
+package vettest
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cobra/internal/vet"
+)
+
+// Run loads the package in dir (a testdata directory the go tool
+// itself never builds), applies the analyzer, and compares the
+// findings line by line against // want "substring" comments: every
+// want must be matched by a diagnostic on its line, and every
+// diagnostic must be wanted.
+func Run(t *testing.T, a *vet.Analyzer, dir string) {
+	t.Helper()
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(loader.ModRoot, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, loader.ModPath+"/"+filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := vet.Run([]*vet.Package{pkg}, []*vet.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(diags))
+	for key, substrs := range wants {
+		for _, substr := range substrs {
+			found := false
+			for i, d := range diags {
+				if matched[i] {
+					continue
+				}
+				if filepath.Base(d.Position.Filename)+":"+strconv.Itoa(d.Position.Line) == key &&
+					strings.Contains(d.Message, substr) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: wanted diagnostic containing %q, got none", key, substr)
+			}
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// collectWants scans every Go file in dir for // want "..." comments,
+// keyed by "file.go:line". A line may carry several wants.
+func collectWants(dir string) (map[string][]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants := map[string][]string{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			rest := line
+			for {
+				idx := strings.Index(rest, `// want "`)
+				if idx < 0 {
+					break
+				}
+				rest = rest[idx+len(`// want "`):]
+				end := strings.Index(rest, `"`)
+				if end < 0 {
+					break
+				}
+				key := e.Name() + ":" + strconv.Itoa(i+1)
+				wants[key] = append(wants[key], rest[:end])
+				rest = rest[end+1:]
+			}
+		}
+	}
+	return wants, nil
+}
