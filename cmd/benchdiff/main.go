@@ -1,0 +1,77 @@
+// Command benchdiff compares a cobra-bench microbenchmark run against
+// a committed baseline and fails when any tracked operation regresses
+// past the threshold — the CI bench-gate that keeps the kernel's
+// parallel-operator wins from being silently given back.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.25]
+//
+// Both files are cobra-bench -benchout combined JSON (see
+// internal/benchfmt). Every operation in the baseline is checked: the
+// command prints a per-op table and exits non-zero if any op's ns/op
+// grew by more than the threshold (default +25%) or disappeared from
+// the current run. Operations new in the current run pass untracked
+// until they land in the baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cobra/internal/benchfmt"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
+	current := flag.String("current", "BENCH_pr.json", "freshly measured results")
+	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op growth (0.25 = +25%)")
+	flag.Parse()
+
+	base, err := benchfmt.Read(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchfmt.Read(*current)
+	if err != nil {
+		fatal(err)
+	}
+	if report(os.Stdout, base, cur, *threshold) {
+		os.Exit(1)
+	}
+}
+
+// report prints the per-op comparison table to w and returns whether
+// any tracked operation regressed.
+func report(w io.Writer, base, cur *benchfmt.File, threshold float64) bool {
+	fmt.Fprintf(w, "benchdiff: baseline %s/%s GOMAXPROCS=%d vs current %s/%s GOMAXPROCS=%d (threshold +%.0f%%)\n",
+		base.GOOS, base.GOARCH, base.GOMAXPROCS, cur.GOOS, cur.GOARCH, cur.GOMAXPROCS, threshold*100)
+	failed := false
+	for _, d := range benchfmt.Compare(base, cur, threshold) {
+		switch {
+		case d.Missing:
+			failed = true
+			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op -> (missing from current run)\n", d.Name, d.BaseNs)
+		case d.Regressed:
+			failed = true
+			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",
+				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+		default:
+			fmt.Fprintf(w, "  ok   %-24s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",
+				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+		}
+	}
+	if failed {
+		fmt.Fprintln(w, "benchdiff: performance regression detected")
+	} else {
+		fmt.Fprintln(w, "benchdiff: all tracked ops within threshold")
+	}
+	return failed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

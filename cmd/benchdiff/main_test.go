@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/benchfmt"
+)
+
+func baseFile() *benchfmt.File {
+	return &benchfmt.File{
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		GOMAXPROCS: 4,
+		Results: []benchfmt.Result{
+			{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
+			{Name: "SerialSelect1M", NsPerOp: 10_000_000},
+		},
+	}
+}
+
+// TestSyntheticRegressionFails is the bench-gate acceptance check: a
+// synthetic 25%+ slowdown on one tracked op must fail the comparison.
+func TestSyntheticRegressionFails(t *testing.T) {
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 5_000_000}, // +25% exactly: allowed
+		{Name: "SerialSelect1M", NsPerOp: 12_600_000},  // +26%: regression
+	}}
+	var b strings.Builder
+	if !report(&b, baseFile(), cur, 0.25) {
+		t.Fatalf("synthetic 26%% regression passed the gate:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "FAIL SerialSelect1M") {
+		t.Fatalf("regressed op not named:\n%s", out)
+	}
+	if !strings.Contains(out, "ok   ParallelSelect1M") {
+		t.Fatalf("+25%%-exact op should pass:\n%s", out)
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 4_100_000},
+		{Name: "SerialSelect1M", NsPerOp: 9_000_000},
+	}}
+	var b strings.Builder
+	if report(&b, baseFile(), cur, 0.25) {
+		t.Fatalf("in-threshold run failed the gate:\n%s", b.String())
+	}
+}
+
+func TestMissingOpFails(t *testing.T) {
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
+	}}
+	var b strings.Builder
+	if !report(&b, baseFile(), cur, 0.25) {
+		t.Fatal("missing tracked op passed the gate")
+	}
+	if !strings.Contains(b.String(), "missing from current run") {
+		t.Fatalf("missing op not reported:\n%s", b.String())
+	}
+}

@@ -5,14 +5,18 @@
 // Usage:
 //
 //	cobra-bench [-dur 600] [-train 300] [-seed 2001] [-em 10] [-run all]
-//	cobra-bench -run micro [-benchout DIR]
+//	cobra-bench -run micro [-benchout DIR | -benchout FILE.json]
 //
 // -run selects one experiment: table1, table2, table3, table4, fig9,
 // temporal, clustering, shots, audiovsav, keywords, parallelhmm, all.
-// "micro" (not part of "all") runs kernel/engine microbenchmarks and,
-// with -benchout set, writes one machine-readable BENCH_<op>.json per
-// benchmark (op name, ns/op, allocs/op, bytes/op) so the repo's perf
-// trajectory can be tracked across PRs.
+// "micro" (not part of "all") runs kernel/engine microbenchmarks —
+// including serial-vs-parallel pairs of the kernel's morsel-parallel
+// select/aggregate/join over 1M-row BATs — and prints the parallel
+// speedup per operator. With -benchout ending in .json, all results
+// are written as one combined machine-readable file (the format
+// cmd/benchdiff and the CI bench-gate consume; the committed
+// BENCH_baseline.json is produced this way); otherwise -benchout names
+// a directory receiving one BENCH_<op>.json per benchmark.
 package main
 
 import (
@@ -37,7 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 2001, "simulation seed")
 	em := flag.Int("em", 10, "EM iterations")
 	run := flag.String("run", "all", "experiment to run")
-	flag.StringVar(&benchOut, "benchout", "", "directory for BENCH_*.json microbenchmark results (empty: print only)")
+	flag.StringVar(&benchOut, "benchout", "", "microbenchmark result output: a .json path for one combined file, else a directory for BENCH_*.json (empty: print only)")
 	flag.Parse()
 
 	cfg := f1.DefaultExpConfig()

@@ -1,13 +1,15 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 
+	"cobra/internal/benchfmt"
 	"cobra/internal/cobra"
 	"cobra/internal/f1"
 	"cobra/internal/hmm"
@@ -16,19 +18,13 @@ import (
 	"cobra/internal/query"
 )
 
-// benchResult is the machine-readable BENCH_*.json record tracking one
-// operation's performance across PRs.
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
 // runMicro benchmarks one representative hot operation per level of
-// the stack via testing.Benchmark and emits the results as
-// BENCH_<name>.json files when -benchout is set.
+// the stack plus serial-vs-parallel pairs of the kernel's
+// morsel-parallel operators over 1M-row BATs. With -benchout set the
+// results are written as machine-readable JSON: one combined
+// benchfmt.File when the path ends in .json (the format benchdiff and
+// the CI bench-gate consume), else one legacy BENCH_<name>.json per op
+// in the given directory.
 func runMicro(*f1.Lab) error {
 	benches := []struct {
 		name string
@@ -39,44 +35,174 @@ func runMicro(*f1.Lab) error {
 		{"MILExec", benchMILExec},
 		{"HMMEvalParallel", benchHMMEvalParallel},
 		{"COQLQuery", benchCOQLQuery},
+		{"SerialSelect1M", serialBench(benchSelect1M)},
+		{"ParallelSelect1M", parallelBench(benchSelect1M)},
+		{"SerialGroupAgg1M", serialBench(benchGroupAgg1M)},
+		{"ParallelGroupAgg1M", parallelBench(benchGroupAgg1M)},
+		{"SerialJoin1M", serialBench(benchJoin1M)},
+		{"ParallelJoin1M", parallelBench(benchJoin1M)},
 	}
+	results := make([]benchfmt.Result, 0, len(benches))
 	for _, bench := range benches {
 		fn := bench.fn
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			fn(b)
 		})
-		res := benchResult{
+		res := benchfmt.Result{
 			Name:        bench.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
-		fmt.Printf("  %-16s %12.0f ns/op %8d allocs/op %10d B/op (%d iterations)\n",
+		fmt.Printf("  %-20s %12.0f ns/op %8d allocs/op %10d B/op (%d iterations)\n",
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
-		if benchOut != "" {
-			if err := writeBenchJSON(res); err != nil {
-				return err
-			}
+		results = append(results, res)
+	}
+	printSpeedups(results)
+	if benchOut == "" {
+		return nil
+	}
+	if strings.HasSuffix(benchOut, ".json") {
+		f := &benchfmt.File{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Results:    results,
+		}
+		if err := benchfmt.Write(benchOut, f); err != nil {
+			return err
+		}
+		fmt.Printf("  combined results written to %s\n", benchOut)
+		return nil
+	}
+	for _, res := range results {
+		if err := writeBenchJSON(res); err != nil {
+			return err
 		}
 	}
-	if benchOut != "" {
-		fmt.Printf("  BENCH_*.json written to %s\n", benchOut)
-	}
+	fmt.Printf("  BENCH_*.json written to %s\n", benchOut)
 	return nil
 }
 
-func writeBenchJSON(res benchResult) error {
+// printSpeedups summarizes each Serial*/Parallel* pair as a speedup
+// factor — the quickstart's serial-vs-parallel readout.
+func printSpeedups(results []benchfmt.Result) {
+	find := func(name string) (benchfmt.Result, bool) {
+		for _, r := range results {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return benchfmt.Result{}, false
+	}
+	for _, r := range results {
+		op, ok := strings.CutPrefix(r.Name, "Serial")
+		if !ok {
+			continue
+		}
+		par, ok := find("Parallel" + op)
+		if !ok || par.NsPerOp <= 0 {
+			continue
+		}
+		fmt.Printf("  %-20s %.2fx parallel speedup on %d CPUs (pool width %d)\n",
+			op, r.NsPerOp/par.NsPerOp, runtime.NumCPU(), parallelWidth())
+	}
+}
+
+// parallelWidth is the pool width the Parallel* benchmarks run at: at
+// least 4 so the parallel code paths are exercised even on small
+// machines, matching the ≥4-core CI runners the baseline tracks.
+func parallelWidth() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// serialBench pins the kernel pool to one worker so every operator
+// takes its serial path.
+func serialBench(fn func(b *testing.B)) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := monet.SetDefaultPoolWorkers(1)
+		defer monet.SetDefaultPoolWorkers(prev)
+		fn(b)
+	}
+}
+
+// parallelBench widens the kernel pool so the same operator bodies go
+// morsel-parallel.
+func parallelBench(fn func(b *testing.B)) func(b *testing.B) {
+	return func(b *testing.B) {
+		prev := monet.SetDefaultPoolWorkers(parallelWidth())
+		defer monet.SetDefaultPoolWorkers(prev)
+		fn(b)
+	}
+}
+
+func writeBenchJSON(res benchfmt.Result) error {
 	if err := os.MkdirAll(benchOut, 0o755); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
 	path := filepath.Join(benchOut, "BENCH_"+res.Name+".json")
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return benchfmt.Write(path, &benchfmt.File{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    []benchfmt.Result{res},
+	})
+}
+
+// bigBAT builds a [void, int] BAT of n rows with tails cycling over
+// [0, mod).
+func bigBAT(n, mod int) *monet.BAT {
+	bat := monet.NewBATCap(monet.Void, monet.IntT, n)
+	for i := 0; i < n; i++ {
+		bat.MustInsert(monet.VoidValue(), monet.NewInt(int64(i%mod)))
+	}
+	return bat
+}
+
+// benchSelect1M range-selects ~10% of a 1M-row BAT; the pool width set
+// by the Serial/Parallel wrapper decides the execution path.
+func benchSelect1M(b *testing.B) {
+	bat := bigBAT(1<<20, 1000)
+	lo, hi := monet.NewInt(100), monet.NewInt(199)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bat.Select(lo, hi)
+	}
+}
+
+// benchGroupAgg1M computes a 64-group sum over 1M rows.
+func benchGroupAgg1M(b *testing.B) {
+	bat := monet.NewBATCap(monet.IntT, monet.IntT, 1<<20)
+	for i := 0; i < 1<<20; i++ {
+		bat.MustInsert(monet.NewInt(int64(i%64)), monet.NewInt(int64(i%100)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bat.GroupSum(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchJoin1M probes 1M rows against a 100k-key build side.
+func benchJoin1M(b *testing.B) {
+	const keys = 100_000
+	left := bigBAT(1<<20, keys)
+	right := monet.NewBATCap(monet.IntT, monet.IntT, keys)
+	for i := 0; i < keys; i++ {
+		right.MustInsert(monet.NewInt(int64(i)), monet.NewInt(int64(i)*2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := left.Join(right); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchBATJoin(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 //	cobra-server -addr :4242 [-db ./f1db | -data-dir ./cobra-data]
 //	             [-wal-sync always|interval|none] [-checkpoint-every 5m]
-//	             [-metrics-addr :6060] [-slow-query-ms 250]
+//	             [-metrics-addr :6060] [-slow-query-ms 250] [-threads 8]
 //
 // With -db, a plain snapshot directory is loaded read-only and the
 // process is main-memory only, as in the paper. With -data-dir, the
@@ -22,6 +22,11 @@
 // With -metrics-addr set, the process additionally serves /metrics
 // (telemetry JSON) and /debug/pprof over HTTP. -slow-query-ms enables
 // the slow-query log, readable over the protocol via SLOWLOG.
+//
+// -threads sets the width of the shared kernel worker pool that
+// morsel-parallel BAT operators, MIL PARALLEL blocks and the HMM/DBN
+// engines schedule onto (0: GOMAXPROCS). The MIL threadcnt() setting
+// adjusts the same pool at runtime.
 package main
 
 import (
@@ -49,10 +54,14 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "background checkpoint period with -data-dir (0: manual CHECKPOINT only)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty: disabled)")
 	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0: disabled)")
+	threads := flag.Int("threads", 0, "kernel worker-pool width for parallel operators (0: GOMAXPROCS)")
 	flag.Parse()
 
 	if *db != "" && *dataDir != "" {
 		fatal(fmt.Errorf("-db and -data-dir are mutually exclusive"))
+	}
+	if *threads > 0 {
+		monet.SetDefaultPoolWorkers(*threads)
 	}
 	if *slowMs > 0 {
 		obs.DefaultSlowLog.SetThreshold(time.Duration(*slowMs) * time.Millisecond)

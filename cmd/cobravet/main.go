@@ -6,6 +6,8 @@
 //	gofatal    no t.Fatal-class calls from spawned test goroutines
 //	storelock  Journal* hooks must not call back into monet.Store
 //	errwrap    fmt.Errorf over an error must wrap with %w
+//	poolleak   monet pool batches must be Waited (and NewPool closed)
+//	           on every return path
 //
 // Usage:
 //

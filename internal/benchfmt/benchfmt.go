@@ -1,0 +1,119 @@
+// Package benchfmt defines the machine-readable microbenchmark result
+// format shared by cobra-bench (which writes it) and benchdiff (which
+// compares a PR's results against the committed baseline in CI). A
+// benchmark file records the machine shape alongside the per-operation
+// results so regressions are judged against numbers from comparable
+// hardware.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result is one benchmarked operation's measurement.
+type Result struct {
+	// Name identifies the operation, e.g. "ParallelSelect1M".
+	Name string `json:"name"`
+	// Iterations is the b.N the measurement settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+}
+
+// File is one benchmark run: the machine shape plus every operation
+// measured.
+type File struct {
+	// GOOS and GOARCH describe the platform the run executed on.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GOMAXPROCS is the scheduler width of the run; parallel-operator
+	// numbers are only comparable at similar widths.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Results holds one entry per benchmarked operation.
+	Results []Result `json:"results"`
+}
+
+// Find returns the named result and whether it is present.
+func (f *File) Find(name string) (Result, bool) {
+	for _, r := range f.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Write marshals the file as indented JSON at path.
+func Write(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read parses a benchmark file from path.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Delta is the comparison of one operation between a baseline run and
+// a current run.
+type Delta struct {
+	// Name identifies the operation.
+	Name string
+	// BaseNs and CurNs are ns/op in the baseline and current runs.
+	BaseNs float64
+	CurNs  float64
+	// Ratio is CurNs/BaseNs (1.0 = unchanged; 1.30 = 30% slower).
+	Ratio float64
+	// Missing is true when the operation exists in the baseline but was
+	// not measured in the current run — treated as a regression so a
+	// tracked op can't silently drop out of the gate.
+	Missing bool
+	// Regressed is true when the op breaches the comparison threshold.
+	Regressed bool
+}
+
+// Compare evaluates the current run against the baseline. Every
+// baseline operation yields a Delta, ordered by name; an op regresses
+// when its ns/op grows by more than threshold (0.25 = fail above +25%)
+// or disappears from the current run. Operations only present in the
+// current run are ignored — new benchmarks don't need a baseline to
+// land.
+func Compare(baseline, current *File, threshold float64) []Delta {
+	deltas := make([]Delta, 0, len(baseline.Results))
+	for _, base := range baseline.Results {
+		d := Delta{Name: base.Name, BaseNs: base.NsPerOp}
+		cur, ok := current.Find(base.Name)
+		if !ok {
+			d.Missing = true
+			d.Regressed = true
+			deltas = append(deltas, d)
+			continue
+		}
+		d.CurNs = cur.NsPerOp
+		if base.NsPerOp > 0 {
+			d.Ratio = cur.NsPerOp / base.NsPerOp
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}

@@ -1,0 +1,87 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func sample() *File {
+	return &File{
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		GOMAXPROCS: 4,
+		Results: []Result{
+			{Name: "BATJoin", Iterations: 100, NsPerOp: 1000, AllocsPerOp: 5, BytesPerOp: 640},
+			{Name: "BATUselect", Iterations: 200, NsPerOp: 500, AllocsPerOp: 2, BytesPerOp: 128},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := sample()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GOMAXPROCS != 4 || len(got.Results) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	r, ok := got.Find("BATJoin")
+	if !ok || r.NsPerOp != 1000 {
+		t.Fatalf("Find(BATJoin) = %+v, %v", r, ok)
+	}
+	if _, ok := got.Find("nope"); ok {
+		t.Fatal("Find(nope) succeeded")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := sample()
+	cur := &File{Results: []Result{
+		{Name: "BATJoin", NsPerOp: 1240}, // +24%: within a 25% threshold
+		{Name: "BATNew", NsPerOp: 1},     // new op: ignored
+	}}
+	deltas := Compare(base, cur, 0.25)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	// Sorted by name: BATJoin then BATUselect.
+	if deltas[0].Name != "BATJoin" || deltas[0].Regressed {
+		t.Fatalf("BATJoin delta = %+v", deltas[0])
+	}
+	if deltas[1].Name != "BATUselect" || !deltas[1].Missing || !deltas[1].Regressed {
+		t.Fatalf("missing op delta = %+v", deltas[1])
+	}
+
+	// A 26% slowdown breaches the 25% gate.
+	cur = &File{Results: []Result{
+		{Name: "BATJoin", NsPerOp: 1260},
+		{Name: "BATUselect", NsPerOp: 500},
+	}}
+	deltas = Compare(base, cur, 0.25)
+	if !deltas[0].Regressed {
+		t.Fatalf("26%% slowdown not flagged: %+v", deltas[0])
+	}
+	if deltas[1].Regressed {
+		t.Fatalf("unchanged op flagged: %+v", deltas[1])
+	}
+}

@@ -1,0 +1,53 @@
+// Per-segment parallel evaluation of a DBN over a bank of observation
+// segments: the physical-level counterpart of the HMM pool's Fig. 3
+// fan-out, applied to Boyen-Koller filtering. A video is cut into
+// segments (laps, sectors, highlight windows) and each segment is
+// filtered independently, so the segments schedule as tasks on the
+// shared kernel worker pool.
+
+package dbn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cobra/internal/monet"
+	"cobra/internal/obs"
+)
+
+// Bank-evaluation metrics: segment volume and whole-bank fan-out/join
+// latency.
+var (
+	cBankSegments = obs.C("dbn.bank.segments")
+	hBankLat      = obs.H("dbn.bank.latency")
+)
+
+// FilterSegments runs Boyen-Koller filtering over every observation
+// segment as tasks on the shared kernel pool and returns one
+// FilterResult per segment, positionally. Filtering is read-only on
+// the DBN, so all segments share the receiver. If any segment fails,
+// the joined errors identify each failing segment by index.
+func (d *DBN) FilterSegments(segments [][][]int, clusters Clusters) ([]*FilterResult, error) {
+	defer func(start time.Time) { hBankLat.Observe(time.Since(start)) }(time.Now())
+	cBankSegments.Add(int64(len(segments)))
+	results := make([]*FilterResult, len(segments))
+	errs := make([]error, len(segments))
+	batch := monet.DefaultPool().Batch()
+	for i, seg := range segments {
+		i, seg := i, seg
+		batch.Submit(func() {
+			res, err := d.Filter(seg, clusters)
+			if err != nil {
+				errs[i] = fmt.Errorf("segment %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		})
+	}
+	batch.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

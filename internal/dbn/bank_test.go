@@ -1,0 +1,55 @@
+package dbn
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/monet"
+)
+
+func TestFilterSegmentsMatchesSerial(t *testing.T) {
+	prev := monet.SetDefaultPoolWorkers(4)
+	defer monet.SetDefaultPoolWorkers(prev)
+	d := hmmDBN(t)
+	setHMMTransition(d, 0.7, 0.6)
+	segments := [][][]int{
+		{{0}, {0}, {1}},
+		{{1}, {1}},
+		{},
+		{{0}, {1}, {1}, {0}},
+	}
+	got, err := d.FilterSegments(segments, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segments) {
+		t.Fatalf("results = %d, want %d", len(got), len(segments))
+	}
+	for i, seg := range segments {
+		want, err := d.Filter(seg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].LogLikelihood != want.LogLikelihood {
+			t.Fatalf("segment %d: ll = %v, want %v", i, got[i].LogLikelihood, want.LogLikelihood)
+		}
+	}
+}
+
+func TestFilterSegmentsError(t *testing.T) {
+	d := hmmDBN(t)
+	segments := [][][]int{
+		{{0}},
+		{{7}}, // out-of-range evidence state
+		{{9}}, // out-of-range evidence state
+	}
+	_, err := d.FilterSegments(segments, nil)
+	if err == nil {
+		t.Fatal("want error for bad segments")
+	}
+	for _, want := range []string{"segment 1", "segment 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err %q does not name %s", err, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package hmm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -61,28 +62,55 @@ func (p *EnginePool) Models() []string {
 	return names
 }
 
-// EvaluateAll scores every registered model on the observation sequence
-// in parallel and returns evaluations sorted by descending likelihood.
+// EvaluateAll scores every registered model on the observation
+// sequence as tasks on the shared kernel pool (the paper's Fig. 3:
+// six HMMs evaluated in parallel) and returns evaluations sorted by
+// descending likelihood. A positive Threads bounds how many models
+// score concurrently; all per-model errors are joined.
 func (p *EnginePool) EvaluateAll(obs []int) ([]Evaluation, error) {
 	defer func(start time.Time) { hPoolEval.Observe(time.Since(start)) }(time.Now())
 	names := p.Models()
 	evals := make([]Evaluation, len(names))
-	tasks := make([]func() error, len(names))
-	for i, name := range names {
-		i, name := i, name
-		tasks[i] = func() error {
-			start := time.Now()
-			ll, err := p.models[name].LogLikelihood(obs)
-			hModelEval.Observe(time.Since(start))
-			cEvaluations.Inc()
-			if err != nil {
-				return fmt.Errorf("model %s: %w", name, err)
-			}
-			evals[i] = Evaluation{Model: name, LogLikelihood: ll}
-			return nil
+	errs := make([]error, len(names))
+	score := func(i int, name string) {
+		start := time.Now()
+		ll, err := p.models[name].LogLikelihood(obs)
+		hModelEval.Observe(time.Since(start))
+		cEvaluations.Inc()
+		if err != nil {
+			errs[i] = fmt.Errorf("model %s: %w", name, err)
+			return
 		}
+		evals[i] = Evaluation{Model: name, LogLikelihood: ll}
 	}
-	if err := monet.Parallel(p.Threads, tasks...); err != nil {
+	width := p.Threads
+	if width <= 0 || width > len(names) {
+		width = len(names)
+	}
+	if width <= 1 {
+		for i, name := range names {
+			score(i, name)
+		}
+	} else {
+		// Width is bounded by submitting `width` drainer tasks over a
+		// pre-filled channel; drainers never block on each other, so
+		// this nests safely inside other pool work.
+		next := make(chan int, len(names))
+		for i := range names {
+			next <- i
+		}
+		close(next)
+		batch := monet.DefaultPool().Batch()
+		for w := 0; w < width; w++ {
+			batch.Submit(func() {
+				for i := range next {
+					score(i, names[i])
+				}
+			})
+		}
+		batch.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	sort.Slice(evals, func(a, b int) bool {

@@ -329,10 +329,18 @@ func (in *Interp) execBlock(e *env, b *Block) (Value, error) {
 }
 
 // execParallel runs the block's statements concurrently with at most
-// threadcnt workers. Each statement runs in its own child scope over a
-// shared, locked parent scope so branches can publish results to
+// threadcnt workers, scheduled as tasks on the shared kernel pool
+// (monet.DefaultPool). Each statement runs in its own child scope over
+// a shared, locked parent scope so branches can publish results to
 // variables declared before the block (the Fig. 4 pattern: six
-// hmmOneCall branches inserting into parEval).
+// hmmOneCall branches inserting into parEval). The MaxSteps budget is
+// an atomic on the interpreter, so it keeps counting across workers.
+//
+// Width is bounded by submitting min(threadcnt, branches) drainer
+// tasks over a pre-filled work channel rather than by blocking on a
+// semaphore inside pool tasks: a pool task never blocks on another
+// queued task, so nested fan-out (a branch running a morsel-parallel
+// kernel operator on the same pool) cannot deadlock.
 func (in *Interp) execParallel(e *env, b *ParallelBlock) (Value, error) {
 	defer func(start time.Time) { hParallelBlockTime.Observe(time.Since(start)) }(time.Now())
 	cParallelBlocks.Inc()
@@ -342,16 +350,36 @@ func (in *Interp) execParallel(e *env, b *ParallelBlock) (Value, error) {
 	in.mu.Unlock()
 
 	shared := &env{in: in, parent: e, vars: map[string]Value{}, mu: &sync.Mutex{}}
-	tasks := make([]func() error, len(b.Stmts))
-	for i, s := range b.Stmts {
-		s := s
-		tasks[i] = func() error {
-			child := &env{in: in, parent: shared, vars: map[string]Value{}}
-			_, err := in.exec(child, s)
-			return err
-		}
+	run := func(s Stmt) error {
+		child := &env{in: in, parent: shared, vars: map[string]Value{}}
+		_, err := in.exec(child, s)
+		return err
 	}
-	return Value{}, monet.Parallel(threads, tasks...)
+	errs := make([]error, len(b.Stmts))
+	if threads <= 1 || len(b.Stmts) <= 1 {
+		for i, s := range b.Stmts {
+			errs[i] = run(s)
+		}
+		return Value{}, errors.Join(errs...)
+	}
+	if threads > len(b.Stmts) {
+		threads = len(b.Stmts)
+	}
+	next := make(chan int, len(b.Stmts))
+	for i := range b.Stmts {
+		next <- i
+	}
+	close(next)
+	batch := monet.DefaultPool().Batch()
+	for w := 0; w < threads; w++ {
+		batch.Submit(func() {
+			for i := range next {
+				errs[i] = run(b.Stmts[i])
+			}
+		})
+	}
+	batch.Wait()
+	return Value{}, errors.Join(errs...)
 }
 
 func (in *Interp) eval(e *env, x Expr) (Value, error) {

@@ -198,6 +198,21 @@ func TestParallelBlock(t *testing.T) {
 	}
 }
 
+func TestThreadcntResizesPool(t *testing.T) {
+	prev := monet.SetDefaultPoolWorkers(2)
+	defer monet.SetDefaultPoolWorkers(prev)
+	v := run(t, `
+		VAR old := threadcnt(6);
+		RETURN poolsize();
+	`)
+	if v.Atom.Int() != 6 {
+		t.Fatalf("poolsize after threadcnt(6) = %v, want 6", v)
+	}
+	if monet.DefaultPool().Workers() != 6 {
+		t.Fatalf("kernel pool width = %d, want 6", monet.DefaultPool().Workers())
+	}
+}
+
 func TestParallelRunsConcurrently(t *testing.T) {
 	var calls int64
 	in := NewInterp(nil)

@@ -13,6 +13,7 @@ import (
 func (in *Interp) installStdlib() {
 	in.Register("new", builtinNew)
 	in.Register("threadcnt", builtinThreadcnt)
+	in.Register("poolsize", builtinPoolsize)
 	in.Register("print", builtinPrint)
 	in.Register("bat", builtinBAT)
 	in.Register("register", builtinRegister)
@@ -172,7 +173,9 @@ func typeArg(v Value) (monet.Type, error) {
 }
 
 // builtinThreadcnt sets the worker count for PARALLEL blocks and
-// returns the previous value, like Monet's threadcnt.
+// returns the previous value, like Monet's threadcnt. It also resizes
+// the shared kernel pool, so bulk operators (select/join/aggregate)
+// inherit the same width; the pool clamps the width to a sane maximum.
 func builtinThreadcnt(in *Interp, args []Value) (Value, error) {
 	if err := wantAtoms("threadcnt", args, 1); err != nil {
 		return Value{}, err
@@ -185,7 +188,18 @@ func builtinThreadcnt(in *Interp, args []Value) (Value, error) {
 	prev := in.threadCnt
 	in.threadCnt = n
 	in.mu.Unlock()
+	monet.SetDefaultPoolWorkers(n)
 	return AtomValue(monet.NewInt(int64(prev))), nil
+}
+
+// builtinPoolsize reports the width of the shared kernel worker pool:
+// poolsize() returns how many workers morsel-parallel operators and
+// PARALLEL blocks schedule onto.
+func builtinPoolsize(in *Interp, args []Value) (Value, error) {
+	if err := wantAtoms("poolsize", args, 0); err != nil {
+		return Value{}, err
+	}
+	return AtomValue(monet.NewInt(int64(monet.DefaultPool().Workers()))), nil
 }
 
 // builtinPrint renders its arguments to the interpreter's output list.

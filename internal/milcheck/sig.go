@@ -76,6 +76,7 @@ func wantAny(VType) string { return "" }
 func stdlibSigs() map[string]Sig {
 	sigs := map[string]Sig{
 		"threadcnt": fixedSig("threadcnt", AtomOf(monet.IntT), wantNumeric),
+		"poolsize":  fixedSig("poolsize", AtomOf(monet.IntT)),
 		"sqrt":      fixedSig("sqrt", AtomOf(monet.FloatT), wantNumeric),
 		"log":       fixedSig("log", AtomOf(monet.FloatT), wantNumeric),
 		"int":       fixedSig("int", AtomOf(monet.IntT), wantNumeric),

@@ -1,6 +1,7 @@
 package moa
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -76,7 +77,9 @@ func (fs *FlatSet) Len() (int, error) {
 // SelectRange materializes a new flattened set under dstPrefix holding
 // the rows whose field value lies in [lo, hi]. The plan is pure kernel
 // algebra: uselect over the field column for the qualifying OIDs, then
-// a semijoin per column.
+// a semijoin per column. The per-column semijoins are independent, so
+// they run as tasks on the shared kernel pool; results are stored
+// serially in schema order afterwards.
 func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*FlatSet, error) {
 	defer func(start time.Time) { hSelectRange.Observe(time.Since(start)) }(time.Now())
 	col, err := fs.column(field)
@@ -88,16 +91,26 @@ func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*Fl
 	if err != nil {
 		return nil, err
 	}
-	for _, name := range names {
-		b, err := fs.column(name)
-		if err != nil {
-			return nil, err
-		}
-		sel, err := b.Semijoin(keys)
-		if err != nil {
-			return nil, err
-		}
-		fs.store.Put(dstPrefix+"/"+name, sel)
+	outs := make([]*monet.BAT, len(names))
+	errs := make([]error, len(names))
+	batch := monet.DefaultPool().Batch()
+	for i, name := range names {
+		i, name := i, name
+		batch.Submit(func() {
+			b, err := fs.column(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], errs[i] = b.Semijoin(keys)
+		})
+	}
+	batch.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		fs.store.Put(dstPrefix+"/"+name, outs[i])
 	}
 	schema, _ := fs.store.Get(fs.prefix + "/_schema")
 	fs.store.Put(dstPrefix+"/_schema", schema)
@@ -165,29 +178,23 @@ func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField strin
 	if err != nil {
 		return nil, err
 	}
-	outSchema := monet.NewBAT(monet.Void, monet.StrT)
-	emit := func(name string, src *monet.BAT, keySide func(i int) monet.Value) error {
-		out := monet.NewBATCap(monet.Void, src.TailType(), pairs.Len())
-		for i := 0; i < pairs.Len(); i++ {
-			v, ok := src.Find(keySide(i))
-			if !ok {
-				return fmt.Errorf("moa: join lost row %d of field %q", i, name)
-			}
-			out.MustInsert(monet.VoidValue(), v)
-		}
-		fs.store.Put(dstPrefix+"/"+name, out)
-		outSchema.MustInsert(monet.VoidValue(), monet.NewStr(name))
-		return nil
+	// Each output field is an independent gather through the OID pair
+	// list, so the fields materialize as tasks on the shared kernel
+	// pool; the store writes and schema inserts stay serial and in
+	// field order so the output schema is deterministic.
+	type fieldJob struct {
+		name string
+		src  *monet.BAT
+		key  func(i int) monet.Value
 	}
+	var jobs []fieldJob
 	seen := map[string]bool{}
 	for _, name := range lNames {
 		src, err := fs.column(name)
 		if err != nil {
 			return nil, err
 		}
-		if err := emit(name, src, func(i int) monet.Value { return pairs.Head(i) }); err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, fieldJob{name, src, func(i int) monet.Value { return pairs.Head(i) }})
 		seen[name] = true
 	}
 	for _, name := range rNames {
@@ -198,9 +205,34 @@ func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField strin
 		if err != nil {
 			return nil, err
 		}
-		if err := emit(name, src, func(i int) monet.Value { return pairs.Tail(i) }); err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, fieldJob{name, src, func(i int) monet.Value { return pairs.Tail(i) }})
+	}
+	outs := make([]*monet.BAT, len(jobs))
+	errs := make([]error, len(jobs))
+	batch := monet.DefaultPool().Batch()
+	for i, job := range jobs {
+		i, job := i, job
+		batch.Submit(func() {
+			out := monet.NewBATCap(monet.Void, job.src.TailType(), pairs.Len())
+			for r := 0; r < pairs.Len(); r++ {
+				v, ok := job.src.Find(job.key(r))
+				if !ok {
+					errs[i] = fmt.Errorf("moa: join lost row %d of field %q", r, job.name)
+					return
+				}
+				out.MustInsert(monet.VoidValue(), v)
+			}
+			outs[i] = out
+		})
+	}
+	batch.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	outSchema := monet.NewBAT(monet.Void, monet.StrT)
+	for i, job := range jobs {
+		fs.store.Put(dstPrefix+"/"+job.name, outs[i])
+		outSchema.MustInsert(monet.VoidValue(), monet.NewStr(job.name))
 	}
 	fs.store.Put(dstPrefix+"/_schema", outSchema)
 	return &FlatSet{store: fs.store, prefix: dstPrefix}, nil

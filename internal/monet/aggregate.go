@@ -14,11 +14,29 @@ var opAggregate = obs.C("monet.bat.aggregate")
 func (b *BAT) Count() int64 { return int64(b.Len()) }
 
 // Sum returns the sum of the tail column as float64. Non-numeric tails
-// yield an error.
+// yield an error. Large BATs sum morsel-parallel with the per-morsel
+// partials added in morsel order, so the result is the same for every
+// pool width (and equals the serial fold exactly whenever the values
+// are exactly representable, e.g. integer-valued tails).
 func (b *BAT) Sum() (float64, error) {
 	opAggregate.Inc()
 	if err := b.requireNumericTail("sum"); err != nil {
 		return 0, err
+	}
+	if p, ok := poolFor(b.Len()); ok {
+		parts := make([]float64, numMorsels(b.Len()))
+		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += b.tail.Get(i).Float()
+			}
+			parts[m] = s
+		})
+		s := 0.0
+		for _, v := range parts {
+			s += v
+		}
+		return s, nil
 	}
 	s := 0.0
 	for i := 0; i < b.Len(); i++ {
@@ -40,19 +58,47 @@ func (b *BAT) Avg() (float64, error) {
 	return s / float64(b.Len()), nil
 }
 
+// bestIdx returns the position of the extreme tail under sign (+1 for
+// max, -1 for min), preferring the first occurrence on ties — the same
+// position the serial strict-compare scan picks. Large BATs find a
+// per-morsel best in parallel, then merge the morsel winners in morsel
+// order with the same strict compare.
+func (b *BAT) bestIdx(sign int) int {
+	if p, ok := poolFor(b.Len()); ok {
+		parts := make([]int, numMorsels(b.Len()))
+		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
+			bi := lo
+			for i := lo + 1; i < hi; i++ {
+				if sign*Compare(b.tail.Get(i), b.tail.Get(bi)) > 0 {
+					bi = i
+				}
+			}
+			parts[m] = bi
+		})
+		bi := parts[0]
+		for _, c := range parts[1:] {
+			if sign*Compare(b.tail.Get(c), b.tail.Get(bi)) > 0 {
+				bi = c
+			}
+		}
+		return bi
+	}
+	bi := 0
+	for i := 1; i < b.Len(); i++ {
+		if sign*Compare(b.tail.Get(i), b.tail.Get(bi)) > 0 {
+			bi = i
+		}
+	}
+	return bi
+}
+
 // Max returns the largest tail value; ok is false for an empty BAT.
 func (b *BAT) Max() (Value, bool) {
 	opAggregate.Inc()
 	if b.Len() == 0 {
 		return Value{}, false
 	}
-	best := b.tail.Get(0)
-	for i := 1; i < b.Len(); i++ {
-		if v := b.tail.Get(i); Compare(v, best) > 0 {
-			best = v
-		}
-	}
-	return best, true
+	return b.tail.Get(b.bestIdx(1)), true
 }
 
 // Min returns the smallest tail value; ok is false for an empty BAT.
@@ -61,13 +107,7 @@ func (b *BAT) Min() (Value, bool) {
 	if b.Len() == 0 {
 		return Value{}, false
 	}
-	best := b.tail.Get(0)
-	for i := 1; i < b.Len(); i++ {
-		if v := b.tail.Get(i); Compare(v, best) < 0 {
-			best = v
-		}
-	}
-	return best, true
+	return b.tail.Get(b.bestIdx(-1)), true
 }
 
 // ArgMax returns the head whose tail is largest (MIL: reverse().find(max));
@@ -76,13 +116,7 @@ func (b *BAT) ArgMax() (Value, bool) {
 	if b.Len() == 0 {
 		return Value{}, false
 	}
-	bi := 0
-	for i := 1; i < b.Len(); i++ {
-		if Compare(b.tail.Get(i), b.tail.Get(bi)) > 0 {
-			bi = i
-		}
-	}
-	return b.head.Get(bi), true
+	return b.head.Get(b.bestIdx(1)), true
 }
 
 // ArgMin returns the head whose tail is smallest.
@@ -90,13 +124,7 @@ func (b *BAT) ArgMin() (Value, bool) {
 	if b.Len() == 0 {
 		return Value{}, false
 	}
-	bi := 0
-	for i := 1; i < b.Len(); i++ {
-		if Compare(b.tail.Get(i), b.tail.Get(bi)) < 0 {
-			bi = i
-		}
-	}
-	return b.head.Get(bi), true
+	return b.head.Get(b.bestIdx(-1)), true
 }
 
 // Group clusters associations by tail value and returns a BAT
@@ -129,16 +157,43 @@ func (b *BAT) GroupSum() (*BAT, error) {
 }
 
 // GroupCount computes the per-group association count as [g, int].
+// Large inputs count morsel-parallel; per-morsel counts merge in
+// morsel order, preserving the serial first-occurrence group order.
 func (b *BAT) GroupCount() (*BAT, error) {
 	counts := map[string]int64{}
 	order := []Value{}
-	for i := 0; i < b.Len(); i++ {
-		h := b.head.Get(i)
-		k := h.String()
-		if _, seen := counts[k]; !seen {
-			order = append(order, h)
+	if p, ok := poolFor(b.Len()); ok {
+		parts := make([]groupPart[int64], numMorsels(b.Len()))
+		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
+			part := groupPart[int64]{accs: map[string]int64{}}
+			for i := lo; i < hi; i++ {
+				h := b.head.Get(i)
+				k := h.String()
+				if _, seen := part.accs[k]; !seen {
+					part.order = append(part.order, h)
+					part.keys = append(part.keys, k)
+				}
+				part.accs[k]++
+			}
+			parts[m] = part
+		})
+		for _, part := range parts {
+			for gi, k := range part.keys {
+				if _, seen := counts[k]; !seen {
+					order = append(order, part.order[gi])
+				}
+				counts[k] += part.accs[k]
+			}
 		}
-		counts[k]++
+	} else {
+		for i := 0; i < b.Len(); i++ {
+			h := b.head.Get(i)
+			k := h.String()
+			if _, seen := counts[k]; !seen {
+				order = append(order, h)
+			}
+			counts[k]++
+		}
 	}
 	out := NewBAT(materialType(b.head.Type()), IntT)
 	for _, h := range order {
@@ -173,20 +228,63 @@ func (b *BAT) GroupAvg() (*BAT, error) {
 	return out, nil
 }
 
+// groupPart is the per-morsel partial state of a parallel grouped
+// aggregation: the groups in first-occurrence order within the morsel
+// (order holds the head values, keys their string keys) and the
+// per-group partial accumulators.
+type groupPart[T any] struct {
+	order []Value
+	keys  []string
+	accs  map[string]T
+}
+
+// groupedFold folds the numeric tail per head group with f (which must
+// be associative with identity init, so it doubles as the combiner for
+// per-morsel partials). Large inputs fold morsel-parallel; partials
+// merge in morsel order, so group order and — for exact folds like
+// max/min or integer-valued sums — group values match the serial path
+// for every pool width.
 func (b *BAT) groupedFold(name string, f func(acc, x float64) float64, init float64, _ bool) (*BAT, error) {
 	if err := b.requireNumericTail(name); err != nil {
 		return nil, err
 	}
 	accs := map[string]float64{}
 	order := []Value{}
-	for i := 0; i < b.Len(); i++ {
-		h := b.head.Get(i)
-		k := h.String()
-		if _, seen := accs[k]; !seen {
-			order = append(order, h)
-			accs[k] = init
+	if p, ok := poolFor(b.Len()); ok {
+		parts := make([]groupPart[float64], numMorsels(b.Len()))
+		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
+			part := groupPart[float64]{accs: map[string]float64{}}
+			for i := lo; i < hi; i++ {
+				h := b.head.Get(i)
+				k := h.String()
+				if _, seen := part.accs[k]; !seen {
+					part.order = append(part.order, h)
+					part.keys = append(part.keys, k)
+					part.accs[k] = init
+				}
+				part.accs[k] = f(part.accs[k], b.tail.Get(i).Float())
+			}
+			parts[m] = part
+		})
+		for _, part := range parts {
+			for gi, k := range part.keys {
+				if _, seen := accs[k]; !seen {
+					order = append(order, part.order[gi])
+					accs[k] = init
+				}
+				accs[k] = f(accs[k], part.accs[k])
+			}
 		}
-		accs[k] = f(accs[k], b.tail.Get(i).Float())
+	} else {
+		for i := 0; i < b.Len(); i++ {
+			h := b.head.Get(i)
+			k := h.String()
+			if _, seen := accs[k]; !seen {
+				order = append(order, h)
+				accs[k] = init
+			}
+			accs[k] = f(accs[k], b.tail.Get(i).Float())
+		}
 	}
 	out := NewBAT(materialType(b.head.Type()), FloatT)
 	for _, h := range order {

@@ -129,9 +129,25 @@ func (b *BAT) Slice(lo, hi int) *BAT {
 }
 
 // Select returns the associations whose tail lies in [lo, hi]
-// (inclusive). Pass equal lo and hi for point selection.
+// (inclusive). Pass equal lo and hi for point selection. Large BATs
+// are scanned morsel-parallel on the shared pool; the result is
+// identical to the serial scan for any pool width.
 func (b *BAT) Select(lo, hi Value) *BAT {
 	opSelect.Inc()
+	idx := b.selectIdx(lo, hi)
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+}
+
+// selectIdx returns the ascending positions whose tail lies in
+// [lo, hi], taking the morsel-parallel path when the BAT is large
+// enough and the pool is wider than one worker.
+func (b *BAT) selectIdx(lo, hi Value) []int {
+	if p, ok := poolFor(b.Len()); ok {
+		return parFilterIdx(p, b.Len(), hPoolSelectLat, hPoolSelectSpd, func(i int) bool {
+			t := b.tail.Get(i)
+			return Compare(t, lo) >= 0 && Compare(t, hi) <= 0
+		})
+	}
 	idx := make([]int, 0, 16)
 	for i := 0; i < b.Len(); i++ {
 		t := b.tail.Get(i)
@@ -139,24 +155,19 @@ func (b *BAT) Select(lo, hi Value) *BAT {
 			idx = append(idx, i)
 		}
 	}
-	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}
+	return idx
 }
 
 // SelectEq returns the associations whose tail equals v.
 func (b *BAT) SelectEq(v Value) *BAT { return b.Select(v, v) }
 
 // Uselect returns a BAT [head, void] of the heads whose tail lies in
-// [lo, hi]; the unary form of Select.
+// [lo, hi]; the unary form of Select. Like Select it goes
+// morsel-parallel on large inputs.
 func (b *BAT) Uselect(lo, hi Value) *BAT {
 	opUselect.Inc()
-	out := NewBAT(materialType(b.head.Type()), Void)
-	for i := 0; i < b.Len(); i++ {
-		t := b.tail.Get(i)
-		if Compare(t, lo) >= 0 && Compare(t, hi) <= 0 {
-			out.MustInsert(b.head.Get(i), VoidValue())
-		}
-	}
-	return out
+	idx := b.selectIdx(lo, hi)
+	return &BAT{head: b.head.Gather(idx), tail: &voidColumn{n: len(idx)}}
 }
 
 // Filter returns the associations for which pred returns true; the
@@ -173,12 +184,17 @@ func (b *BAT) Filter(pred func(h, t Value) bool) *BAT {
 }
 
 // Join returns the equi-join of b with other over b.tail == other.head,
-// producing [b.head, other.tail]. A hash table is built over the
-// smaller operand.
+// producing [b.head, other.tail]. A hash table is built over
+// other.head; large operands build the table sharded and probe it
+// morsel-parallel, producing the same pair order as the serial
+// nested-probe loop.
 func (b *BAT) Join(other *BAT) (*BAT, error) {
 	opJoin.Inc()
 	if !headCompatible(b.tail.Type(), other.head.Type()) {
 		return nil, fmt.Errorf("%w: join tail %v with head %v", ErrTypeMismatch, b.tail.Type(), other.head.Type())
+	}
+	if p, ok := poolFor(b.Len()); ok {
+		return b.joinPar(p, other), nil
 	}
 	out := NewBAT(materialType(b.head.Type()), materialType(other.tail.Type()))
 	// Build hash on other.head → positions.
@@ -192,12 +208,52 @@ func (b *BAT) Join(other *BAT) (*BAT, error) {
 	return out, nil
 }
 
+// joinPar is the morsel-parallel equi-join: each probe morsel emits
+// its (left position, right position) match pairs, the pairs are
+// concatenated in morsel order, and two gathers materialize the output
+// columns — exactly the rows the serial probe loop inserts.
+func (b *BAT) joinPar(p *Pool, other *BAT) *BAT {
+	ht := buildHashIndex(other.head)
+	nm := numMorsels(b.Len())
+	lParts := make([][]int, nm)
+	rParts := make([][]int, nm)
+	runMorsels(p, b.Len(), hPoolJoinLat, hPoolJoinSpd, func(m, lo, hi int) {
+		var ls, rs []int
+		for i := lo; i < hi; i++ {
+			t := b.tail.Get(i)
+			for _, j := range ht.lookup(t) {
+				ls = append(ls, i)
+				rs = append(rs, j)
+			}
+		}
+		lParts[m], rParts[m] = ls, rs
+	})
+	total := 0
+	for _, part := range lParts {
+		total += len(part)
+	}
+	lIdx := make([]int, 0, total)
+	rIdx := make([]int, 0, total)
+	for m := range lParts {
+		lIdx = append(lIdx, lParts[m]...)
+		rIdx = append(rIdx, rParts[m]...)
+	}
+	return &BAT{head: b.head.Gather(lIdx), tail: other.tail.Gather(rIdx)}
+}
+
 // Semijoin returns the associations of b whose head appears as a head
 // in other.
 func (b *BAT) Semijoin(other *BAT) (*BAT, error) {
 	opSemijoin.Inc()
 	if !headCompatible(b.head.Type(), other.head.Type()) {
 		return nil, fmt.Errorf("%w: semijoin head %v with head %v", ErrTypeMismatch, b.head.Type(), other.head.Type())
+	}
+	if p, ok := poolFor(b.Len()); ok {
+		ht := buildHashIndex(other.head)
+		idx := parFilterIdx(p, b.Len(), hPoolJoinLat, hPoolJoinSpd, func(i int) bool {
+			return len(ht.lookup(b.head.Get(i))) > 0
+		})
+		return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}, nil
 	}
 	ht := buildHash(other.head)
 	idx := make([]int, 0, 16)
@@ -215,6 +271,13 @@ func (b *BAT) KDiff(other *BAT) (*BAT, error) {
 	opKDiff.Inc()
 	if !headCompatible(b.head.Type(), other.head.Type()) {
 		return nil, fmt.Errorf("%w: kdiff head %v with head %v", ErrTypeMismatch, b.head.Type(), other.head.Type())
+	}
+	if p, ok := poolFor(b.Len()); ok {
+		ht := buildHashIndex(other.head)
+		idx := parFilterIdx(p, b.Len(), hPoolJoinLat, hPoolJoinSpd, func(i int) bool {
+			return len(ht.lookup(b.head.Get(i))) == 0
+		})
+		return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}, nil
 	}
 	ht := buildHash(other.head)
 	idx := make([]int, 0, 16)
@@ -317,35 +380,52 @@ type hashTable struct {
 	n     int
 }
 
-func buildHash(c Column) *hashTable {
-	ht := &hashTable{n: c.Len()}
-	switch c.Type() {
+// newHashTable returns an empty hash table for keys of type t, sized
+// for about capHint entries. Void columns are dense: position == value,
+// so no map is allocated.
+func newHashTable(t Type, capHint int) *hashTable {
+	ht := &hashTable{}
+	switch t {
 	case Void:
 		ht.dense = true
 	case OIDT, IntT, BoolT:
-		ht.byInt = make(map[int64][]int, c.Len())
-		for i := 0; i < c.Len(); i++ {
-			k := c.Get(i).Int()
-			ht.byInt[k] = append(ht.byInt[k], i)
-		}
+		ht.byInt = make(map[int64][]int, capHint)
 	case FloatT:
-		ht.byFlt = make(map[float64][]int, c.Len())
-		for i := 0; i < c.Len(); i++ {
-			k := c.Get(i).Float()
-			ht.byFlt[k] = append(ht.byFlt[k], i)
-		}
+		ht.byFlt = make(map[float64][]int, capHint)
+	case StrT, BlobT:
+		ht.byStr = make(map[string][]int, capHint)
+	}
+	return ht
+}
+
+// insert records position i of column c in the table. Positions must
+// be inserted in ascending order per key; lookup returns them in
+// insertion order.
+func (ht *hashTable) insert(c Column, i int) {
+	switch c.Type() {
+	case OIDT, IntT, BoolT:
+		k := c.Get(i).Int()
+		ht.byInt[k] = append(ht.byInt[k], i)
+	case FloatT:
+		k := c.Get(i).Float()
+		ht.byFlt[k] = append(ht.byFlt[k], i)
 	case StrT:
-		ht.byStr = make(map[string][]int, c.Len())
-		for i := 0; i < c.Len(); i++ {
-			k := c.Get(i).Str()
-			ht.byStr[k] = append(ht.byStr[k], i)
-		}
+		k := c.Get(i).Str()
+		ht.byStr[k] = append(ht.byStr[k], i)
 	case BlobT:
-		ht.byStr = make(map[string][]int, c.Len())
-		for i := 0; i < c.Len(); i++ {
-			k := string(c.Get(i).Blob())
-			ht.byStr[k] = append(ht.byStr[k], i)
-		}
+		k := string(c.Get(i).Blob())
+		ht.byStr[k] = append(ht.byStr[k], i)
+	}
+}
+
+func buildHash(c Column) *hashTable {
+	ht := newHashTable(c.Type(), c.Len())
+	ht.n = c.Len()
+	if ht.dense {
+		return ht
+	}
+	for i := 0; i < c.Len(); i++ {
+		ht.insert(c, i)
 	}
 	return ht
 }

@@ -1,6 +1,7 @@
 package monet
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -23,8 +24,9 @@ var (
 // Parallel mirrors Monet's intra-query parallel execution operator (the
 // threadcnt block in the paper's Fig. 4): it runs the given tasks
 // concurrently on at most threads worker goroutines and waits for all
-// of them. A threads value <= 0 uses GOMAXPROCS. The first error
-// returned by any task (in task order) is returned.
+// of them. A threads value <= 0 uses GOMAXPROCS. Every task runs even
+// if others fail; all non-nil task errors are joined (errors.Join) in
+// task order so callers see every failure.
 func Parallel(threads int, tasks ...func() error) error {
 	defer func(start time.Time) { hParJoin.Observe(time.Since(start)) }(time.Now())
 	cParCalls.Inc()
@@ -36,15 +38,14 @@ func Parallel(threads int, tasks ...func() error) error {
 		threads = len(tasks)
 	}
 	gParWidth.Set(int64(threads))
-	if threads <= 1 {
-		for _, t := range tasks {
-			if err := t(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+	defer gParWidth.Set(0)
 	errs := make([]error, len(tasks))
+	if threads <= 1 {
+		for i, t := range tasks {
+			errs[i] = t()
+		}
+		return errors.Join(errs...)
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
@@ -61,12 +62,7 @@ func Parallel(threads int, tasks ...func() error) error {
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // ParallelMap applies f to every index in [0, n) using at most threads

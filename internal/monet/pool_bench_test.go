@@ -1,0 +1,92 @@
+package monet
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The Benchmark{Serial,Parallel}* pairs below measure the same
+// operator bodies with the kernel pool pinned to one worker versus
+// widened to at least four, so `go test -bench` shows the morsel
+// scheduler's speedup directly; cobra-bench -run micro captures the
+// same pairs into BENCH_baseline.json for the CI bench-gate.
+
+func benchWidth() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+func withPoolWidth(b *testing.B, width int, fn func(b *testing.B)) {
+	prev := SetDefaultPoolWorkers(width)
+	defer SetDefaultPoolWorkers(prev)
+	fn(b)
+}
+
+func benchIntBAT(n, mod int) *BAT {
+	bat := NewBATCap(Void, IntT, n)
+	for i := 0; i < n; i++ {
+		bat.MustInsert(VoidValue(), NewInt(int64(i%mod)))
+	}
+	return bat
+}
+
+func selectBody(b *testing.B) {
+	bat := benchIntBAT(1<<20, 1000)
+	lo, hi := NewInt(100), NewInt(199)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bat.Select(lo, hi)
+	}
+}
+
+func BenchmarkSerialSelect1M(b *testing.B)   { withPoolWidth(b, 1, selectBody) }
+func BenchmarkParallelSelect1M(b *testing.B) { withPoolWidth(b, benchWidth(), selectBody) }
+
+func groupAggBody(b *testing.B) {
+	bat := NewBATCap(IntT, IntT, 1<<20)
+	for i := 0; i < 1<<20; i++ {
+		bat.MustInsert(NewInt(int64(i%64)), NewInt(int64(i%100)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bat.GroupSum(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialGroupAgg1M(b *testing.B)   { withPoolWidth(b, 1, groupAggBody) }
+func BenchmarkParallelGroupAgg1M(b *testing.B) { withPoolWidth(b, benchWidth(), groupAggBody) }
+
+func joinBody(b *testing.B) {
+	const keys = 100_000
+	left := benchIntBAT(1<<20, keys)
+	right := NewBATCap(IntT, IntT, keys)
+	for i := 0; i < keys; i++ {
+		right.MustInsert(NewInt(int64(i)), NewInt(int64(i)*2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := left.Join(right); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialJoin1M(b *testing.B)   { withPoolWidth(b, 1, joinBody) }
+func BenchmarkParallelJoin1M(b *testing.B) { withPoolWidth(b, benchWidth(), joinBody) }
+
+func sumBody(b *testing.B) {
+	bat := benchIntBAT(1<<20, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bat.Sum(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialSum1M(b *testing.B)   { withPoolWidth(b, 1, sumBody) }
+func BenchmarkParallelSum1M(b *testing.B) { withPoolWidth(b, benchWidth(), sumBody) }

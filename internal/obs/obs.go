@@ -7,7 +7,10 @@
 // histogram and recovery gauges) records into the package-level
 // Default registry; the server exposes it over the TCP protocol
 // (STATS, TRACE, SLOWLOG) and over HTTP (/metrics plus
-// net/http/pprof).
+// net/http/pprof). The kernel's morsel scheduler reports under
+// monet.pool.*: task/inline/morsel counters, queue-depth and worker
+// gauges, and per-operator-family latency plus parallel-speedup
+// histograms (speedup in milli-×, 2000 = 2×).
 //
 // The package deliberately imports only the standard library so any
 // layer — including the Monet kernel at the bottom of the dependency

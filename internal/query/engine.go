@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"cobra/internal/cobra"
+	"cobra/internal/monet"
 	"cobra/internal/obs"
 	"cobra/internal/rules"
 )
@@ -286,11 +287,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op := span.StartChild("eval:and")
 		op.SetAttr("level", "logical")
 		defer op.Finish()
-		l, err := e.eval(cat, video, duration, n.L, op)
-		if err != nil {
-			return nil, err
-		}
-		r, err := e.eval(cat, video, duration, n.R, op)
+		l, r, err := e.evalPair(cat, video, duration, n.L, n.R, op)
 		if err != nil {
 			return nil, err
 		}
@@ -300,11 +297,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op := span.StartChild("eval:or")
 		op.SetAttr("level", "logical")
 		defer op.Finish()
-		l, err := e.eval(cat, video, duration, n.L, op)
-		if err != nil {
-			return nil, err
-		}
-		r, err := e.eval(cat, video, duration, n.R, op)
+		l, r, err := e.evalPair(cat, video, duration, n.L, n.R, op)
 		if err != nil {
 			return nil, err
 		}
@@ -315,17 +308,27 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op.SetAttr("level", "logical")
 		op.SetAttr("rel", n.Rel)
 		defer op.Finish()
-		l, err := e.eval(cat, video, duration, n.L, op)
-		if err != nil {
-			return nil, err
-		}
-		r, err := e.eval(cat, video, duration, n.R, op)
+		l, r, err := e.evalPair(cat, video, duration, n.L, n.R, op)
 		if err != nil {
 			return nil, err
 		}
 		return temporalSemijoin(l, r, n.Rel, n.Gap)
 	}
 	return nil, fmt.Errorf("query: unknown condition %T", c)
+}
+
+// evalPair evaluates the two operands of a binary condition as tasks
+// on the shared kernel pool, so independent subtrees of the condition
+// tree overlap (catalog reads go through the store's read lock and
+// spans are concurrency-safe). Errors from both sides are joined.
+func (e *Engine) evalPair(cat *cobra.Catalog, video string, duration float64, l, r Cond, span *obs.Span) ([]Result, []Result, error) {
+	var lRes, rRes []Result
+	var lErr, rErr error
+	batch := monet.DefaultPool().Batch()
+	batch.Submit(func() { lRes, lErr = e.eval(cat, video, duration, l, span) })
+	batch.Submit(func() { rRes, rErr = e.eval(cat, video, duration, r, span) })
+	batch.Wait()
+	return lRes, rRes, errors.Join(lErr, rErr)
 }
 
 func attrsMatch(have, want map[string]string) bool {

@@ -12,4 +12,5 @@ var All = []*vet.Analyzer{
 	GoFatal,
 	StoreLock,
 	ErrWrap,
+	PoolLeak,
 }

@@ -21,3 +21,7 @@ func TestStoreLock(t *testing.T) {
 func TestErrWrap(t *testing.T) {
 	vettest.Run(t, ErrWrap, "testdata/errwrap")
 }
+
+func TestPoolLeak(t *testing.T) {
+	vettest.Run(t, PoolLeak, "testdata/poolleak")
+}

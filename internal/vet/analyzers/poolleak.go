@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cobra/internal/vet"
+)
+
+// PoolLeak verifies that kernel worker-pool handles are always
+// drained: a monet.Batch obtained from Pool.Batch must reach a Wait
+// call on every return path (tasks submitted to an unwaited batch may
+// still be running when their inputs go out of scope), and a Pool
+// constructed with NewPool must be closed or escape to a caller.
+// Returns inside function literals — the submitted task bodies
+// themselves — do not count as paths out of the constructing function.
+var PoolLeak = &vet.Analyzer{
+	Name: "poolleak",
+	Doc: "report monet pool batches whose Submit calls are not matched " +
+		"by a Wait on every return path, and NewPool results never closed",
+	Run: runPoolLeak,
+}
+
+func runPoolLeak(pass *vet.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFuncPools(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncPools inspects one function body for batch and pool locals.
+func checkFuncPools(pass *vet.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		t := pass.TypeOf(as.Rhs[0])
+		switch {
+		case isMonetPtr(t, "Batch"):
+			reportUndrained(pass, body, id, "Wait",
+				"batch %q may return with submitted tasks still running")
+		case isMonetPtr(t, "Pool") && isNewPoolCall(as.Rhs[0]):
+			reportUndrained(pass, body, id, "Close",
+				"pool %q is never closed; its workers outlive the function")
+		}
+		return true
+	})
+}
+
+// isNewPoolCall matches NewPool(...) / monet.NewPool(...); pools from
+// DefaultPool() are shared and must NOT be closed by users.
+func isNewPoolCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "NewPool"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "NewPool"
+	}
+	return false
+}
+
+// isMonetPtr matches *monet.<name>.
+func isMonetPtr(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == name &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/monet")
+}
+
+// reportUndrained applies the drain rule to one local: a deferred
+// <method> call or an escape (returned, stored, or passed on) excuses
+// it; otherwise a <method> call must exist and no return statement of
+// the enclosing function may sit between the creation and the first
+// one. Returns inside function literals are skipped: they exit the
+// task closure, not the function owning the handle.
+func reportUndrained(pass *vet.Pass, body *ast.BlockStmt, id *ast.Ident, method, leakMsg string) {
+	var (
+		deferred  bool
+		escapes   bool
+		firstCall token.Pos
+		earlyRets []token.Pos
+	)
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncLit:
+				// A closure is not a return path of this function, but
+				// the handle draining inside one (a worker helping out)
+				// still counts, so keep walking with returns muted.
+				walk(st.Body, true)
+				return false
+			case *ast.DeferStmt:
+				if isMethodCallOn(st.Call, id.Name, method) {
+					deferred = true
+				}
+			case *ast.CallExpr:
+				if isMethodCallOn(st, id.Name, method) {
+					if firstCall == token.NoPos || st.Pos() < firstCall {
+						firstCall = st.Pos()
+					}
+					return true
+				}
+				for _, arg := range st.Args {
+					if a, ok := arg.(*ast.Ident); ok && a.Name == id.Name && a.Pos() != id.Pos() {
+						escapes = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range st.Results {
+					if a, ok := r.(*ast.Ident); ok && a.Name == id.Name {
+						escapes = true
+					}
+				}
+				if !inLit && st.Pos() > id.Pos() {
+					earlyRets = append(earlyRets, st.Pos())
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	if deferred || escapes {
+		return
+	}
+	if firstCall == token.NoPos {
+		pass.Reportf(id.Pos(), leakMsg+" (call %s.%s or defer it)", id.Name, id.Name, method)
+		return
+	}
+	for _, ret := range earlyRets {
+		if ret < firstCall {
+			pass.Reportf(ret, "return may leak %q: %s is called only later at %s (defer it instead)",
+				id.Name, method, pass.Pkg.Fset.Position(firstCall))
+			return
+		}
+	}
+}
+
+// isMethodCallOn matches <name>.<method>(...).
+func isMethodCallOn(call *ast.CallExpr, name, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == name
+}

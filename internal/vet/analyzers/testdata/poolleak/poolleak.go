@@ -1,0 +1,86 @@
+// Package poolleak is the poolleak analyzer's fixture.
+package poolleak
+
+import "cobra/internal/monet"
+
+func leaks() {
+	b := monet.DefaultPool().Batch() // want "may return with submitted tasks still running"
+	b.Submit(func() {})
+}
+
+func earlyReturn(fail bool) {
+	b := monet.DefaultPool().Batch()
+	b.Submit(func() {})
+	if fail {
+		return // want "may leak"
+	}
+	b.Wait()
+}
+
+func waited() {
+	b := monet.DefaultPool().Batch()
+	b.Submit(func() {})
+	b.Wait()
+}
+
+func deferred(fail bool) {
+	b := monet.DefaultPool().Batch()
+	defer b.Wait()
+	if fail {
+		return
+	}
+	b.Submit(func() {})
+}
+
+// returnInsideTask must not count as a path out of the function: the
+// closure's return exits the submitted task only.
+func returnInsideTask(xs []int) {
+	b := monet.DefaultPool().Batch()
+	for _, x := range xs {
+		x := x
+		b.Submit(func() {
+			if x < 0 {
+				return
+			}
+			_ = x * x
+		})
+	}
+	b.Wait()
+}
+
+func escapes() *monet.Batch {
+	b := monet.DefaultPool().Batch()
+	b.Submit(func() {})
+	return b
+}
+
+func passedOn() {
+	b := monet.DefaultPool().Batch()
+	drain(b)
+}
+
+func drain(b *monet.Batch) { b.Wait() }
+
+func poolNeverClosed() {
+	p := monet.NewPool(2) // want "never closed"
+	b := p.Batch()
+	b.Submit(func() {})
+	b.Wait()
+}
+
+func poolClosed() {
+	p := monet.NewPool(2)
+	defer p.Close()
+	b := p.Batch()
+	b.Submit(func() {})
+	b.Wait()
+}
+
+// sharedPoolNotClosed: DefaultPool is shared; requiring Close on it
+// would be wrong, so only NewPool results are checked.
+func sharedPoolNotClosed() {
+	p := monet.DefaultPool()
+	b := p.Batch()
+	b.Submit(func() {})
+	b.Wait()
+}
