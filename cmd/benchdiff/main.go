@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.25]
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.25] [-allow-missing Op1,Op2]
 //
 // Both files are cobra-bench -benchout combined JSON (see
 // internal/benchfmt). Every operation in the baseline is checked: the
 // command prints a per-op table and exits non-zero if any op's ns/op
-// grew by more than the threshold (default +25%) or disappeared from
-// the current run. Operations new in the current run pass untracked
-// until they land in the baseline.
+// grew by more than the threshold (default +25%), disappeared from
+// the current run, or has a corrupt (non-positive) baseline entry.
+// -allow-missing names baseline ops — comma-separated — that may be
+// absent from the current run without failing the gate, for retired
+// benchmarks whose baseline entry hasn't been pruned yet. Operations
+// new in the current run pass untracked until they land in the
+// baseline.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"cobra/internal/benchfmt"
 )
@@ -28,6 +33,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
 	current := flag.String("current", "BENCH_pr.json", "freshly measured results")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op growth (0.25 = +25%)")
+	allowMissing := flag.String("allow-missing", "", "comma-separated baseline ops allowed to be absent from the current run")
 	flag.Parse()
 
 	base, err := benchfmt.Read(*baseline)
@@ -38,22 +44,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if report(os.Stdout, base, cur, *threshold) {
+	if report(os.Stdout, base, cur, *threshold, allowlist(*allowMissing)) {
 		os.Exit(1)
 	}
 }
 
+// allowlist parses the -allow-missing value into a set of op names.
+func allowlist(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[name] = true
+		}
+	}
+	return set
+}
+
 // report prints the per-op comparison table to w and returns whether
-// any tracked operation regressed.
-func report(w io.Writer, base, cur *benchfmt.File, threshold float64) bool {
+// any tracked operation regressed. Baseline ops named in allowMissing
+// may be absent from the current run without failing the gate.
+func report(w io.Writer, base, cur *benchfmt.File, threshold float64, allowMissing map[string]bool) bool {
 	fmt.Fprintf(w, "benchdiff: baseline %s/%s GOMAXPROCS=%d vs current %s/%s GOMAXPROCS=%d (threshold +%.0f%%)\n",
 		base.GOOS, base.GOARCH, base.GOMAXPROCS, cur.GOOS, cur.GOARCH, cur.GOMAXPROCS, threshold*100)
 	failed := false
 	for _, d := range benchfmt.Compare(base, cur, threshold) {
 		switch {
+		case d.Missing && allowMissing[d.Name]:
+			fmt.Fprintf(w, "  skip %-24s %12.0f ns/op -> (missing, allowlisted)\n", d.Name, d.BaseNs)
 		case d.Missing:
 			failed = true
 			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op -> (missing from current run)\n", d.Name, d.BaseNs)
+		case d.BadBaseline:
+			failed = true
+			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op baseline is not positive: re-measure the baseline\n", d.Name, d.BaseNs)
 		case d.Regressed:
 			failed = true
 			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",

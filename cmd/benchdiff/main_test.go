@@ -27,7 +27,7 @@ func TestSyntheticRegressionFails(t *testing.T) {
 		{Name: "SerialSelect1M", NsPerOp: 12_600_000},  // +26%: regression
 	}}
 	var b strings.Builder
-	if !report(&b, baseFile(), cur, 0.25) {
+	if !report(&b, baseFile(), cur, 0.25, nil) {
 		t.Fatalf("synthetic 26%% regression passed the gate:\n%s", b.String())
 	}
 	out := b.String()
@@ -45,7 +45,7 @@ func TestWithinThresholdPasses(t *testing.T) {
 		{Name: "SerialSelect1M", NsPerOp: 9_000_000},
 	}}
 	var b strings.Builder
-	if report(&b, baseFile(), cur, 0.25) {
+	if report(&b, baseFile(), cur, 0.25, nil) {
 		t.Fatalf("in-threshold run failed the gate:\n%s", b.String())
 	}
 }
@@ -55,10 +55,61 @@ func TestMissingOpFails(t *testing.T) {
 		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
 	}}
 	var b strings.Builder
-	if !report(&b, baseFile(), cur, 0.25) {
+	if !report(&b, baseFile(), cur, 0.25, nil) {
 		t.Fatal("missing tracked op passed the gate")
 	}
 	if !strings.Contains(b.String(), "missing from current run") {
 		t.Fatalf("missing op not reported:\n%s", b.String())
+	}
+}
+
+// TestAllowMissingSkips lets a retired benchmark's baseline entry be
+// absent from the current run without failing, while a non-allowlisted
+// missing op still fails.
+func TestAllowMissingSkips(t *testing.T) {
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
+	}}
+	var b strings.Builder
+	if report(&b, baseFile(), cur, 0.25, allowlist("SerialSelect1M")) {
+		t.Fatalf("allowlisted missing op failed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "skip SerialSelect1M") {
+		t.Fatalf("allowlisted op not reported as skipped:\n%s", b.String())
+	}
+	b.Reset()
+	if !report(&b, baseFile(), cur, 0.25, allowlist("SomeOtherOp")) {
+		t.Fatal("non-allowlisted missing op passed the gate")
+	}
+}
+
+// TestZeroBaselineFails guards the ratio math: a corrupt baseline
+// entry with 0 ns/op must fail loudly instead of computing Ratio=0
+// and waving any slowdown through.
+func TestZeroBaselineFails(t *testing.T) {
+	base := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 0},
+	}}
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 9_000_000_000},
+	}}
+	var b strings.Builder
+	if !report(&b, base, cur, 0.25, nil) {
+		t.Fatalf("zero-ns/op baseline passed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "baseline is not positive") {
+		t.Fatalf("bad baseline not called out:\n%s", b.String())
+	}
+}
+
+func TestAllowlistParsing(t *testing.T) {
+	set := allowlist(" A, B ,,C")
+	for _, name := range []string{"A", "B", "C"} {
+		if !set[name] {
+			t.Fatalf("%s missing from allowlist %v", name, set)
+		}
+	}
+	if len(allowlist("")) != 0 {
+		t.Fatal("empty flag should yield an empty allowlist")
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -41,6 +42,10 @@ func runMicro(*f1.Lab) error {
 		{"ParallelGroupAgg1M", parallelBench(benchGroupAgg1M)},
 		{"SerialJoin1M", serialBench(benchJoin1M)},
 		{"ParallelJoin1M", parallelBench(benchJoin1M)},
+		{"ScanSelect1M", parallelBench(benchScanSelect1M)},
+		{"ZoneMapSelect1M", parallelBench(benchZoneMapSelect1M)},
+		{"CrackSelect1M", parallelBench(benchCrackSelect1M)},
+		{"DictEq1M", parallelBench(benchDictEq1M)},
 	}
 	results := make([]benchfmt.Result, 0, len(benches))
 	for _, bench := range benches {
@@ -200,6 +205,99 @@ func benchJoin1M(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := left.Join(right); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// accessStore builds a store holding "bench/val", a 1M-row float
+// column ascending over [0, 1000) — the clustered layout of
+// time-ordered telemetry, where zone-map pruning actually bites. The
+// access-path benchmarks select [100, 199.5] from it (~10%
+// selectivity, ~90% of morsels prunable). Float tails keep
+// Scan/ZoneMap/Crack comparisons apples-to-apples: the scan variant
+// needs a NaN row to pin the gate on PathScan, and NaN only exists
+// for floats.
+func accessStore(b *testing.B, withNaN bool) *monet.Store {
+	store := monet.NewStore()
+	n := 1 << 20
+	bat := monet.NewBATCap(monet.Void, monet.FloatT, n+1)
+	for i := 0; i < n; i++ {
+		bat.MustInsert(monet.VoidValue(), monet.NewFloat(float64(i)*1000/float64(n)))
+	}
+	if withNaN {
+		// One NaN poisons index structures: the cost gate marks the
+		// column unsafe and every select takes the full parallel scan.
+		bat.MustInsert(monet.VoidValue(), monet.NewFloat(math.NaN()))
+	}
+	if err := store.Put("bench/val", bat); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}
+
+// benchAccessSelect warms the index state with one untimed select,
+// then times SelectPositions over [100, 199.5].
+func benchAccessSelect(b *testing.B, store *monet.Store) {
+	lo, hi := monet.NewFloat(100), monet.NewFloat(199.5)
+	if _, _, err := store.SelectPositions("bench/val", lo, hi); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.SelectPositions("bench/val", lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScanSelect1M is the full morsel-parallel scan the adaptive
+// paths are judged against: a NaN row pins the gate on PathScan.
+func benchScanSelect1M(b *testing.B) {
+	benchAccessSelect(b, accessStore(b, true))
+}
+
+// benchZoneMapSelect1M holds the gate on zone-map pruning by raising
+// the crack threshold out of reach.
+func benchZoneMapSelect1M(b *testing.B) {
+	prev := monet.SetCrackThreshold(1 << 30)
+	defer monet.SetCrackThreshold(prev)
+	store := accessStore(b, false)
+	if _, err := store.BuildZoneMap("bench/val"); err != nil {
+		b.Fatal(err)
+	}
+	benchAccessSelect(b, store)
+}
+
+// benchCrackSelect1M force-builds the cracker so every timed select
+// answers from the incrementally partitioned copy.
+func benchCrackSelect1M(b *testing.B) {
+	store := accessStore(b, false)
+	if _, err := store.Crack("bench/val"); err != nil {
+		b.Fatal(err)
+	}
+	benchAccessSelect(b, store)
+}
+
+// benchDictEq1M times a string equality select answered by the
+// dictionary: 1M rows over 500 distinct labels, ~0.2% selectivity.
+func benchDictEq1M(b *testing.B) {
+	store := monet.NewStore()
+	n := 1 << 20
+	bat := monet.NewBATCap(monet.Void, monet.StrT, n)
+	for i := 0; i < n; i++ {
+		bat.MustInsert(monet.VoidValue(), monet.NewStr(fmt.Sprintf("label-%03d", i%500)))
+	}
+	if err := store.Put("bench/label", bat); err != nil {
+		b.Fatal(err)
+	}
+	eq := monet.NewStr("label-042")
+	if _, _, err := store.SelectPositions("bench/label", eq, eq); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.SelectPositions("bench/label", eq, eq); err != nil {
 			b.Fatal(err)
 		}
 	}

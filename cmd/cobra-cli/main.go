@@ -13,7 +13,7 @@
 //
 //	SELECT/RETRIEVE ...   COQL query
 //	EXPLAIN <q>           emit and verify the MIL access plan (no execution)
-//	EXPLAIN ANALYZE <q>   run a COQL query and print its span tree
+//	EXPLAIN ANALYZE <q>   run a COQL query; plan with access paths, then span tree
 //	mil <statement>       MIL statement against the kernel
 //	check <statement>     statically verify a MIL statement (milcheck)
 //	.videos               list videos
@@ -211,18 +211,22 @@ func localShell(db string) error {
 				fmt.Println(" ", d)
 			}
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE "):
-			// EXPLAIN ANALYZE <query>: run the query and render its trace
-			// span tree across the conceptual/logical/physical levels.
+			// EXPLAIN ANALYZE <query>: the verified plan with access
+			// paths, then the executed trace span tree across the
+			// conceptual/logical/physical levels.
 			stmt := strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
-			res, span, err := eng.RunTraced(stmt)
+			ex, res, span, err := eng.ExplainAnalyze(stmt)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
+			for _, l := range strings.Split(strings.TrimRight(ex.String(), "\n"), "\n") {
+				fmt.Println("  " + l)
+			}
+			fmt.Printf("  # executed: %d segments\n", len(res))
 			for _, l := range strings.Split(strings.TrimRight(span.Render(), "\n"), "\n") {
 				fmt.Println("  " + l)
 			}
-			fmt.Printf("  (%d segments)\n", len(res))
 		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN "):
 			// EXPLAIN <query>: emit and verify the MIL access plan
 			// without running the query.
@@ -266,7 +270,7 @@ func printHelp() {
           cond AND/OR cond | cond BEFORE/AFTER/DURING/OVERLAPS cond |
           cond WITHIN <n> OF cond
   EXPLAIN <query>           emit and statically verify the MIL access plan
-  EXPLAIN ANALYZE <query>   run a COQL query, print its trace span tree
+  EXPLAIN ANALYZE <query>   run a COQL query: plan with access paths, then its trace span tree
   mil <stmt>        MIL against the kernel, e.g. mil RETURN bat("cobra/videos").count;
   check <stmt>      statically verify MIL without running it (milcheck)
   .videos           list videos
@@ -334,10 +338,6 @@ func remoteShell(addr string) error {
 		}
 		if line == ".quit" || line == ".exit" {
 			return nil
-		}
-		// EXPLAIN ANALYZE maps to the protocol's TRACE command.
-		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN ANALYZE ") {
-			line = "TRACE " + strings.TrimSpace(line[len("EXPLAIN ANALYZE "):])
 		}
 		out, err := cl.Do(line)
 		if err != nil {

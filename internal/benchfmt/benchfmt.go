@@ -86,16 +86,22 @@ type Delta struct {
 	// not measured in the current run — treated as a regression so a
 	// tracked op can't silently drop out of the gate.
 	Missing bool
+	// BadBaseline is true when the baseline recorded a non-positive
+	// ns/op for the operation. Such an entry cannot anchor a ratio, so
+	// the op is failed loudly instead of letting Ratio=0 wave any
+	// slowdown through.
+	BadBaseline bool
 	// Regressed is true when the op breaches the comparison threshold.
 	Regressed bool
 }
 
 // Compare evaluates the current run against the baseline. Every
 // baseline operation yields a Delta, ordered by name; an op regresses
-// when its ns/op grows by more than threshold (0.25 = fail above +25%)
-// or disappears from the current run. Operations only present in the
-// current run are ignored — new benchmarks don't need a baseline to
-// land.
+// when its ns/op grows by more than threshold (0.25 = fail above +25%),
+// disappears from the current run, or has a non-positive baseline
+// ns/op (a corrupt entry that cannot anchor a ratio). Operations only
+// present in the current run are ignored — new benchmarks don't need
+// a baseline to land.
 func Compare(baseline, current *File, threshold float64) []Delta {
 	deltas := make([]Delta, 0, len(baseline.Results))
 	for _, base := range baseline.Results {
@@ -110,8 +116,11 @@ func Compare(baseline, current *File, threshold float64) []Delta {
 		d.CurNs = cur.NsPerOp
 		if base.NsPerOp > 0 {
 			d.Ratio = cur.NsPerOp / base.NsPerOp
+			d.Regressed = d.Ratio > 1+threshold
+		} else {
+			d.BadBaseline = true
+			d.Regressed = true
 		}
-		d.Regressed = d.Ratio > 1+threshold
 		deltas = append(deltas, d)
 	}
 	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })

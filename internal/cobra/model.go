@@ -176,6 +176,32 @@ func (c *Catalog) Feature(video, name string) (Feature, error) {
 	return f, nil
 }
 
+// FeatureMeta returns the sample rate and sample count of a
+// materialized feature without loading its values.
+func (c *Catalog) FeatureMeta(video, name string) (rate float64, n int, err error) {
+	b, err := c.store.Get(featureBAT(video, name))
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: feature %s/%s", ErrNotFound, video, name)
+	}
+	rb, err := c.store.Get(featureBAT(video, name) + "/rate")
+	if err != nil || rb.Len() == 0 {
+		return 0, 0, fmt.Errorf("cobra: feature %s/%s missing sample rate", video, name)
+	}
+	return rb.Tail(0).Float(), b.Len(), nil
+}
+
+// FeatureSelect returns the ascending sample positions whose value
+// lies in [lo, hi], routed through the kernel's adaptive access paths
+// (zone map, cracker or scan, chosen by the store's cost gate), along
+// with the access path taken.
+func (c *Catalog) FeatureSelect(video, name string, lo, hi float64) ([]int, *monet.AccessInfo, error) {
+	return c.store.SelectPositions(featureBAT(video, name), monet.NewFloat(lo), monet.NewFloat(hi))
+}
+
+// FeatureBATName is the kernel BAT name holding a feature series;
+// EXPLAIN probes it for access plans.
+func FeatureBATName(video, name string) string { return featureBAT(video, name) }
+
 // FeatureNames lists materialized features of a video.
 func (c *Catalog) FeatureNames(video string) []string {
 	prefix := "cobra/feature/" + video + "/"

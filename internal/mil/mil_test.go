@@ -257,6 +257,59 @@ func TestStoreIntegration(t *testing.T) {
 	}
 }
 
+func TestIndexBuiltins(t *testing.T) {
+	store := monet.NewStore()
+	b := monet.NewBATCap(monet.Void, monet.IntT, 1000)
+	for i := 0; i < 1000; i++ {
+		b.MustInsert(monet.VoidValue(), monet.NewInt(int64(i%100)))
+	}
+	store.Put("laps", b)
+	in := NewInterp(store)
+
+	v, err := in.Exec(`crack("laps");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Atom.Int() < 1 {
+		t.Fatalf("crack pieces = %v", v)
+	}
+	v, err = in.Exec(`zonemap("laps");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Atom.Int() != 1 { // 1000 rows fit one morsel
+		t.Fatalf("zonemap morsels = %v", v)
+	}
+	v, err = in.Exec(`indexinfo("laps").find("crack");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Atom.Str(); got == "none" || got == "" {
+		t.Fatalf("indexinfo crack = %q", got)
+	}
+	// Selects keep working against the cracked column.
+	v, err = in.Exec(`bat("laps").uselect(10, 19).count;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Atom.Int() != 100 {
+		t.Fatalf("post-crack uselect count = %v", v)
+	}
+	// Errors: missing BAT, no store, uncrackable type.
+	if _, err := in.Exec(`crack("no/such");`); err == nil {
+		t.Fatal("crack on missing BAT accepted")
+	}
+	if _, err := in.Exec(`indexinfo("no/such");`); err == nil {
+		t.Fatal("indexinfo on missing BAT accepted")
+	}
+	nostore := NewInterp(nil)
+	for _, src := range []string{`crack("x");`, `zonemap("x");`, `indexinfo("x");`} {
+		if _, err := nostore.Exec(src); err == nil {
+			t.Fatalf("%q without a store accepted", src)
+		}
+	}
+}
+
 func TestUndefinedVariable(t *testing.T) {
 	in := NewInterp(nil)
 	_, err := in.Exec("nosuch;")

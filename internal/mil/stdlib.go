@@ -17,6 +17,9 @@ func (in *Interp) installStdlib() {
 	in.Register("print", builtinPrint)
 	in.Register("bat", builtinBAT)
 	in.Register("register", builtinRegister)
+	in.Register("crack", builtinCrack)
+	in.Register("zonemap", builtinZoneMap)
+	in.Register("indexinfo", builtinIndexInfo)
 	in.Register("abs", func(_ *Interp, args []Value) (Value, error) {
 		if err := wantAtoms("abs", args, 1); err != nil {
 			return Value{}, err
@@ -223,6 +226,55 @@ func builtinBAT(in *Interp, args []Value) (Value, error) {
 		return Value{}, errors.New("bat: no store attached")
 	}
 	b, err := in.store.Get(args[0].Atom.Str())
+	if err != nil {
+		return Value{}, err
+	}
+	return BATValue(b), nil
+}
+
+// builtinCrack force-builds the cracker copy of a stored numeric
+// column: crack("name") returns the resulting piece count. Subsequent
+// range selects over the BAT answer from the cracker.
+func builtinCrack(in *Interp, args []Value) (Value, error) {
+	if err := wantAtoms("crack", args, 1); err != nil {
+		return Value{}, err
+	}
+	if in.store == nil {
+		return Value{}, errors.New("crack: no store attached")
+	}
+	n, err := in.store.Crack(args[0].Atom.Str())
+	if err != nil {
+		return Value{}, err
+	}
+	return AtomValue(monet.NewInt(int64(n))), nil
+}
+
+// builtinZoneMap force-builds the per-morsel min/max zone map of a
+// stored column: zonemap("name") returns the morsel count.
+func builtinZoneMap(in *Interp, args []Value) (Value, error) {
+	if err := wantAtoms("zonemap", args, 1); err != nil {
+		return Value{}, err
+	}
+	if in.store == nil {
+		return Value{}, errors.New("zonemap: no store attached")
+	}
+	n, err := in.store.BuildZoneMap(args[0].Atom.Str())
+	if err != nil {
+		return Value{}, err
+	}
+	return AtomValue(monet.NewInt(int64(n))), nil
+}
+
+// builtinIndexInfo reports the adaptive index state of a stored BAT
+// as a [str,str] BAT of property/value pairs: indexinfo("name").
+func builtinIndexInfo(in *Interp, args []Value) (Value, error) {
+	if err := wantAtoms("indexinfo", args, 1); err != nil {
+		return Value{}, err
+	}
+	if in.store == nil {
+		return Value{}, errors.New("indexinfo: no store attached")
+	}
+	b, err := in.store.IndexInfo(args[0].Atom.Str())
 	if err != nil {
 		return Value{}, err
 	}

@@ -765,6 +765,15 @@ func (c *checker) evalCall(ex *mil.Call) VType {
 		args[i] = c.eval(a)
 	}
 
+	// Index builders mutate shared per-BAT index state: they are
+	// serialized on the store's index lock, but the piece layout the
+	// branches observe depends on scheduling, so flag them inside
+	// PARALLEL blocks.
+	if (name == "crack" || name == "zonemap") && len(c.parStack) > 0 {
+		c.warnf(line, col, "index-in-parallel",
+			"%s() rebuilds shared index state; inside a PARALLEL block the layout branches observe is nondeterministic", name)
+	}
+
 	switch name {
 	case "print":
 		return None()

@@ -441,3 +441,33 @@ func TestCheckSourceParseError(t *testing.T) {
 		t.Fatal("expected parse error")
 	}
 }
+
+func TestIndexBuiltinSigs(t *testing.T) {
+	diags := check(t, `print(crack("laps") + zonemap("laps"));
+VAR ii := indexinfo("laps");
+print(ii.find("crack"));
+`, nil)
+	wantClean(t, diags)
+	// Non-string BAT names and wrong arity are diagnosed.
+	diags = check(t, `print(crack(1));`, nil)
+	wantDiag(t, diags, "bad-call", Error, 1, 7)
+	diags = check(t, `print(zonemap(1.5));`, nil)
+	wantDiag(t, diags, "bad-call", Error, 1, 7)
+	diags = check(t, `print(indexinfo("x", "y").count);`, nil)
+	wantDiag(t, diags, "bad-call", Error, 1, 7)
+}
+
+func TestIndexBuildersInParallelWarn(t *testing.T) {
+	src := `PARALLEL {
+  print(crack("a"));
+  print(zonemap("b"));
+}
+print(indexinfo("a").count);
+`
+	diags := check(t, src, nil)
+	wantDiag(t, diags, "index-in-parallel", Warning, 2, 9)
+	wantDiag(t, diags, "index-in-parallel", Warning, 3, 9)
+	// indexinfo is read-only: no warning outside or inside PARALLEL.
+	diags = check(t, "PARALLEL {\n  print(indexinfo(\"a\").count);\n}\n", nil)
+	wantNoDiag(t, diags, "index-in-parallel")
+}

@@ -99,6 +99,9 @@ func stdlibSigs() map[string]Sig {
 			}
 			return AnyAtomType(), ""
 		},
+		"crack":     fixedSig("crack", AtomOf(monet.IntT), wantStr),
+		"zonemap":   fixedSig("zonemap", AtomOf(monet.IntT), wantStr),
+		"indexinfo": fixedSig("indexinfo", BATOf(monet.StrT, monet.StrT), wantStr),
 		"scale":     fixedSig("scale", BATOf(monet.Void, monet.FloatT), wantNumericBAT, wantNumeric, wantNumeric),
 		"clamp":     fixedSig("clamp", BATOf(monet.Void, monet.FloatT), wantNumericBAT, wantNumeric, wantNumeric),
 		"threshold": fixedSig("threshold", BATOf(monet.Void, monet.BoolT), wantNumericBAT, wantNumeric),

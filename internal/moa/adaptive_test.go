@@ -1,0 +1,156 @@
+package moa
+
+import (
+	"fmt"
+	"testing"
+
+	"cobra/internal/monet"
+)
+
+// bigFlatFixture stores a flattened set large enough to clear the
+// kernel's parallel/index thresholds: id = 0..n-1, val = id % 1000,
+// driver cycling over 40 labels.
+func bigFlatFixture(t *testing.T, n int) (*monet.Store, *FlatSet) {
+	t.Helper()
+	store := monet.NewStore()
+	id := monet.NewBATCap(monet.Void, monet.IntT, n)
+	val := monet.NewBATCap(monet.Void, monet.IntT, n)
+	driver := monet.NewBATCap(monet.Void, monet.StrT, n)
+	for i := 0; i < n; i++ {
+		id.MustInsert(monet.VoidValue(), monet.NewInt(int64(i)))
+		val.MustInsert(monet.VoidValue(), monet.NewInt(int64(i%1000)))
+		driver.MustInsert(monet.VoidValue(), monet.NewStr(fmt.Sprintf("label-%02d", i%40)))
+	}
+	store.Put("big/id", id)
+	store.Put("big/val", val)
+	store.Put("big/driver", driver)
+	schema := monet.NewBAT(monet.Void, monet.StrT)
+	for _, f := range []string{"id", "val", "driver"} {
+		schema.MustInsert(monet.VoidValue(), monet.NewStr(f))
+	}
+	store.Put("big/_schema", schema)
+	fs, err := Open(store, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, fs
+}
+
+func TestSelectRangeInfoGraduatesToCrack(t *testing.T) {
+	n := 3 * monet.MorselSize
+	_, fs := bigFlatFixture(t, n)
+	want := 0
+	for i := 0; i < n; i++ {
+		if v := i % 1000; v >= 100 && v <= 199 {
+			want++
+		}
+	}
+	var last *monet.AccessInfo
+	for q := 0; q < 4; q++ {
+		out, info, err := fs.SelectRangeInfo(fmt.Sprintf("out%d", q), "val",
+			monet.NewInt(100), monet.NewInt(199))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := out.Len()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d (path=%v): %d rows, want %d", q, info.Path, got, want)
+		}
+		last = info
+	}
+	if last.Path != monet.PathCrack {
+		t.Fatalf("4th repeated select path = %v, want crack", last.Path)
+	}
+}
+
+func TestSelectRangeInfoUsesDictForStrings(t *testing.T) {
+	n := 3 * monet.MorselSize
+	_, fs := bigFlatFixture(t, n)
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%40 == 5 {
+			want++
+		}
+	}
+	var last *monet.AccessInfo
+	for q := 0; q < 2; q++ {
+		out, info, err := fs.SelectRangeInfo(fmt.Sprintf("lab%d", q), "driver",
+			monet.NewStr("label-05"), monet.NewStr("label-05"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := out.Len()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d (path=%v): %d rows, want %d", q, info.Path, got, want)
+		}
+		last = info
+	}
+	if last.Path != monet.PathDict {
+		t.Fatalf("repeated string select path = %v, want dict", last.Path)
+	}
+}
+
+func TestJoinOnInfoPrefilterPreservesJoin(t *testing.T) {
+	n := 3 * monet.MorselSize
+	store, fs := bigFlatFixture(t, n)
+
+	tv := monet.NewBAT(monet.Void, monet.IntT)
+	tt := monet.NewBAT(monet.Void, monet.StrT)
+	for _, k := range []int64{100, 500} {
+		tv.MustInsert(monet.VoidValue(), monet.NewInt(k))
+		tt.MustInsert(monet.VoidValue(), monet.NewStr(fmt.Sprintf("team-%d", k)))
+	}
+	store.Put("teams/val", tv)
+	store.Put("teams/team", tt)
+	schema := monet.NewBAT(monet.Void, monet.StrT)
+	schema.MustInsert(monet.VoidValue(), monet.NewStr("val"))
+	schema.MustInsert(monet.VoidValue(), monet.NewStr("team"))
+	store.Put("teams/_schema", schema)
+	ts, err := Open(store, "teams")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, info, err := fs.JoinOnInfo(ts, "joined", "val", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil {
+		t.Fatal("no prefilter ran on a parallel-sized probe column")
+	}
+	var wantIDs []int64
+	for i := 0; i < n; i++ {
+		if v := i % 1000; v == 100 || v == 500 {
+			wantIDs = append(wantIDs, int64(i))
+		}
+	}
+	ids, err := store.Get("joined/id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	teams, err := store.Get("joined/team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids.Len() != len(wantIDs) {
+		t.Fatalf("joined %d rows, want %d (prefilter %v)", ids.Len(), len(wantIDs), info)
+	}
+	for i, want := range wantIDs {
+		if got := ids.Tail(i).Int(); got != want {
+			t.Fatalf("joined row %d id = %d, want %d", i, got, want)
+		}
+		wantTeam := "team-100"
+		if want%1000 == 500 {
+			wantTeam = "team-500"
+		}
+		if got := teams.Tail(i).Str(); got != wantTeam {
+			t.Fatalf("joined row %d team = %q, want %q", i, got, wantTeam)
+		}
+	}
+}

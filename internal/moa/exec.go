@@ -81,15 +81,31 @@ func (fs *FlatSet) Len() (int, error) {
 // they run as tasks on the shared kernel pool; results are stored
 // serially in schema order afterwards.
 func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*FlatSet, error) {
+	out, _, err := fs.SelectRangeInfo(dstPrefix, field, lo, hi)
+	return out, err
+}
+
+// SelectRangeInfo is SelectRange routed through the kernel's adaptive
+// access paths: the predicate column's uselect goes through the
+// store's cost gate (scan, zone map, cracker or dictionary, chosen by
+// column state), and the access path taken is returned alongside the
+// result. Results are identical to the plain scan for every path.
+func (fs *FlatSet) SelectRangeInfo(dstPrefix, field string, lo, hi monet.Value) (*FlatSet, *monet.AccessInfo, error) {
 	defer func(start time.Time) { hSelectRange.Observe(time.Since(start)) }(time.Now())
 	col, err := fs.column(field)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	keys := col.Uselect(lo, hi) // [oid, void]
+	keys, info, err := fs.store.UselectRange(fs.prefix+"/"+field, lo, hi) // [oid, void]
+	if err != nil {
+		// The column vanished between fetch and select: degrade to the
+		// direct scan over the fetched BAT.
+		keys = col.Uselect(lo, hi)
+		info = &monet.AccessInfo{Path: monet.PathScan, Rows: col.Len(), Matched: keys.Len()}
+	}
 	names, err := fs.Schema()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	outs := make([]*monet.BAT, len(names))
 	errs := make([]error, len(names))
@@ -107,14 +123,14 @@ func (fs *FlatSet) SelectRange(dstPrefix, field string, lo, hi monet.Value) (*Fl
 	}
 	batch.Wait()
 	if err := errors.Join(errs...); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, name := range names {
 		fs.store.Put(dstPrefix+"/"+name, outs[i])
 	}
 	schema, _ := fs.store.Get(fs.prefix + "/_schema")
 	fs.store.Put(dstPrefix+"/_schema", schema)
-	return &FlatSet{store: fs.store, prefix: dstPrefix}, nil
+	return &FlatSet{store: fs.store, prefix: dstPrefix}, info, nil
 }
 
 // Aggregate computes count/sum/avg/max/min over one field using the
@@ -156,27 +172,50 @@ func (fs *FlatSet) Aggregate(field, op string) (monet.Value, error) {
 // Output fields are left's fields plus right's fields (right's join
 // field dropped); name collisions take the left value.
 func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField string) (*FlatSet, error) {
+	out, _, err := fs.JoinOnInfo(other, dstPrefix, leftField, rightField)
+	return out, err
+}
+
+// JoinOnInfo is JoinOn with a zone-map prefilter over the probe side:
+// when the left key column is large enough to parallelize, the
+// build side's [min, max] key range range-selects the probe column
+// through the kernel's adaptive access paths before hashing. Rows
+// outside the build side's key range cannot hash-match, so dropping
+// them changes neither the emitted pairs nor their order. The
+// returned AccessInfo describes the prefilter's access path; it is
+// nil when no prefilter ran.
+func (fs *FlatSet) JoinOnInfo(other *FlatSet, dstPrefix, leftField, rightField string) (*FlatSet, *monet.AccessInfo, error) {
 	defer func(start time.Time) { hJoinOn.Observe(time.Since(start)) }(time.Now())
 	lk, err := fs.column(leftField)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rk, err := other.column(rightField)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	probe, info := lk, (*monet.AccessInfo)(nil)
+	if lk.Len() >= monet.ParallelThreshold && rk.Len() > 0 && lk.TailType() == rk.TailType() {
+		if mn, ok := rk.Min(); ok {
+			if mx, ok := rk.Max(); ok {
+				if f, fi, err := fs.store.SelectRange(fs.prefix+"/"+leftField, mn, mx); err == nil {
+					probe, info = f, fi
+				}
+			}
+		}
 	}
 	// [l-oid, value] join [value, r-oid] -> [l-oid, r-oid]
-	pairs, err := lk.Join(rk.Reverse())
+	pairs, err := probe.Join(rk.Reverse())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	lNames, err := fs.Schema()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rNames, err := other.Schema()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Each output field is an independent gather through the OID pair
 	// list, so the fields materialize as tasks on the shared kernel
@@ -192,7 +231,7 @@ func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField strin
 	for _, name := range lNames {
 		src, err := fs.column(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		jobs = append(jobs, fieldJob{name, src, func(i int) monet.Value { return pairs.Head(i) }})
 		seen[name] = true
@@ -203,7 +242,7 @@ func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField strin
 		}
 		src, err := other.column(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		jobs = append(jobs, fieldJob{name, src, func(i int) monet.Value { return pairs.Tail(i) }})
 	}
@@ -227,7 +266,7 @@ func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField strin
 	}
 	batch.Wait()
 	if err := errors.Join(errs...); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	outSchema := monet.NewBAT(monet.Void, monet.StrT)
 	for i, job := range jobs {
@@ -235,7 +274,7 @@ func (fs *FlatSet) JoinOn(other *FlatSet, dstPrefix, leftField, rightField strin
 		outSchema.MustInsert(monet.VoidValue(), monet.NewStr(job.name))
 	}
 	fs.store.Put(dstPrefix+"/_schema", outSchema)
-	return &FlatSet{store: fs.store, prefix: dstPrefix}, nil
+	return &FlatSet{store: fs.store, prefix: dstPrefix}, info, nil
 }
 
 // Materialize reconstructs the flattened set as Moa structures.

@@ -1,0 +1,499 @@
+package monet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cobra/internal/obs"
+)
+
+// Adaptive access paths: the kernel's self-organizing alternative to a
+// full scan for tail-range selects over named BATs. Three cooperating
+// structures live beside each stored BAT:
+//
+//   - a zone map of per-morsel min/max summaries, built lazily on the
+//     first indexed select, that prunes whole morsels before the
+//     morsel-parallel scan runs (zonemap.go);
+//   - a cracker copy of numeric tails, incrementally range-partitioned
+//     as a side effect of each select, so hot columns converge toward
+//     sorted and repeated selects become binary search + narrow copy
+//     (crack.go);
+//   - a dictionary for string tails, so equality and range selects
+//     compare small integer codes and distinct counts come for free
+//     (dict.go).
+//
+// All structures are keyed to the store's per-name mutation epoch:
+// Put/Append/Drop bump the epoch under the write lock, and the next
+// indexed select observes the mismatch and rebuilds from scratch.
+// Results are always byte-identical to the naive scan; any predicate
+// an index cannot answer exactly (type-mismatched bounds, NaN values,
+// NaN bounds) falls back to colSelectIdx.
+
+// Access-path metrics (monet.index.*): how often each structure is
+// built and consulted, how much work pruning saves, and how far the
+// crackers have converged.
+var (
+	cIdxSelects       = obs.C("monet.index.selects")
+	cIdxInvalidations = obs.C("monet.index.invalidations")
+	cZmBuilds         = obs.C("monet.index.zonemap.builds")
+	cZmScanned        = obs.C("monet.index.zonemap.morsels_scanned")
+	cZmPruned         = obs.C("monet.index.zonemap.morsels_pruned")
+	cCrBuilds         = obs.C("monet.index.crack.builds")
+	cCrCracks         = obs.C("monet.index.crack.cracks")
+	hCrPieces         = obs.H("monet.index.crack.pieces")
+	cDictBuilds       = obs.C("monet.index.dict.builds")
+	cDictHits         = obs.C("monet.index.dict.hits")
+	cDictMisses       = obs.C("monet.index.dict.misses")
+)
+
+// AccessPath identifies how a range select over a stored BAT was (or
+// would be) executed.
+type AccessPath int
+
+// The access paths the cost gate chooses between.
+const (
+	// PathScan is the full morsel-parallel scan of PR 4.
+	PathScan AccessPath = iota
+	// PathZoneMap scans only the morsels whose [min,max] intersects
+	// the predicate range.
+	PathZoneMap
+	// PathCrack answers from the incrementally range-partitioned
+	// cracker copy of the column.
+	PathCrack
+	// PathDict answers string predicates over dictionary codes.
+	PathDict
+)
+
+// String renders the access path the way EXPLAIN prints it.
+func (p AccessPath) String() string {
+	switch p {
+	case PathZoneMap:
+		return "zonemap"
+	case PathCrack:
+		return "crack"
+	case PathDict:
+		return "dict"
+	}
+	return "scan"
+}
+
+// AccessInfo describes one (planned or executed) indexed select.
+type AccessInfo struct {
+	// Path is the access path chosen by the cost gate.
+	Path AccessPath
+	// Rows is the size of the scanned BAT.
+	Rows int
+	// Matched is the number of qualifying rows (0 for a pure plan).
+	Matched int
+	// MorselsTotal and MorselsPruned report zone-map effectiveness:
+	// pruned morsels are never touched by the scan.
+	MorselsTotal  int
+	MorselsPruned int
+	// CrackPieces is the cracker partition count after the select.
+	CrackPieces int
+	// DictSize is the dictionary entry count (distinct tail values).
+	DictSize int
+}
+
+// String renders the info as the single access-path line EXPLAIN
+// ANALYZE and trace spans attach.
+func (ai *AccessInfo) String() string {
+	s := fmt.Sprintf("path=%s rows=%d matched=%d", ai.Path, ai.Rows, ai.Matched)
+	if ai.MorselsTotal > 0 {
+		s += fmt.Sprintf(" morsels=%d pruned=%d", ai.MorselsTotal, ai.MorselsPruned)
+	}
+	if ai.CrackPieces > 0 {
+		s += fmt.Sprintf(" pieces=%d", ai.CrackPieces)
+	}
+	if ai.DictSize > 0 {
+		s += fmt.Sprintf(" dict=%d", ai.DictSize)
+	}
+	return s
+}
+
+// DefaultCrackThreshold is how many indexed selects a numeric column
+// absorbs before the cost gate invests in a cracker copy: the first
+// selects are served by the (cheap) zone map, and columns filtered
+// repeatedly — the cracking-friendly workload — graduate to the
+// cracker.
+const DefaultCrackThreshold = 2
+
+var crackAfter atomic.Int64
+
+func init() { crackAfter.Store(DefaultCrackThreshold) }
+
+// SetCrackThreshold overrides how many indexed selects a numeric
+// column absorbs before graduating from zone-map pruning to cracking
+// and returns the previous value. n <= 0 restores the default. It is
+// a tuning knob for benchmarks and experiments; production code
+// should leave the gate at DefaultCrackThreshold.
+func SetCrackThreshold(n int) int {
+	if n <= 0 {
+		n = DefaultCrackThreshold
+	}
+	return int(crackAfter.Swap(int64(n)))
+}
+
+// batIndex is the adaptive index state of one named BAT. All fields
+// are guarded by mu; epoch records the store epoch the structures were
+// built against.
+type batIndex struct {
+	mu      sync.Mutex
+	epoch   uint64
+	selects int  // indexed selects since the last rebuild
+	unsafe  bool // NaN observed in the column: always fall back to scan
+	zm      *zoneMap
+	cr      cracker
+	dict    *strDict
+}
+
+// syncEpoch discards every structure when the store epoch moved.
+func (ix *batIndex) syncEpoch(epoch uint64) {
+	if ix.epoch == epoch {
+		return
+	}
+	ix.epoch = epoch
+	ix.selects = 0
+	ix.unsafe = false
+	ix.zm = nil
+	ix.cr = nil
+	ix.dict = nil
+}
+
+// indexFor returns (creating on demand) the index state of a name.
+func (s *Store) indexFor(name string) *batIndex {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.indexes == nil {
+		s.indexes = make(map[string]*batIndex)
+	}
+	ix := s.indexes[name]
+	if ix == nil {
+		ix = &batIndex{epoch: ^uint64(0)}
+		s.indexes[name] = ix
+	}
+	return ix
+}
+
+// dropIndex forgets the cached index state of a dropped name.
+func (s *Store) dropIndex(name string) {
+	s.idxMu.Lock()
+	delete(s.indexes, name)
+	s.idxMu.Unlock()
+}
+
+// capture snapshots (BAT, epoch, index) for a named BAT. The store
+// lock is released before any index work: index structures fan out on
+// the shared pool, and a drain-helping Wait may execute foreign tasks
+// that take store locks themselves.
+func (s *Store) capture(name string) (*BAT, *batIndex, error) {
+	s.mu.RLock()
+	b, ok := s.bats[name]
+	epoch := s.epochs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchBAT, name)
+	}
+	ix := s.indexFor(name)
+	ix.mu.Lock()
+	ix.syncEpoch(epoch)
+	return b, ix, nil
+}
+
+// SelectPositions returns the ascending positions of the named BAT
+// whose tail lies in [lo, hi], routed through the cost gate, plus a
+// description of the access path taken. It is the primitive behind
+// SelectRange/UselectRange and the COQL condition evaluator.
+func (s *Store) SelectPositions(name string, lo, hi Value) ([]int, *AccessInfo, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ix.mu.Unlock()
+	cIdxSelects.Inc()
+	idx, info := ix.selectLocked(b.tail, lo, hi)
+	return idx, info, nil
+}
+
+// SelectRange is the adaptive counterpart of BAT.Select over a stored
+// BAT: same [head, tail] result, access path chosen by the cost gate.
+func (s *Store) SelectRange(name string, lo, hi Value) (*BAT, *AccessInfo, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cIdxSelects.Inc()
+	idx, info := ix.selectLocked(b.tail, lo, hi)
+	ix.mu.Unlock()
+	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}, info, nil
+}
+
+// UselectRange is the adaptive counterpart of BAT.Uselect: the
+// qualifying heads over a void tail.
+func (s *Store) UselectRange(name string, lo, hi Value) (*BAT, *AccessInfo, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	cIdxSelects.Inc()
+	idx, info := ix.selectLocked(b.tail, lo, hi)
+	ix.mu.Unlock()
+	return &BAT{head: b.head.Gather(idx), tail: &voidColumn{n: len(idx)}}, info, nil
+}
+
+// PlanAccess reports the access path the next select with these
+// bounds would take, without scanning or building anything — the
+// side-effect-free probe EXPLAIN uses. When a zone map already exists
+// the plan includes its prune counts for the given range.
+func (s *Store) PlanAccess(name string, lo, hi Value) (*AccessInfo, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.mu.Unlock()
+	info := &AccessInfo{Rows: b.Len(), Path: ix.planLocked(b.tail, lo, hi)}
+	if ix.zm != nil && !ix.unsafe {
+		info.MorselsTotal = numMorsels(b.Len())
+		info.MorselsPruned = info.MorselsTotal - len(ix.zm.prune(lo, hi))
+	}
+	if ix.cr != nil {
+		info.CrackPieces = ix.cr.pieces()
+	}
+	if ix.dict != nil {
+		info.DictSize = len(ix.dict.keys)
+	}
+	return info, nil
+}
+
+// Crack force-builds the cracker copy of a stored numeric column (the
+// MIL crack() builtin) and returns its piece count.
+func (s *Store) Crack(name string) (int, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return 0, err
+	}
+	defer ix.mu.Unlock()
+	if ix.cr == nil {
+		cr, ok := buildCracker(b.tail)
+		if !ok {
+			return 0, fmt.Errorf("monet: cannot crack %q: tail %v is not a crackable column", name, b.TailType())
+		}
+		if cr == nil {
+			ix.unsafe = true
+			return 0, fmt.Errorf("monet: cannot crack %q: column contains NaN", name)
+		}
+		ix.cr = cr
+		cCrBuilds.Inc()
+	}
+	return ix.cr.pieces(), nil
+}
+
+// BuildZoneMap force-builds the zone map of a stored column (the MIL
+// zonemap() builtin) and returns the number of summarized morsels.
+func (s *Store) BuildZoneMap(name string) (int, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return 0, err
+	}
+	defer ix.mu.Unlock()
+	if b.TailType() == Void {
+		return 0, fmt.Errorf("monet: cannot zone-map %q: void tail", name)
+	}
+	if ix.zm == nil {
+		ix.zm = buildZoneMap(b.tail)
+		cZmBuilds.Inc()
+		if ix.zm.unsafe {
+			ix.unsafe = true
+		}
+	}
+	return len(ix.zm.mins), nil
+}
+
+// IndexInfo returns a [str,str] BAT describing the adaptive index
+// state of a name — the MIL indexinfo() builtin and the INDEXINFO
+// protocol verb.
+func (s *Store) IndexInfo(name string) (*BAT, error) {
+	b, ix, err := s.capture(name)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.mu.Unlock()
+	out := NewBAT(StrT, StrT)
+	add := func(k, v string) { out.MustInsert(NewStr(k), NewStr(v)) }
+	add("name", name)
+	add("rows", fmt.Sprintf("%d", b.Len()))
+	add("epoch", fmt.Sprintf("%d", ix.epoch))
+	add("selects", fmt.Sprintf("%d", ix.selects))
+	if ix.zm != nil {
+		add("zonemap", fmt.Sprintf("%d morsels", len(ix.zm.mins)))
+	} else {
+		add("zonemap", "none")
+	}
+	if ix.cr != nil {
+		add("crack", fmt.Sprintf("%d pieces (%d cracks)", ix.cr.pieces(), ix.cr.cracks()))
+	} else {
+		add("crack", "none")
+	}
+	if ix.dict != nil {
+		add("dict", fmt.Sprintf("%d entries", len(ix.dict.keys)))
+	} else {
+		add("dict", "none")
+	}
+	add("unsafe", fmt.Sprintf("%v", ix.unsafe))
+	return out, nil
+}
+
+// isNaNValue reports whether a bound poisons comparisons: the kernel
+// Compare treats NaN as equal to everything, so a NaN bound makes the
+// scan match every row — no index can reproduce that, so the gate
+// falls back.
+func isNaNValue(v Value) bool { return v.Typ == FloatT && math.IsNaN(v.F) }
+
+// planLocked is the cost gate: given the column and the current index
+// state, decide how the next select with these bounds would execute.
+// It performs no builds and no scans.
+func (ix *batIndex) planLocked(col Column, lo, hi Value) AccessPath {
+	if col.Len() < ParallelThreshold || ix.unsafe {
+		return PathScan
+	}
+	if lo.Typ != col.Type() || hi.Typ != col.Type() {
+		// Mixed-type bounds compare by type tag first; only the scan
+		// reproduces that ordering.
+		return PathScan
+	}
+	switch col.Type() {
+	case StrT:
+		if ix.dict != nil || ix.selects >= 1 {
+			return PathDict
+		}
+		return PathScan
+	case IntT, OIDT, FloatT:
+		if isNaNValue(lo) || isNaNValue(hi) {
+			return PathScan
+		}
+		if ix.cr != nil || int64(ix.selects) >= crackAfter.Load() {
+			return PathCrack
+		}
+		return PathZoneMap
+	}
+	return PathScan
+}
+
+// selectLocked executes one range select through the gate, building
+// index structures as the policy allows, and returns the ascending
+// qualifying positions — always exactly the positions the naive scan
+// would return.
+func (ix *batIndex) selectLocked(col Column, lo, hi Value) ([]int, *AccessInfo) {
+	info := &AccessInfo{Path: PathScan, Rows: col.Len()}
+	path := ix.planLocked(col, lo, hi)
+	ix.selects++
+	switch path {
+	case PathDict:
+		if ix.dict == nil {
+			ix.dict = buildDict(col)
+			cDictBuilds.Inc()
+		}
+		idx, hit := ix.dict.selectRange(lo.Str(), hi.Str())
+		if hit {
+			cDictHits.Inc()
+		} else {
+			cDictMisses.Inc()
+		}
+		info.Path = PathDict
+		info.DictSize = len(ix.dict.keys)
+		info.Matched = len(idx)
+		return idx, info
+
+	case PathCrack:
+		if ix.cr == nil {
+			cr, ok := buildCracker(col)
+			if !ok || cr == nil {
+				// Uncrackable now (NaN appeared): stay on the scan.
+				ix.unsafe = cr == nil && ok
+				break
+			}
+			ix.cr = cr
+			cCrBuilds.Inc()
+		}
+		before := ix.cr.cracks()
+		idx := ix.cr.selectRange(lo, hi)
+		cCrCracks.Add(int64(ix.cr.cracks() - before))
+		hCrPieces.ObserveNs(int64(ix.cr.pieces()))
+		info.Path = PathCrack
+		info.CrackPieces = ix.cr.pieces()
+		info.Matched = len(idx)
+		return idx, info
+
+	case PathZoneMap:
+		if ix.zm == nil {
+			ix.zm = buildZoneMap(col)
+			cZmBuilds.Inc()
+			if ix.zm.unsafe {
+				ix.unsafe = true
+				break
+			}
+		}
+		surviving := ix.zm.prune(lo, hi)
+		info.MorselsTotal = numMorsels(col.Len())
+		info.MorselsPruned = info.MorselsTotal - len(surviving)
+		cZmScanned.Add(int64(len(surviving)))
+		cZmPruned.Add(int64(info.MorselsPruned))
+		if info.MorselsPruned > 0 {
+			info.Path = PathZoneMap
+		}
+		idx := scanMorselSubset(col, surviving, lo, hi)
+		info.Matched = len(idx)
+		return idx, info
+	}
+	idx := colSelectIdx(col, lo, hi)
+	info.Matched = len(idx)
+	return idx, info
+}
+
+// scanMorselSubset scans only the given morsels (ascending indices)
+// for values in [lo, hi]; concatenating per-morsel matches in morsel
+// order keeps the result identical to the full serial scan restricted
+// to those morsels. Wide columns fan the surviving morsels out on the
+// shared pool.
+func scanMorselSubset(col Column, morsels []int, lo, hi Value) []int {
+	n := col.Len()
+	parts := make([][]int, len(morsels))
+	scanOne := func(k int) {
+		start := morsels[k] * MorselSize
+		end := start + MorselSize
+		if end > n {
+			end = n
+		}
+		var idx []int
+		for i := start; i < end; i++ {
+			t := col.Get(i)
+			if Compare(t, lo) >= 0 && Compare(t, hi) <= 0 {
+				idx = append(idx, i)
+			}
+		}
+		parts[k] = idx
+	}
+	if p, ok := poolFor(n); ok && len(morsels) > 1 {
+		b := p.Batch()
+		for k := range morsels {
+			k := k
+			b.Submit(func() { scanOne(k) })
+		}
+		b.Wait()
+	} else {
+		for k := range morsels {
+			scanOne(k)
+		}
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	idx := make([]int, 0, total)
+	for _, part := range parts {
+		idx = append(idx, part...)
+	}
+	return idx
+}

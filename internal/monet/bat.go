@@ -142,15 +142,24 @@ func (b *BAT) Select(lo, hi Value) *BAT {
 // [lo, hi], taking the morsel-parallel path when the BAT is large
 // enough and the pool is wider than one worker.
 func (b *BAT) selectIdx(lo, hi Value) []int {
-	if p, ok := poolFor(b.Len()); ok {
-		return parFilterIdx(p, b.Len(), hPoolSelectLat, hPoolSelectSpd, func(i int) bool {
-			t := b.tail.Get(i)
+	return colSelectIdx(b.tail, lo, hi)
+}
+
+// colSelectIdx is the full-scan range select over one column: the
+// ascending positions whose value lies in [lo, hi], morsel-parallel
+// when the column is large enough. The adaptive access paths
+// (accesspath.go) fall back to it whenever an index cannot answer a
+// predicate exactly.
+func colSelectIdx(c Column, lo, hi Value) []int {
+	if p, ok := poolFor(c.Len()); ok {
+		return parFilterIdx(p, c.Len(), hPoolSelectLat, hPoolSelectSpd, func(i int) bool {
+			t := c.Get(i)
 			return Compare(t, lo) >= 0 && Compare(t, hi) <= 0
 		})
 	}
 	idx := make([]int, 0, 16)
-	for i := 0; i < b.Len(); i++ {
-		t := b.tail.Get(i)
+	for i := 0; i < c.Len(); i++ {
+		t := c.Get(i)
 		if Compare(t, lo) >= 0 && Compare(t, hi) <= 0 {
 			idx = append(idx, i)
 		}

@@ -1,0 +1,182 @@
+package monet
+
+import (
+	"math"
+	"sort"
+)
+
+// Database cracking: a cracker copy of a numeric column that is
+// incrementally range-partitioned as a side effect of each select.
+// Every query's bounds become partition boundaries, so the copy
+// converges toward sorted exactly along the ranges the workload
+// cares about, and repeated selects turn into binary search over the
+// boundaries plus a narrow copy — no full scans.
+//
+// The cracker maintains the invariant that for every boundary k, all
+// values left of bpos[k] are strictly less than bvals[k] and all
+// values from bpos[k] on are >= bvals[k]. An inclusive select
+// [lo, hi] therefore cracks at lo and at the successor of hi and
+// returns the positions between the two boundaries.
+
+// cracker is the type-erased face of numCracker the index keeps.
+type cracker interface {
+	// selectRange returns the ascending original positions whose
+	// value lies in [lo, hi]. Callers must not mutate the returned
+	// slice: repeated identical queries over unchanged pieces share a
+	// cached result.
+	selectRange(lo, hi Value) []int
+	// pieces is the current partition count.
+	pieces() int
+	// cracks is the number of partition steps performed so far.
+	cracks() int
+}
+
+// buildCracker copies a column into a cracker. The second result is
+// false when the column type cannot be cracked; a (nil, true) return
+// means the column holds NaN, which no range partition can represent
+// under the kernel's NaN-equals-everything Compare.
+func buildCracker(col Column) (cracker, bool) {
+	switch c := col.(type) {
+	case *intColumn:
+		vals := make([]int64, len(c.v))
+		copy(vals, c.v)
+		return newNumCracker(vals, succInt64), true
+	case *oidColumn:
+		vals := make([]int64, len(c.v))
+		for i, o := range c.v {
+			vals[i] = int64(o)
+		}
+		return newNumCracker(vals, succInt64), true
+	case *floatColumn:
+		vals := make([]float64, len(c.v))
+		for i, f := range c.v {
+			if math.IsNaN(f) {
+				return nil, true
+			}
+			vals[i] = f
+		}
+		return newNumCracker(vals, succFloat64), true
+	}
+	return nil, false
+}
+
+// succInt64 returns the smallest value greater than v (ok=false at
+// the top of the domain, where "<= v" means "everything").
+func succInt64(v int64) (int64, bool) {
+	if v == math.MaxInt64 {
+		return 0, false
+	}
+	return v + 1, true
+}
+
+// succFloat64 is the float successor; +Inf has none.
+func succFloat64(v float64) (float64, bool) {
+	if math.IsInf(v, 1) {
+		return 0, false
+	}
+	return math.Nextafter(v, math.Inf(1)), true
+}
+
+// numCracker is the cracker for one unboxed numeric element type.
+type numCracker[T int64 | float64] struct {
+	vals []T   // the cracker copy, permuted in place
+	pos  []int // original position of vals[i]
+	// Piece boundaries, ascending: piece k holds positions
+	// [bpos[k-1], bpos[k]) with values in [bvals[k-1], bvals[k]).
+	bvals []T
+	bpos  []int
+	succ  func(T) (T, bool)
+	ncr   int // partition steps performed
+	ver   int // bumped on every partition step
+	// One-entry result cache: the repeated-query fast path. Valid
+	// while the piece layout (ver) and the answering boundary pair
+	// are unchanged.
+	lastVer, lastP1, lastP2 int
+	lastIdx                 []int
+}
+
+func newNumCracker[T int64 | float64](vals []T, succ func(T) (T, bool)) *numCracker[T] {
+	pos := make([]int, len(vals))
+	for i := range pos {
+		pos[i] = i
+	}
+	return &numCracker[T]{vals: vals, pos: pos, succ: succ, lastVer: -1}
+}
+
+// crackAt returns the boundary position of v: every value left of it
+// is < v, every value from it on is >= v. Unknown boundaries are
+// created by partitioning the one piece that straddles v.
+func (c *numCracker[T]) crackAt(v T) int {
+	k := sort.Search(len(c.bvals), func(i int) bool { return c.bvals[i] >= v })
+	if k < len(c.bvals) && c.bvals[k] == v {
+		return c.bpos[k]
+	}
+	lo := 0
+	if k > 0 {
+		lo = c.bpos[k-1]
+	}
+	hi := len(c.vals)
+	if k < len(c.bpos) {
+		hi = c.bpos[k]
+	}
+	// Two-pointer partition of the straddling piece: < v left, >= v
+	// right. Positions move with their values, so pos keeps mapping
+	// cracker slots to original rows.
+	i, j := lo, hi-1
+	for i <= j {
+		if c.vals[i] < v {
+			i++
+			continue
+		}
+		if c.vals[j] >= v {
+			j--
+			continue
+		}
+		c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
+		c.pos[i], c.pos[j] = c.pos[j], c.pos[i]
+		i++
+		j--
+	}
+	c.bvals = append(c.bvals, v)
+	copy(c.bvals[k+1:], c.bvals[k:len(c.bvals)-1])
+	c.bvals[k] = v
+	c.bpos = append(c.bpos, i)
+	copy(c.bpos[k+1:], c.bpos[k:len(c.bpos)-1])
+	c.bpos[k] = i
+	c.ncr++
+	c.ver++
+	return i
+}
+
+// selectVals answers [lo, hi] over the unboxed domain.
+func (c *numCracker[T]) selectVals(lo, hi T) []int {
+	p1 := c.crackAt(lo)
+	p2 := len(c.vals)
+	if s, ok := c.succ(hi); ok {
+		p2 = c.crackAt(s)
+	}
+	if p2 < p1 {
+		p2 = p1 // empty range (hi < lo)
+	}
+	if c.lastIdx != nil && c.lastVer == c.ver && c.lastP1 == p1 && c.lastP2 == p2 {
+		return c.lastIdx
+	}
+	out := make([]int, p2-p1)
+	copy(out, c.pos[p1:p2])
+	sort.Ints(out)
+	c.lastVer, c.lastP1, c.lastP2, c.lastIdx = c.ver, p1, p2, out
+	return out
+}
+
+func (c *numCracker[T]) pieces() int { return len(c.bvals) + 1 }
+func (c *numCracker[T]) cracks() int { return c.ncr }
+
+func (c *numCracker[T]) selectRange(lo, hi Value) []int {
+	switch cc := any(c).(type) {
+	case *numCracker[int64]:
+		return cc.selectVals(lo.Int(), hi.Int())
+	case *numCracker[float64]:
+		return cc.selectVals(lo.Float(), hi.Float())
+	}
+	return nil
+}

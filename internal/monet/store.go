@@ -45,10 +45,22 @@ type Journal interface {
 // for concurrent use. With a Journal attached (SetJournal), every
 // mutation is logged before it is applied, giving the write-ahead
 // discipline the durability layer builds on.
+//
+// Every mutation of a named BAT (Put, Append, Drop) bumps that name's
+// epoch counter, which lazily invalidates the adaptive access-path
+// structures (zone maps, crackers, dictionaries) kept per name; see
+// accesspath.go. Recovery goes through Put, so restored BATs arrive
+// with fresh epochs and indexes rebuild on first use.
 type Store struct {
 	mu      sync.RWMutex
 	bats    map[string]*BAT
+	epochs  map[string]uint64
 	journal Journal
+
+	// idxMu guards indexes. Lock order: mu before idxMu before the
+	// per-index batIndex.mu; never the reverse.
+	idxMu   sync.Mutex
+	indexes map[string]*batIndex
 }
 
 // ErrNoSuchBAT is returned when a named BAT does not exist.
@@ -56,7 +68,29 @@ var ErrNoSuchBAT = errors.New("monet: no such BAT")
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{bats: make(map[string]*BAT)}
+	return &Store{bats: make(map[string]*BAT), epochs: make(map[string]uint64)}
+}
+
+// bumpEpochLocked advances the mutation epoch of a named BAT. It must
+// run under the store's write lock, in the same critical section as
+// the mutation it records, so index readers can never observe a new
+// column state under an old epoch (the cobravet epochguard analyzer
+// enforces the pairing).
+func (s *Store) bumpEpochLocked(name string) {
+	if s.epochs == nil {
+		s.epochs = make(map[string]uint64)
+	}
+	s.epochs[name]++
+	cIdxInvalidations.Inc()
+}
+
+// Epoch returns the mutation epoch of a named BAT: 0 if the name was
+// never written, monotonically increasing across Put/Append/Drop
+// (epochs survive Drop so re-registering a name keeps invalidating).
+func (s *Store) Epoch(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epochs[name]
 }
 
 // SetJournal attaches (or, with nil, detaches) the mutation journal.
@@ -83,6 +117,7 @@ func (s *Store) Put(name string, b *BAT) error {
 		}
 	}
 	s.bats[name] = b
+	s.bumpEpochLocked(name)
 	return err
 }
 
@@ -100,6 +135,7 @@ func (s *Store) Append(name string, h, t Value) error {
 	if err := b.Insert(h, t); err != nil {
 		return err
 	}
+	s.bumpEpochLocked(name)
 	if s.journal != nil {
 		if err := s.journal.JournalAppend(name, h, t); err != nil {
 			cJournalErr.Inc()
@@ -141,6 +177,8 @@ func (s *Store) Drop(name string) error {
 		}
 	}
 	delete(s.bats, name)
+	s.bumpEpochLocked(name)
+	s.dropIndex(name)
 	return err
 }
 

@@ -1,0 +1,76 @@
+package monet
+
+import "math"
+
+// zoneMap summarizes a column as per-morsel [min, max] pairs, aligned
+// to the MorselSize grid the parallel operators already scan in. A
+// range select consults it to skip every morsel whose summary cannot
+// intersect the predicate; the surviving morsels feed the same
+// morsel-ordered scan, so pruning never changes the result.
+type zoneMap struct {
+	mins, maxs []Value
+	n          int // rows summarized
+	// unsafe is set when a NaN was seen: NaN compares equal to
+	// everything under the kernel Compare, so min/max summaries are
+	// meaningless and the owner must fall back to full scans.
+	unsafe bool
+}
+
+// buildZoneMap summarizes col in one pass, morsel-parallel when the
+// column clears the pool threshold. Per-morsel summaries are
+// independent, so the parallel build is deterministic.
+func buildZoneMap(col Column) *zoneMap {
+	n := col.Len()
+	nm := numMorsels(n)
+	z := &zoneMap{mins: make([]Value, nm), maxs: make([]Value, nm), n: n}
+	nan := make([]bool, nm)
+	fill := func(m, lo, hi int) {
+		mn, mx := col.Get(lo), col.Get(lo)
+		for i := lo; i < hi; i++ {
+			v := col.Get(i)
+			if v.Typ == FloatT && math.IsNaN(v.F) {
+				nan[m] = true
+				return
+			}
+			if Compare(v, mn) < 0 {
+				mn = v
+			}
+			if Compare(v, mx) > 0 {
+				mx = v
+			}
+		}
+		z.mins[m], z.maxs[m] = mn, mx
+	}
+	if p, ok := poolFor(n); ok {
+		runMorsels(p, n, nil, nil, fill)
+	} else {
+		for m := 0; m < nm; m++ {
+			hi := (m + 1) * MorselSize
+			if hi > n {
+				hi = n
+			}
+			fill(m, m*MorselSize, hi)
+		}
+	}
+	for _, u := range nan {
+		if u {
+			z.unsafe = true
+			break
+		}
+	}
+	return z
+}
+
+// prune returns the ascending indices of the morsels whose [min, max]
+// summary intersects [lo, hi] — the only morsels a range select needs
+// to touch.
+func (z *zoneMap) prune(lo, hi Value) []int {
+	surviving := make([]int, 0, len(z.mins))
+	for m := range z.mins {
+		if Compare(z.maxs[m], lo) < 0 || Compare(z.mins[m], hi) > 0 {
+			continue
+		}
+		surviving = append(surviving, m)
+	}
+	return surviving
+}

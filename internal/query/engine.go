@@ -3,6 +3,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,10 @@ type Engine struct {
 	pre *cobra.Preprocessor
 	// MinQuality is the quality floor passed to the preprocessor.
 	MinQuality float64
+	// NoIndex forces feature conditions down the legacy full-load
+	// path, bypassing the kernel's adaptive access paths. Used by
+	// equivalence tests and as an escape hatch.
+	NoIndex bool
 }
 
 // NewEngine returns a query engine over the preprocessor.
@@ -262,7 +267,11 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		leaf.SetAttr("level", "logical")
 		leaf.SetAttr("feature", n.Name)
 		defer leaf.Finish()
+		if out, ok := e.indexedFeatureRuns(cat, video, n, leaf); ok {
+			return out, nil
+		}
 		scan := scanSpan(leaf, "cobra/feature/"+video+"/"+n.Name)
+		scan.SetAttr("access", "path=scan (legacy)")
 		f, err := cat.Feature(video, n.Name)
 		if err == nil {
 			scan.SetAttr("rows", strconv.Itoa(len(f.Values)))
@@ -340,6 +349,88 @@ func attrsMatch(have, want map[string]string) bool {
 	return true
 }
 
+// minRunDur is the noise floor for feature runs: threshold crossings
+// shorter than this are discarded, on both evaluation paths.
+const minRunDur = 0.3
+
+// featureBounds converts a COQL comparison into the inclusive range
+// the kernel's select understands; ok=false when the operator has no
+// range form or the bound would not survive the float successor trick
+// (NaN and infinite thresholds stay on the legacy path).
+func featureBounds(op string, val float64) (lo, hi float64, ok bool) {
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, 0, false
+	}
+	switch op {
+	case ">":
+		return math.Nextafter(val, math.Inf(1)), math.Inf(1), true
+	case ">=":
+		return val, math.Inf(1), true
+	case "<":
+		return math.Inf(-1), math.Nextafter(val, math.Inf(-1)), true
+	case "<=":
+		return math.Inf(-1), val, true
+	case "=":
+		return val, val, true
+	}
+	return 0, 0, false
+}
+
+// indexedFeatureRuns evaluates a feature condition through the
+// kernel's adaptive access paths: the threshold becomes an inclusive
+// range select over the stored series (answered by zone map or
+// cracker without loading the column into Go values), and the
+// qualifying sample positions convert to runs directly. ok=false
+// falls back to the legacy full-load path — when indexing is
+// disabled, the operator has no range form, or the kernel answered
+// with a plain scan (a scan's Compare treats NaN as matching any
+// range, so only NaN-free indexed paths are guaranteed equivalent to
+// the legacy float comparison).
+func (e *Engine) indexedFeatureRuns(cat *cobra.Catalog, video string, n *FeatureCond, leaf *obs.Span) ([]Result, bool) {
+	if e.NoIndex {
+		return nil, false
+	}
+	lo, hi, ok := featureBounds(n.Op, n.Val)
+	if !ok {
+		return nil, false
+	}
+	rate, total, err := cat.FeatureMeta(video, n.Name)
+	if err != nil {
+		return nil, false
+	}
+	pos, info, err := cat.FeatureSelect(video, n.Name, lo, hi)
+	if err != nil || info.Path == monet.PathScan {
+		return nil, false
+	}
+	scan := scanSpan(leaf, "cobra/feature/"+video+"/"+n.Name)
+	scan.SetAttr("rows", strconv.Itoa(total))
+	scan.SetAttr("access", info.String())
+	scan.Finish()
+	return runsFromPositions(pos, rate), true
+}
+
+// runsFromPositions converts ascending qualifying sample positions
+// into segments, with boundaries and noise floor identical to
+// featureRuns: a run of consecutive positions a..b spans
+// [a*step, (b+1)*step).
+func runsFromPositions(pos []int, rate float64) []Result {
+	step := 1 / rate
+	var out []Result
+	for i := 0; i < len(pos); {
+		j := i
+		for j+1 < len(pos) && pos[j+1] == pos[j]+1 {
+			j++
+		}
+		start := float64(pos[i]) * step
+		end := float64(pos[j]+1) * step
+		if end-start >= minRunDur {
+			out = append(out, Result{Interval: cobra.Interval{Start: start, End: end}, Confidence: 1})
+		}
+		i = j + 1
+	}
+	return out
+}
+
 // featureRuns converts threshold-satisfying runs of a feature series
 // into segments (runs shorter than 0.3 s are noise).
 func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
@@ -359,7 +450,6 @@ func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
 		return false
 	}
 	step := 1 / f.SampleRate
-	const minDur = 0.3
 	var out []Result
 	open := false
 	start := 0.0
@@ -374,14 +464,14 @@ func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
 		}
 		if open {
 			open = false
-			if t-start >= minDur {
+			if t-start >= minRunDur {
 				out = append(out, Result{Interval: cobra.Interval{Start: start, End: t}, Confidence: 1})
 			}
 		}
 	}
 	if open {
 		end := float64(len(f.Values)) * step
-		if end-start >= minDur {
+		if end-start >= minRunDur {
 			out = append(out, Result{Interval: cobra.Interval{Start: start, End: end}, Confidence: 1})
 		}
 	}

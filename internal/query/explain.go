@@ -5,7 +5,10 @@ import (
 	"strconv"
 	"strings"
 
+	"cobra/internal/cobra"
 	"cobra/internal/milcheck"
+	"cobra/internal/monet"
+	"cobra/internal/obs"
 )
 
 // EXPLAIN: translate a COQL condition tree into the MIL access plan
@@ -53,7 +56,7 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl := &planner{video: q.Video}
+	pl := &planner{video: q.Video, store: e.pre.Catalog().Store()}
 	if q.Where == nil {
 		pl.printf("# no WHERE clause: the whole video qualifies")
 		pl.printf("RETURN bat(%s).find(%s);", milStr("cobra/videos"), milStr(q.Video))
@@ -82,9 +85,26 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 	return &Explanation{Query: q, Plan: plan, Diags: diags}, nil
 }
 
+// ExplainAnalyze emits the verified plan, then actually executes the
+// statement: the returned trace's physical-level spans carry the
+// access paths the kernel really took (zone-map prune counts, cracker
+// piece counts), where the static plan only predicts them.
+func (e *Engine) ExplainAnalyze(src string) (*Explanation, []Result, *obs.Span, error) {
+	ex, err := e.Explain(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, span, err := e.RunTraced(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ex, res, span, nil
+}
+
 // planner emits MIL statements with fresh per-node variable names.
 type planner struct {
 	video string
+	store *monet.Store
 	b     strings.Builder
 	n     int
 }
@@ -130,6 +150,7 @@ func (p *planner) emit(c Cond) string {
 
 	case *FeatureCond:
 		p.printf("# %s: feature %s %s %v, threshold runs extracted at the logical layer", name, n.Name, n.Op, n.Val)
+		p.accessPath(name, n)
 		p.printf("print(threshold(bat(%s), %s).count);",
 			milStr("cobra/feature/"+p.video+"/"+n.Name), formatFloat(n.Val))
 		p.printf("VAR %s := new(oid, void);", name)
@@ -162,6 +183,27 @@ func (p *planner) emit(c Cond) string {
 		p.printf("VAR %s := new(oid, void);", name)
 	}
 	return name
+}
+
+// accessPath annotates a feature condition with the access path the
+// kernel's cost gate would choose for it right now. PlanAccess is
+// side-effect-free, so EXPLAIN never builds indexes or moves the
+// column through the gate's graduation counters.
+func (p *planner) accessPath(name string, n *FeatureCond) {
+	if p.store == nil {
+		return
+	}
+	lo, hi, ok := featureBounds(n.Op, n.Val)
+	if !ok {
+		p.printf("# %s: access path: scan (no range form, legacy evaluation)", name)
+		return
+	}
+	info, err := p.store.PlanAccess(cobra.FeatureBATName(p.video, n.Name),
+		monet.NewFloat(lo), monet.NewFloat(hi))
+	if err != nil {
+		return // feature not materialized yet: nothing to plan against
+	}
+	p.printf("# %s: access path: %s", name, info)
 }
 
 func formatFloat(f float64) string {

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cobra/internal/cobra"
+	"cobra/internal/monet"
+)
+
+// bigFeatureEngine builds an engine over a feature series long enough
+// to clear the kernel's index thresholds.
+func bigFeatureEngine(t *testing.T, values []float64) *Engine {
+	t.Helper()
+	cat := cobra.NewCatalog(monet.NewStore())
+	dur := float64(len(values)) / 10
+	if err := cat.PutVideo(cobra.Video{Name: "race", Duration: dur, FPS: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.PutFeature(cobra.Feature{Video: "race", Name: "speed", SampleRate: 10, Values: values}); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(cobra.NewPreprocessor(cat))
+}
+
+func sameResults(t *testing.T, tag string, a, b []Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: indexed %d segments, legacy %d", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Interval != b[i].Interval || a[i].Confidence != b[i].Confidence {
+			t.Fatalf("%s: segment %d indexed %+v, legacy %+v", tag, i, a[i], b[i])
+		}
+	}
+}
+
+// TestFeatureCondIndexedMatchesLegacy runs every comparison operator
+// repeatedly (so the cost gate graduates the column from zone map to
+// cracker) and checks the indexed path returns segment-for-segment
+// the legacy full-load evaluation.
+func TestFeatureCondIndexedMatchesLegacy(t *testing.T) {
+	n := 3 * monet.MorselSize
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, n)
+	for i := range values {
+		// Smooth-ish series with plateaus so threshold runs exceed the
+		// 0.3 s noise floor.
+		values[i] = 100 + 80*math.Sin(float64(i)/500) + float64(rng.Intn(3))
+	}
+	eIdx := bigFeatureEngine(t, values)
+	eLegacy := bigFeatureEngine(t, values)
+	eLegacy.NoIndex = true
+
+	for _, op := range []string{">", ">=", "<", "<=", "="} {
+		for round := 0; round < 4; round++ {
+			src := fmt.Sprintf(`SELECT SEGMENTS FROM race WHERE FEATURE('speed') %s 150`, op)
+			got, err := eIdx.Run(src)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", op, round, err)
+			}
+			want, err := eLegacy.Run(src)
+			if err != nil {
+				t.Fatalf("%s round %d legacy: %v", op, round, err)
+			}
+			sameResults(t, fmt.Sprintf("%s round %d", op, round), got, want)
+		}
+	}
+}
+
+// TestFeatureCondIndexedAfterAppendLikeMutation replaces the feature
+// (PutFeature overwrites the BAT) after indexes exist and checks the
+// fresh data is what queries see.
+func TestFeatureCondIndexedSeesReplacedFeature(t *testing.T) {
+	n := 3 * monet.MorselSize
+	values := make([]float64, n)
+	e := bigFeatureEngine(t, values)
+	src := `SELECT SEGMENTS FROM race WHERE FEATURE('speed') > 0.5`
+	for round := 0; round < 4; round++ { // graduate to the cracker
+		if res, err := e.Run(src); err != nil || len(res) != 0 {
+			t.Fatalf("round %d: %d segments, err %v", round, len(res), err)
+		}
+	}
+	for i := 1000; i < 1100; i++ {
+		values[i] = 1
+	}
+	cat := e.pre.Catalog()
+	if err := cat.PutFeature(cobra.Feature{Video: "race", Name: "speed", SampleRate: 10, Values: values}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval.Start != 100 || res[0].Interval.End != 110 {
+		t.Fatalf("post-replace segments = %+v", res)
+	}
+}
+
+// TestFeatureCondNaNThresholdStaysLegacy: a NaN threshold has no range
+// form; the engine must not panic and must return the legacy answer
+// (no segments, since NaN compares false).
+func TestFeatureCondNaNValuesMatchLegacy(t *testing.T) {
+	n := 3 * monet.MorselSize
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i % 100)
+	}
+	for i := 0; i < n; i += 997 {
+		values[i] = math.NaN()
+	}
+	eIdx := bigFeatureEngine(t, values)
+	eLegacy := bigFeatureEngine(t, values)
+	eLegacy.NoIndex = true
+	src := `SELECT SEGMENTS FROM race WHERE FEATURE('speed') >= 50`
+	for round := 0; round < 4; round++ {
+		got, err := eIdx.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eLegacy.Run(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("nan round %d", round), got, want)
+	}
+}

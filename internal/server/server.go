@@ -9,6 +9,8 @@
 //	MIL <statement(s)>    -> "OK 1", the value, "END"
 //	CHECK <mil>           -> static verification: diagnostics, or "program OK"
 //	EXPLAIN <coql>        -> the verified MIL access plan for the statement
+//	EXPLAIN ANALYZE <coql> -> the plan, then the executed trace with access paths
+//	INDEXINFO <bat>       -> adaptive index state of a stored BAT
 //	HMM EVAL <model> <c,s,v>  -> "OK 1", log-likelihood, "END"
 //	HMM CLASSIFY <c,s,v>      -> "OK 1", best model name, "END"
 //	LIST VIDEOS           -> videos known to the catalog
@@ -275,7 +277,24 @@ func (s *Server) Execute(line string, w io.Writer) {
 	case "EXPLAIN":
 		stmt := strings.TrimSpace(rest)
 		if stmt == "" {
-			fmt.Fprintln(w, "ERR usage: EXPLAIN <coql statement>")
+			fmt.Fprintln(w, "ERR usage: EXPLAIN [ANALYZE] <coql statement>")
+			return
+		}
+		if fields := strings.Fields(stmt); len(fields) > 0 && strings.EqualFold(fields[0], "ANALYZE") {
+			stmt = strings.TrimSpace(stmt[len(fields[0]):])
+			if stmt == "" {
+				fmt.Fprintln(w, "ERR usage: EXPLAIN ANALYZE <coql statement>")
+				return
+			}
+			ex, res, span, err := s.eng.ExplainAnalyze(stmt)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				return
+			}
+			lines := strings.Split(strings.TrimRight(ex.String(), "\n"), "\n")
+			lines = append(lines, fmt.Sprintf("# executed: %d segments", len(res)))
+			lines = append(lines, strings.Split(strings.TrimRight(span.Render(), "\n"), "\n")...)
+			writeLines(w, lines)
 			return
 		}
 		ex, err := s.eng.Explain(stmt)
@@ -284,6 +303,22 @@ func (s *Server) Execute(line string, w io.Writer) {
 			return
 		}
 		writeLines(w, strings.Split(strings.TrimRight(ex.String(), "\n"), "\n"))
+	case "INDEXINFO":
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			fmt.Fprintln(w, "ERR usage: INDEXINFO <bat name>")
+			return
+		}
+		b, err := s.cat.Store().IndexInfo(name)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		lines := make([]string, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			lines[i] = b.Head(i).Str() + " " + b.Tail(i).Str()
+		}
+		writeLines(w, lines)
 	case "HMM":
 		s.execHMM(rest, w)
 	case "EXPORT":

@@ -379,3 +379,51 @@ func TestExplainOverWire(t *testing.T) {
 		t.Fatal("unparseable COQL accepted")
 	}
 }
+
+func TestExplainAnalyzeOverWire(t *testing.T) {
+	srv, cl := testServer(t)
+	vals := make([]float64, 40000)
+	for i := 5000; i < 9000; i++ {
+		vals[i] = 0.9
+	}
+	srv.cat.PutFeature(cobra.Feature{Video: "v", Name: "dust", SampleRate: 10, Values: vals})
+	out, err := cl.Do(`EXPLAIN ANALYZE SELECT SEGMENTS FROM v WHERE FEATURE('dust') > 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join(out, "\n")
+	for _, want := range []string{
+		"# s1: access path:", // static plan annotation
+		"# executed: 1 segments",
+		"coql.query", // the execution trace follows the plan
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, body)
+		}
+	}
+	if _, err := cl.Do(`EXPLAIN ANALYZE`); err == nil {
+		t.Fatal("bare EXPLAIN ANALYZE accepted")
+	}
+}
+
+func TestIndexInfoOverWire(t *testing.T) {
+	srv, cl := testServer(t)
+	vals := make([]float64, 40000)
+	srv.cat.PutFeature(cobra.Feature{Video: "v", Name: "dust", SampleRate: 10, Values: vals})
+	out, err := cl.Do(`INDEXINFO cobra/feature/v/dust`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join(out, "\n")
+	for _, want := range []string{"name cobra/feature/v/dust", "rows 40000", "crack ", "zonemap ", "dict "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("INDEXINFO output missing %q:\n%s", want, body)
+		}
+	}
+	if _, err := cl.Do(`INDEXINFO`); err == nil {
+		t.Fatal("bare INDEXINFO accepted")
+	}
+	if _, err := cl.Do(`INDEXINFO no/such/bat`); err == nil {
+		t.Fatal("missing BAT accepted")
+	}
+}

@@ -13,4 +13,5 @@ var All = []*vet.Analyzer{
 	StoreLock,
 	ErrWrap,
 	PoolLeak,
+	EpochGuard,
 }

@@ -25,3 +25,7 @@ func TestErrWrap(t *testing.T) {
 func TestPoolLeak(t *testing.T) {
 	vettest.Run(t, PoolLeak, "testdata/poolleak")
 }
+
+func TestEpochGuard(t *testing.T) {
+	vettest.Run(t, EpochGuard, "testdata/epochguard")
+}

@@ -1,0 +1,85 @@
+// Package epochguard is the epochguard analyzer's fixture: a
+// miniature kernel store whose mutators must bump the index epoch.
+package epochguard
+
+import "cobra/internal/monet"
+
+// store mimics the kernel store shape the analyzer keys on: a struct
+// holding the bats map.
+type store struct {
+	bats   map[string]*monet.BAT
+	epochs map[string]uint64
+}
+
+// bumpEpochLocked invalidates the adaptive indexes of one BAT.
+func (s *store) bumpEpochLocked(name string) {
+	s.epochs[name]++
+}
+
+// goodPut replaces a BAT and invalidates its indexes.
+func (s *store) goodPut(name string, b *monet.BAT) {
+	s.bats[name] = b
+	s.bumpEpochLocked(name)
+}
+
+// badPut replaces a BAT but leaves stale indexes behind.
+func (s *store) badPut(name string, b *monet.BAT) {
+	s.bats[name] = b // want "assigns a bats entry without bumping the index epoch"
+}
+
+// goodDrop removes a BAT and invalidates.
+func (s *store) goodDrop(name string) {
+	delete(s.bats, name)
+	s.bumpEpochLocked(name)
+}
+
+// badDrop removes a BAT without invalidating.
+func (s *store) badDrop(name string) {
+	delete(s.bats, name) // want "deletes a bats entry without bumping the index epoch"
+}
+
+// goodAppend mutates a stored BAT's tail in place and invalidates.
+func (s *store) goodAppend(name string, h, t monet.Value) error {
+	b := s.bats[name]
+	if err := b.Insert(h, t); err != nil {
+		return err
+	}
+	s.bumpEpochLocked(name)
+	return nil
+}
+
+// badAppend mutates a stored BAT's tail in place without invalidating.
+func (s *store) badAppend(name string, h, t monet.Value) {
+	s.bats[name].MustInsert(h, t) // want "inserts into a stored BAT in place"
+}
+
+// badAppendVar mutates through an alias of a stored BAT — provenance
+// through the local variable is still a stored-BAT insert.
+func (s *store) badAppendVar(name string, h, t monet.Value) {
+	b := s.bats[name]
+	b.MustInsert(h, t) // want "inserts into a stored BAT in place"
+}
+
+// report builds a fresh scratch BAT inside a store method; inserts
+// into it never touch stored state and are exempt.
+func (s *store) report(name string) *monet.BAT {
+	out := monet.NewBAT(monet.StrT, monet.StrT)
+	out.MustInsert(monet.NewStr("name"), monet.NewStr(name))
+	out.MustInsert(monet.NewStr("rows"), monet.NewStr("0"))
+	return out
+}
+
+// reader methods that do not mutate are exempt.
+func (s *store) get(name string) *monet.BAT {
+	return s.bats[name]
+}
+
+// helper types without a bats map are outside the contract even when
+// they insert into BATs.
+type builder struct {
+	out *monet.BAT
+}
+
+func (b *builder) add(h, t monet.Value) {
+	b.out.MustInsert(h, t)
+}
