@@ -11,7 +11,9 @@
 // internal/benchfmt). Every operation in the baseline is checked: the
 // command prints a per-op table and exits non-zero if any op's ns/op
 // grew by more than the threshold (default +25%), disappeared from
-// the current run, or has a corrupt (non-positive) baseline entry.
+// the current run, has a corrupt (non-positive) baseline entry, or
+// ran at a different pinned pool width than the baseline (parallel
+// numbers are only comparable at equal widths).
 // -allow-missing names baseline ops — comma-separated — that may be
 // absent from the current run without failing the gate, for retired
 // benchmarks whose baseline entry hasn't been pruned yet. Operations
@@ -77,6 +79,10 @@ func report(w io.Writer, base, cur *benchfmt.File, threshold float64, allowMissi
 		case d.BadBaseline:
 			failed = true
 			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op baseline is not positive: re-measure the baseline\n", d.Name, d.BaseNs)
+		case d.WidthChanged:
+			failed = true
+			fmt.Fprintf(w, "  FAIL %-24s pool width changed (baseline w%d, current w%d): incomparable runs\n",
+				d.Name, d.BaseWidth, d.CurWidth)
 		case d.Regressed:
 			failed = true
 			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",

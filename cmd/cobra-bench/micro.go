@@ -19,37 +19,64 @@ import (
 	"cobra/internal/query"
 )
 
+// microBench is one harness entry: the operation plus the kernel pool
+// width it is pinned to (0 = leave the default).
+type microBench struct {
+	name  string
+	width int
+	fn    func(b *testing.B)
+}
+
 // runMicro benchmarks one representative hot operation per level of
 // the stack plus serial-vs-parallel pairs of the kernel's
-// morsel-parallel operators over 1M-row BATs. With -benchout set the
-// results are written as machine-readable JSON: one combined
+// morsel-parallel operators over 1M-row BATs, and a width sweep of the
+// parallel operators at pool widths 1, 4 and 8 so a single combined
+// file carries comparable numbers across core counts. With -benchout
+// set the results are written as machine-readable JSON: one combined
 // benchfmt.File when the path ends in .json (the format benchdiff and
 // the CI bench-gate consume), else one legacy BENCH_<name>.json per op
 // in the given directory.
 func runMicro(*f1.Lab) error {
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"BATJoin", benchBATJoin},
-		{"BATUselect", benchBATUselect},
-		{"MILExec", benchMILExec},
-		{"HMMEvalParallel", benchHMMEvalParallel},
-		{"COQLQuery", benchCOQLQuery},
-		{"SerialSelect1M", serialBench(benchSelect1M)},
-		{"ParallelSelect1M", parallelBench(benchSelect1M)},
-		{"SerialGroupAgg1M", serialBench(benchGroupAgg1M)},
-		{"ParallelGroupAgg1M", parallelBench(benchGroupAgg1M)},
-		{"SerialJoin1M", serialBench(benchJoin1M)},
-		{"ParallelJoin1M", parallelBench(benchJoin1M)},
-		{"ScanSelect1M", parallelBench(benchScanSelect1M)},
-		{"ZoneMapSelect1M", parallelBench(benchZoneMapSelect1M)},
-		{"CrackSelect1M", parallelBench(benchCrackSelect1M)},
-		{"DictEq1M", parallelBench(benchDictEq1M)},
+	benches := []microBench{
+		{"BATJoin", 0, benchBATJoin},
+		{"BATUselect", 0, benchBATUselect},
+		{"MILExec", 0, benchMILExec},
+		{"HMMEvalParallel", 0, benchHMMEvalParallel},
+		{"COQLQuery", 0, benchCOQLQuery},
+		{"SerialSelect1M", 1, benchSelect1M},
+		{"ParallelSelect1M", parallelWidth(), benchSelect1M},
+		{"SerialGroupAgg1M", 1, benchGroupAgg1M},
+		{"ParallelGroupAgg1M", parallelWidth(), benchGroupAgg1M},
+		{"SerialJoin1M", 1, benchJoin1M},
+		{"ParallelJoin1M", parallelWidth(), benchJoin1M},
+		{"ScanSelect1M", parallelWidth(), benchScanSelect1M},
+		{"ZoneMapSelect1M", parallelWidth(), benchZoneMapSelect1M},
+		{"CrackSelect1M", parallelWidth(), benchCrackSelect1M},
+		{"DictEq1M", parallelWidth(), benchDictEq1M},
+	}
+	// The width sweep: the same parallel operator bodies pinned to 1, 4
+	// and 8 workers. The per-result width field keeps the numbers
+	// honest on machines whose GOMAXPROCS differs from the pool width.
+	sweep := []microBench{
+		{"Select1M", 0, benchSelect1M},
+		{"GroupAgg1M", 0, benchGroupAgg1M},
+		{"Join1M", 0, benchJoin1M},
+	}
+	for _, w := range []int{1, 4, 8} {
+		for _, op := range sweep {
+			benches = append(benches, microBench{
+				name:  fmt.Sprintf("%s/w%d", op.name, w),
+				width: w,
+				fn:    op.fn,
+			})
+		}
 	}
 	results := make([]benchfmt.Result, 0, len(benches))
 	for _, bench := range benches {
 		fn := bench.fn
+		if bench.width > 0 {
+			fn = widthBench(bench.width, fn)
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			fn(b)
@@ -60,9 +87,10 @@ func runMicro(*f1.Lab) error {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Width:       bench.width,
 		}
-		fmt.Printf("  %-20s %12.0f ns/op %8d allocs/op %10d B/op (%d iterations)\n",
-			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
+		fmt.Printf("  %-20s %12.0f ns/op %8d allocs/op %10d B/op (%d iterations, width %d)\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations, res.Width)
 		results = append(results, res)
 	}
 	printSpeedups(results)
@@ -126,21 +154,11 @@ func parallelWidth() int {
 	return 4
 }
 
-// serialBench pins the kernel pool to one worker so every operator
-// takes its serial path.
-func serialBench(fn func(b *testing.B)) func(b *testing.B) {
+// widthBench pins the kernel pool to w workers for the run: width 1
+// takes every operator's serial path, wider pools go morsel-parallel.
+func widthBench(w int, fn func(b *testing.B)) func(b *testing.B) {
 	return func(b *testing.B) {
-		prev := monet.SetDefaultPoolWorkers(1)
-		defer monet.SetDefaultPoolWorkers(prev)
-		fn(b)
-	}
-}
-
-// parallelBench widens the kernel pool so the same operator bodies go
-// morsel-parallel.
-func parallelBench(fn func(b *testing.B)) func(b *testing.B) {
-	return func(b *testing.B) {
-		prev := monet.SetDefaultPoolWorkers(parallelWidth())
+		prev := monet.SetDefaultPoolWorkers(w)
 		defer monet.SetDefaultPoolWorkers(prev)
 		fn(b)
 	}

@@ -16,6 +16,9 @@
 //	EXPLAIN ANALYZE <q>   run a COQL query; plan with access paths, then span tree
 //	mil <statement>       MIL statement against the kernel
 //	check <statement>     statically verify a MIL statement (milcheck)
+//	trace                 list recent completed query traces
+//	trace <id>            one trace's resource attribution and span tree
+//	trace export <id> <f> write the trace as Chrome trace-event JSON
 //	.videos               list videos
 //	.features <video>     list materialized features
 //	.plot <video> <feat>  text plot of a feature stream
@@ -23,6 +26,9 @@
 //	.stats                store statistics
 //	.help                 usage
 //	.quit                 exit
+//
+// Against a remote server the same inspection goes through the
+// TRACEDUMP protocol verb (lines are sent verbatim).
 package main
 
 import (
@@ -32,12 +38,14 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"cobra/internal/cobra"
 	"cobra/internal/f1"
 	"cobra/internal/mil"
 	"cobra/internal/milcheck"
 	"cobra/internal/monet"
+	"cobra/internal/obs"
 	"cobra/internal/query"
 	"cobra/internal/rules"
 	"cobra/internal/server"
@@ -177,6 +185,8 @@ func localShell(db string) error {
 				continue
 			}
 			fmt.Printf("  %d events derived\n", added)
+		case strings.ToLower(line) == "trace" || strings.HasPrefix(strings.ToLower(line), "trace "):
+			traceCommand(strings.Fields(line)[1:])
 		case strings.HasPrefix(strings.ToLower(line), "mil "):
 			v, err := interp.Exec(strings.TrimPrefix(line[4:], " "))
 			if err != nil {
@@ -249,6 +259,63 @@ func localShell(db string) error {
 	}
 }
 
+// traceCommand inspects the in-process ring of completed query
+// traces: `trace` lists recent IDs, `trace <id>` prints one trace's
+// resource attribution and span tree, and `trace export <id> <file>`
+// writes it as Chrome trace-event JSON (load in about:tracing or
+// Perfetto).
+func traceCommand(args []string) {
+	switch {
+	case len(args) == 0:
+		ts := obs.DefaultTraces.Recent()
+		if len(ts) == 0 {
+			fmt.Println("  (no traces yet — run a query first)")
+			return
+		}
+		for _, t := range ts {
+			head := fmt.Sprintf("  %s %-8v %s", t.ID, t.Duration.Round(time.Microsecond), t.Query)
+			if t.Err != "" {
+				head += " [error: " + t.Err + "]"
+			}
+			fmt.Println(head)
+		}
+	case args[0] == "export":
+		if len(args) != 3 {
+			fmt.Println("usage: trace export <id> <file>")
+			return
+		}
+		t, ok := obs.DefaultTraces.Get(args[1])
+		if !ok {
+			fmt.Printf("error: no trace %q (run `trace` for recent IDs)\n", args[1])
+			return
+		}
+		out, err := obs.ChromeTraceJSON(t.Root)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if err := os.WriteFile(args[2], out, 0o644); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("  %d bytes written to %s\n", len(out), args[2])
+	case len(args) == 1:
+		t, ok := obs.DefaultTraces.Get(args[0])
+		if !ok {
+			fmt.Printf("error: no trace %q (run `trace` for recent IDs)\n", args[0])
+			return
+		}
+		fmt.Printf("  # trace %s %s %v\n", t.ID, t.Start.Format(time.RFC3339), t.Duration)
+		fmt.Printf("  # query %s\n", t.Query)
+		fmt.Printf("  # %s\n", t.Res.String())
+		for _, l := range strings.Split(strings.TrimRight(t.Root.Render(), "\n"), "\n") {
+			fmt.Println("  " + l)
+		}
+	default:
+		fmt.Println("usage: trace [<id> | export <id> <file>]")
+	}
+}
+
 func printResults(res []query.Result) {
 	if len(res) == 0 {
 		fmt.Println("  (no segments)")
@@ -273,6 +340,9 @@ func printHelp() {
   EXPLAIN ANALYZE <query>   run a COQL query: plan with access paths, then its trace span tree
   mil <stmt>        MIL against the kernel, e.g. mil RETURN bat("cobra/videos").count;
   check <stmt>      statically verify MIL without running it (milcheck)
+  trace             list recent completed query traces (newest first)
+  trace <id>        one trace's resource attribution and span tree
+  trace export <id> <file>  write the trace as Chrome trace-event JSON
   .videos           list videos
   .features <v>     list materialized features of a video
   .plot <v> <feat>  text plot of a materialized feature stream

@@ -20,8 +20,11 @@
 // -data-dir: it recovers every acknowledged write.
 //
 // With -metrics-addr set, the process additionally serves /metrics
-// (telemetry JSON) and /debug/pprof over HTTP. -slow-query-ms enables
-// the slow-query log, readable over the protocol via SLOWLOG.
+// (Prometheus text exposition; telemetry JSON under
+// Accept: application/json or at /debug/vars) and /debug/pprof over
+// HTTP. -slow-query-ms enables the slow-query log, readable over the
+// protocol via SLOWLOG; completed query traces are readable via
+// TRACEDUMP.
 //
 // -threads sets the width of the shared kernel worker pool that
 // morsel-parallel BAT operators, MIL PARALLEL blocks and the HMM/DBN

@@ -3,6 +3,8 @@
 // dependency-free framework in internal/vet:
 //
 //	spanend    obs spans must be finished on every path
+//	ctxspan    span-starting functions must take a context.Context or
+//	           *obs.Span to join a trace, and finish spans in-block
 //	gofatal    no t.Fatal-class calls from spawned test goroutines
 //	storelock  Journal* hooks must not call back into monet.Store
 //	errwrap    fmt.Errorf over an error must wrap with %w

@@ -25,6 +25,13 @@ type Result struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	// BytesPerOp is heap bytes per operation.
 	BytesPerOp int64 `json:"bytes_per_op"`
+	// Width is the kernel pool width the operation was pinned to, when
+	// the harness pinned one (0 = unpinned). The file-level GOMAXPROCS
+	// records only the scheduler width of the process; a parallel
+	// operator benchmarked at pool width 8 on a GOMAXPROCS=1 machine is
+	// meaningless to compare against a true 8-core run, and before this
+	// field existed such runs were indistinguishable in the JSON.
+	Width int `json:"width,omitempty"`
 }
 
 // File is one benchmark run: the machine shape plus every operation
@@ -91,6 +98,13 @@ type Delta struct {
 	// the op is failed loudly instead of letting Ratio=0 wave any
 	// slowdown through.
 	BadBaseline bool
+	// WidthChanged is true when the two runs pinned the op to different
+	// kernel pool widths — the ns/op ratio would compare incomparable
+	// configurations, so the op fails instead.
+	WidthChanged bool
+	// BaseWidth and CurWidth are the pinned pool widths (0 = unpinned).
+	BaseWidth int
+	CurWidth  int
 	// Regressed is true when the op breaches the comparison threshold.
 	Regressed bool
 }
@@ -98,14 +112,16 @@ type Delta struct {
 // Compare evaluates the current run against the baseline. Every
 // baseline operation yields a Delta, ordered by name; an op regresses
 // when its ns/op grows by more than threshold (0.25 = fail above +25%),
-// disappears from the current run, or has a non-positive baseline
-// ns/op (a corrupt entry that cannot anchor a ratio). Operations only
-// present in the current run are ignored — new benchmarks don't need
-// a baseline to land.
+// disappears from the current run, has a non-positive baseline
+// ns/op (a corrupt entry that cannot anchor a ratio), or was pinned to
+// a different kernel pool width than the baseline (the two numbers
+// measure incomparable configurations). Operations only present in
+// the current run are ignored — new benchmarks don't need a baseline
+// to land.
 func Compare(baseline, current *File, threshold float64) []Delta {
 	deltas := make([]Delta, 0, len(baseline.Results))
 	for _, base := range baseline.Results {
-		d := Delta{Name: base.Name, BaseNs: base.NsPerOp}
+		d := Delta{Name: base.Name, BaseNs: base.NsPerOp, BaseWidth: base.Width}
 		cur, ok := current.Find(base.Name)
 		if !ok {
 			d.Missing = true
@@ -114,6 +130,13 @@ func Compare(baseline, current *File, threshold float64) []Delta {
 			continue
 		}
 		d.CurNs = cur.NsPerOp
+		d.CurWidth = cur.Width
+		if base.Width != cur.Width {
+			d.WidthChanged = true
+			d.Regressed = true
+			deltas = append(deltas, d)
+			continue
+		}
 		if base.NsPerOp > 0 {
 			d.Ratio = cur.NsPerOp / base.NsPerOp
 			d.Regressed = d.Ratio > 1+threshold

@@ -85,3 +85,41 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("unchanged op flagged: %+v", deltas[1])
 	}
 }
+
+func TestCompareWidthChange(t *testing.T) {
+	base := &File{Results: []Result{
+		{Name: "ParallelSelect1M", NsPerOp: 1000, Width: 4},
+		{Name: "Select1M/w8", NsPerOp: 800, Width: 8},
+	}}
+	// Faster, but measured at a different pool width: the ratio would
+	// compare incomparable runs, so the gate must fail the op.
+	cur := &File{Results: []Result{
+		{Name: "ParallelSelect1M", NsPerOp: 600, Width: 8},
+		{Name: "Select1M/w8", NsPerOp: 810, Width: 8},
+	}}
+	deltas := Compare(base, cur, 0.25)
+	if !deltas[0].WidthChanged || !deltas[0].Regressed {
+		t.Fatalf("width change not flagged: %+v", deltas[0])
+	}
+	if deltas[0].BaseWidth != 4 || deltas[0].CurWidth != 8 {
+		t.Fatalf("widths not recorded: %+v", deltas[0])
+	}
+	if deltas[1].WidthChanged || deltas[1].Regressed {
+		t.Fatalf("same-width op flagged: %+v", deltas[1])
+	}
+}
+
+func TestResultWidthRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := &File{Results: []Result{{Name: "Select1M/w4", NsPerOp: 1, Width: 4}}}
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := got.Find("Select1M/w4"); !ok || r.Width != 4 {
+		t.Fatalf("width lost in round trip: %+v", got.Results)
+	}
+}

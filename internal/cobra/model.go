@@ -8,12 +8,14 @@
 package cobra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"cobra/internal/monet"
+	"cobra/internal/obs"
 	"cobra/internal/rules"
 )
 
@@ -66,6 +68,10 @@ func (e Event) Attr(key string) string { return e.Attrs[key] }
 // of BATs sharing head OIDs.
 type Catalog struct {
 	store *monet.Store
+	// tctx, when non-nil, carries the trace span of the request this
+	// catalog view belongs to (see Traced); store mutations route
+	// through it so journal/WAL waits are attributed to the trace.
+	tctx context.Context
 }
 
 // ErrNotFound is returned for missing catalog entries.
@@ -74,6 +80,28 @@ var ErrNotFound = errors.New("cobra: not found")
 // NewCatalog returns a catalog over the given kernel store.
 func NewCatalog(store *monet.Store) *Catalog {
 	return &Catalog{store: store}
+}
+
+// Traced returns a view of the catalog bound to the given trace span:
+// same store, but mutations and selects made through the view are
+// attributed to the span's trace. The preprocessor hands extractors a
+// traced view so materialization shows up in the query's span tree
+// without changing the Extractor interface. A nil span returns the
+// catalog unchanged.
+func (c *Catalog) Traced(sp *obs.Span) *Catalog {
+	if sp == nil {
+		return c
+	}
+	return &Catalog{store: c.store, tctx: obs.ContextWithSpan(context.Background(), sp)}
+}
+
+// ctx returns the trace context of this catalog view (Background for
+// an untraced catalog).
+func (c *Catalog) ctx() context.Context {
+	if c.tctx != nil {
+		return c.tctx
+	}
+	return context.Background()
 }
 
 // Store exposes the underlying kernel store (for snapshots and MIL
@@ -97,7 +125,7 @@ func (c *Catalog) PutVideo(v Video) error {
 	}
 	b = b.Filter(func(h, _ monet.Value) bool { return h.Str() != v.Name })
 	b.MustInsert(monet.NewStr(v.Name), monet.NewStr(fmt.Sprintf("%g|%g", v.Duration, v.FPS)))
-	c.store.Put(videoBAT(), b)
+	c.store.PutCtx(c.ctx(), videoBAT(), b)
 	return nil
 }
 
@@ -142,8 +170,8 @@ func (c *Catalog) PutFeature(f Feature) error {
 	for _, v := range f.Values {
 		b.MustInsert(monet.VoidValue(), monet.NewFloat(v))
 	}
-	c.store.Put(featureBAT(f.Video, f.Name), b)
-	c.store.Put(featureBAT(f.Video, f.Name)+"/rate", rateBAT(f.SampleRate))
+	c.store.PutCtx(c.ctx(), featureBAT(f.Video, f.Name), b)
+	c.store.PutCtx(c.ctx(), featureBAT(f.Video, f.Name)+"/rate", rateBAT(f.SampleRate))
 	return nil
 }
 
@@ -195,7 +223,14 @@ func (c *Catalog) FeatureMeta(video, name string) (rate float64, n int, err erro
 // (zone map, cracker or scan, chosen by the store's cost gate), along
 // with the access path taken.
 func (c *Catalog) FeatureSelect(video, name string, lo, hi float64) ([]int, *monet.AccessInfo, error) {
-	return c.store.SelectPositions(featureBAT(video, name), monet.NewFloat(lo), monet.NewFloat(hi))
+	return c.FeatureSelectCtx(c.ctx(), video, name, lo, hi)
+}
+
+// FeatureSelectCtx is FeatureSelect under a trace context: the kernel
+// select records its access-path decision and morsel spans into the
+// trace carried by ctx.
+func (c *Catalog) FeatureSelectCtx(ctx context.Context, video, name string, lo, hi float64) ([]int, *monet.AccessInfo, error) {
+	return c.store.SelectPositionsCtx(ctx, featureBAT(video, name), monet.NewFloat(lo), monet.NewFloat(hi))
 }
 
 // FeatureBATName is the kernel BAT name holding a feature series;
@@ -273,7 +308,7 @@ func (c *Catalog) PutEvents(video string, events []Event) error {
 		cols["attrs"].MustInsert(oid, monet.NewStr(encodeAttrs(e.Attrs)))
 	}
 	for col, b := range cols {
-		c.store.Put(eventBAT(video, col), b)
+		c.store.PutCtx(c.ctx(), eventBAT(video, col), b)
 	}
 	return nil
 }
@@ -333,7 +368,7 @@ func (c *Catalog) DropEvents(video, typ string) {
 		}
 	}
 	for _, col := range []string{"type", "start", "end", "conf", "attrs"} {
-		c.store.Drop(eventBAT(video, col))
+		c.store.DropCtx(c.ctx(), eventBAT(video, col))
 	}
 	if len(kept) > 0 {
 		_ = c.PutEvents(video, kept)
@@ -359,7 +394,7 @@ func (c *Catalog) PutObject(o Object) error {
 	}
 	b = b.Filter(func(h, _ monet.Value) bool { return h.Str() != o.Name })
 	b.MustInsert(monet.NewStr(o.Name), monet.NewStr(sb.String()))
-	c.store.Put(objectBAT(o.Video, "appearances"), b)
+	c.store.PutCtx(c.ctx(), objectBAT(o.Video, "appearances"), b)
 	return nil
 }
 

@@ -158,7 +158,9 @@ func (p *Preprocessor) EnsureTraced(video string, reqs []Requirement, minQuality
 		}
 		ext := span.StartChild("extract:" + e.Name())
 		ext.SetAttr("level", "conceptual")
-		extErr := e.Extract(p.cat, video)
+		// The traced catalog view attributes the engine's store writes
+		// (journal/WAL waits) to this query's trace.
+		extErr := e.Extract(p.cat.Traced(ext), video)
 		cExtractions.Inc()
 		hExtractLat.Observe(ext.Finish())
 		if extErr != nil {

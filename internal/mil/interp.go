@@ -1,6 +1,7 @@
 package mil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -225,6 +226,30 @@ func (in *Interp) Exec(src string) (Value, error) {
 		return Value{}, err
 	}
 	return in.Run(prog)
+}
+
+// ExecCtx is Exec under a trace context: when ctx carries a span the
+// interpretation is recorded as a physical-level "mil.exec" child
+// covering parse and run, annotated with the statement count and any
+// failure. MIL programs issued over the protocol get their own trace
+// root in the server, so MIL work shows up in TRACEDUMP alongside
+// COQL queries.
+func (in *Interp) ExecCtx(ctx context.Context, src string) (Value, error) {
+	sp := obs.SpanFromContext(ctx).StartChild("mil.exec")
+	sp.SetAttr("level", "physical")
+	prog, err := Parse(src)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.Finish()
+		return Value{}, err
+	}
+	sp.SetAttr("statements", fmt.Sprintf("%d", len(prog.Stmts)))
+	v, err := in.Run(prog)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.Finish()
+	return v, err
 }
 
 // Run executes a parsed program.

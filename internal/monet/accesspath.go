@@ -1,10 +1,12 @@
 package monet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cobra/internal/obs"
 )
@@ -207,14 +209,43 @@ func (s *Store) capture(name string) (*BAT, *batIndex, error) {
 // description of the access path taken. It is the primitive behind
 // SelectRange/UselectRange and the COQL condition evaluator.
 func (s *Store) SelectPositions(name string, lo, hi Value) ([]int, *AccessInfo, error) {
+	return s.SelectPositionsCtx(context.Background(), name, lo, hi)
+}
+
+// SelectPositionsCtx is SelectPositions under a trace context: when
+// ctx carries a span, the select records a "monet.select" child span
+// holding the cost-gate decision (access attr), morsel child spans for
+// parallel scans, and rows-scanned attribution into the trace's shared
+// Resources.
+func (s *Store) SelectPositionsCtx(ctx context.Context, name string, lo, hi Value) ([]int, *AccessInfo, error) {
 	b, ix, err := s.capture(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer ix.mu.Unlock()
 	cIdxSelects.Inc()
-	idx, info := ix.selectLocked(b.tail, lo, hi)
+	sp := obs.SpanFromContext(ctx).StartChild("monet.select")
+	sp.SetAttr("level", "physical")
+	sp.SetAttr("bat", name)
+	idx, info := ix.selectLocked(b.tail, lo, hi, sp)
+	sp.SetAttr("access", info.String())
+	sp.Resources().AddScanned(scannedRows(info))
+	sp.Finish()
 	return idx, info, nil
+}
+
+// scannedRows estimates tuples examined by one indexed select: the
+// whole column for a scan, only surviving morsels under zone-map
+// pruning, and the matched rows for index answers (crack/dict touch
+// piece boundaries, not tuples).
+func scannedRows(info *AccessInfo) int {
+	switch info.Path {
+	case PathZoneMap:
+		return (info.MorselsTotal - info.MorselsPruned) * MorselSize
+	case PathCrack, PathDict:
+		return info.Matched
+	}
+	return info.Rows
 }
 
 // SelectRange is the adaptive counterpart of BAT.Select over a stored
@@ -225,7 +256,7 @@ func (s *Store) SelectRange(name string, lo, hi Value) (*BAT, *AccessInfo, error
 		return nil, nil, err
 	}
 	cIdxSelects.Inc()
-	idx, info := ix.selectLocked(b.tail, lo, hi)
+	idx, info := ix.selectLocked(b.tail, lo, hi, nil)
 	ix.mu.Unlock()
 	return &BAT{head: b.head.Gather(idx), tail: b.tail.Gather(idx)}, info, nil
 }
@@ -238,7 +269,7 @@ func (s *Store) UselectRange(name string, lo, hi Value) (*BAT, *AccessInfo, erro
 		return nil, nil, err
 	}
 	cIdxSelects.Inc()
-	idx, info := ix.selectLocked(b.tail, lo, hi)
+	idx, info := ix.selectLocked(b.tail, lo, hi, nil)
 	ix.mu.Unlock()
 	return &BAT{head: b.head.Gather(idx), tail: &voidColumn{n: len(idx)}}, info, nil
 }
@@ -384,8 +415,9 @@ func (ix *batIndex) planLocked(col Column, lo, hi Value) AccessPath {
 // selectLocked executes one range select through the gate, building
 // index structures as the policy allows, and returns the ascending
 // qualifying positions — always exactly the positions the naive scan
-// would return.
-func (ix *batIndex) selectLocked(col Column, lo, hi Value) ([]int, *AccessInfo) {
+// would return. A non-nil sp collects morsel child spans for the
+// scanning paths.
+func (ix *batIndex) selectLocked(col Column, lo, hi Value, sp *obs.Span) ([]int, *AccessInfo) {
 	info := &AccessInfo{Path: PathScan, Rows: col.Len()}
 	path := ix.planLocked(col, lo, hi)
 	ix.selects++
@@ -443,11 +475,11 @@ func (ix *batIndex) selectLocked(col Column, lo, hi Value) ([]int, *AccessInfo) 
 		if info.MorselsPruned > 0 {
 			info.Path = PathZoneMap
 		}
-		idx := scanMorselSubset(col, surviving, lo, hi)
+		idx := scanMorselSubsetSpan(col, surviving, lo, hi, sp)
 		info.Matched = len(idx)
 		return idx, info
 	}
-	idx := colSelectIdx(col, lo, hi)
+	idx := colSelectIdxSpan(col, lo, hi, sp)
 	info.Matched = len(idx)
 	return idx, info
 }
@@ -458,7 +490,16 @@ func (ix *batIndex) selectLocked(col Column, lo, hi Value) ([]int, *AccessInfo) 
 // to those morsels. Wide columns fan the surviving morsels out on the
 // shared pool.
 func scanMorselSubset(col Column, morsels []int, lo, hi Value) []int {
+	return scanMorselSubsetSpan(col, morsels, lo, hi, nil)
+}
+
+// scanMorselSubsetSpan is scanMorselSubset under an optional trace
+// span: surviving morsels record queue-wait/run child spans (capped at
+// maxMorselSpans) and accumulate into the trace's Resources, mirroring
+// runMorselsSpan for the zone-map path's sparse fan-out.
+func scanMorselSubsetSpan(col Column, morsels []int, lo, hi Value, sp *obs.Span) []int {
 	n := col.Len()
+	res := sp.Resources()
 	parts := make([][]int, len(morsels))
 	scanOne := func(k int) {
 		start := morsels[k] * MorselSize
@@ -479,7 +520,31 @@ func scanMorselSubset(col Column, morsels []int, lo, hi Value) []int {
 		b := p.Batch()
 		for k := range morsels {
 			k := k
-			b.Submit(func() { scanOne(k) })
+			if sp == nil {
+				b.Submit(func() { scanOne(k) })
+				continue
+			}
+			var msp *obs.Span
+			if k < maxMorselSpans {
+				msp = sp.StartChild("monet.morsel")
+				msp.SetAttr("morsel", fmt.Sprintf("%d", morsels[k]))
+			}
+			submitted := time.Now()
+			b.Submit(func() {
+				t0 := time.Now()
+				scanOne(k)
+				run := time.Since(t0)
+				wait := t0.Sub(submitted)
+				if wait < 0 {
+					wait = 0
+				}
+				res.AddMorsel(wait, run)
+				if msp != nil {
+					msp.SetAttr("queue_wait", obs.FormatDuration(wait))
+					msp.SetAttr("run", obs.FormatDuration(run))
+					msp.Finish()
+				}
+			})
 		}
 		b.Wait()
 	} else {

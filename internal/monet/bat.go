@@ -151,8 +151,14 @@ func (b *BAT) selectIdx(lo, hi Value) []int {
 // (accesspath.go) fall back to it whenever an index cannot answer a
 // predicate exactly.
 func colSelectIdx(c Column, lo, hi Value) []int {
+	return colSelectIdxSpan(c, lo, hi, nil)
+}
+
+// colSelectIdxSpan is colSelectIdx under an optional trace span: the
+// parallel path records per-morsel queue-wait/run spans under sp.
+func colSelectIdxSpan(c Column, lo, hi Value, sp *obs.Span) []int {
 	if p, ok := poolFor(c.Len()); ok {
-		return parFilterIdx(p, c.Len(), hPoolSelectLat, hPoolSelectSpd, func(i int) bool {
+		return parFilterIdxSpan(p, c.Len(), hPoolSelectLat, hPoolSelectSpd, sp, func(i int) bool {
 			t := c.Get(i)
 			return Compare(t, lo) >= 0 && Compare(t, hi) <= 0
 		})

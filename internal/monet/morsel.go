@@ -2,6 +2,7 @@ package monet
 
 import (
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +25,12 @@ var (
 // numMorsels returns how many fixed-size morsels cover n rows.
 func numMorsels(n int) int { return (n + MorselSize - 1) / MorselSize }
 
+// maxMorselSpans caps how many per-morsel child spans one fan-out
+// records into a trace. All morsels still accumulate into the trace's
+// shared Resources; the cap only bounds span-tree detail so retained
+// traces (ring, slow log) stay small for huge scans.
+const maxMorselSpans = 8
+
 // runMorsels splits [0, n) into MorselSize chunks and runs fn for each
 // on the pool, blocking until all finish. fn receives the morsel index
 // m and its row range [lo, hi); morsel indices are dense, so callers
@@ -31,8 +38,21 @@ func numMorsels(n int) int { return (n + MorselSize - 1) / MorselSize }
 // morsel order — that merge order is what keeps parallel operators
 // bit-identical to their serial paths regardless of worker count.
 func runMorsels(p *Pool, n int, lat, spd *obs.Histogram, fn func(m, lo, hi int)) {
+	runMorselsSpan(p, n, lat, spd, nil, fn)
+}
+
+// runMorselsSpan is runMorsels under a trace span: each morsel task
+// records its queue wait (submit → worker pickup) and run time into
+// the trace's shared Resources, and the first maxMorselSpans morsels
+// additionally get child spans under sp. Morsel child spans are
+// created at submit time, in morsel order, so the parent's child list
+// is deterministic regardless of worker scheduling; the timing attrs
+// are filled in when the task runs. A nil sp skips all span work and
+// the extra per-morsel clock read.
+func runMorselsSpan(p *Pool, n int, lat, spd *obs.Histogram, sp *obs.Span, fn func(m, lo, hi int)) {
 	nm := numMorsels(n)
 	cPoolMorsels.Add(int64(nm))
+	res := sp.Resources()
 	start := time.Now()
 	var busy atomic.Int64
 	b := p.Batch()
@@ -43,10 +63,36 @@ func runMorsels(p *Pool, n int, lat, spd *obs.Histogram, fn func(m, lo, hi int))
 		if hi > n {
 			hi = n
 		}
+		if sp == nil {
+			b.Submit(func() {
+				t0 := time.Now()
+				fn(m, lo, hi)
+				busy.Add(int64(time.Since(t0)))
+			})
+			continue
+		}
+		var msp *obs.Span
+		if m < maxMorselSpans {
+			msp = sp.StartChild("monet.morsel")
+			msp.SetAttr("morsel", strconv.Itoa(m))
+			msp.SetAttr("rows", strconv.Itoa(hi-lo))
+		}
+		submitted := time.Now()
 		b.Submit(func() {
 			t0 := time.Now()
 			fn(m, lo, hi)
-			busy.Add(int64(time.Since(t0)))
+			run := time.Since(t0)
+			wait := t0.Sub(submitted)
+			if wait < 0 {
+				wait = 0
+			}
+			busy.Add(int64(run))
+			res.AddMorsel(wait, run)
+			if msp != nil {
+				msp.SetAttr("queue_wait", obs.FormatDuration(wait))
+				msp.SetAttr("run", obs.FormatDuration(run))
+				msp.Finish()
+			}
 		})
 	}
 	b.Wait()
@@ -65,8 +111,13 @@ func runMorsels(p *Pool, n int, lat, spd *obs.Histogram, fn func(m, lo, hi int))
 // match list; concatenating the lists in morsel index order recovers
 // exactly the serial scan order.
 func parFilterIdx(p *Pool, n int, lat, spd *obs.Histogram, pred func(i int) bool) []int {
+	return parFilterIdxSpan(p, n, lat, spd, nil, pred)
+}
+
+// parFilterIdxSpan is parFilterIdx under an optional trace span.
+func parFilterIdxSpan(p *Pool, n int, lat, spd *obs.Histogram, sp *obs.Span, pred func(i int) bool) []int {
 	parts := make([][]int, numMorsels(n))
-	runMorsels(p, n, lat, spd, func(m, lo, hi int) {
+	runMorselsSpan(p, n, lat, spd, sp, func(m, lo, hi int) {
 		var idx []int
 		for i := lo; i < hi; i++ {
 			if pred(i) {

@@ -2,6 +2,7 @@ package monet
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cobra/internal/obs"
 )
@@ -108,13 +110,24 @@ func (s *Store) SetJournal(j Journal) {
 // in-memory mutation still applies, so callers that ignore the error
 // keep the original main-memory semantics.
 func (s *Store) Put(name string, b *BAT) error {
+	return s.PutCtx(context.Background(), name, b)
+}
+
+// PutCtx is Put under a trace context: time blocked on the journal
+// (including any WAL fsync group commit) is attributed to the trace's
+// WAL-wait resource counter. The Journal interface itself stays
+// context-free.
+func (s *Store) PutCtx(ctx context.Context, name string, b *BAT) error {
+	res := obs.SpanFromContext(ctx).Resources()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
 	if s.journal != nil {
+		jStart := time.Now()
 		if err = s.journal.JournalPut(name, b); err != nil {
 			cJournalErr.Inc()
 		}
+		res.AddWALWait(time.Since(jStart))
 	}
 	s.bats[name] = b
 	s.bumpEpochLocked(name)
@@ -126,6 +139,13 @@ func (s *Store) Put(name string, b *BAT) error {
 // durable counterpart of Get-then-Insert: direct BAT mutation bypasses
 // the journal and is lost on crash.
 func (s *Store) Append(name string, h, t Value) error {
+	return s.AppendCtx(context.Background(), name, h, t)
+}
+
+// AppendCtx is Append under a trace context; see PutCtx for the
+// WAL-wait attribution contract.
+func (s *Store) AppendCtx(ctx context.Context, name string, h, t Value) error {
+	res := obs.SpanFromContext(ctx).Resources()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.bats[name]
@@ -137,7 +157,10 @@ func (s *Store) Append(name string, h, t Value) error {
 	}
 	s.bumpEpochLocked(name)
 	if s.journal != nil {
-		if err := s.journal.JournalAppend(name, h, t); err != nil {
+		jStart := time.Now()
+		err := s.journal.JournalAppend(name, h, t)
+		res.AddWALWait(time.Since(jStart))
+		if err != nil {
 			cJournalErr.Inc()
 			return err
 		}
@@ -168,13 +191,22 @@ func (s *Store) Has(name string) bool {
 // mutation is journaled first and a journal error is reported but does
 // not undo the in-memory drop.
 func (s *Store) Drop(name string) error {
+	return s.DropCtx(context.Background(), name)
+}
+
+// DropCtx is Drop under a trace context; see PutCtx for the WAL-wait
+// attribution contract.
+func (s *Store) DropCtx(ctx context.Context, name string) error {
+	res := obs.SpanFromContext(ctx).Resources()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
 	if s.journal != nil {
+		jStart := time.Now()
 		if err = s.journal.JournalDrop(name); err != nil {
 			cJournalErr.Inc()
 		}
+		res.AddWALWait(time.Since(jStart))
 	}
 	delete(s.bats, name)
 	s.bumpEpochLocked(name)

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+)
+
+// ChromeEvent is one complete event ("ph":"X") in the Chrome
+// trace-event format, loadable by about:tracing and Perfetto.
+// Timestamps and durations are microseconds; Ts is relative to the
+// trace root so exported traces start at zero.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTraceFile is the object form of the trace-event format.
+type ChromeTraceFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace flattens a span tree into complete events, depth-first
+// so parents precede children. Open spans export their elapsed time.
+func ChromeTrace(root *Span) []ChromeEvent {
+	if root == nil {
+		return nil
+	}
+	var out []ChromeEvent
+	var walk func(s *Span)
+	epoch := root.StartTime()
+	walk = func(s *Span) {
+		args := map[string]string{"span_id": itoa64(s.ID())}
+		if tid := s.TraceID(); tid != "" {
+			args["trace_id"] = tid
+		}
+		for _, a := range s.Attrs() {
+			args[a.Key] = a.Val
+		}
+		out = append(out, ChromeEvent{
+			Name: s.Name(),
+			Cat:  "cobra",
+			Ph:   "X",
+			Ts:   micros(s.StartTime().Sub(epoch)),
+			Dur:  micros(s.Duration()),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// ChromeTraceJSON renders the span tree as a trace-event JSON document
+// ready to load into about:tracing or ui.perfetto.dev.
+func ChromeTraceJSON(root *Span) ([]byte, error) {
+	f := ChromeTraceFile{
+		TraceEvents:     ChromeTrace(root),
+		DisplayTimeUnit: "ms",
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []ChromeEvent{}
+	}
+	return json.Marshal(f)
+}
+
+func micros(d time.Duration) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return float64(d) / float64(time.Microsecond)
+}
+
+func itoa64(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 )
 
 // Handler serves the registry as expvar-style indented JSON, with a
@@ -34,14 +35,29 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// NewMux builds the diagnostics mux: /metrics and /debug/vars serve
-// the registry JSON; /debug/pprof/* serves the standard profiler
-// endpoints.
+// PromHandler serves the registry in the Prometheus text exposition
+// format, or as the JSON snapshot when the client's Accept header asks
+// for application/json.
+func PromHandler(r *Registry) http.Handler {
+	jsonH := Handler(r)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/json") {
+			jsonH.ServeHTTP(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		_ = WritePrometheus(w, r)
+	})
+}
+
+// NewMux builds the diagnostics mux: /metrics serves the Prometheus
+// text format (JSON via Accept: application/json), /debug/vars serves
+// the expvar-style registry JSON, and /debug/pprof/* serves the
+// standard profiler endpoints.
 func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
-	h := Handler(r)
-	mux.Handle("/metrics", h)
-	mux.Handle("/debug/vars", h)
+	mux.Handle("/metrics", PromHandler(r))
+	mux.Handle("/debug/vars", Handler(r))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -254,7 +254,7 @@ func TestHTTPHandler(t *testing.T) {
 	srv := httptest.NewServer(NewMux(r))
 	defer srv.Close()
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type for the Prometheus text
+// exposition format served on /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name ("coql.query.latency")
+// into a Prometheus metric name ("cobra_coql_query_latency").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("cobra_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format. Counters and gauges map directly; histograms are
+// flattened to gauges (_count, _sum_ns, _mean_ns, _p50_ns, _p95_ns,
+// _p99_ns, _max_ns) because the log-linear buckets do not line up with
+// Prometheus' cumulative le-bucket convention. A small runtime section
+// (goroutines, heap) is appended under cobra_go_*.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	s := r.Snapshot()
+
+	var blocks []string
+	for name, v := range s.Counters {
+		n := promName(name)
+		blocks = append(blocks, fmt.Sprintf("# TYPE %s counter\n%s %d\n", n, n, v))
+	}
+	for name, v := range s.Gauges {
+		n := promName(name)
+		blocks = append(blocks, fmt.Sprintf("# TYPE %s gauge\n%s %d\n", n, n, v))
+	}
+	for name, h := range s.Histograms {
+		n := promName(name)
+		var b strings.Builder
+		writePromGauge(&b, n+"_count", float64(h.Count))
+		writePromGauge(&b, n+"_sum_ns", float64(h.SumNs))
+		writePromGauge(&b, n+"_mean_ns", h.MeanNs)
+		writePromGauge(&b, n+"_p50_ns", h.P50Ns)
+		writePromGauge(&b, n+"_p95_ns", h.P95Ns)
+		writePromGauge(&b, n+"_p99_ns", h.P99Ns)
+		writePromGauge(&b, n+"_max_ns", float64(h.MaxNs))
+		blocks = append(blocks, b.String())
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var rb strings.Builder
+	writePromGauge(&rb, "cobra_go_goroutines", float64(runtime.NumGoroutine()))
+	writePromGauge(&rb, "cobra_go_heap_alloc_bytes", float64(ms.HeapAlloc))
+	writePromGauge(&rb, "cobra_go_gc_cycles", float64(ms.NumGC))
+	blocks = append(blocks, rb.String())
+
+	sort.Strings(blocks)
+	for _, bl := range blocks {
+		if _, err := io.WriteString(w, bl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromGauge emits one gauge sample with its TYPE line.
+func writePromGauge(b *strings.Builder, name string, v float64) {
+	fmt.Fprintf(b, "# TYPE %s gauge\n", name)
+	if v == float64(int64(v)) {
+		fmt.Fprintf(b, "%s %d\n", name, int64(v))
+	} else {
+		fmt.Fprintf(b, "%s %g\n", name, v)
+	}
+}

@@ -6,11 +6,17 @@ import (
 	"time"
 )
 
-// SlowEntry is one logged slow query.
+// SlowEntry is one logged slow query. When the query ran under a
+// trace, TraceID and the full span tree (Root) are retained so the
+// offending query can be dissected after the fact; memory stays
+// bounded because span trees cap their morsel detail and the log is a
+// fixed-size ring.
 type SlowEntry struct {
 	When     time.Time
 	Duration time.Duration
 	Query    string
+	TraceID  string
+	Root     *Span
 }
 
 // SlowLog keeps the most recent queries that exceeded a configurable
@@ -48,11 +54,18 @@ func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.L
 // Record logs the query if its duration reaches the threshold,
 // reporting whether it was logged.
 func (l *SlowLog) Record(query string, d time.Duration) bool {
+	return l.RecordTrace(query, d, nil)
+}
+
+// RecordTrace logs the query with its trace's root span (may be nil)
+// if its duration reaches the threshold, reporting whether it was
+// logged.
+func (l *SlowLog) RecordTrace(query string, d time.Duration, root *Span) bool {
 	th := l.threshold.Load()
 	if th <= 0 || int64(d) < th {
 		return false
 	}
-	e := SlowEntry{When: time.Now(), Duration: d, Query: query}
+	e := SlowEntry{When: time.Now(), Duration: d, Query: query, TraceID: root.TraceID(), Root: root}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.entries) < l.cap {

@@ -20,6 +20,9 @@ type Attr struct {
 type Span struct {
 	name  string
 	start time.Time
+	id    uint64
+	trace string     // trace ID, "" for spans outside a trace
+	res   *Resources // shared per-trace accumulator, may be nil
 
 	mu       sync.Mutex
 	dur      time.Duration // 0 while the span is open
@@ -27,21 +30,69 @@ type Span struct {
 	children []*Span
 }
 
-// StartSpan starts a root span.
+// StartSpan starts a root span outside any trace (no trace ID, no
+// resource accumulator). Use StartTrace for protocol requests.
 func StartSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), id: spanSeq.Add(1)}
 }
 
-// StartChild starts and attaches a child span. Nil-safe.
+// StartTrace starts the root span of a new trace: it is assigned a
+// process-unique trace ID and a fresh Resources accumulator, both
+// inherited by every child span in the tree.
+func StartTrace(name string) *Span {
+	s := StartSpan(name)
+	s.trace = fmt.Sprintf("t%06x", traceSeq.Add(1))
+	s.res = &Resources{}
+	return s
+}
+
+// StartChild starts and attaches a child span, inheriting the parent's
+// trace ID and resource accumulator. Nil-safe.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := StartSpan(name)
+	c.trace = s.trace
+	c.res = s.res
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// ID returns the process-unique span ID (0 for nil). Nil-safe.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the trace this span belongs to, or "" when the span
+// is outside a trace. Nil-safe.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// Resources returns the trace's shared resource accumulator, or nil
+// when the span is outside a trace. Nil-safe.
+func (s *Span) Resources() *Resources {
+	if s == nil {
+		return nil
+	}
+	return s.res
+}
+
+// StartTime returns when the span started. Nil-safe.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
 }
 
 // SetAttr annotates the span. Nil-safe.
@@ -118,6 +169,17 @@ func (s *Span) Attr(key string) string {
 		}
 	}
 	return ""
+}
+
+// Attrs returns a copy of all annotations in recording order.
+// Nil-safe.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
 }
 
 // Render formats the span tree as indented text, one span per line:

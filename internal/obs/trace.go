@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traceSeq hands out process-unique trace IDs. A monotonically
+// increasing counter (rather than random bytes) guarantees that two
+// concurrent queries can never collide and makes the "no lost or
+// duplicated IDs" property testable.
+var traceSeq atomic.Uint64
+
+// spanSeq hands out process-unique span IDs, shared by every trace so
+// a span can be addressed without knowing its trace.
+var spanSeq atomic.Uint64
+
+// Resources accumulates per-query resource attribution. One Resources
+// value is shared by every span of a trace: concurrent morsels on the
+// monet pool add into it with atomics, and the engine snapshots it
+// onto the root span when the query finishes. All methods are safe on
+// a nil receiver so untraced code paths pay only a nil check.
+type Resources struct {
+	// RowsScanned counts tuples examined by physical operators;
+	// RowsReturned counts tuples in the final result.
+	RowsScanned  atomic.Int64
+	RowsReturned atomic.Int64
+
+	// Morsels counts morsel tasks run on the monet pool for this
+	// query. QueueWaitNs is the summed time those tasks sat in the
+	// pool queue before a worker picked them up; KernelBusyNs is the
+	// summed time workers spent executing them (the query's CPU time
+	// inside parallel kernels).
+	Morsels      atomic.Int64
+	QueueWaitNs  atomic.Int64
+	KernelBusyNs atomic.Int64
+
+	// WALWaitNs is time spent waiting on write-ahead-log appends and
+	// fsync group commits for mutations attributed to this query.
+	WALWaitNs atomic.Int64
+
+	// AllocBytes is the process heap-allocation delta over the query
+	// (approximate: concurrent queries' allocations are not separated).
+	AllocBytes atomic.Int64
+}
+
+// ResourceStat is an immutable snapshot of a Resources accumulator.
+type ResourceStat struct {
+	RowsScanned  int64         `json:"rows_scanned"`
+	RowsReturned int64         `json:"rows_returned"`
+	Morsels      int64         `json:"morsels"`
+	QueueWait    time.Duration `json:"queue_wait_ns"`
+	KernelBusy   time.Duration `json:"kernel_busy_ns"`
+	WALWait      time.Duration `json:"wal_wait_ns"`
+	AllocBytes   int64         `json:"alloc_bytes"`
+}
+
+// Stat snapshots the accumulator. Nil-safe.
+func (r *Resources) Stat() ResourceStat {
+	if r == nil {
+		return ResourceStat{}
+	}
+	return ResourceStat{
+		RowsScanned:  r.RowsScanned.Load(),
+		RowsReturned: r.RowsReturned.Load(),
+		Morsels:      r.Morsels.Load(),
+		QueueWait:    time.Duration(r.QueueWaitNs.Load()),
+		KernelBusy:   time.Duration(r.KernelBusyNs.Load()),
+		WALWait:      time.Duration(r.WALWaitNs.Load()),
+		AllocBytes:   r.AllocBytes.Load(),
+	}
+}
+
+// AddScanned adds n examined tuples. Nil-safe.
+func (r *Resources) AddScanned(n int) {
+	if r != nil {
+		r.RowsScanned.Add(int64(n))
+	}
+}
+
+// AddMorsel records one pool task with its queue wait and run time.
+// Nil-safe.
+func (r *Resources) AddMorsel(wait, run time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Morsels.Add(1)
+	r.QueueWaitNs.Add(int64(wait))
+	r.KernelBusyNs.Add(int64(run))
+}
+
+// AddWALWait records time blocked on the journal. Nil-safe.
+func (r *Resources) AddWALWait(d time.Duration) {
+	if r != nil {
+		r.WALWaitNs.Add(int64(d))
+	}
+}
+
+// String renders the snapshot in the key=value form used by TRACEDUMP
+// and the slow-query log.
+func (st ResourceStat) String() string {
+	return fmt.Sprintf(
+		"rows_scanned=%d rows_returned=%d morsels=%d queue_wait=%s kernel_busy=%s wal_wait=%s alloc_bytes=%d",
+		st.RowsScanned, st.RowsReturned, st.Morsels,
+		FormatDuration(st.QueueWait), FormatDuration(st.KernelBusy),
+		FormatDuration(st.WALWait), st.AllocBytes)
+}
+
+// Trace is one completed query trace retained in a TraceRing.
+type Trace struct {
+	ID       string
+	Query    string
+	Start    time.Time
+	Duration time.Duration
+	Err      string
+	Res      ResourceStat
+	Root     *Span
+}
+
+// TraceRing retains the most recent completed traces in a fixed-size
+// ring so TRACEDUMP can inspect them after the fact. Memory is bounded
+// by the ring capacity times the (capped) span-tree size per query.
+type TraceRing struct {
+	mu      sync.Mutex
+	entries []Trace
+	next    int
+	cap     int
+}
+
+// NewTraceRing returns a ring retaining up to capacity traces.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{cap: capacity}
+}
+
+// DefaultTraces is the process-wide ring the engine and server record
+// completed query traces into.
+var DefaultTraces = NewTraceRing(64)
+
+// Add retains a completed trace, evicting the oldest when full.
+func (tr *TraceRing) Add(t Trace) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.entries) < tr.cap {
+		tr.entries = append(tr.entries, t)
+		return
+	}
+	tr.entries[tr.next] = t
+	tr.next = (tr.next + 1) % tr.cap
+}
+
+// Get returns the retained trace with the given ID.
+func (tr *TraceRing) Get(id string) (Trace, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.entries {
+		if tr.entries[i].ID == id {
+			return tr.entries[i], true
+		}
+	}
+	return Trace{}, false
+}
+
+// Recent returns the retained traces, newest first.
+func (tr *TraceRing) Recent() []Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Trace, 0, len(tr.entries))
+	if len(tr.entries) == tr.cap {
+		out = append(out, tr.entries[tr.next:]...)
+		out = append(out, tr.entries[:tr.next]...)
+	} else {
+		out = append(out, tr.entries...)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (tr *TraceRing) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.entries)
+}
+
+// ctxKey is the private context key carrying the active span.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the active trace
+// span. A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil when
+// the request is untraced (including a nil ctx).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// HeapAllocBytes returns the cumulative bytes allocated on the heap by
+// the process, from runtime/metrics. The engine differences two reads
+// to approximate a query's allocation footprint.
+func HeapAllocBytes() int64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return int64(s[0].Value.Uint64())
+	}
+	return 0
+}

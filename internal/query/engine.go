@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,26 +59,57 @@ func (e *Engine) Run(src string) ([]Result, error) {
 	return res, err
 }
 
-// RunTraced parses and executes a COQL statement under a root trace
-// span ("coql.query"). The returned span tree covers all three levels
-// of the stack: conceptual (parse, preprocessing, method selection),
-// logical (condition-tree evaluation) and physical (catalog/BAT
-// scans). The span is returned even on error, annotated with the
-// failure.
+// RunTraced parses and executes a COQL statement under a fresh trace;
+// see RunTracedCtx.
 func (e *Engine) RunTraced(src string) ([]Result, *obs.Span, error) {
-	root := obs.StartSpan("coql.query")
+	return e.RunTracedCtx(context.Background(), src)
+}
+
+// RunTracedCtx parses and executes a COQL statement as one trace: the
+// root "coql.query" span gets a process-unique trace ID and a shared
+// resource accumulator, and the span handle rides ctx down through the
+// preprocessor, the moa condition evaluator, and the monet kernel's
+// morsel fan-outs. The span tree covers all three levels of the stack:
+// conceptual (parse, preprocessing, method selection), logical
+// (condition-tree evaluation) and physical (kernel selects with their
+// cost-gate access paths and per-morsel queue-wait/run timings).
+//
+// On completion the trace is pushed to obs.DefaultTraces (TRACEDUMP's
+// ring) and, when slow enough, to obs.DefaultSlowLog with its full
+// span tree. The span is returned even on error, annotated with the
+// failure.
+func (e *Engine) RunTracedCtx(ctx context.Context, src string) ([]Result, *obs.Span, error) {
+	root := obs.StartTrace("coql.query")
 	root.SetAttr("level", "conceptual")
 	root.SetAttr("query", src)
 	cQueries.Inc()
+	allocStart := obs.HeapAllocBytes()
+	ctx = obs.ContextWithSpan(ctx, root)
 
-	finish := func(err error) {
+	finish := func(nRes int, err error) {
+		res := root.Resources()
+		res.RowsReturned.Store(int64(nRes))
+		res.AllocBytes.Store(obs.HeapAllocBytes() - allocStart)
+		errStr := ""
 		if err != nil {
 			cQueryErrors.Inc()
-			root.SetAttr("error", err.Error())
+			errStr = err.Error()
+			root.SetAttr("error", errStr)
 		}
+		stat := res.Stat()
+		root.SetAttr("resources", stat.String())
 		d := root.Finish()
 		hQueryLat.Observe(d)
-		obs.DefaultSlowLog.Record(src, d)
+		obs.DefaultTraces.Add(obs.Trace{
+			ID:       root.TraceID(),
+			Query:    src,
+			Start:    root.StartTime(),
+			Duration: d,
+			Err:      errStr,
+			Res:      stat,
+			Root:     root,
+		})
+		obs.DefaultSlowLog.RecordTrace(src, d, root)
 	}
 
 	parseSp := root.StartChild("coql.parse")
@@ -85,11 +117,11 @@ func (e *Engine) RunTraced(src string) ([]Result, *obs.Span, error) {
 	q, err := Parse(src)
 	parseSp.Finish()
 	if err != nil {
-		finish(err)
+		finish(0, err)
 		return nil, root, err
 	}
-	res, err := e.executeTraced(q, root)
-	finish(err)
+	res, err := e.executeTraced(ctx, q, root)
+	finish(len(res), err)
 	return res, root, err
 }
 
@@ -100,11 +132,12 @@ func (e *Engine) RunTraced(src string) ([]Result, *obs.Span, error) {
 // whatever the catalog holds, possibly nothing); other extraction
 // failures abort the query.
 func (e *Engine) Execute(q *Query) ([]Result, error) {
-	return e.executeTraced(q, nil)
+	return e.executeTraced(context.Background(), q, nil)
 }
 
-// executeTraced is Execute with an optional (nil-safe) parent span.
-func (e *Engine) executeTraced(q *Query, span *obs.Span) ([]Result, error) {
+// executeTraced is Execute with an optional (nil-safe) parent span;
+// ctx carries the trace for the kernel layers below.
+func (e *Engine) executeTraced(ctx context.Context, q *Query, span *obs.Span) ([]Result, error) {
 	reqs := requirements(q.Where)
 	ensSp := span.StartChild("preprocess.ensure")
 	ensSp.SetAttr("level", "conceptual")
@@ -131,7 +164,7 @@ func (e *Engine) executeTraced(q *Query, span *obs.Span) ([]Result, error) {
 	}
 	evalSp := span.StartChild("moa.eval")
 	evalSp.SetAttr("level", "logical")
-	res, err := e.eval(cat, q.Video, v.Duration, q.Where, evalSp)
+	res, err := e.eval(ctx, cat, q.Video, v.Duration, q.Where, evalSp)
 	evalSp.SetAttr("segments", strconv.Itoa(len(res)))
 	evalSp.Finish()
 	if err != nil {
@@ -207,7 +240,7 @@ func scanSpan(parent *obs.Span, bat string) *obs.Span {
 	return sp
 }
 
-func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond, span *obs.Span) ([]Result, error) {
+func (e *Engine) eval(ctx context.Context, cat *cobra.Catalog, video string, duration float64, c Cond, span *obs.Span) ([]Result, error) {
 	switch n := c.(type) {
 	case *EventCond:
 		leaf := span.StartChild("eval:event")
@@ -217,6 +250,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		scan := scanSpan(leaf, "cobra/event/"+video+"/*")
 		evs := cat.Events(video, n.Type)
 		scan.SetAttr("rows", strconv.Itoa(len(evs)))
+		scan.Resources().AddScanned(len(evs))
 		scan.Finish()
 		var out []Result
 		for _, ev := range evs {
@@ -253,6 +287,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		scan := scanSpan(leaf, "cobra/event/"+video+"/*")
 		evs := cat.Events(video, CaptionEventType)
 		scan.SetAttr("rows", strconv.Itoa(len(evs)))
+		scan.Resources().AddScanned(len(evs))
 		scan.Finish()
 		var out []Result
 		for _, ev := range evs {
@@ -267,7 +302,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		leaf.SetAttr("level", "logical")
 		leaf.SetAttr("feature", n.Name)
 		defer leaf.Finish()
-		if out, ok := e.indexedFeatureRuns(cat, video, n, leaf); ok {
+		if out, ok := e.indexedFeatureRuns(ctx, cat, video, n, leaf); ok {
 			return out, nil
 		}
 		scan := scanSpan(leaf, "cobra/feature/"+video+"/"+n.Name)
@@ -275,6 +310,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		f, err := cat.Feature(video, n.Name)
 		if err == nil {
 			scan.SetAttr("rows", strconv.Itoa(len(f.Values)))
+			scan.Resources().AddScanned(len(f.Values))
 		}
 		scan.Finish()
 		if err != nil {
@@ -286,7 +322,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op := span.StartChild("eval:not")
 		op.SetAttr("level", "logical")
 		defer op.Finish()
-		x, err := e.eval(cat, video, duration, n.X, op)
+		x, err := e.eval(ctx, cat, video, duration, n.X, op)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +332,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op := span.StartChild("eval:and")
 		op.SetAttr("level", "logical")
 		defer op.Finish()
-		l, r, err := e.evalPair(cat, video, duration, n.L, n.R, op)
+		l, r, err := e.evalPair(ctx, cat, video, duration, n.L, n.R, op)
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +342,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op := span.StartChild("eval:or")
 		op.SetAttr("level", "logical")
 		defer op.Finish()
-		l, r, err := e.evalPair(cat, video, duration, n.L, n.R, op)
+		l, r, err := e.evalPair(ctx, cat, video, duration, n.L, n.R, op)
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +353,7 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 		op.SetAttr("level", "logical")
 		op.SetAttr("rel", n.Rel)
 		defer op.Finish()
-		l, r, err := e.evalPair(cat, video, duration, n.L, n.R, op)
+		l, r, err := e.evalPair(ctx, cat, video, duration, n.L, n.R, op)
 		if err != nil {
 			return nil, err
 		}
@@ -330,12 +366,12 @@ func (e *Engine) eval(cat *cobra.Catalog, video string, duration float64, c Cond
 // on the shared kernel pool, so independent subtrees of the condition
 // tree overlap (catalog reads go through the store's read lock and
 // spans are concurrency-safe). Errors from both sides are joined.
-func (e *Engine) evalPair(cat *cobra.Catalog, video string, duration float64, l, r Cond, span *obs.Span) ([]Result, []Result, error) {
+func (e *Engine) evalPair(ctx context.Context, cat *cobra.Catalog, video string, duration float64, l, r Cond, span *obs.Span) ([]Result, []Result, error) {
 	var lRes, rRes []Result
 	var lErr, rErr error
 	batch := monet.DefaultPool().Batch()
-	batch.Submit(func() { lRes, lErr = e.eval(cat, video, duration, l, span) })
-	batch.Submit(func() { rRes, rErr = e.eval(cat, video, duration, r, span) })
+	batch.Submit(func() { lRes, lErr = e.eval(ctx, cat, video, duration, l, span) })
+	batch.Submit(func() { rRes, rErr = e.eval(ctx, cat, video, duration, r, span) })
 	batch.Wait()
 	return lRes, rRes, errors.Join(lErr, rErr)
 }
@@ -386,7 +422,7 @@ func featureBounds(op string, val float64) (lo, hi float64, ok bool) {
 // with a plain scan (a scan's Compare treats NaN as matching any
 // range, so only NaN-free indexed paths are guaranteed equivalent to
 // the legacy float comparison).
-func (e *Engine) indexedFeatureRuns(cat *cobra.Catalog, video string, n *FeatureCond, leaf *obs.Span) ([]Result, bool) {
+func (e *Engine) indexedFeatureRuns(ctx context.Context, cat *cobra.Catalog, video string, n *FeatureCond, leaf *obs.Span) ([]Result, bool) {
 	if e.NoIndex {
 		return nil, false
 	}
@@ -398,7 +434,7 @@ func (e *Engine) indexedFeatureRuns(cat *cobra.Catalog, video string, n *Feature
 	if err != nil {
 		return nil, false
 	}
-	pos, info, err := cat.FeatureSelect(video, n.Name, lo, hi)
+	pos, info, err := cat.FeatureSelectCtx(obs.ContextWithSpan(ctx, leaf), video, n.Name, lo, hi)
 	if err != nil || info.Path == monet.PathScan {
 		return nil, false
 	}

@@ -17,7 +17,9 @@
 //	EXPORT <video>        -> MPEG-7-style metadata XML
 //	STATS                 -> telemetry counters, gauges and latency quantiles
 //	TRACE <statement>     -> run the COQL statement, return its span tree
-//	SLOWLOG               -> recent queries over the slow-query threshold
+//	TRACEDUMP [id [CHROME]] -> recent completed traces; one trace's resources
+//	                         and span tree; or its Chrome trace-event JSON
+//	SLOWLOG               -> slow queries with trace IDs and full span trees
 //	CHECKPOINT            -> force a durability checkpoint (WAL truncation)
 //	PING                  -> "OK 0", "END"
 //
@@ -27,6 +29,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -216,7 +219,7 @@ func (s *Server) handle(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		s.Execute(line, w)
+		s.ExecuteCtx(context.Background(), line, w)
 		w.Flush()
 	}
 }
@@ -224,6 +227,14 @@ func (s *Server) handle(conn net.Conn) {
 // Execute runs one protocol line, writing the response to w. Exposed
 // for in-process use and testing.
 func (s *Server) Execute(line string, w io.Writer) {
+	s.ExecuteCtx(context.Background(), line, w)
+}
+
+// ExecuteCtx runs one protocol line under a context. Requests that do
+// work (COQL, MIL) become traces: the engine or server assigns a trace
+// ID, threads the trace handle down the stack, and pushes the
+// completed span tree into obs.DefaultTraces for TRACEDUMP.
+func (s *Server) ExecuteCtx(ctx context.Context, line string, w io.Writer) {
 	cRequests.Inc()
 	cmd, rest, _ := strings.Cut(line, " ")
 	switch strings.ToUpper(cmd) {
@@ -235,7 +246,7 @@ func (s *Server) Execute(line string, w io.Writer) {
 		if !strings.EqualFold(cmd, "COQL") {
 			stmt = line // SELECT/RETRIEVE given directly
 		}
-		res, err := s.eng.Run(stmt)
+		res, _, err := s.eng.RunTracedCtx(ctx, stmt)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return
@@ -246,7 +257,7 @@ func (s *Server) Execute(line string, w io.Writer) {
 		}
 		fmt.Fprintln(w, "END")
 	case "MIL":
-		v, err := s.interp.Exec(rest)
+		v, err := s.execMILTraced(ctx, rest)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return
@@ -370,13 +381,23 @@ func (s *Server) Execute(line string, w io.Writer) {
 			return
 		}
 		writeLines(w, []string{fmt.Sprintf("checkpoint complete in %v", time.Since(start).Round(time.Millisecond))})
+	case "TRACEDUMP":
+		s.execTraceDump(rest, w)
 	case "SLOWLOG":
 		entries := obs.DefaultSlowLog.Entries()
 		lines := make([]string, 0, len(entries)+1)
 		lines = append(lines, fmt.Sprintf("# threshold %v", obs.DefaultSlowLog.Threshold()))
 		for _, e := range entries {
-			lines = append(lines, fmt.Sprintf("%s %v %s",
-				e.When.Format(time.RFC3339), e.Duration, e.Query))
+			head := fmt.Sprintf("%s %v", e.When.Format(time.RFC3339), e.Duration)
+			if e.TraceID != "" {
+				head += " trace=" + e.TraceID
+			}
+			lines = append(lines, head+" "+e.Query)
+			if e.Root != nil {
+				for _, l := range strings.Split(strings.TrimRight(e.Root.Render(), "\n"), "\n") {
+					lines = append(lines, "  "+l)
+				}
+			}
 		}
 		writeLines(w, lines)
 	case "LIST":
@@ -393,6 +414,77 @@ func (s *Server) Execute(line string, w io.Writer) {
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
+}
+
+// execMILTraced runs one MIL request as its own trace ("mil.request"):
+// the span handle rides ctx into the interpreter and the kernel, and
+// the completed trace lands in obs.DefaultTraces like a COQL query.
+func (s *Server) execMILTraced(ctx context.Context, src string) (mil.Value, error) {
+	root := obs.StartTrace("mil.request")
+	root.SetAttr("level", "physical")
+	root.SetAttr("query", src)
+	v, err := s.interp.ExecCtx(obs.ContextWithSpan(ctx, root), src)
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+		root.SetAttr("error", errStr)
+	}
+	stat := root.Resources().Stat()
+	root.SetAttr("resources", stat.String())
+	d := root.Finish()
+	obs.DefaultTraces.Add(obs.Trace{
+		ID:       root.TraceID(),
+		Query:    src,
+		Start:    root.StartTime(),
+		Duration: d,
+		Err:      errStr,
+		Res:      stat,
+		Root:     root,
+	})
+	return v, err
+}
+
+// execTraceDump serves the TRACEDUMP verb. Bare TRACEDUMP lists the
+// trace ring newest first; TRACEDUMP <id> prints one trace's resource
+// attribution and span tree; TRACEDUMP <id> CHROME prints the trace as
+// one line of Chrome trace-event JSON for about:tracing / Perfetto.
+func (s *Server) execTraceDump(rest string, w io.Writer) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		traces := obs.DefaultTraces.Recent()
+		lines := make([]string, 0, len(traces)+1)
+		lines = append(lines, fmt.Sprintf("# %d traces", len(traces)))
+		for _, t := range traces {
+			l := fmt.Sprintf("%s %s %v %s", t.ID, t.Start.Format(time.RFC3339), t.Duration, t.Query)
+			if t.Err != "" {
+				l += " [error: " + t.Err + "]"
+			}
+			lines = append(lines, l)
+		}
+		writeLines(w, lines)
+		return
+	}
+	t, ok := obs.DefaultTraces.Get(fields[0])
+	if !ok {
+		fmt.Fprintf(w, "ERR no trace %q (see TRACEDUMP for recent IDs)\n", fields[0])
+		return
+	}
+	if len(fields) > 1 && strings.EqualFold(fields[1], "CHROME") {
+		out, err := obs.ChromeTraceJSON(t.Root)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return
+		}
+		writeLines(w, []string{string(out)})
+		return
+	}
+	lines := []string{
+		fmt.Sprintf("# trace %s %s %v", t.ID, t.Start.Format(time.RFC3339), t.Duration),
+		"# query " + t.Query,
+		"# " + t.Res.String(),
+	}
+	lines = append(lines, strings.Split(strings.TrimRight(t.Root.Render(), "\n"), "\n")...)
+	writeLines(w, lines)
 }
 
 // checkOptions builds the verification context for CHECK: the live

@@ -235,6 +235,67 @@ func TestTraceOverWire(t *testing.T) {
 	}
 }
 
+func TestTraceDumpOverWire(t *testing.T) {
+	_, cl := testServer(t)
+	if _, err := cl.Do(`SELECT SEGMENTS FROM v WHERE EVENT('highlight')`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bare TRACEDUMP: a newest-first listing. The ring is process-wide,
+	// so pick the newest entry for the query this test just ran.
+	out, err := cl.Do("TRACEDUMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !strings.HasPrefix(out[0], "# ") {
+		t.Fatalf("TRACEDUMP header = %v", out)
+	}
+	var id string
+	for _, l := range out[1:] {
+		if strings.Contains(l, "EVENT('highlight')") {
+			id = strings.Fields(l)[0]
+			break
+		}
+	}
+	if !strings.HasPrefix(id, "t") {
+		t.Fatalf("no trace ID for the query in TRACEDUMP listing:\n%s", strings.Join(out, "\n"))
+	}
+
+	// TRACEDUMP <id>: resource attribution plus the full span tree.
+	out, err = cl.Do("TRACEDUMP " + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(out, "\n")
+	for _, want := range []string{
+		"# trace " + id,
+		"# query SELECT SEGMENTS",
+		"rows_scanned=",
+		"coql.query ",
+		"level=conceptual",
+		"level=logical",
+		"level=physical",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("TRACEDUMP %s missing %q:\n%s", id, want, joined)
+		}
+	}
+
+	// TRACEDUMP <id> CHROME: one line of trace-event JSON.
+	out, err = cl.Do("TRACEDUMP " + id + " CHROME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !strings.Contains(out[0], `"traceEvents"`) {
+		t.Fatalf("TRACEDUMP CHROME = %v", out)
+	}
+
+	// Unknown IDs are an error, not an empty dump.
+	if _, err := cl.Do("TRACEDUMP t000000f00d"); err == nil {
+		t.Fatal("unknown trace ID accepted")
+	}
+}
+
 func TestSlowlogOverWire(t *testing.T) {
 	_, cl := testServer(t)
 	old := obs.DefaultSlowLog.Threshold()

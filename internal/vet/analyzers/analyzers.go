@@ -9,6 +9,7 @@ import "cobra/internal/vet"
 // All is the cobravet suite in stable order.
 var All = []*vet.Analyzer{
 	SpanEnd,
+	CtxSpan,
 	GoFatal,
 	StoreLock,
 	ErrWrap,

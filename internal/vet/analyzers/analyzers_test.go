@@ -10,6 +10,10 @@ func TestSpanEnd(t *testing.T) {
 	vettest.Run(t, SpanEnd, "testdata/spanend")
 }
 
+func TestCtxSpan(t *testing.T) {
+	vettest.Run(t, CtxSpan, "testdata/ctxspan")
+}
+
 func TestGoFatal(t *testing.T) {
 	vettest.Run(t, GoFatal, "testdata/gofatal")
 }

@@ -1,0 +1,249 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cobra/internal/vet"
+)
+
+// CtxSpan enforces the trace-propagation discipline behind per-query
+// resource attribution. A span created in a vacuum is invisible: it
+// joins no trace tree, so its timings and resource counters are lost.
+// The analyzer applies two rules to every function that starts a span:
+//
+//  1. the function must be able to join an existing trace — it takes a
+//     context.Context (to recover the parent via obs.SpanFromContext)
+//     or a *obs.Span directly — unless it starts the trace root itself
+//     with obs.StartTrace;
+//  2. the span must be ended on every return path of the statement
+//     list that created it. Unlike spanend's function-wide scan, this
+//     check is scoped to the enclosing block, so a Finish in a sibling
+//     switch case cannot mask a leak. A deferred Finish, a Finish
+//     inside a function literal (e.g. a pool task), or handing the
+//     span off (call argument, return value, composite literal) all
+//     satisfy the rule.
+//
+// Packages implementing the tracing machinery itself (internal/obs)
+// are exempt.
+var CtxSpan = &vet.Analyzer{
+	Name: "ctxspan",
+	Doc: "report functions that start an obs.Span without a context.Context " +
+		"or *obs.Span parameter to join a trace, and spans not finished on " +
+		"every return path of their enclosing block",
+	Run: runCtxSpan,
+}
+
+func runCtxSpan(pass *vet.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/obs") {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkCtxSpanFunc(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxSpanFunc applies both rules to one function.
+func checkCtxSpanFunc(pass *vet.Pass, fn *ast.FuncDecl) {
+	var creations []*ast.AssignStmt
+	startsRoot := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name == "_" {
+			return true
+		}
+		if !isSpanStart(pass, as.Rhs[0]) {
+			return true
+		}
+		creations = append(creations, as)
+		if isStartTraceCall(as.Rhs[0]) {
+			startsRoot = true
+		}
+		return true
+	})
+	if len(creations) == 0 {
+		return
+	}
+	if !startsRoot && !hasTraceParam(pass, fn) {
+		pass.Reportf(fn.Name.Pos(),
+			"function %q starts a span but has no context.Context or *obs.Span "+
+				"parameter to join a trace (thread ctx through, or start a root with obs.StartTrace)",
+			fn.Name.Name)
+	}
+	for _, as := range creations {
+		checkFinishedInBlock(pass, fn.Body, as)
+	}
+}
+
+// isStartTraceCall matches obs.StartTrace(...) — a trace root.
+func isStartTraceCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "StartTrace"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "StartTrace"
+	}
+	return false
+}
+
+// hasTraceParam reports whether the function (receiver included) takes
+// a context.Context or a *obs.Span.
+func hasTraceParam(pass *vet.Pass, fn *ast.FuncDecl) bool {
+	lists := []*ast.FieldList{fn.Recv, fn.Type.Params}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			t := pass.TypeOf(f.Type)
+			if isSpanType(t) || isContextType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}
+
+// checkFinishedInBlock verifies the span created by as is finished on
+// every return path of its enclosing statement list.
+func checkFinishedInBlock(pass *vet.Pass, body *ast.BlockStmt, as *ast.AssignStmt) {
+	name := as.Lhs[0].(*ast.Ident).Name
+	list := enclosingStmtList(body, as)
+	var after []ast.Stmt
+	for i, st := range list {
+		if st == ast.Stmt(as) {
+			after = list[i+1:]
+			break
+		}
+	}
+	var (
+		deferred bool
+		escapes  bool
+		firstFin token.Pos
+		rets     []token.Pos
+	)
+	var scan func(n ast.Node, inLit bool)
+	scan = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(nn ast.Node) bool {
+			switch st := nn.(type) {
+			case *ast.FuncLit:
+				if !inLit {
+					// Finish calls inside a closure (a pool task, a defer
+					// wrapper) still end the span; returns inside it do not
+					// leave the creating function.
+					scan(st.Body, true)
+					return false
+				}
+			case *ast.DeferStmt:
+				if isFinishCallOn(st.Call, name) {
+					deferred = true
+					return false
+				}
+			case *ast.CallExpr:
+				if isFinishCallOn(st, name) {
+					if firstFin == token.NoPos || st.Pos() < firstFin {
+						firstFin = st.Pos()
+					}
+					return true
+				}
+				for _, arg := range st.Args {
+					if a, ok := arg.(*ast.Ident); ok && a.Name == name {
+						escapes = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Stored into a composite literal (e.g. obs.Trace{Root: sp}):
+				// the holder owns the span now.
+				if v, ok := st.Value.(*ast.Ident); ok && v.Name == name {
+					escapes = true
+				}
+			case *ast.ReturnStmt:
+				for _, r := range st.Results {
+					if a, ok := r.(*ast.Ident); ok && a.Name == name {
+						escapes = true
+					}
+				}
+				if !inLit {
+					rets = append(rets, st.Pos())
+				}
+			}
+			return true
+		})
+	}
+	for _, st := range after {
+		scan(st, false)
+	}
+	if deferred || escapes {
+		return
+	}
+	if firstFin == token.NoPos {
+		pass.Reportf(as.Pos(),
+			"span %q is not finished in its enclosing block (finish it on every path, defer it, or hand it off)",
+			name)
+		return
+	}
+	for _, ret := range rets {
+		if ret < firstFin {
+			pass.Reportf(ret,
+				"return may leak span %q: it is finished only later at %s (finish before returning or defer %s.Finish)",
+				name, pass.Pkg.Fset.Position(firstFin), name)
+			return
+		}
+	}
+}
+
+// enclosingStmtList finds the statement list that directly contains
+// the assignment, falling back to the function body for creations in
+// non-list positions (e.g. an if-statement init).
+func enclosingStmtList(body *ast.BlockStmt, as *ast.AssignStmt) []ast.Stmt {
+	var found []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for _, st := range list {
+			if st == ast.Stmt(as) {
+				found = list
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return body.List
+	}
+	return found
+}

@@ -1,0 +1,82 @@
+// Package ctxspan is the ctxspan analyzer's fixture.
+package ctxspan
+
+import (
+	"context"
+
+	"cobra/internal/obs"
+)
+
+func orphan() { // want "starts a span but has no context.Context"
+	sp := obs.StartSpan("work")
+	sp.Finish()
+}
+
+func withCtx(ctx context.Context) {
+	sp := obs.SpanFromContext(ctx).StartChild("work")
+	sp.Finish()
+}
+
+func withSpan(parent *obs.Span) {
+	sp := parent.StartChild("work")
+	sp.Finish()
+}
+
+func isRoot() {
+	sp := obs.StartTrace("request")
+	sp.Finish()
+}
+
+func branchLeak(ctx context.Context, fail bool) {
+	sp := obs.SpanFromContext(ctx).StartChild("work")
+	if fail {
+		return // want "may leak span"
+	}
+	sp.Finish()
+}
+
+func crossCaseLeak(ctx context.Context, mode int) {
+	switch mode {
+	case 0:
+		sp := obs.SpanFromContext(ctx).StartChild("a") // want "not finished in its enclosing block"
+		sp.SetAttr("k", "v")
+	case 1:
+		// A same-named finish in a sibling case must not mask case 0.
+		sp := obs.SpanFromContext(ctx).StartChild("b")
+		sp.Finish()
+	}
+}
+
+func deferredFinish(parent *obs.Span, fail bool) {
+	sp := parent.StartChild("work")
+	defer sp.Finish()
+	if fail {
+		return
+	}
+	sp.SetAttr("k", "v")
+}
+
+func finishInTask(parent *obs.Span, run func(func())) {
+	sp := parent.StartChild("work")
+	run(func() {
+		sp.Finish()
+	})
+}
+
+func handsOff(parent *obs.Span) {
+	sp := parent.StartChild("work")
+	consume(sp)
+}
+
+func consume(sp *obs.Span) {
+	sp.Finish()
+}
+
+type holder struct {
+	sp *obs.Span
+}
+
+func storesSpan(parent *obs.Span) holder {
+	sp := parent.StartChild("work")
+	return holder{sp: sp}
+}

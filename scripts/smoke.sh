@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Observability smoke test: boot a real cobra-server with the metrics
+# endpoint on, drive one COQL query through the wire protocol, and
+# assert the monitoring surfaces are well-formed — /metrics in both
+# content negotiations (Prometheus text by default, JSON under
+# Accept: application/json) and a TRACEDUMP span tree covering the
+# query. Run from the repository root; CI runs it after the build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:14242
+MADDR=127.0.0.1:16060
+TMP=$(mktemp -d)
+BIN="$TMP/bin"
+mkdir -p "$BIN"
+
+cleanup() {
+  [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "smoke: building"
+go build -o "$BIN/cobra-server" ./cmd/cobra-server
+go build -o "$BIN/cobra-cli" ./cmd/cobra-cli
+
+echo "smoke: starting cobra-server on $ADDR (metrics on $MADDR)"
+"$BIN/cobra-server" -addr "$ADDR" -metrics-addr "$MADDR" -slow-query-ms 0 \
+  >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+# The fresh server simulates and ingests its corpus before listening;
+# poll until the protocol port accepts a PING round trip (the CLI
+# exits non-zero while the listener is down).
+ok=""
+for _ in $(seq 1 120); do
+  if printf 'PING\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" >/dev/null 2>&1; then
+    ok=1
+    break
+  fi
+  sleep 1
+done
+if [ -z "$ok" ]; then
+  echo "smoke: FAIL server never answered PING" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+
+echo "smoke: running a query"
+printf "SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight')\n.quit\n" \
+  | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/query.out"
+# Result lines are "start end confidence [attrs]".
+grep -qE '^ *[0-9]+\.[0-9] +[0-9]+\.[0-9] +[0-9]\.[0-9]{3}' "$TMP/query.out" || {
+  echo "smoke: FAIL query returned no segments" >&2
+  cat "$TMP/query.out" >&2
+  exit 1
+}
+
+echo "smoke: checking TRACEDUMP"
+printf 'TRACEDUMP\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/traces.out"
+TRACE_ID=$(grep -oE 't[0-9a-f]{6,}' "$TMP/traces.out" | head -1)
+if [ -z "$TRACE_ID" ]; then
+  echo "smoke: FAIL no trace IDs in TRACEDUMP" >&2
+  cat "$TMP/traces.out" >&2
+  exit 1
+fi
+printf 'TRACEDUMP %s\n.quit\n' "$TRACE_ID" | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/trace.out"
+for want in "coql.query" "rows_scanned=" "level=conceptual"; do
+  grep -q "$want" "$TMP/trace.out" || {
+    echo "smoke: FAIL trace $TRACE_ID missing $want" >&2
+    cat "$TMP/trace.out" >&2
+    exit 1
+  }
+done
+printf 'TRACEDUMP %s CHROME\n.quit\n' "$TRACE_ID" | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/chrome.out"
+grep -q '"traceEvents"' "$TMP/chrome.out" || {
+  echo "smoke: FAIL Chrome trace export missing traceEvents" >&2
+  cat "$TMP/chrome.out" >&2
+  exit 1
+}
+
+echo "smoke: checking /metrics content negotiation"
+curl -fsS "http://$MADDR/metrics" >"$TMP/metrics.prom"
+grep -q '^# TYPE cobra_' "$TMP/metrics.prom" || {
+  echo "smoke: FAIL /metrics default is not Prometheus text" >&2
+  head -5 "$TMP/metrics.prom" >&2
+  exit 1
+}
+grep -q 'cobra_coql_queries' "$TMP/metrics.prom" || {
+  echo "smoke: FAIL query counter missing from Prometheus exposition" >&2
+  exit 1
+}
+curl -fsS -H 'Accept: application/json' "http://$MADDR/metrics" >"$TMP/metrics.json"
+grep -q '"counters"' "$TMP/metrics.json" || {
+  echo "smoke: FAIL /metrics JSON negotiation failed" >&2
+  head -5 "$TMP/metrics.json" >&2
+  exit 1
+}
+curl -fsS "http://$MADDR/debug/vars" >"$TMP/vars.json"
+grep -q '"counters"' "$TMP/vars.json" || {
+  echo "smoke: FAIL /debug/vars is not JSON" >&2
+  exit 1
+}
+
+echo "smoke: OK"
