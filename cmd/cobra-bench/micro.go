@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"cobra/internal/mil"
 	"cobra/internal/monet"
 	"cobra/internal/query"
+	"cobra/internal/stream"
 )
 
 // microBench is one harness entry: the operation plus the kernel pool
@@ -53,6 +55,9 @@ func runMicro(*f1.Lab) error {
 		{"ZoneMapSelect1M", parallelWidth(), benchZoneMapSelect1M},
 		{"CrackSelect1M", parallelWidth(), benchCrackSelect1M},
 		{"DictEq1M", parallelWidth(), benchDictEq1M},
+		{"StreamFanout/s1", 0, benchStreamFanout(1)},
+		{"StreamFanout/s100", 0, benchStreamFanout(100)},
+		{"StreamFanout/s1000", 0, benchStreamFanout(1000)},
 	}
 	// The width sweep: the same parallel operator bodies pinned to 1, 4
 	// and 8 workers. The per-result width field keeps the numbers
@@ -94,6 +99,7 @@ func runMicro(*f1.Lab) error {
 		results = append(results, res)
 	}
 	printSpeedups(results)
+	printStreamRates(results)
 	if benchOut == "" {
 		return nil
 	}
@@ -141,6 +147,78 @@ func printSpeedups(results []benchfmt.Result) {
 		}
 		fmt.Printf("  %-20s %.2fx parallel speedup on %d CPUs (pool width %d)\n",
 			op, r.NsPerOp/par.NsPerOp, runtime.NumCPU(), parallelWidth())
+	}
+}
+
+// printStreamRates turns each StreamFanout/sN result into the
+// streaming headline number: notifications delivered per second at
+// that subscriber fan-out (one live append pushes one notification to
+// every subscriber).
+func printStreamRates(results []benchfmt.Result) {
+	for _, r := range results {
+		subs, ok := strings.CutPrefix(r.Name, "StreamFanout/s")
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(subs, "%d", &n); err != nil {
+			continue
+		}
+		fmt.Printf("  %-20s %10.0f notifications/sec (%d subscribers)\n",
+			r.Name, float64(n)/(r.NsPerOp/1e9), n)
+	}
+}
+
+// benchStreamFanout times one live append propagated through n
+// standing subscriptions: the event append, the watermark move, the
+// epoch-gated re-evaluation of every subscription, and draining every
+// subscriber queue. The LAST window keeps each pushed result set
+// small and distinct between steps so no push is suppressed.
+func benchStreamFanout(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cat := cobra.NewCatalog(monet.NewStore())
+		if err := cat.PutVideo(cobra.Video{Name: "live", Duration: 0.1, FPS: 10}); err != nil {
+			b.Fatal(err)
+		}
+		if err := cat.SetLive("live", true); err != nil {
+			b.Fatal(err)
+		}
+		m := stream.NewManager(query.NewEngine(cobra.NewPreprocessor(cat)))
+		subs := make([]*stream.Subscription, n)
+		for i := range subs {
+			s, err := m.Subscribe("SELECT SEGMENTS FROM live WHERE EVENT('passing') LAST 5 S", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			subs[i] = s
+		}
+		ctx := context.Background()
+		w := 0.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			from := w
+			w++
+			_, err := cat.AppendEvents("live", []cobra.Event{{
+				Video: "live", Type: "passing", Confidence: 1,
+				Interval: cobra.Interval{Start: from, End: w},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cat.SetDuration("live", w); err != nil {
+				b.Fatal(err)
+			}
+			if got := m.Advance(ctx); got != n {
+				b.Fatalf("Advance pushed %d notifications, want %d", got, n)
+			}
+			for _, s := range subs {
+				for {
+					if _, ok := s.TryNext(); !ok {
+						break
+					}
+				}
+			}
+		}
 	}
 }
 

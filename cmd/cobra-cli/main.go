@@ -28,7 +28,11 @@
 //	.quit                 exit
 //
 // Against a remote server the same inspection goes through the
-// TRACEDUMP protocol verb (lines are sent verbatim).
+// TRACEDUMP protocol verb (lines are sent verbatim), and two extra
+// shell commands drive standing queries (docs/STREAMING.md):
+//
+//	subscribe <coql>      register a standing query; prints its ID
+//	follow [n]            block and print the next n pushed frames (default 1)
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -403,19 +408,57 @@ func remoteShell(addr string) error {
 			return nil
 		}
 		line := strings.TrimSpace(in.Text())
-		if line == "" {
-			continue
-		}
-		if line == ".quit" || line == ".exit" {
+		lower := strings.ToLower(line)
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
 			return nil
+		case strings.HasPrefix(lower, "subscribe "):
+			// subscribe <coql>: standing query; pushed frames arrive
+			// asynchronously and are printed by `follow`.
+			id, err := cl.Subscribe(strings.TrimSpace(line[len("subscribe "):]))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  subscribed as %s — `follow <n>` prints pushed frames\n", id)
+		case lower == "follow" || strings.HasPrefix(lower, "follow "):
+			n := 1
+			if parts := strings.Fields(line); len(parts) > 1 {
+				v, err := strconv.Atoi(parts[1])
+				if err != nil || v <= 0 {
+					fmt.Println("usage: follow [n]")
+					continue
+				}
+				n = v
+			}
+			for i := 0; i < n; i++ {
+				ev, err := cl.NextEvent(30 * time.Second)
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				printPushEvent(ev)
+			}
+		default:
+			out, err := cl.Do(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, l := range out {
+				fmt.Println(" ", l)
+			}
 		}
-		out, err := cl.Do(line)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		for _, l := range out {
-			fmt.Println(" ", l)
-		}
+	}
+}
+
+// printPushEvent renders one asynchronous notification frame: the
+// standing query's full result set at the frame's watermark.
+func printPushEvent(ev server.PushEvent) {
+	fmt.Printf("  EVENT %s seq=%d watermark=%.1fs (%d segments)\n",
+		ev.SubID, ev.Seq, ev.Watermark, len(ev.Lines))
+	for _, l := range ev.Lines {
+		fmt.Println("   ", l)
 	}
 }

@@ -8,6 +8,8 @@
 //	cobra-server -addr :4242 [-db ./f1db | -data-dir ./cobra-data]
 //	             [-wal-sync always|interval|none] [-checkpoint-every 5m]
 //	             [-metrics-addr :6060] [-slow-query-ms 250] [-threads 8]
+//	             [-feed live-gp [-feed-interval 200ms] [-feed-step 2]
+//	              [-feed-dur 120] [-feed-seed 42]]
 //
 // With -db, a plain snapshot directory is loaded read-only and the
 // process is main-memory only, as in the paper. With -data-dir, the
@@ -30,9 +32,18 @@
 // morsel-parallel BAT operators, MIL PARALLEL blocks and the HMM/DBN
 // engines schedule onto (0: GOMAXPROCS). The MIL threadcnt() setting
 // adjusts the same pool at runtime.
+//
+// Streaming: SUBSCRIBE/UNSUBSCRIBE standing queries are always
+// served. With -feed <video>, the process additionally runs a live
+// ingest loop — a simulated race broadcast is appended into the named
+// video clip by clip (-feed-step broadcast seconds every
+// -feed-interval of wall clock), and every append advances the
+// standing queries, pushing changed result sets to subscribers. See
+// docs/STREAMING.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -45,7 +56,10 @@ import (
 	"cobra/internal/hmm"
 	"cobra/internal/monet"
 	"cobra/internal/obs"
+	"cobra/internal/query"
 	"cobra/internal/server"
+	"cobra/internal/stream"
+	"cobra/internal/synth"
 	"cobra/internal/wal"
 )
 
@@ -58,6 +72,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty: disabled)")
 	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0: disabled)")
 	threads := flag.Int("threads", 0, "kernel worker-pool width for parallel operators (0: GOMAXPROCS)")
+	feed := flag.String("feed", "", "ingest a simulated live race into this video name (empty: no live feed)")
+	feedInterval := flag.Duration("feed-interval", 200*time.Millisecond, "wall-clock pause between live ingest steps")
+	feedStep := flag.Float64("feed-step", 2, "broadcast seconds aired per ingest step")
+	feedDur := flag.Float64("feed-dur", 120, "simulated race duration in seconds for -feed")
+	feedSeed := flag.Int64("feed-seed", 42, "simulation seed for -feed")
 	flag.Parse()
 
 	if *db != "" && *dataDir != "" {
@@ -139,6 +158,46 @@ func main() {
 	if mgr != nil {
 		srv.SetCheckpointer(mgr)
 	}
+	subs := stream.NewManager(query.NewEngine(pre))
+	srv.SetStream(subs)
+
+	// The live feed: air the simulated race into the catalog step by
+	// step and advance the standing queries after every append.
+	stopFeed := make(chan struct{})
+	feedDone := make(chan struct{})
+	if *feed != "" {
+		race := synth.GenerateRace(synth.GermanGP, *feedDur, *feedSeed)
+		ing, err := f1.NewLiveIngestor(cat, *feed, race, *feedSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("live feed: airing %.0fs of %s every %v in %g s steps\n",
+			*feedDur, *feed, *feedInterval, *feedStep)
+		go func() {
+			defer close(feedDone)
+			tick := time.NewTicker(*feedInterval)
+			defer tick.Stop()
+			for !ing.Done() {
+				select {
+				case <-stopFeed:
+					return
+				case <-tick.C:
+				}
+				w, err := ing.Step(*feedStep)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "cobra-server: live feed: %v\n", err)
+					return
+				}
+				subs.Advance(context.Background())
+				if ing.Done() {
+					fmt.Printf("live feed: %s fully aired at %.1fs\n", *feed, w)
+				}
+			}
+		}()
+	} else {
+		close(feedDone)
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
@@ -147,6 +206,8 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stopFeed)
+	<-feedDone
 	srv.Close()
 	if mgr != nil {
 		// Final checkpoint: the next start recovers without replay.

@@ -1,0 +1,224 @@
+package cobra
+
+import (
+	"errors"
+	"fmt"
+
+	"cobra/internal/monet"
+)
+
+// This file is the catalog's streaming-ingestion surface: live-video
+// registration, copy-on-write appends of events and feature samples
+// (backed by monet.Store.AppendColumns so concurrent readers keep
+// consistent snapshots), and the tail readers the incremental query
+// evaluator uses to re-scan only rows appended since a watermark.
+
+// liveBAT names the BAT recording which videos are live streams.
+func liveBAT() string { return "cobra/live" }
+
+// eventCols is the fixed column order of the decomposed event
+// relation; appends and reads must agree on it.
+var eventCols = []string{"type", "start", "end", "conf", "attrs"}
+
+// EventBATName is the kernel BAT name of one column of a video's
+// decomposed event relation. The "type" column's watermark counts the
+// video's event rows; subscriptions track its epoch for change
+// detection.
+func EventBATName(video, col string) string { return eventBAT(video, col) }
+
+// ObjectBATName is the kernel BAT name of one column of a video's
+// object-layer relation.
+func ObjectBATName(video, col string) string { return objectBAT(video, col) }
+
+// VideosBATName is the kernel BAT name of the raw-layer video table;
+// its epoch advances whenever a live video's duration watermark moves.
+func VideosBATName() string { return videoBAT() }
+
+// SetLive marks (or unmarks) a video as a live stream. Live videos
+// bypass the query preprocessor's dynamic extraction: their metadata
+// arrives continuously from the ingest feed, and running an extractor
+// mid-broadcast would read material that has not aired yet.
+func (c *Catalog) SetLive(video string, live bool) error {
+	if video == "" {
+		return errors.New("cobra: live flag needs a video")
+	}
+	b, err := c.store.Get(liveBAT())
+	if err != nil {
+		b = monet.NewBAT(monet.StrT, monet.BoolT)
+	}
+	b = b.Filter(func(h, _ monet.Value) bool { return h.Str() != video })
+	b.MustInsert(monet.NewStr(video), monet.NewBool(live))
+	return c.store.PutCtx(c.ctx(), liveBAT(), b)
+}
+
+// IsLive reports whether the video is a live stream.
+func (c *Catalog) IsLive(video string) bool {
+	b, err := c.store.Get(liveBAT())
+	if err != nil {
+		return false
+	}
+	v, ok := b.Find(monet.NewStr(video))
+	return ok && v.Bool()
+}
+
+// SetDuration moves a video's duration watermark, keeping its other
+// raw-layer attributes. The ingest loop calls it after each appended
+// chunk so queries (and NOT/window evaluation in particular) see the
+// video exactly as long as it has aired.
+func (c *Catalog) SetDuration(video string, duration float64) error {
+	v, err := c.Video(video)
+	if err != nil {
+		return err
+	}
+	v.Duration = duration
+	return c.PutVideo(v)
+}
+
+// AppendEvents appends event-layer entities without rewriting the
+// existing rows: the five decomposed column BATs are extended in one
+// kernel critical section (dense OID heads continue automatically),
+// so readers iterating a pre-append snapshot are never invalidated.
+// It returns the event-row watermark the append started at.
+func (c *Catalog) AppendEvents(video string, events []Event) (fromRow int, err error) {
+	if video == "" {
+		return 0, errors.New("cobra: events need a video")
+	}
+	if err := c.ensureEventCols(video); err != nil {
+		return 0, err
+	}
+	if len(events) == 0 {
+		rows, _ := c.store.Watermark(eventBAT(video, "type"))
+		return rows, nil
+	}
+	names := make([]string, len(eventCols))
+	tails := make([][]monet.Value, len(eventCols))
+	for i, col := range eventCols {
+		names[i] = eventBAT(video, col)
+		tails[i] = make([]monet.Value, len(events))
+	}
+	for r, e := range events {
+		tails[0][r] = monet.NewStr(e.Type)
+		tails[1][r] = monet.NewFloat(e.Interval.Start)
+		tails[2][r] = monet.NewFloat(e.Interval.End)
+		tails[3][r] = monet.NewFloat(e.Confidence)
+		tails[4][r] = monet.NewStr(encodeAttrs(e.Attrs))
+	}
+	return c.store.AppendColumns(c.ctx(), names, tails)
+}
+
+// ensureEventCols registers the empty decomposed event relation for a
+// video if it does not exist yet.
+func (c *Catalog) ensureEventCols(video string) error {
+	for _, col := range eventCols {
+		if c.store.Has(eventBAT(video, col)) {
+			continue
+		}
+		t := monet.FloatT
+		if col == "type" || col == "attrs" {
+			t = monet.StrT
+		}
+		if err := c.store.PutCtx(c.ctx(), eventBAT(video, col), monet.NewBAT(monet.OIDT, t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendFeatureSamples extends a feature time series, creating the
+// series (with the given sample rate) on first append. It returns the
+// sample-row watermark the append started at.
+func (c *Catalog) AppendFeatureSamples(video, name string, rate float64, vals []float64) (fromRow int, err error) {
+	if video == "" || name == "" || rate <= 0 {
+		return 0, errors.New("cobra: feature samples need video, name and sample rate")
+	}
+	bn := featureBAT(video, name)
+	if !c.store.Has(bn) {
+		if err := c.store.PutCtx(c.ctx(), bn, monet.NewBAT(monet.Void, monet.FloatT)); err != nil {
+			return 0, err
+		}
+		if err := c.store.PutCtx(c.ctx(), bn+"/rate", rateBAT(rate)); err != nil {
+			return 0, err
+		}
+	}
+	if len(vals) == 0 {
+		rows, _ := c.store.Watermark(bn)
+		return rows, nil
+	}
+	tails := make([]monet.Value, len(vals))
+	for i, v := range vals {
+		tails[i] = monet.NewFloat(v)
+	}
+	return c.store.AppendColumns(c.ctx(), []string{bn}, [][]monet.Value{tails})
+}
+
+// FeatureTail reads the samples of a feature series from a row
+// watermark on: vals holds rows [fromRow, total) of a consistent
+// snapshot, in O(tail). The incremental evaluator carries its
+// run-detection state across calls so re-evaluation touches only the
+// appended rows.
+func (c *Catalog) FeatureTail(video, name string, fromRow int) (vals []float64, rate float64, total int, err error) {
+	b, err := c.store.Get(featureBAT(video, name))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: feature %s/%s", ErrNotFound, video, name)
+	}
+	rb, err := c.store.Get(featureBAT(video, name) + "/rate")
+	if err != nil || rb.Len() == 0 {
+		return nil, 0, 0, fmt.Errorf("cobra: feature %s/%s missing sample rate", video, name)
+	}
+	total = b.Len()
+	if fromRow < 0 {
+		fromRow = 0
+	}
+	if fromRow > total {
+		fromRow = total
+	}
+	vals = make([]float64, 0, total-fromRow)
+	for i := fromRow; i < total; i++ {
+		vals = append(vals, b.Tail(i).Float())
+	}
+	return vals, rb.Tail(0).Float(), total, nil
+}
+
+// EventsSince reads a video's event rows from a row watermark on, in
+// row (append) order, optionally filtered by type ("" = all). upTo is
+// the consistent row count the read covered — pass it back as the
+// next fromRow. Unlike Events, results are NOT sorted by start time:
+// callers accumulating rows across watermarks sort once at the end,
+// which reproduces Events' ordering exactly.
+func (c *Catalog) EventsSince(video, typ string, fromRow int) (evs []Event, upTo int) {
+	cols := make([]*monet.BAT, len(eventCols))
+	for i, col := range eventCols {
+		b, err := c.store.Get(eventBAT(video, col))
+		if err != nil {
+			return nil, fromRow
+		}
+		cols[i] = b
+	}
+	// The five column BATs are fetched under separate read locks, so a
+	// concurrent append may be visible in some and not others. Rows
+	// below the minimum length are consistent in all snapshots
+	// (copy-on-write appends never rewrite a prefix).
+	upTo = cols[0].Len()
+	for _, b := range cols[1:] {
+		if b.Len() < upTo {
+			upTo = b.Len()
+		}
+	}
+	if fromRow < 0 {
+		fromRow = 0
+	}
+	for i := fromRow; i < upTo; i++ {
+		et := cols[0].Tail(i).Str()
+		if typ != "" && et != typ {
+			continue
+		}
+		evs = append(evs, Event{
+			Video:      video,
+			Type:       et,
+			Interval:   Interval{Start: cols[1].Tail(i).Float(), End: cols[2].Tail(i).Float()},
+			Confidence: cols[3].Tail(i).Float(),
+			Attrs:      decodeAttrs(cols[4].Tail(i).Str()),
+		})
+	}
+	return evs, upTo
+}

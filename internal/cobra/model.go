@@ -314,31 +314,11 @@ func (c *Catalog) PutEvents(video string, events []Event) error {
 }
 
 // Events returns a video's events, optionally filtered by type
-// ("" = all), ordered by start time.
+// ("" = all), ordered by start time (ties keep append order, so the
+// incremental tail reader reproduces this ordering exactly).
 func (c *Catalog) Events(video, typ string) []Event {
-	types, err := c.store.Get(eventBAT(video, "type"))
-	if err != nil {
-		return nil
-	}
-	starts, _ := c.store.Get(eventBAT(video, "start"))
-	ends, _ := c.store.Get(eventBAT(video, "end"))
-	confs, _ := c.store.Get(eventBAT(video, "conf"))
-	attrs, _ := c.store.Get(eventBAT(video, "attrs"))
-	var out []Event
-	for i := 0; i < types.Len(); i++ {
-		et := types.Tail(i).Str()
-		if typ != "" && et != typ {
-			continue
-		}
-		out = append(out, Event{
-			Video:      video,
-			Type:       et,
-			Interval:   Interval{Start: starts.Tail(i).Float(), End: ends.Tail(i).Float()},
-			Confidence: confs.Tail(i).Float(),
-			Attrs:      decodeAttrs(attrs.Tail(i).Str()),
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
+	out, _ := c.EventsSince(video, typ, 0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
 	return out
 }
 

@@ -130,6 +130,15 @@ func (p *Preprocessor) EnsureTraced(video string, reqs []Requirement, minQuality
 		return nil, err
 	}
 	plan := &Plan{}
+	if p.cat.IsLive(video) {
+		// A live stream's metadata is materialized continuously by the
+		// ingest feed; running an extractor mid-broadcast would consume
+		// raw material that has not aired yet. Queries evaluate against
+		// whatever the feed has appended so far.
+		plan.Satisfied = append(plan.Satisfied, reqs...)
+		span.SetAttr("live", "feed-materialized")
+		return plan, nil
+	}
 	ran := map[string]bool{}
 	for _, r := range reqs {
 		if p.available(video, r) {

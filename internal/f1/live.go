@@ -1,0 +1,140 @@
+package f1
+
+import (
+	"fmt"
+	"sort"
+
+	"cobra/internal/cobra"
+	"cobra/internal/synth"
+)
+
+// LiveIngestor drives a synthetic race through the catalog as a live
+// broadcast: each Step advances the synth feed, appends the feature
+// samples for the clips that fully aired, appends the events and
+// captions that completed, and moves the video's duration watermark.
+// All appends are copy-on-write kernel appends, so queries running
+// concurrently see consistent snapshots.
+//
+// Feature extraction runs once, up front, over the whole race — the
+// pipeline is deterministic, so extracting clip-by-clip would produce
+// the same values — but the ingestor reveals each clip's samples only
+// after that clip has aired. Events are revealed on completion (see
+// synth.Feed), so a standing query can never observe metadata from
+// material that has not aired yet.
+type LiveIngestor struct {
+	cat   *cobra.Catalog
+	video string
+	feed  *synth.Feed
+
+	series   map[string][]float64
+	names    []string // sorted series names, for deterministic appends
+	clips    int      // total clips in the full race
+	clipRows int      // clips appended so far
+}
+
+// NewLiveIngestor extracts the race's features and registers the
+// video as a live stream at watermark zero. seed drives the simulated
+// acoustic front-end, as in Options.
+func NewLiveIngestor(cat *cobra.Catalog, video string, race *synth.Race, seed int64) (*LiveIngestor, error) {
+	f, err := Extract(race, Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("f1: live extract: %w", err)
+	}
+	series := map[string][]float64{
+		"keywords": f.Keywords, "pauserate": f.PauseRate,
+		"steavg": f.STEAvg, "stedyn": f.STEDyn, "stemax": f.STEMax,
+		"pitchavg": f.PitchAvg, "pitchdyn": f.PitchDyn, "pitchmax": f.PitchMax,
+		"mfccavg": f.MFCCAvg, "mfccmax": f.MFCCMax,
+		"partofrace": f.PartOfRace, "replay": f.Replay, "colordiff": f.ColorDiff,
+		"semaphore": f.Semaphore, "dust": f.Dust, "sand": f.Sand, "motion": f.Motion,
+		"passing": f.Passing, "audioex": f.AudioExcitementScore(),
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Register at one clip of duration (the catalog requires a positive
+	// duration); the first Step moves the watermark to the aired time.
+	if err := cat.PutVideo(cobra.Video{Name: video, Duration: ClipDur, FPS: synth.FPS}); err != nil {
+		return nil, err
+	}
+	if err := cat.SetLive(video, true); err != nil {
+		return nil, err
+	}
+	return &LiveIngestor{
+		cat: cat, video: video, feed: synth.NewFeed(race),
+		series: series, names: names, clips: f.N,
+	}, nil
+}
+
+// Video returns the live video's catalog name.
+func (l *LiveIngestor) Video() string { return l.video }
+
+// Watermark returns the aired position in seconds.
+func (l *LiveIngestor) Watermark() float64 { return l.feed.Now() }
+
+// Done reports whether the whole race has aired.
+func (l *LiveIngestor) Done() bool { return l.feed.Done() }
+
+// Step airs the next dt seconds of broadcast: feature samples for
+// clips that finished airing, completed events and captions, then the
+// duration watermark. It returns the new watermark.
+func (l *LiveIngestor) Step(dt float64) (watermark float64, err error) {
+	ch := l.feed.Advance(dt)
+	w := ch.To
+	// Clips fully contained in the aired prefix.
+	n := int(w/ClipDur + 1e-9)
+	if n > l.clips {
+		n = l.clips
+	}
+	if n > l.clipRows {
+		for _, name := range l.names {
+			vals := l.series[name][l.clipRows:n]
+			if _, err := l.cat.AppendFeatureSamples(l.video, name, 1/ClipDur, vals); err != nil {
+				return w, err
+			}
+		}
+		l.clipRows = n
+	}
+	var events []cobra.Event
+	for _, e := range ch.Events {
+		attrs := map[string]string{}
+		if e.Driver != "" {
+			attrs["driver"] = e.Driver
+		}
+		if e.SourceType != "" {
+			attrs["source"] = string(e.SourceType)
+		}
+		if len(attrs) == 0 {
+			attrs = nil
+		}
+		events = append(events, cobra.Event{
+			Video: l.video, Type: string(e.Type),
+			Interval:   cobra.Interval{Start: e.Start, End: e.End},
+			Confidence: 1,
+			Attrs:      attrs,
+		})
+	}
+	for _, c := range ch.Captions {
+		for _, word := range c.Words {
+			events = append(events, cobra.Event{
+				Video: l.video, Type: EventCaption,
+				Interval:   cobra.Interval{Start: c.Start, End: c.End},
+				Confidence: 1,
+				Attrs:      map[string]string{"word": word},
+			})
+		}
+	}
+	if len(events) > 0 {
+		if _, err := l.cat.AppendEvents(l.video, events); err != nil {
+			return w, err
+		}
+	}
+	if w > 0 {
+		if err := l.cat.SetDuration(l.video, w); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,173 @@
+package monet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cobra/internal/obs"
+)
+
+// Streaming-append metrics: chunk appends through AppendColumns and
+// the rows they carried.
+var (
+	cAppendBatches = obs.C("monet.store.append_batches")
+	cAppendRows    = obs.C("monet.store.append_rows")
+)
+
+// snap returns a shallow copy of a column: a new column header over
+// the same backing array. Appending to the copy either extends the
+// array in place past the original's length (positions the original
+// can never index) or reallocates; either way the original column is
+// immutable afterwards. This is what makes store-level appends
+// copy-on-write in O(appended) instead of O(existing).
+func snap(c Column) Column {
+	switch t := c.(type) {
+	case *voidColumn:
+		return &voidColumn{n: t.n}
+	case *oidColumn:
+		return &oidColumn{v: t.v}
+	case *intColumn:
+		return &intColumn{v: t.v}
+	case *floatColumn:
+		return &floatColumn{v: t.v}
+	case *strColumn:
+		return &strColumn{v: t.v}
+	case *boolColumn:
+		return &boolColumn{v: t.v}
+	case *blobColumn:
+		return &blobColumn{v: t.v}
+	default:
+		return c.Clone()
+	}
+}
+
+// appendSnap returns a new BAT holding the receiver's rows plus the
+// given (head, tail) pairs, leaving the receiver untouched: readers
+// holding the old *BAT keep a consistent prefix snapshot while the
+// store swaps the extended version in under its write lock.
+func (b *BAT) appendSnap(hs, ts []Value) (*BAT, error) {
+	nb := &BAT{head: snap(b.head), tail: snap(b.tail)}
+	for i := range hs {
+		if err := nb.Insert(hs[i], ts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return nb, nil
+}
+
+// Watermark returns the current row count and mutation epoch of a
+// named BAT (0, 0 when the name is not registered). The pair is read
+// atomically under the store lock, so it names a consistent point in
+// the BAT's append history: a subscription that saw (rows, epoch) can
+// later ask "did anything change?" by comparing epochs and "what is
+// new?" by reading rows from the old count on.
+func (s *Store) Watermark(name string) (rows int, epoch uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if b, ok := s.bats[name]; ok {
+		rows = b.Len()
+	}
+	return rows, s.epochs[name]
+}
+
+// AppendColumns appends n rows to a group of BATs in one critical
+// section: the decomposed-storage analogue of inserting n tuples into
+// an n-column relation. All named BATs must exist and hold the same
+// row count (they share head OIDs); tails[i] carries the n tail
+// values for names[i]. Head values are generated per column type:
+// void heads stay virtual, OID heads continue the dense sequence from
+// the current row count. The previous row count — the append
+// watermark — is returned, so callers know exactly which rows are new.
+//
+// The append is copy-on-write: each BAT is extended into a fresh
+// header sharing the old storage, then swapped in, so concurrent
+// readers holding pre-append *BAT snapshots are never mutated under
+// and see a consistent prefix. Every row is journaled (WAL) and every
+// name's epoch is bumped, invalidating adaptive access paths.
+func (s *Store) AppendColumns(ctx context.Context, names []string, tails [][]Value) (fromRow int, err error) {
+	if len(names) == 0 || len(names) != len(tails) {
+		return 0, fmt.Errorf("monet: AppendColumns needs matching names and tails")
+	}
+	n := len(tails[0])
+	for i, ts := range tails {
+		if len(ts) != n {
+			return 0, fmt.Errorf("monet: AppendColumns column %q has %d rows, want %d", names[i], len(ts), n)
+		}
+	}
+	res := obs.SpanFromContext(ctx).Resources()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bats := make([]*BAT, len(names))
+	for i, name := range names {
+		b, ok := s.bats[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrNoSuchBAT, name)
+		}
+		if i == 0 {
+			fromRow = b.Len()
+		} else if b.Len() != fromRow {
+			return 0, fmt.Errorf("monet: AppendColumns on misaligned BATs: %q has %d rows, %q has %d",
+				names[0], fromRow, name, b.Len())
+		}
+		bats[i] = b
+	}
+	heads := make([][]Value, len(names))
+	for i, b := range bats {
+		hs, err := generateHeads(b.HeadType(), fromRow, n)
+		if err != nil {
+			return 0, fmt.Errorf("monet: AppendColumns %q: %w", names[i], err)
+		}
+		heads[i] = hs
+	}
+	next := make([]*BAT, len(names))
+	for i, b := range bats {
+		nb, err := b.appendSnap(heads[i], tails[i])
+		if err != nil {
+			return 0, fmt.Errorf("monet: AppendColumns %q: %w", names[i], err)
+		}
+		next[i] = nb
+	}
+	// All rows validated: apply and journal. Journal errors degrade
+	// durability but the in-memory append stands, matching AppendCtx.
+	var jerr error
+	for i, name := range names {
+		s.bats[name] = next[i]
+		s.bumpEpochLocked(name)
+		if s.journal != nil {
+			jStart := time.Now()
+			for r := 0; r < n; r++ {
+				if err := s.journal.JournalAppend(name, heads[i][r], tails[i][r]); err != nil {
+					cJournalErr.Inc()
+					jerr = err
+					break
+				}
+			}
+			res.AddWALWait(time.Since(jStart))
+		}
+	}
+	cAppendBatches.Inc()
+	cAppendRows.Add(int64(n * len(names)))
+	return fromRow, jerr
+}
+
+// generateHeads builds the head values for an append of n rows
+// starting at row base. Only virtual (void) and dense OID heads can be
+// generated; value-typed heads would need caller-provided keys, which
+// the streaming append path never has.
+func generateHeads(t Type, base, n int) ([]Value, error) {
+	hs := make([]Value, n)
+	switch t {
+	case Void:
+		for i := range hs {
+			hs[i] = VoidValue()
+		}
+	case OIDT:
+		for i := range hs {
+			hs[i] = NewOID(OID(base + i))
+		}
+	default:
+		return nil, fmt.Errorf("cannot generate %v head values", t)
+	}
+	return hs, nil
+}

@@ -20,6 +20,11 @@ type Query struct {
 	Desc bool
 	// Limit caps the result count; 0 = unlimited.
 	Limit int
+	// Window restricts results to segments overlapping the trailing
+	// LAST n seconds of the video (0 = whole video). Over a live
+	// stream the window slides with the duration watermark, making the
+	// query a standing "what just happened" monitor.
+	Window float64
 }
 
 // Cond is a condition node; every node evaluates to a set of segments.
@@ -119,6 +124,19 @@ func Parse(src string) (*Query, error) {
 			return nil, err
 		}
 		q.Where = c
+	}
+	if p.acceptKeyword("last") {
+		t := p.cur()
+		if t.kind != tNumber {
+			return nil, p.errf("expected seconds after LAST")
+		}
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad LAST window %q", t.text)
+		}
+		p.i++
+		p.acceptKeyword("s") // optional unit
+		q.Window = n
 	}
 	if p.acceptKeyword("order") {
 		if !p.acceptKeyword("by") {

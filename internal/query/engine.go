@@ -151,16 +151,13 @@ func (e *Engine) executeTraced(ctx context.Context, q *Query, span *obs.Span) ([
 		return nil, err
 	}
 	cat := e.pre.Catalog()
-	if q.Where == nil {
-		v, err := cat.Video(q.Video)
-		if err != nil {
-			return nil, err
-		}
-		return []Result{{Interval: cobra.Interval{Start: 0, End: v.Duration}, Confidence: 1}}, nil
-	}
 	v, err := cat.Video(q.Video)
 	if err != nil {
 		return nil, err
+	}
+	if q.Where == nil {
+		whole := []Result{{Interval: cobra.Interval{Start: 0, End: v.Duration}, Confidence: 1}}
+		return postProcess(q, v.Duration, whole), nil
 	}
 	evalSp := span.StartChild("moa.eval")
 	evalSp.SetAttr("level", "logical")
@@ -169,6 +166,24 @@ func (e *Engine) executeTraced(ctx context.Context, q *Query, span *obs.Span) ([
 	evalSp.Finish()
 	if err != nil {
 		return nil, err
+	}
+	return postProcess(q, v.Duration, res), nil
+}
+
+// postProcess applies the query's trailing-window filter, ordering and
+// limit to an evaluated segment set. Shared by the one-shot executor
+// and the incremental (streaming) evaluator so both render identical
+// results for the same watermark.
+func postProcess(q *Query, duration float64, res []Result) []Result {
+	if q.Window > 0 {
+		cut := duration - q.Window
+		kept := make([]Result, 0, len(res))
+		for _, r := range res {
+			if r.Interval.End > cut {
+				kept = append(kept, r)
+			}
+		}
+		res = kept
 	}
 	less := func(i, j int) bool { return res[i].Interval.Start < res[j].Interval.Start }
 	if q.OrderBy == "confidence" {
@@ -187,7 +202,7 @@ func (e *Engine) executeTraced(ctx context.Context, q *Query, span *obs.Span) ([
 	if q.Limit > 0 && len(res) > q.Limit {
 		res = res[:q.Limit]
 	}
-	return res, nil
+	return res
 }
 
 // requirements walks the condition tree collecting metadata needs.
@@ -467,10 +482,10 @@ func runsFromPositions(pos []int, rate float64) []Result {
 	return out
 }
 
-// featureRuns converts threshold-satisfying runs of a feature series
-// into segments (runs shorter than 0.3 s are noise).
-func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
-	test := func(v float64) bool {
+// featureTest compiles a COQL comparison operator into a per-sample
+// predicate; unknown operators match nothing.
+func featureTest(op string, val float64) func(float64) bool {
+	return func(v float64) bool {
 		switch op {
 		case ">":
 			return v > val
@@ -485,6 +500,12 @@ func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
 		}
 		return false
 	}
+}
+
+// featureRuns converts threshold-satisfying runs of a feature series
+// into segments (runs shorter than 0.3 s are noise).
+func featureRuns(f cobra.Feature, op string, val float64) ([]Result, error) {
+	test := featureTest(op, val)
 	step := 1 / f.SampleRate
 	var out []Result
 	open := false

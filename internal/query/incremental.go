@@ -1,0 +1,357 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cobra/internal/cobra"
+	"cobra/internal/obs"
+)
+
+// FormatResult renders one result segment in the wire format shared by
+// one-shot COQL responses and streaming notifications:
+//
+//	<start> <end> <confidence> <attrs>
+//
+// with attrs comma-joined as key=value pairs in key order, or "-" when
+// the segment carries none. The streaming acceptance criterion — a
+// SUBSCRIBE notification is byte-identical to a one-shot query at the
+// same watermark — is checked against this rendering.
+func FormatResult(r Result) string {
+	return fmt.Sprintf("%.1f %.1f %.3f %s", r.Interval.Start, r.Interval.End, r.Confidence, formatAttrs(r.Attrs))
+}
+
+func formatAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(attrs))
+	for k, v := range attrs {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Catalog exposes the engine's catalog. The subscription manager reads
+// kernel watermarks and epochs through it to decide which standing
+// queries a batch of appends may have affected.
+func (e *Engine) Catalog() *cobra.Catalog { return e.pre.Catalog() }
+
+// eventLeaf accumulates the type-filtered event rows an EVENT or TEXT
+// condition has consumed, in append (row) order. Each re-evaluation
+// reads only rows past the watermark; sorting the accumulated rows
+// stably by start time reproduces Catalog.Events' ordering exactly
+// (ties keep append order on both paths).
+type eventLeaf struct {
+	rows int
+	evs  []cobra.Event
+}
+
+// featureLeaf carries featureRuns' run-detection state machine across
+// watermarks: rows consumed, whether a run is open and where it
+// started, and the closed runs found so far. The state machine is
+// prefix-composable, so feeding it the appended tail yields the same
+// runs as re-scanning the full series.
+type featureLeaf struct {
+	rows   int
+	open   bool
+	start  float64
+	closed []Result
+}
+
+// Incremental evaluates one parsed COQL query repeatedly over a
+// growing video, re-scanning only rows appended since the previous
+// evaluation. Leaf conditions cache per-node state (event rows in
+// append order, feature run-detection state); combination operators
+// recompute over the cached leaf sets with the same code the one-shot
+// engine uses, so every Eval returns exactly what Engine.Execute would
+// return at the same watermark — the basis for the streaming path's
+// byte-identity guarantee.
+//
+// An Incremental is not safe for concurrent use; the subscription
+// manager serializes evaluations per subscription.
+type Incremental struct {
+	eng *Engine
+	q   *Query
+
+	events   map[Cond]*eventLeaf
+	features map[*FeatureCond]*featureLeaf
+}
+
+// NewIncremental prepares a standing evaluation of q against the
+// engine's catalog.
+func NewIncremental(eng *Engine, q *Query) *Incremental {
+	return &Incremental{
+		eng:      eng,
+		q:        q,
+		events:   map[Cond]*eventLeaf{},
+		features: map[*FeatureCond]*featureLeaf{},
+	}
+}
+
+// Query returns the parsed standing query.
+func (inc *Incremental) Query() *Query { return inc.q }
+
+// DepNames returns the kernel BAT names whose epochs gate
+// re-evaluation: if none has advanced since the last Eval, the
+// standing query's result cannot have changed and the subscription
+// manager skips it. Queries whose result depends on the video's
+// duration — a trailing window, a NOT complement, or no WHERE clause
+// at all — additionally track the raw-layer video table, whose epoch
+// advances with every watermark move.
+func (inc *Incremental) DepNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	needDuration := inc.q.Window > 0 || inc.q.Where == nil
+	var walk func(Cond)
+	walk = func(c Cond) {
+		switch n := c.(type) {
+		case *EventCond:
+			// All event types share the video's decomposed event relation;
+			// the "type" column's epoch covers every append.
+			add(cobra.EventBATName(inc.q.Video, "type"))
+		case *TextCond:
+			add(cobra.EventBATName(inc.q.Video, "type"))
+		case *ObjectCond:
+			add(cobra.ObjectBATName(inc.q.Video, "appearances"))
+		case *FeatureCond:
+			add(cobra.FeatureBATName(inc.q.Video, n.Name))
+		case *NotCond:
+			needDuration = true
+			walk(n.X)
+		case *AndCond:
+			walk(n.L)
+			walk(n.R)
+		case *OrCond:
+			walk(n.L)
+			walk(n.R)
+		case *TemporalCond:
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	if inc.q.Where != nil {
+		walk(inc.q.Where)
+	}
+	if needDuration {
+		add(cobra.VideosBATName())
+	}
+	return out
+}
+
+// Eval re-evaluates the standing query at the current watermark. The
+// span (nil-safe) receives the same child structure as a one-shot
+// execution, with tail scans annotated by their starting row.
+func (inc *Incremental) Eval(ctx context.Context, span *obs.Span) ([]Result, error) {
+	q := inc.q
+	reqs := requirements(q.Where)
+	ensSp := span.StartChild("preprocess.ensure")
+	ensSp.SetAttr("level", "conceptual")
+	_, err := inc.eng.pre.EnsureTraced(q.Video, reqs, inc.eng.MinQuality, ensSp)
+	ensSp.Finish()
+	if err != nil && !errors.Is(err, cobra.ErrNoExtractor) {
+		return nil, err
+	}
+	cat := inc.eng.pre.Catalog()
+	v, err := cat.Video(q.Video)
+	if err != nil {
+		return nil, err
+	}
+	if q.Where == nil {
+		whole := []Result{{Interval: cobra.Interval{Start: 0, End: v.Duration}, Confidence: 1}}
+		return postProcess(q, v.Duration, whole), nil
+	}
+	evalSp := span.StartChild("moa.eval")
+	evalSp.SetAttr("level", "logical")
+	evalSp.SetAttr("mode", "incremental")
+	res, err := inc.evalCond(ctx, cat, q.Video, v.Duration, q.Where, evalSp)
+	evalSp.SetAttr("segments", strconv.Itoa(len(res)))
+	evalSp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return postProcess(q, v.Duration, res), nil
+}
+
+// evalCond mirrors Engine.eval node for node. Event, text and feature
+// leaves read only the appended tail through their caches; object
+// leaves delegate to the one-shot path (the object layer is not
+// append-streamed); combination operators reuse the engine's set
+// algebra verbatim, which is what makes incremental output provably
+// identical to a full re-scan.
+func (inc *Incremental) evalCond(ctx context.Context, cat *cobra.Catalog, video string, duration float64, c Cond, span *obs.Span) ([]Result, error) {
+	switch n := c.(type) {
+	case *EventCond:
+		leaf := span.StartChild("eval:event")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("type", n.Type)
+		defer leaf.Finish()
+		evs := inc.eventRows(cat, video, n.Type, c, leaf)
+		var out []Result
+		for _, ev := range evs {
+			if !attrsMatch(ev.Attrs, n.Attrs) {
+				continue
+			}
+			out = append(out, Result{Interval: ev.Interval, Confidence: ev.Confidence, Attrs: ev.Attrs})
+		}
+		return out, nil
+
+	case *TextCond:
+		leaf := span.StartChild("eval:text")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("word", n.Word)
+		defer leaf.Finish()
+		evs := inc.eventRows(cat, video, CaptionEventType, c, leaf)
+		var out []Result
+		for _, ev := range evs {
+			if strings.EqualFold(ev.Attr("word"), n.Word) {
+				out = append(out, Result{Interval: ev.Interval, Confidence: ev.Confidence, Attrs: ev.Attrs})
+			}
+		}
+		return out, nil
+
+	case *FeatureCond:
+		leaf := span.StartChild("eval:feature")
+		leaf.SetAttr("level", "logical")
+		leaf.SetAttr("feature", n.Name)
+		defer leaf.Finish()
+		return inc.featureRows(cat, video, n, leaf)
+
+	case *ObjectCond:
+		return inc.eng.eval(ctx, cat, video, duration, n, span)
+
+	case *NotCond:
+		op := span.StartChild("eval:not")
+		op.SetAttr("level", "logical")
+		defer op.Finish()
+		x, err := inc.evalCond(ctx, cat, video, duration, n.X, op)
+		if err != nil {
+			return nil, err
+		}
+		return complement(x, duration), nil
+
+	case *AndCond:
+		op := span.StartChild("eval:and")
+		op.SetAttr("level", "logical")
+		defer op.Finish()
+		l, r, err := inc.evalBoth(ctx, cat, video, duration, n.L, n.R, op)
+		if err != nil {
+			return nil, err
+		}
+		return intersect(l, r), nil
+
+	case *OrCond:
+		op := span.StartChild("eval:or")
+		op.SetAttr("level", "logical")
+		defer op.Finish()
+		l, r, err := inc.evalBoth(ctx, cat, video, duration, n.L, n.R, op)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+
+	case *TemporalCond:
+		op := span.StartChild("eval:temporal")
+		op.SetAttr("level", "logical")
+		op.SetAttr("rel", n.Rel)
+		defer op.Finish()
+		l, r, err := inc.evalBoth(ctx, cat, video, duration, n.L, n.R, op)
+		if err != nil {
+			return nil, err
+		}
+		return temporalSemijoin(l, r, n.Rel, n.Gap)
+	}
+	return nil, fmt.Errorf("query: unknown condition %T", c)
+}
+
+// evalBoth evaluates a binary condition's operands sequentially. The
+// one-shot engine fans the pair out on the kernel pool; standing
+// queries get their parallelism across subscriptions instead, and
+// sequential evaluation keeps the per-node leaf caches free of locks.
+func (inc *Incremental) evalBoth(ctx context.Context, cat *cobra.Catalog, video string, duration float64, l, r Cond, span *obs.Span) ([]Result, []Result, error) {
+	lRes, lErr := inc.evalCond(ctx, cat, video, duration, l, span)
+	rRes, rErr := inc.evalCond(ctx, cat, video, duration, r, span)
+	return lRes, rRes, errors.Join(lErr, rErr)
+}
+
+// eventRows returns the accumulated events of one type in start order,
+// reading only rows appended since the leaf's watermark.
+func (inc *Incremental) eventRows(cat *cobra.Catalog, video, typ string, key Cond, span *obs.Span) []cobra.Event {
+	leaf := inc.events[key]
+	if leaf == nil {
+		leaf = &eventLeaf{}
+		inc.events[key] = leaf
+	}
+	scan := scanSpan(span, "cobra/event/"+video+"/*")
+	fresh, upTo := cat.EventsSince(video, typ, leaf.rows)
+	scan.SetAttr("rows", strconv.Itoa(len(fresh)))
+	scan.SetAttr("access", "tail from="+strconv.Itoa(leaf.rows))
+	scan.Resources().AddScanned(len(fresh))
+	scan.Finish()
+	leaf.evs = append(leaf.evs, fresh...)
+	leaf.rows = upTo
+	out := append([]cobra.Event(nil), leaf.evs...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
+	return out
+}
+
+// featureRows advances a feature leaf's run-detection state over the
+// appended samples and returns all runs found so far, including the
+// provisional run still open at the watermark (exactly what a full
+// featureRuns scan would report).
+func (inc *Incremental) featureRows(cat *cobra.Catalog, video string, n *FeatureCond, span *obs.Span) ([]Result, error) {
+	st := inc.features[n]
+	if st == nil {
+		st = &featureLeaf{}
+		inc.features[n] = st
+	}
+	scan := scanSpan(span, "cobra/feature/"+video+"/"+n.Name)
+	vals, rate, total, err := cat.FeatureTail(video, n.Name, st.rows)
+	if err != nil {
+		scan.SetAttr("error", err.Error())
+		scan.Finish()
+		return nil, err
+	}
+	scan.SetAttr("rows", strconv.Itoa(len(vals)))
+	scan.SetAttr("access", "tail from="+strconv.Itoa(st.rows))
+	scan.Resources().AddScanned(len(vals))
+	scan.Finish()
+	test := featureTest(n.Op, n.Val)
+	step := 1 / rate
+	for k, v := range vals {
+		t := float64(st.rows+k) * step
+		if test(v) {
+			if !st.open {
+				st.open = true
+				st.start = t
+			}
+			continue
+		}
+		if st.open {
+			st.open = false
+			if t-st.start >= minRunDur {
+				st.closed = append(st.closed, Result{Interval: cobra.Interval{Start: st.start, End: t}, Confidence: 1})
+			}
+		}
+	}
+	st.rows = total
+	out := append([]Result(nil), st.closed...)
+	if st.open {
+		end := float64(total) * step
+		if end-st.start >= minRunDur {
+			out = append(out, Result{Interval: cobra.Interval{Start: st.start, End: end}, Confidence: 1})
+		}
+	}
+	return out, nil
+}

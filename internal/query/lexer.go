@@ -45,7 +45,7 @@ var keywords = map[string]bool{
 	"within": true, "of": true, "before": true, "after": true,
 	"during": true, "overlaps": true, "meets": true, "s": true,
 	"order": true, "by": true, "confidence": true, "start": true,
-	"desc": true, "asc": true, "limit": true,
+	"desc": true, "asc": true, "limit": true, "last": true,
 }
 
 func lex(src string) ([]token, error) {

@@ -21,7 +21,22 @@
 //	                         and span tree; or its Chrome trace-event JSON
 //	SLOWLOG               -> slow queries with trace IDs and full span trees
 //	CHECKPOINT            -> force a durability checkpoint (WAL truncation)
+//	SUBSCRIBE <coql>      -> register a standing query; matches are pushed
+//	                         asynchronously as EVENT frames (see below)
+//	UNSUBSCRIBE <id>      -> cancel one of this connection's subscriptions
+//	SUBSCRIPTIONS         -> list active subscriptions
 //	PING                  -> "OK 0", "END"
+//
+// A subscribed connection additionally receives asynchronous push
+// frames between responses, never inside one:
+//
+//	EVENT <subID> <seq> <watermark> <n>
+//	<n result lines, as a COQL response>
+//	END
+//
+// Each frame carries the standing query's full current result set at
+// the watermark — byte-identical to a one-shot COQL response at that
+// point — so the latest frame always supersedes earlier ones.
 //
 // Errors answer "ERR <message>". The full wire protocol, with framing
 // and examples, is specified in docs/PROTOCOL.md.
@@ -34,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -46,6 +62,7 @@ import (
 	"cobra/internal/milcheck"
 	"cobra/internal/obs"
 	"cobra/internal/query"
+	"cobra/internal/stream"
 )
 
 // Protocol-level metrics.
@@ -81,7 +98,8 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	cp Checkpointer
+	cp     Checkpointer
+	stream *stream.Manager
 }
 
 // New builds a server over the preprocessor (COQL), its catalog's
@@ -108,6 +126,22 @@ func (s *Server) SetCheckpointer(cp Checkpointer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cp = cp
+}
+
+// SetStream attaches the subscription manager serving SUBSCRIBE /
+// UNSUBSCRIBE / SUBSCRIPTIONS. Call before Listen; without one the
+// streaming verbs answer an error.
+func (s *Server) SetStream(m *stream.Manager) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stream = m
+}
+
+// Stream returns the attached subscription manager (nil if none).
+func (s *Server) Stream() *stream.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream
 }
 
 // Listen binds the address and starts serving until the listener is
@@ -203,25 +237,115 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
+// connState is the per-connection write side: command responses and
+// asynchronous push frames share the writer, serialized by mu so a
+// frame never interleaves inside a response.
+type connState struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	// pushers counts this connection's frame-push goroutines.
+	pushers sync.WaitGroup
+}
+
 func (s *Server) handle(conn net.Conn) {
+	st := &connState{w: bufio.NewWriter(conn)}
 	defer conn.Close()
+	defer func() {
+		// Cancel the connection's standing queries, then let the pushers
+		// drain and exit before the connection closes under them.
+		if m := s.Stream(); m != nil {
+			m.UnsubscribeOwner(conn)
+		}
+		st.pushers.Wait()
+	}()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	w := bufio.NewWriter(conn)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		if strings.EqualFold(line, "QUIT") {
-			fmt.Fprintln(w, "OK 0")
-			fmt.Fprintln(w, "END")
-			w.Flush()
+			st.mu.Lock()
+			fmt.Fprintln(st.w, "OK 0")
+			fmt.Fprintln(st.w, "END")
+			st.w.Flush()
+			st.mu.Unlock()
 			return
 		}
-		s.ExecuteCtx(context.Background(), line, w)
-		w.Flush()
+		st.mu.Lock()
+		if !s.execStream(conn, st, line) {
+			s.ExecuteCtx(context.Background(), line, st.w)
+		}
+		st.w.Flush()
+		st.mu.Unlock()
 	}
+}
+
+// execStream handles the connection-scoped streaming verbs; it
+// reports false when the line is not one of them (the generic
+// dispatcher takes over). Called with st.mu held.
+func (s *Server) execStream(conn net.Conn, st *connState, line string) bool {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "SUBSCRIBE":
+		cRequests.Inc()
+		m := s.Stream()
+		if m == nil {
+			fmt.Fprintln(st.w, "ERR streaming disabled (no subscription manager attached)")
+			return true
+		}
+		stmt := strings.TrimSpace(rest)
+		if stmt == "" {
+			fmt.Fprintln(st.w, "ERR usage: SUBSCRIBE <coql statement>")
+			return true
+		}
+		sub, err := m.Subscribe(stmt, conn)
+		if err != nil {
+			fmt.Fprintf(st.w, "ERR %v\n", err)
+			return true
+		}
+		writeLines(st.w, []string{sub.ID})
+		// The pusher starts while the response is still being written
+		// (st.mu is held), so the SUBSCRIBE reply always precedes the
+		// subscription's first frame.
+		st.pushers.Add(1)
+		go func() {
+			defer st.pushers.Done()
+			for {
+				n, ok := sub.Next()
+				if !ok {
+					return
+				}
+				st.mu.Lock()
+				fmt.Fprintf(st.w, "EVENT %s %d %g %d\n", n.SubID, n.Seq, n.Watermark, len(n.Lines))
+				for _, l := range n.Lines {
+					fmt.Fprintln(st.w, l)
+				}
+				fmt.Fprintln(st.w, "END")
+				st.w.Flush()
+				st.mu.Unlock()
+			}
+		}()
+		return true
+	case "UNSUBSCRIBE":
+		cRequests.Inc()
+		m := s.Stream()
+		if m == nil {
+			fmt.Fprintln(st.w, "ERR streaming disabled (no subscription manager attached)")
+			return true
+		}
+		id := strings.TrimSpace(rest)
+		sub, ok := m.Get(id)
+		if !ok || sub.Owner != conn {
+			fmt.Fprintf(st.w, "ERR no subscription %q on this connection\n", id)
+			return true
+		}
+		m.Unsubscribe(id)
+		writeLines(st.w, []string{id + " unsubscribed"})
+		return true
+	}
+	return false
 }
 
 // Execute runs one protocol line, writing the response to w. Exposed
@@ -253,7 +377,7 @@ func (s *Server) ExecuteCtx(ctx context.Context, line string, w io.Writer) {
 		}
 		fmt.Fprintf(w, "OK %d\n", len(res))
 		for _, r := range res {
-			fmt.Fprintf(w, "%.1f %.1f %.3f %s\n", r.Interval.Start, r.Interval.End, r.Confidence, encodeAttrs(r.Attrs))
+			fmt.Fprintln(w, query.FormatResult(r))
 		}
 		fmt.Fprintln(w, "END")
 	case "MIL":
@@ -400,6 +524,23 @@ func (s *Server) ExecuteCtx(ctx context.Context, line string, w io.Writer) {
 			}
 		}
 		writeLines(w, lines)
+	case "SUBSCRIPTIONS":
+		m := s.Stream()
+		if m == nil {
+			fmt.Fprintln(w, "ERR streaming disabled (no subscription manager attached)")
+			return
+		}
+		subs := m.List()
+		sort.Slice(subs, func(i, j int) bool { return subNum(subs[i].ID) < subNum(subs[j].ID) })
+		lines := make([]string, len(subs))
+		for i, sub := range subs {
+			lines[i] = fmt.Sprintf("%s dropped=%d %s", sub.ID, sub.Dropped(), sub.Query)
+		}
+		writeLines(w, lines)
+	case "SUBSCRIBE", "UNSUBSCRIBE":
+		// Reached only without a connection (in-process Execute); the
+		// connection handler intercepts these verbs first.
+		fmt.Fprintf(w, "ERR %s requires a client connection\n", strings.ToUpper(cmd))
 	case "LIST":
 		if strings.EqualFold(strings.TrimSpace(rest), "videos") {
 			videos := s.cat.Videos()
@@ -584,27 +725,28 @@ func parseObs(csv string) ([]int, error) {
 	return obs, nil
 }
 
-func encodeAttrs(attrs map[string]string) string {
-	if len(attrs) == 0 {
-		return "-"
-	}
-	parts := make([]string, 0, len(attrs))
-	for k, v := range attrs {
-		parts = append(parts, k+"="+v)
-	}
-	// Stable output for tests and scripts.
-	for i := 1; i < len(parts); i++ {
-		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
-			parts[j], parts[j-1] = parts[j-1], parts[j]
-		}
-	}
-	return strings.Join(parts, ",")
+// subNum orders subscription IDs ("s12") numerically for listings.
+func subNum(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "s"))
+	return n
 }
 
-// Client is a minimal protocol client for the shell and tests.
+// Client is a minimal protocol client for the shell and tests. It is
+// push-aware: EVENT frames arriving while a response is awaited are
+// buffered and readable via NextEvent. Not safe for concurrent use.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
+	conn    net.Conn
+	r       *bufio.Reader
+	pending []PushEvent
+}
+
+// PushEvent is one asynchronous notification frame: a standing
+// query's full result set at a watermark.
+type PushEvent struct {
+	SubID     string
+	Seq       int
+	Watermark float64
+	Lines     []string
 }
 
 // Dial connects to a server.
@@ -616,31 +758,109 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
 }
 
-// Do sends one request line and collects the response body.
+// Do sends one request line and collects the response body. EVENT
+// frames interleaved ahead of the response are buffered for NextEvent.
 func (c *Client) Do(line string) ([]string, error) {
 	if _, err := fmt.Fprintln(c.conn, line); err != nil {
 		return nil, err
 	}
-	head, err := c.r.ReadString('\n')
-	if err != nil {
-		return nil, err
-	}
-	head = strings.TrimSpace(head)
-	if strings.HasPrefix(head, "ERR ") {
-		return nil, fmt.Errorf("server: %s", strings.TrimPrefix(head, "ERR "))
-	}
-	var out []string
 	for {
-		l, err := c.r.ReadString('\n')
+		head, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, err
 		}
-		l = strings.TrimRight(l, "\n")
-		if l == "END" {
-			return out, nil
+		head = strings.TrimSpace(head)
+		if strings.HasPrefix(head, "EVENT ") {
+			ev, err := c.readFrame(head)
+			if err != nil {
+				return nil, err
+			}
+			c.pending = append(c.pending, ev)
+			continue
 		}
-		out = append(out, l)
+		if strings.HasPrefix(head, "ERR ") {
+			return nil, fmt.Errorf("server: %s", strings.TrimPrefix(head, "ERR "))
+		}
+		var out []string
+		for {
+			l, err := c.r.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			l = strings.TrimRight(l, "\n")
+			if l == "END" {
+				return out, nil
+			}
+			out = append(out, l)
+		}
 	}
+}
+
+// Subscribe registers a standing query and returns its subscription
+// ID; matches arrive via NextEvent.
+func (c *Client) Subscribe(coql string) (string, error) {
+	lines, err := c.Do("SUBSCRIBE " + coql)
+	if err != nil {
+		return "", err
+	}
+	if len(lines) != 1 {
+		return "", fmt.Errorf("server: unexpected SUBSCRIBE response %q", lines)
+	}
+	return lines[0], nil
+}
+
+// NextEvent returns the next pushed notification, blocking up to
+// timeout for one to arrive (0 = block indefinitely).
+func (c *Client) NextEvent(timeout time.Duration) (PushEvent, error) {
+	if len(c.pending) > 0 {
+		ev := c.pending[0]
+		c.pending = c.pending[1:]
+		return ev, nil
+	}
+	if timeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	head, err := c.r.ReadString('\n')
+	if err != nil {
+		return PushEvent{}, err
+	}
+	head = strings.TrimSpace(head)
+	if !strings.HasPrefix(head, "EVENT ") {
+		return PushEvent{}, fmt.Errorf("server: expected EVENT frame, got %q", head)
+	}
+	return c.readFrame(head)
+}
+
+// readFrame parses "EVENT <subID> <seq> <watermark> <n>" plus its n
+// body lines and trailing END (the head line has been consumed).
+func (c *Client) readFrame(head string) (PushEvent, error) {
+	f := strings.Fields(head)
+	if len(f) != 5 {
+		return PushEvent{}, fmt.Errorf("server: malformed frame %q", head)
+	}
+	seq, err1 := strconv.Atoi(f[2])
+	wm, err2 := strconv.ParseFloat(f[3], 64)
+	n, err3 := strconv.Atoi(f[4])
+	if err1 != nil || err2 != nil || err3 != nil || n < 0 {
+		return PushEvent{}, fmt.Errorf("server: malformed frame %q", head)
+	}
+	ev := PushEvent{SubID: f[1], Seq: seq, Watermark: wm}
+	for i := 0; i < n; i++ {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			return PushEvent{}, err
+		}
+		ev.Lines = append(ev.Lines, strings.TrimRight(l, "\n"))
+	}
+	end, err := c.r.ReadString('\n')
+	if err != nil {
+		return PushEvent{}, err
+	}
+	if strings.TrimSpace(end) != "END" {
+		return PushEvent{}, fmt.Errorf("server: frame not END-terminated: %q", end)
+	}
+	return ev, nil
 }
 
 // Close closes the connection.

@@ -1,0 +1,387 @@
+// Package stream manages standing COQL queries over live video
+// ingestion: SUBSCRIBE registers a query, and every ingest batch the
+// manager re-evaluates only the subscriptions whose kernel
+// dependencies actually changed (per-BAT epochs decide), pushing each
+// changed result set to its subscriber through a bounded drop-oldest
+// queue.
+//
+// The delivery model is refresh-push: a notification carries the FULL
+// current result set, rendered exactly as a one-shot COQL response at
+// the same watermark, and is suppressed when identical to the
+// previous push. Subscribers therefore never need to merge deltas —
+// the latest notification IS the query result — and the streaming
+// path's acceptance criterion (byte-identity with a one-shot query)
+// holds at every watermark.
+//
+// Re-evaluation itself is incremental: each subscription owns a
+// query.Incremental whose leaf caches restrict physical scans to rows
+// appended since the previous evaluation (see that type for the
+// equivalence argument). Every evaluation runs under its own
+// "stream.eval" trace pushed to obs.DefaultTraces, so TRACEDUMP
+// covers standing queries alongside one-shot ones.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cobra/internal/monet"
+	"cobra/internal/obs"
+	"cobra/internal/query"
+)
+
+// Streaming metrics: standing-query count, how many re-evaluations the
+// epoch gate admitted versus skipped, and delivery/drop volume.
+var (
+	gSubs    = obs.G("stream.subscriptions")
+	cEvals   = obs.C("stream.evals")
+	cSkipped = obs.C("stream.evals_skipped")
+	cErrors  = obs.C("stream.eval.errors")
+	cNotifs  = obs.C("stream.notifications")
+	cDropped = obs.C("stream.dropped")
+	hEvalLat = obs.H("stream.eval.latency")
+)
+
+// DefaultQueueCap bounds each subscriber's notification queue; when a
+// slow consumer falls this far behind, the oldest pending notification
+// is dropped (the newest one always supersedes it under refresh-push).
+const DefaultQueueCap = 16
+
+// Notification is one pushed update: the standing query's full result
+// set at a watermark, rendered in the one-shot wire format.
+type Notification struct {
+	// SubID identifies the subscription.
+	SubID string
+	// Seq numbers this subscription's pushes from 1.
+	Seq int
+	// Watermark is the video duration the result was evaluated at.
+	Watermark float64
+	// Lines is the rendered result set (query.FormatResult per segment).
+	Lines []string
+}
+
+// Subscription is one standing query with its bounded delivery queue.
+// The manager is the only producer; the subscriber consumes with Next.
+type Subscription struct {
+	// ID is the manager-assigned subscription identifier.
+	ID string
+	// Query is the COQL source text.
+	Query string
+	// Owner tags the subscription with its creator (the server uses the
+	// connection), so all of a disconnecting client's subscriptions can
+	// be dropped together.
+	Owner any
+
+	inc  *query.Incremental
+	deps []string
+
+	// evalMu serializes re-evaluations of this subscription; the
+	// Incremental's leaf caches are not concurrency-safe.
+	evalMu    sync.Mutex
+	epochs    map[string]uint64
+	seq       int
+	lastLines []string
+	primed    bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Notification
+	cap     int
+	dropped int
+	closed  bool
+}
+
+// push enqueues a notification, dropping the oldest pending one when
+// the subscriber is more than cap notifications behind.
+func (s *Subscription) push(n Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if len(s.queue) >= s.cap {
+		s.queue = s.queue[1:]
+		s.dropped++
+		cDropped.Inc()
+	}
+	s.queue = append(s.queue, n)
+	s.cond.Signal()
+}
+
+// Next blocks until a notification is pending or the subscription is
+// closed; ok=false means closed with nothing left to deliver.
+func (s *Subscription) Next() (n Notification, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return Notification{}, false
+	}
+	n = s.queue[0]
+	s.queue = s.queue[1:]
+	return n, true
+}
+
+// TryNext is Next without blocking; ok=false means nothing pending
+// right now (the subscription may still be live).
+func (s *Subscription) TryNext() (n Notification, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return Notification{}, false
+	}
+	n = s.queue[0]
+	s.queue = s.queue[1:]
+	return n, true
+}
+
+// Dropped returns how many notifications backpressure discarded.
+func (s *Subscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Closed reports whether the subscription has been cancelled.
+func (s *Subscription) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// close wakes all Next waiters; pending notifications stay readable.
+func (s *Subscription) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Manager owns the subscription table and drives re-evaluation. One
+// manager serves one engine/catalog.
+type Manager struct {
+	eng *query.Engine
+
+	// QueueCap is the per-subscription queue bound applied to new
+	// subscriptions (DefaultQueueCap when zero).
+	QueueCap int
+
+	mu     sync.Mutex
+	subs   map[string]*Subscription
+	nextID int
+}
+
+// NewManager returns an empty subscription manager over the engine.
+func NewManager(eng *query.Engine) *Manager {
+	return &Manager{eng: eng, subs: map[string]*Subscription{}}
+}
+
+// Subscribe parses and registers a standing query, returning the live
+// subscription. The first evaluation happens synchronously when the
+// queried video already exists, so subscribers immediately receive the
+// current result set as notification #1; on a video registered but not
+// yet evaluable (e.g. a live feed that has not ticked), the first
+// Advance delivers it instead.
+func (m *Manager) Subscribe(src string, owner any) (*Subscription, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.eng.Catalog().Video(q.Video); err != nil {
+		return nil, err
+	}
+	inc := query.NewIncremental(m.eng, q)
+	m.mu.Lock()
+	m.nextID++
+	s := &Subscription{
+		ID:    fmt.Sprintf("s%d", m.nextID),
+		Query: src,
+		Owner: owner,
+		inc:   inc,
+		deps:  inc.DepNames(),
+		cap:   m.QueueCap,
+	}
+	if s.cap <= 0 {
+		s.cap = DefaultQueueCap
+	}
+	s.cond = sync.NewCond(&s.mu)
+	m.subs[s.ID] = s
+	n := len(m.subs)
+	m.mu.Unlock()
+	gSubs.Set(int64(n))
+	m.evaluate(context.Background(), s)
+	return s, nil
+}
+
+// Unsubscribe cancels a subscription by ID.
+func (m *Manager) Unsubscribe(id string) bool {
+	m.mu.Lock()
+	s, ok := m.subs[id]
+	if ok {
+		delete(m.subs, id)
+	}
+	n := len(m.subs)
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	gSubs.Set(int64(n))
+	s.close()
+	return true
+}
+
+// UnsubscribeOwner cancels every subscription tagged with the owner
+// (server connections call this on disconnect) and returns how many it
+// removed.
+func (m *Manager) UnsubscribeOwner(owner any) int {
+	m.mu.Lock()
+	var victims []*Subscription
+	for id, s := range m.subs {
+		if s.Owner == owner {
+			delete(m.subs, id)
+			victims = append(victims, s)
+		}
+	}
+	n := len(m.subs)
+	m.mu.Unlock()
+	gSubs.Set(int64(n))
+	for _, s := range victims {
+		s.close()
+	}
+	return len(victims)
+}
+
+// Get returns a subscription by ID.
+func (m *Manager) Get(id string) (*Subscription, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	return s, ok
+}
+
+// List returns the current subscriptions in unspecified order;
+// callers needing a stable listing sort by ID.
+func (m *Manager) List() []*Subscription {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Subscription, 0, len(m.subs))
+	for _, s := range m.subs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Advance re-evaluates standing queries after an ingest batch. Only
+// subscriptions with a changed kernel dependency epoch are evaluated
+// (the rest count as skips); evaluations fan out on the shared kernel
+// pool. It returns how many notifications were pushed.
+func (m *Manager) Advance(ctx context.Context) int {
+	subs := m.List()
+	if len(subs) == 0 {
+		return 0
+	}
+	pushed := make([]int, len(subs))
+	batch := monet.DefaultPool().Batch()
+	for i, s := range subs {
+		i, s := i, s
+		batch.Submit(func() {
+			if m.evaluate(ctx, s) {
+				pushed[i] = 1
+			}
+		})
+	}
+	batch.Wait()
+	total := 0
+	for _, p := range pushed {
+		total += p
+	}
+	return total
+}
+
+// evaluate runs one epoch-gated incremental evaluation of a
+// subscription, reporting whether a notification was pushed.
+func (m *Manager) evaluate(ctx context.Context, s *Subscription) bool {
+	s.evalMu.Lock()
+	defer s.evalMu.Unlock()
+	if s.Closed() {
+		return false
+	}
+	store := m.eng.Catalog().Store()
+	epochs := make(map[string]uint64, len(s.deps))
+	changed := !s.primed
+	for _, dep := range s.deps {
+		_, ep := store.Watermark(dep)
+		epochs[dep] = ep
+		if s.epochs[dep] != ep {
+			changed = true
+		}
+	}
+	if !changed {
+		cSkipped.Inc()
+		return false
+	}
+
+	root := obs.StartTrace("stream.eval")
+	root.SetAttr("level", "conceptual")
+	root.SetAttr("query", s.Query)
+	root.SetAttr("subscription", s.ID)
+	cEvals.Inc()
+	res, err := s.inc.Eval(obs.ContextWithSpan(ctx, root), root)
+	errStr := ""
+	if err != nil {
+		cErrors.Inc()
+		errStr = err.Error()
+		root.SetAttr("error", errStr)
+	}
+	stat := root.Resources().Stat()
+	d := root.Finish()
+	hEvalLat.Observe(d)
+	obs.DefaultTraces.Add(obs.Trace{
+		ID:       root.TraceID(),
+		Query:    "SUBSCRIBE[" + s.ID + "] " + s.Query,
+		Start:    root.StartTime(),
+		Duration: d,
+		Err:      errStr,
+		Res:      stat,
+		Root:     root,
+	})
+	if err != nil {
+		// Leave the subscription un-primed so the next Advance retries
+		// even if no epoch moves (e.g. a feed series that appears later).
+		return false
+	}
+
+	lines := make([]string, len(res))
+	for i, r := range res {
+		lines[i] = query.FormatResult(r)
+	}
+	s.epochs = epochs
+	if s.primed && equalLines(lines, s.lastLines) {
+		return false
+	}
+	s.primed = true
+	s.lastLines = lines
+	s.seq++
+	w := 0.0
+	if v, err := m.eng.Catalog().Video(s.inc.Query().Video); err == nil {
+		w = v.Duration
+	}
+	s.push(Notification{SubID: s.ID, Seq: s.seq, Watermark: w, Lines: lines})
+	cNotifs.Inc()
+	return true
+}
+
+func equalLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package synth
+
+import "sort"
+
+// Feed replays a generated race as a live broadcast: repeated Advance
+// calls move a wall-clock position through the race and reveal the
+// ground-truth events and captions that completed in the covered
+// window. A consumer (the streaming ingestor in internal/f1) turns
+// each chunk into catalog appends, so standing queries observe the
+// race exactly as far as it has "aired".
+//
+// Events are revealed on completion, not on onset: a live pipeline
+// can only emit a pit stop once the car has left the box (the
+// detector needs the whole pattern), so an event with End inside the
+// advanced window belongs to that window's chunk even when its Start
+// lies long before. Replaying the same race through any sequence of
+// Advance steps reveals every event exactly once, in End order
+// within each chunk.
+type Feed struct {
+	race *Race
+	t    float64
+}
+
+// Chunk is the slice of broadcast the feed advanced over: the covered
+// window (From, To] plus everything that completed inside it.
+type Chunk struct {
+	// From and To bound the covered window; To is the new watermark.
+	From, To float64
+	// Events are the ground-truth events with End in (From, To].
+	Events []TrueEvent
+	// Captions are the superimposed-text overlays that left the screen
+	// in (From, To].
+	Captions []Caption
+}
+
+// NewFeed starts a live replay of the race at time zero.
+func NewFeed(race *Race) *Feed {
+	return &Feed{race: race}
+}
+
+// Race returns the race material being replayed.
+func (f *Feed) Race() *Race { return f.race }
+
+// Now returns the current broadcast position (the watermark) in
+// seconds.
+func (f *Feed) Now() float64 { return f.t }
+
+// Done reports whether the broadcast has fully aired.
+func (f *Feed) Done() bool { return f.t >= f.race.Duration }
+
+// Advance moves the broadcast forward by dt seconds (clamped to the
+// race end) and returns the chunk that aired. A zero or negative dt
+// returns an empty chunk at the current position.
+func (f *Feed) Advance(dt float64) Chunk {
+	from := f.t
+	to := from + dt
+	if to > f.race.Duration {
+		to = f.race.Duration
+	}
+	if to < from {
+		to = from
+	}
+	f.t = to
+	ch := Chunk{From: from, To: to}
+	if to == from {
+		return ch
+	}
+	for _, e := range f.race.Events {
+		if e.End > from && e.End <= to {
+			ch.Events = append(ch.Events, e)
+		}
+	}
+	for _, c := range f.race.Captions {
+		if c.End > from && c.End <= to {
+			ch.Captions = append(ch.Captions, c)
+		}
+	}
+	sort.SliceStable(ch.Events, func(i, j int) bool { return ch.Events[i].End < ch.Events[j].End })
+	sort.SliceStable(ch.Captions, func(i, j int) bool { return ch.Captions[i].End < ch.Captions[j].End })
+	return ch
+}

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Observability smoke test: boot a real cobra-server with the metrics
-# endpoint on, drive one COQL query through the wire protocol, and
-# assert the monitoring surfaces are well-formed — /metrics in both
-# content negotiations (Prometheus text by default, JSON under
-# Accept: application/json) and a TRACEDUMP span tree covering the
-# query. Run from the repository root; CI runs it after the build.
+# Observability + streaming smoke test: boot a real cobra-server with
+# the metrics endpoint on and a live simulated race feed, drive one
+# COQL query through the wire protocol, SUBSCRIBE a standing query and
+# assert at least one pushed EVENT frame arrives, and check the
+# monitoring surfaces are well-formed — /metrics in both content
+# negotiations (Prometheus text by default, JSON under
+# Accept: application/json), a TRACEDUMP span tree covering the
+# query, and a stream.eval trace covering the standing query's
+# re-evaluation. Run from the repository root; CI runs it after the
+# build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,8 +29,9 @@ echo "smoke: building"
 go build -o "$BIN/cobra-server" ./cmd/cobra-server
 go build -o "$BIN/cobra-cli" ./cmd/cobra-cli
 
-echo "smoke: starting cobra-server on $ADDR (metrics on $MADDR)"
+echo "smoke: starting cobra-server on $ADDR (metrics on $MADDR, live feed)"
 "$BIN/cobra-server" -addr "$ADDR" -metrics-addr "$MADDR" -slow-query-ms 0 \
+  -feed live-gp -feed-dur 600 -feed-interval 250ms -feed-step 2 \
   >"$TMP/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -59,7 +64,9 @@ grep -qE '^ *[0-9]+\.[0-9] +[0-9]+\.[0-9] +[0-9]\.[0-9]{3}' "$TMP/query.out" || 
 
 echo "smoke: checking TRACEDUMP"
 printf 'TRACEDUMP\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/traces.out"
-TRACE_ID=$(grep -oE 't[0-9a-f]{6,}' "$TMP/traces.out" | head -1)
+# The live feed interleaves stream.eval traces into the ring; anchor on
+# the one-shot query's own listing line.
+TRACE_ID=$(grep "german-gp" "$TMP/traces.out" | grep -oE 't[0-9a-f]{6,}' | head -1)
 if [ -z "$TRACE_ID" ]; then
   echo "smoke: FAIL no trace IDs in TRACEDUMP" >&2
   cat "$TMP/traces.out" >&2
@@ -80,6 +87,29 @@ grep -q '"traceEvents"' "$TMP/chrome.out" || {
   exit 1
 }
 
+echo "smoke: checking streaming SUBSCRIBE"
+# The standing query's first EVENT frame (the initial snapshot) is
+# pushed at SUBSCRIBE time; a second frame arrives if the feed is
+# still airing. At least one pushed notification must land.
+printf "subscribe SELECT SEGMENTS FROM live-gp WHERE EVENT('passing')\nfollow 2\n.quit\n" \
+  | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/stream.out" || true
+grep -q 'subscribed as s' "$TMP/stream.out" || {
+  echo "smoke: FAIL SUBSCRIBE did not register" >&2
+  cat "$TMP/stream.out" >&2
+  exit 1
+}
+grep -qE 'EVENT s[0-9]+ seq=[0-9]+ watermark=' "$TMP/stream.out" || {
+  echo "smoke: FAIL no pushed EVENT frame arrived" >&2
+  cat "$TMP/stream.out" >&2
+  exit 1
+}
+printf 'TRACEDUMP\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/straces.out"
+grep -q 'SUBSCRIBE\[s' "$TMP/straces.out" || {
+  echo "smoke: FAIL no stream.eval trace for the standing query in TRACEDUMP" >&2
+  cat "$TMP/straces.out" >&2
+  exit 1
+}
+
 echo "smoke: checking /metrics content negotiation"
 curl -fsS "http://$MADDR/metrics" >"$TMP/metrics.prom"
 grep -q '^# TYPE cobra_' "$TMP/metrics.prom" || {
@@ -89,6 +119,10 @@ grep -q '^# TYPE cobra_' "$TMP/metrics.prom" || {
 }
 grep -q 'cobra_coql_queries' "$TMP/metrics.prom" || {
   echo "smoke: FAIL query counter missing from Prometheus exposition" >&2
+  exit 1
+}
+grep -q 'cobra_stream_evals' "$TMP/metrics.prom" || {
+  echo "smoke: FAIL streaming counters missing from Prometheus exposition" >&2
   exit 1
 }
 curl -fsS -H 'Accept: application/json' "http://$MADDR/metrics" >"$TMP/metrics.json"
