@@ -1,29 +1,30 @@
 // Command cobravet runs the project's own static-analysis suite — the
 // invariants gofmt and go vet cannot see — over the module, using the
-// dependency-free framework in internal/vet:
-//
-//	spanend    obs spans must be finished on every path
-//	ctxspan    span-starting functions must take a context.Context or
-//	           *obs.Span to join a trace, and finish spans in-block
-//	gofatal    no t.Fatal-class calls from spawned test goroutines
-//	storelock  Journal* hooks must not call back into monet.Store
-//	errwrap    fmt.Errorf over an error must wrap with %w
-//	poolleak   monet pool batches must be Waited (and NewPool closed)
-//	           on every return path
+// dependency-free framework in internal/vet. Run -list for the
+// catalogue (docs/ANALYZERS.md documents each check in full); the
+// suite spans per-package checks (spanend … epochguard, allowlint) and
+// module-wide interprocedural checks (lockorder, goleak, allochot,
+// chansend) built on the framework's call graph, function summaries
+// and fact store.
 //
 // Usage:
 //
-//	cobravet [-list] [package ...]
+//	cobravet [-list] [-json] [-v] [-analyzer name[,name...]] [package ...]
 //
-// With no packages the whole module is checked. Package arguments are
-// import paths ("cobra/internal/wal") or module-relative directories
-// ("./internal/wal"). Findings print as file:line:col lines and the
-// exit status is 1 when there are any, 2 on load failures.
+// With no packages (or "./...") the whole module is checked. Package
+// arguments are import paths ("cobra/internal/wal") or module-relative
+// directories ("./internal/wal"). Findings print as file:line:col
+// lines — or, under -json, as one machine-readable JSON object with
+// stable analyzer codes — and the exit status is 1 when there are any
+// findings, 2 on load failure. -v prints per-analyzer wall time to
+// stderr; -analyzer restricts the run to a comma-separated subset.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,45 +33,130 @@ import (
 	"cobra/internal/vet/analyzers"
 )
 
+// jsonDiagnostic is one finding in -json output; File is relative to
+// the module root so output is stable across checkouts.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Code     string `json:"code"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json top-level object.
+type jsonReport struct {
+	Findings []jsonDiagnostic `json:"findings"`
+	Count    int              `json:"count"`
+}
+
 func main() {
-	list := flag.Bool("list", false, "print the analyzer suite and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit status abstracted, so the
+// golden test can drive the real flag/load/report path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cobravet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	asJSON := fs.Bool("json", false, "emit findings as one JSON object")
+	verbose := fs.Bool("v", false, "print per-analyzer wall time to stderr")
+	only := fs.String("analyzer", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
 		for _, a := range analyzers.All {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%s %-10s %s\n", a.Code, a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cobravet:", err)
+		return 2
+	}
+	suite := analyzers.All
+	if *only != "" {
+		byName := map[string]*vet.Analyzer{}
+		for _, a := range analyzers.All {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fail(fmt.Errorf("unknown analyzer %q (see -list)", name))
+			}
+			suite = append(suite, a)
+		}
+	}
+
 	loader, err := vet.NewLoader(".")
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	paths := flag.Args()
-	if len(paths) == 0 {
+	paths := fs.Args()
+	if len(paths) == 0 || (len(paths) == 1 && strings.HasSuffix(paths[0], "...")) {
 		paths, err = loader.ModulePackages()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	pkgs := make([]*vet.Package, 0, len(paths))
 	for _, p := range paths {
 		pkg, err := loader.Load(normalize(loader, p))
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := vet.Run(pkgs, analyzers.All)
+	diags, timings, err := vet.RunAll(loader, pkgs, suite)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *verbose {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "cobravet: %-14s %s\n", tm.Analyzer, tm.Elapsed.Round(10_000))
+		}
+	}
+	if *asJSON {
+		report := jsonReport{Findings: []jsonDiagnostic{}, Count: len(diags)}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				Code:     d.Code,
+				File:     relToModule(loader.ModRoot, d.Position.Filename),
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cobravet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cobravet: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// relToModule renders filename relative to the module root when it is
+// inside it.
+func relToModule(root, filename string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filename
 }
 
 // normalize maps "./internal/wal"-style directory arguments onto
@@ -80,9 +166,4 @@ func normalize(l *vet.Loader, arg string) string {
 		return arg
 	}
 	return l.ModPath + "/" + filepath.ToSlash(strings.TrimPrefix(filepath.Clean(arg), "./"))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "cobravet:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestJSONGolden drives the real flag/load/report path over the
+// allowlint fixture and compares -json output byte-for-byte against
+// the checked-in golden file: file paths must be module-relative,
+// codes stable, findings ordered by position. Run with -update to
+// regenerate after an intentional change.
+func TestJSONGolden(t *testing.T) {
+	var out, errs bytes.Buffer
+	code := run([]string{
+		"-json", "-analyzer", "allowlint",
+		"./internal/vet/analyzers/testdata/allowlint",
+	}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings present); stderr:\n%s", code, errs.String())
+	}
+
+	golden := filepath.Join("testdata", "allowlint.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, out.Bytes(), want)
+	}
+
+	// The golden bytes must stay machine-readable with the documented
+	// shape, independent of formatting.
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Count != len(report.Findings) || report.Count == 0 {
+		t.Fatalf("count = %d, findings = %d; want equal and nonzero", report.Count, len(report.Findings))
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer == "" || f.Code == "" || f.File == "" || f.Line == 0 || f.Col == 0 {
+			t.Errorf("finding missing required field: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("file %q is absolute; want module-relative", f.File)
+		}
+	}
+}
+
+// TestListIncludesCodes keeps -list an accurate, stable catalogue:
+// every line leads with a CVnnn code, and the four interprocedural
+// analyzers are present.
+func TestListIncludesCodes(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errs.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("-list printed %d analyzers, want >= 12:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "CV0") {
+			t.Errorf("list line missing code prefix: %q", l)
+		}
+	}
+	for _, name := range []string{"lockorder", "goleak", "allochot", "chansend"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list is missing analyzer %q", name)
+		}
+	}
+}
+
+// TestUnknownAnalyzerFails pins the load-failure exit code.
+func TestUnknownAnalyzerFails(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-analyzer", "nosuch"}, &out, &errs); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, errs.String())
+	}
+	if !strings.Contains(errs.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %q", errs.String())
+	}
+}

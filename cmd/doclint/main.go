@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/doclint ./internal/monet ./internal/wal ...
+//	go run ./cmd/doclint [-analyzers dir:catalogue.md] ./internal/monet ./internal/wal ...
 //
 // For every named package directory it checks that the package has a
 // package comment and that each exported top-level declaration — func,
@@ -13,24 +13,36 @@
 // declarations may share one doc comment) — carries a doc comment.
 // Test files are skipped. Violations print as file:line: messages and
 // the exit status is 1 if any were found.
+//
+// -analyzers dir:catalogue.md additionally cross-checks the cobravet
+// suite against its prose catalogue: every vet.Analyzer declared under
+// dir (a composite literal with string Name and Code fields) must have
+// a "### CVnnn `name`" heading in the markdown file, and every such
+// heading must correspond to a declared analyzer — so the catalogue
+// can neither lag behind a new analyzer nor describe a removed one.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
+	"regexp"
 	"strings"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir>...")
+	analyzersSpec := flag.String("analyzers", "",
+		"dir:markdown — cross-check every vet.Analyzer under dir against CVnnn headings in markdown")
+	flag.Parse()
+	if flag.NArg() == 0 && *analyzersSpec == "" {
+		fmt.Fprintln(os.Stderr, "usage: doclint [-analyzers dir:catalogue.md] <package-dir>...")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
+	for _, dir := range flag.Args() {
 		dir = strings.TrimPrefix(dir, "./")
 		bad += lintDir(dir)
 	}
@@ -38,6 +50,113 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifier(s)\n", bad)
 		os.Exit(1)
 	}
+	if *analyzersSpec != "" {
+		dir, md, ok := strings.Cut(*analyzersSpec, ":")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "doclint: -analyzers wants dir:catalogue.md")
+			os.Exit(2)
+		}
+		if n := lintAnalyzerCatalogue(dir, md); n > 0 {
+			fmt.Fprintf(os.Stderr, "doclint: %d analyzer-catalogue mismatch(es)\n", n)
+			os.Exit(1)
+		}
+	}
+}
+
+// catalogueHeading matches one analyzer's section heading in the
+// markdown catalogue.
+var catalogueHeading = regexp.MustCompile("(?m)^### (CV[0-9]+) `([a-z]+)`")
+
+// lintAnalyzerCatalogue cross-checks declared analyzers against the
+// markdown catalogue in both directions and returns the mismatch
+// count.
+func lintAnalyzerCatalogue(dir, md string) int {
+	declared, err := declaredAnalyzers(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	if len(declared) == 0 {
+		fmt.Printf("%s: no vet.Analyzer declarations found\n", dir)
+		return 1
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		return 1
+	}
+	documented := map[string]string{}
+	for _, m := range catalogueHeading.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = m[2]
+	}
+	bad := 0
+	for code, name := range declared {
+		if got, ok := documented[code]; !ok {
+			fmt.Printf("%s: analyzer %s %q has no \"### %s `%s`\" heading in %s\n", dir, code, name, code, name, md)
+			bad++
+		} else if got != name {
+			fmt.Printf("%s: heading for %s names %q but the analyzer is %q\n", md, code, got, name)
+			bad++
+		}
+	}
+	for code, name := range documented {
+		if _, ok := declared[code]; !ok {
+			fmt.Printf("%s: heading %s `%s` documents an analyzer not declared in %s\n", md, code, name, dir)
+			bad++
+		}
+	}
+	return bad
+}
+
+// declaredAnalyzers scans dir's non-test files for composite literals
+// carrying string Name and Code fields — the shape of a vet.Analyzer
+// declaration — and returns code → name.
+func declaredAnalyzers(dir string) (map[string]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				var name, code string
+				for _, el := range cl.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lit, ok := kv.Value.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					val := strings.Trim(lit.Value, `"`)
+					switch key.Name {
+					case "Name":
+						name = val
+					case "Code":
+						code = val
+					}
+				}
+				if name != "" && strings.HasPrefix(code, "CV") {
+					out[code] = name
+				}
+				return true
+			})
+		}
+	}
+	return out, nil
 }
 
 // lintDir checks one package directory and returns the violation count.

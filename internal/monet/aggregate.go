@@ -165,7 +165,14 @@ func (b *BAT) GroupCount() (*BAT, error) {
 	if p, ok := poolFor(b.Len()); ok {
 		parts := make([]groupPart[int64], numMorsels(b.Len()))
 		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
-			part := groupPart[int64]{accs: map[string]int64{}}
+			// Sized for the worst case (every row its own group) so the
+			// per-row loop never grows a slice or rehashes the map; the
+			// scratch is MorselSize-bounded and dies with the morsel.
+			part := groupPart[int64]{
+				order: make([]Value, 0, hi-lo),
+				keys:  make([]string, 0, hi-lo),
+				accs:  make(map[string]int64, hi-lo),
+			}
 			for i := lo; i < hi; i++ {
 				h := b.head.Get(i)
 				k := h.String()
@@ -253,7 +260,14 @@ func (b *BAT) groupedFold(name string, f func(acc, x float64) float64, init floa
 	if p, ok := poolFor(b.Len()); ok {
 		parts := make([]groupPart[float64], numMorsels(b.Len()))
 		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
-			part := groupPart[float64]{accs: map[string]float64{}}
+			// Sized for the worst case (every row its own group) so the
+			// per-row loop never grows a slice or rehashes the map; the
+			// scratch is MorselSize-bounded and dies with the morsel.
+			part := groupPart[float64]{
+				order: make([]Value, 0, hi-lo),
+				keys:  make([]string, 0, hi-lo),
+				accs:  make(map[string]float64, hi-lo),
+			}
 			for i := lo; i < hi; i++ {
 				h := b.head.Get(i)
 				k := h.String()

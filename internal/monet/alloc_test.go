@@ -1,0 +1,98 @@
+package monet
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Allocation-regression tests for the morsel-body fixes the allochot
+// analyzer drove: parallel filter, grouped aggregation, hash-join
+// probe, and the sharded hash build must not allocate per ROW — only
+// per MORSEL (a handful of fixed-size scratch buffers each). The
+// bounds below are per-operation ceilings in units of morsels, with
+// generous headroom for pool scheduling noise; before the fixes the
+// per-row append/map growth put these one to two orders of magnitude
+// higher.
+
+// allocsPerOp measures total heap allocations per run of fn across all
+// goroutines (runtime.MemStats, not testing.AllocsPerRun, because the
+// morsel work happens on pool workers).
+func allocsPerOp(runs int, fn func()) float64 {
+	fn() // warm caches, pool, lazily built state
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+const allocRows = 1 << 16 // 64 morsels at MorselSize 1024
+
+func allocBudget(perMorsel int) float64 {
+	return float64(numMorsels(allocRows)*perMorsel + 256)
+}
+
+func TestSelectAllocsPerMorsel(t *testing.T) {
+	var got float64
+	withWorkers(t, 4, func() {
+		bat := benchIntBAT(allocRows, 1000)
+		lo, hi := NewInt(100), NewInt(199)
+		got = allocsPerOp(5, func() { bat.Select(lo, hi) })
+	})
+	// Morsel scratch: one preallocated index slice per morsel, plus
+	// fan-out closures, spans, and the result BAT.
+	if max := allocBudget(8); got > max {
+		t.Fatalf("Select allocates %.0f/op, budget %.0f (per-row growth crept back in?)", got, max)
+	}
+}
+
+func TestGroupSumAllocsPerMorsel(t *testing.T) {
+	var got float64
+	withWorkers(t, 4, func() {
+		bat := NewBATCap(IntT, IntT, allocRows)
+		for i := 0; i < allocRows; i++ {
+			bat.MustInsert(NewInt(int64(i%64)), NewInt(int64(i%100)))
+		}
+		got = allocsPerOp(5, func() {
+			if _, err := bat.GroupSum(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	// Per morsel: order/keys slices, sized accs map (its buckets), the
+	// fan-out closure — but nothing per row beyond key strings, which
+	// the 64-group input keeps interned small. The pre-fix growth
+	// pattern (unsized map rehashes + slice doubling) blows well past
+	// this.
+	if max := allocBudget(24); got > max {
+		t.Fatalf("GroupSum allocates %.0f/op, budget %.0f (per-row growth crept back in?)", got, max)
+	}
+}
+
+func TestJoinAllocsPerMorsel(t *testing.T) {
+	var got float64
+	withWorkers(t, 4, func() {
+		const keys = 1 << 12
+		left := benchIntBAT(allocRows, keys)
+		right := NewBATCap(IntT, IntT, keys)
+		for i := 0; i < keys; i++ {
+			right.MustInsert(NewInt(int64(i)), NewInt(int64(i)*2))
+		}
+		got = allocsPerOp(5, func() {
+			if _, err := left.Join(right); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	// Probe morsels: two sized match slices each; hash build: four
+	// fixed buffers per morsel plus per-shard tables, whose entries and
+	// per-key position lists cost a couple of allocations per DISTINCT
+	// key (inherent to the table, unlike per-row growth); output: two
+	// gathered columns.
+	if max := allocBudget(48) + 2*(1<<12); got > max {
+		t.Fatalf("Join allocates %.0f/op, budget %.0f (per-row growth crept back in?)", got, max)
+	}
+}

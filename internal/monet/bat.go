@@ -233,7 +233,10 @@ func (b *BAT) joinPar(p *Pool, other *BAT) *BAT {
 	lParts := make([][]int, nm)
 	rParts := make([][]int, nm)
 	runMorsels(p, b.Len(), hPoolJoinLat, hPoolJoinSpd, func(m, lo, hi int) {
-		var ls, rs []int
+		// Sized for the common at-most-one-match probe; higher join
+		// multiplicity grows past the hint but stays morsel-bounded.
+		ls := make([]int, 0, hi-lo)
+		rs := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			t := b.tail.Get(i)
 			for _, j := range ht.lookup(t) {

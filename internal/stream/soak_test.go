@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamSoak is the sanitizer-matrix soak: a live feed advancing
+// under a thousand standing subscriptions while a churner tears
+// subscriptions down and replaces them and drainers consume from
+// every queue concurrently. It exists to give the race detector long,
+// varied interleavings of the push/close/Next paths that the fast
+// tier-1 tests only touch briefly, so it is gated behind COBRA_SOAK
+// and run by CI's sanitizers job (60s there; COBRA_SOAK_SECONDS
+// shortens it locally).
+func TestStreamSoak(t *testing.T) {
+	if os.Getenv("COBRA_SOAK") == "" {
+		t.Skip("soak test: set COBRA_SOAK=1 to run (CI sanitizers job)")
+	}
+	dur := 60 * time.Second
+	if s := os.Getenv("COBRA_SOAK_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs <= 0 {
+			t.Fatalf("COBRA_SOAK_SECONDS=%q is not a positive integer", s)
+		}
+		dur = time.Duration(secs) * time.Second
+	}
+
+	m, feed, _ := fixture(t)
+	feed.step(t, 1.0) // air some material so the initial snapshot works
+
+	queries := []string{
+		"SELECT SEGMENTS FROM live-gp WHERE EVENT('passing')",
+		"SELECT SEGMENTS FROM live-gp WHERE EVENT('passing') AND FEATURE('motion') > 0.5",
+		"SELECT SEGMENTS FROM live-gp WHERE EVENT('pitstop')",
+	}
+	const nSubs = 1000
+	var subs [nSubs]atomic.Pointer[Subscription]
+	for i := range subs {
+		s, err := m.Subscribe(queries[i%len(queries)], nil)
+		if err != nil {
+			t.Fatalf("Subscribe %d: %v", i, err)
+		}
+		subs[i].Store(s)
+	}
+
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		drained  atomic.Int64
+		churned  atomic.Int64
+		failOnce sync.Once
+		failure  atomic.Pointer[string]
+	)
+	fail := func(msg string) {
+		failOnce.Do(func() { failure.Store(&msg) })
+	}
+
+	// Drainers: each sweeps a shard of the subscription table,
+	// consuming whatever is queued. TryNext (not Next) so a sweep never
+	// parks on one queue while its shard's other queues fill.
+	const nDrainers = 8
+	for d := 0; d < nDrainers; d++ {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := d; i < nSubs; i += nDrainers {
+					s := subs[i].Load()
+					if s == nil {
+						continue
+					}
+					for {
+						if _, ok := s.TryNext(); !ok {
+							break
+						}
+						drained.Add(1)
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Churner: round-robin unsubscribe + resubscribe, racing close
+	// against the feeder's push and the drainers' TryNext.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			slot := i % nSubs
+			old := subs[slot].Load()
+			if !m.Unsubscribe(old.ID) {
+				fail("Unsubscribe(" + old.ID + ") found nothing")
+				return
+			}
+			s, err := m.Subscribe(queries[i%len(queries)], nil)
+			if err != nil {
+				fail("resubscribe: " + err.Error())
+				return
+			}
+			subs[slot].Store(s)
+			churned.Add(1)
+		}
+	}()
+
+	// Feeder runs on the test goroutine (feed.step calls t.Fatalf):
+	// air material and advance until the clock runs out.
+	advances := 0
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		if msg := failure.Load(); msg != nil {
+			break
+		}
+		feed.step(t, 0.5)
+		m.Advance(context.Background())
+		advances++
+	}
+	close(stop)
+	wg.Wait()
+	if msg := failure.Load(); msg != nil {
+		t.Fatal(*msg)
+	}
+
+	// Teardown must leave nothing behind, and closed queues must report
+	// closed rather than blocking.
+	for i := range subs {
+		s := subs[i].Load()
+		if !m.Unsubscribe(s.ID) {
+			t.Fatalf("final Unsubscribe(%s) found nothing", s.ID)
+		}
+		for {
+			if _, ok := s.TryNext(); !ok {
+				break
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("Next on closed subscription %s returned a notification", s.ID)
+		}
+	}
+	if got := len(m.List()); got != 0 {
+		t.Fatalf("%d subscriptions left after full teardown", got)
+	}
+	if advances == 0 || drained.Load() == 0 || churned.Load() == 0 {
+		t.Fatalf("soak did no work: advances=%d drained=%d churned=%d",
+			advances, drained.Load(), churned.Load())
+	}
+	t.Logf("soak: %s, %d advances, %d notifications drained, %d churns",
+		dur, advances, drained.Load(), churned.Load())
+}

@@ -1,0 +1,255 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cobra/internal/vet"
+)
+
+// AllocHot reports heap allocations inside loops on kernel hot paths —
+// any function body reachable from a (*monet.Batch).Submit argument,
+// which is exactly the per-morsel work the pool fans out across cores.
+// An allocation per morsel iteration (append growth on an unsized
+// slice, map inserts, make/new, closures) multiplies by rows × morsels
+// × queries and shows up directly in the ROADMAP's ParallelGroupAgg
+// allocation gap. Preallocated destinations (make with capacity) are
+// exempt; a justified "//cobravet:allow allochot" suppresses the rest.
+//
+// Hotness propagates two ways: through static calls (a helper invoked
+// from a morsel body is hot too) and through function-typed parameters
+// (when a hot function forwards a parameter to Submit or calls it in a
+// loop, every literal its callers pass becomes hot — this is how
+// runMorsels marks its callers' closures across packages).
+var AllocHot = &vet.Analyzer{
+	Name: "allochot",
+	Code: "CV010",
+	Doc: "report heap allocations in loops on hot paths reachable from " +
+		"Pool.Submit (morsel bodies and their callees)",
+	RunModule: runAllocHot,
+}
+
+// runAllocHot seeds hot summaries from Submit call sites, propagates
+// hotness to a fixed point, and flags in-loop allocations.
+func runAllocHot(pass *vet.ModulePass) error {
+	m := pass.Mod
+
+	hot := map[*vet.Summary]bool{}
+	hotParam := map[types.Object]bool{}
+	var all []*vet.Summary
+	for _, pkg := range m.Pkgs {
+		all = append(all, m.Summaries(pkg)...)
+	}
+
+	// argSummary resolves a call argument to the function body it
+	// denotes: a literal, a named function, or a local bound to one.
+	argSummary := func(sum *vet.Summary, arg ast.Expr) *vet.Summary {
+		switch a := ast.Unparen(arg).(type) {
+		case *ast.FuncLit:
+			return m.LitSummary(a)
+		case *ast.Ident:
+			if sum.Pkg.Info == nil {
+				return nil
+			}
+			obj := sum.Pkg.Info.Uses[a]
+			if lit, ok := sum.LitBinds[obj]; ok {
+				return m.LitSummary(lit)
+			}
+			if fn, ok := obj.(*types.Func); ok {
+				return m.SummaryOf(fn)
+			}
+		case *ast.SelectorExpr:
+			if sum.Pkg.Info == nil {
+				return nil
+			}
+			if fn, ok := sum.Pkg.Info.Uses[a.Sel].(*types.Func); ok {
+				return m.SummaryOf(fn)
+			}
+		}
+		return nil
+	}
+
+	// paramObj resolves a call argument that is itself a parameter of
+	// the enclosing function, for hotness back-propagation.
+	paramObj := func(sum *vet.Summary, arg ast.Expr) types.Object {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || sum.Pkg.Info == nil {
+			return nil
+		}
+		obj, ok := sum.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || sum.Fn == nil {
+			return nil
+		}
+		sig, ok := sum.Fn.Type().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return obj
+			}
+		}
+		return nil
+	}
+
+	// markCallArgs treats every function-shaped argument of the call as
+	// hot: literals and named functions directly, parameters by object.
+	markCallArgs := func(sum *vet.Summary, call *ast.CallExpr) bool {
+		changed := false
+		for _, arg := range call.Args {
+			if s := argSummary(sum, arg); s != nil && !hot[s] {
+				hot[s] = true
+				changed = true
+			}
+			if p := paramObj(sum, arg); p != nil && !hotParam[p] {
+				hotParam[p] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// enclosingParams maps a literal's summary to the parameter objects
+	// of the named function it is lexically inside, so a hot morsel
+	// body calling `fn(m, lo, hi)` can mark the enclosing function's
+	// fn parameter hot.
+	params := map[types.Object]bool{}
+	owner := map[*vet.Summary][]types.Object{}
+	for _, sum := range all {
+		if sum.Fn == nil {
+			continue
+		}
+		sig, ok := sum.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		var objs []types.Object
+		for i := 0; i < sig.Params().Len(); i++ {
+			params[sig.Params().At(i)] = true
+			objs = append(objs, sig.Params().At(i))
+		}
+		owner[sum] = objs
+		var mark func(s *vet.Summary)
+		mark = func(s *vet.Summary) {
+			for _, lit := range s.Lits {
+				if ls := m.LitSummary(lit); ls != nil {
+					owner[ls] = objs
+					mark(ls)
+				}
+			}
+		}
+		mark(sum)
+	}
+
+	// calledParam resolves a dynamic call inside sum to a parameter of
+	// the enclosing named function.
+	calledParam := func(sum *vet.Summary, call *ast.CallExpr) types.Object {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || sum.Pkg.Info == nil {
+			return nil
+		}
+		obj := sum.Pkg.Info.Uses[id]
+		if obj == nil || !params[obj] {
+			return nil
+		}
+		for _, p := range owner[sum] {
+			if p == obj {
+				return obj
+			}
+		}
+		return nil
+	}
+
+	// Seed: arguments to (*monet.Batch).Submit.
+	for _, sum := range all {
+		for _, c := range sum.Calls {
+			if isSubmitCall(c.Callee) {
+				markCallArgs(sum, c.Call)
+			}
+		}
+	}
+
+	// Fixed point with three propagation rules. (1) A hot body calling
+	// one of its enclosing function's func-typed parameters makes that
+	// parameter hot, and every argument bound to a hot parameter at any
+	// call site becomes hot — this is how runMorsels' Submit closure
+	// heats the morsel-body literals its callers pass in, across
+	// packages. (2) A hot body's own literals are hot. (3) A hot body's
+	// static callees inside the monet kernel are hot (kernel helpers
+	// run per element); callees outside the kernel are not, so a
+	// standing-query re-evaluation fanned out per subscription does not
+	// drag the whole query engine into the morsel-grain rule.
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range all {
+			for _, c := range sum.Calls {
+				if hot[sum] && c.Callee == nil {
+					if p := calledParam(sum, c.Call); p != nil && !hotParam[p] {
+						hotParam[p] = true
+						changed = true
+					}
+				}
+				if c.Callee != nil {
+					if sig, ok := c.Callee.Type().(*types.Signature); ok {
+						for i := 0; i < sig.Params().Len() && i < len(c.Call.Args); i++ {
+							if !hotParam[sig.Params().At(i)] {
+								continue
+							}
+							arg := c.Call.Args[i]
+							if s := argSummary(sum, arg); s != nil && !hot[s] {
+								hot[s] = true
+								changed = true
+							}
+							if p := paramObj(sum, arg); p != nil && !hotParam[p] {
+								hotParam[p] = true
+								changed = true
+							}
+						}
+					}
+				}
+				if !hot[sum] || c.Callee == nil || c.Callee.Pkg() == nil {
+					continue
+				}
+				if !strings.HasSuffix(c.Callee.Pkg().Path(), "internal/monet") {
+					continue
+				}
+				if callee := m.SummaryOf(c.Callee); callee != nil && !hot[callee] {
+					hot[callee] = true
+					changed = true
+				}
+			}
+			if hot[sum] {
+				for _, lit := range sum.Lits {
+					if s := m.LitSummary(lit); s != nil && !hot[s] {
+						hot[s] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, sum := range all {
+		if !hot[sum] {
+			continue
+		}
+		for _, a := range sum.Allocs {
+			if !a.InLoop {
+				continue
+			}
+			pass.Reportf(a.Pos,
+				"%s in a loop on a hot path reachable from Pool.Submit (in %s); preallocate outside the morsel body or add //cobravet:allow allochot with justification",
+				a.Kind, sum.Name())
+		}
+	}
+	return nil
+}
+
+// isSubmitCall matches the (*monet.Batch).Submit method.
+func isSubmitCall(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Submit" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/monet")
+}

@@ -1,0 +1,46 @@
+package analyzers
+
+import "cobra/internal/vet"
+
+// AllowLint keeps the escape hatch honest: every "//cobravet:allow"
+// pragma must name at least one analyzer, and every name must be an
+// analyzer that exists — otherwise the pragma silently suppresses
+// nothing, or a typo leaves the intended suppression dead. Convention
+// (enforced in review, not here): follow the names with "// reason".
+var AllowLint = &vet.Analyzer{
+	Name: "allowlint",
+	Code: "CV012",
+	Doc: "report malformed //cobravet:allow pragmas: no analyzer names " +
+		"or unknown analyzer names",
+}
+
+// Run is attached in init: runAllowLint reads All, which contains
+// AllowLint, and the indirection breaks the initialization cycle.
+func init() { AllowLint.Run = runAllowLint }
+
+func runAllowLint(pass *vet.Pass) error {
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := vet.ParseAllowPragma(c.Text)
+				if !ok {
+					continue
+				}
+				if len(names) == 0 {
+					pass.Reportf(c.Pos(), "allow pragma names no analyzer; write %s <analyzer> // reason", vet.AllowPragma)
+					continue
+				}
+				for _, n := range names {
+					if !known[n] {
+						pass.Reportf(c.Pos(), "allow pragma names unknown analyzer %q", n)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -6,13 +6,20 @@ package analyzers
 
 import "cobra/internal/vet"
 
-// All is the cobravet suite in stable order.
+// All is the cobravet suite in stable order; the index is also the
+// analyzer's diagnostic code (CV001…), so codes never move once
+// assigned — new analyzers append.
 var All = []*vet.Analyzer{
-	SpanEnd,
-	CtxSpan,
-	GoFatal,
-	StoreLock,
-	ErrWrap,
-	PoolLeak,
-	EpochGuard,
+	SpanEnd,    // CV001
+	CtxSpan,    // CV002
+	GoFatal,    // CV003
+	StoreLock,  // CV004
+	ErrWrap,    // CV005
+	PoolLeak,   // CV006
+	EpochGuard, // CV007
+	LockOrder,  // CV008
+	GoLeak,     // CV009
+	AllocHot,   // CV010
+	ChanSend,   // CV011
+	AllowLint,  // CV012
 }

@@ -1,0 +1,94 @@
+package analyzers
+
+import (
+	"go/token"
+
+	"cobra/internal/vet"
+)
+
+// ChanSend reports channel sends that can block indefinitely while a
+// mutex is held — the send parks the goroutine with the lock taken,
+// and every other contender (including the consumer that would drain
+// the channel) piles up behind it. Two forms are flagged: a direct
+// send under a held lock, and a call made with a lock held into a
+// function (any package) that performs such a send. A send escapes
+// the check when it sits in a select with a default clause or a
+// ctx.Done-style cancellation arm (it cannot park), or when the
+// channel was made in the same function (the function controls the
+// consumer, as in the kernel's bounded fan-out loops).
+var ChanSend = &vet.Analyzer{
+	Name: "chansend",
+	Code: "CV011",
+	Doc: "report potentially blocking channel sends while a mutex is held, " +
+		"directly or through a call chain, without a default/ctx escape",
+	RunModule: runChanSend,
+}
+
+// sendFact marks an exported function containing a potentially
+// blocking send, so callers holding locks are flagged across packages.
+type sendFact struct {
+	// Pos is the blocking send.
+	Pos token.Pos
+	// Chan renders the channel expression.
+	Chan string
+}
+
+// blockingSend picks the first send in the summary that can park the
+// goroutine regardless of caller state.
+func blockingSend(sum *vet.Summary) (vet.SendSite, bool) {
+	for _, s := range sum.Sends {
+		if !s.Escaped && !s.Local {
+			return s, true
+		}
+	}
+	return vet.SendSite{}, false
+}
+
+// runChanSend exports may-block-on-send facts in import order, then
+// flags direct lock-held sends and lock-held calls into flagged
+// functions.
+func runChanSend(pass *vet.ModulePass) error {
+	m := pass.Mod
+	for _, pkg := range m.Pkgs {
+		for _, sum := range m.Summaries(pkg) {
+			if sum.Fn == nil {
+				continue
+			}
+			if s, ok := blockingSend(sum); ok {
+				pass.ExportFact(sum.Fn, sendFact{Pos: s.Pos, Chan: s.Chan})
+			}
+		}
+	}
+	for _, pkg := range m.Pkgs {
+		for _, sum := range m.Summaries(pkg) {
+			for _, s := range sum.Sends {
+				if s.Escaped || s.Local || len(s.Held) == 0 {
+					continue
+				}
+				pass.Reportf(s.Pos,
+					"send on %s may block while %s is held; use a select with default/ctx escape or move the send outside the lock",
+					s.Chan, s.Held[len(s.Held)-1].Key)
+			}
+			for _, c := range sum.Calls {
+				if len(c.Held) == 0 || c.Callee == nil {
+					continue
+				}
+				f, ok := pass.ImportFact(c.Callee).(sendFact)
+				if !ok {
+					if callee := m.SummaryOf(c.Callee); callee != nil {
+						if s, found := blockingSend(callee); found {
+							f, ok = sendFact{Pos: s.Pos, Chan: s.Chan}, true
+						}
+					}
+				}
+				if !ok {
+					continue
+				}
+				pass.Reportf(c.Call.Pos(),
+					"call to %s may block on a send (%s at %s) while %s is held",
+					c.Callee.FullName(), f.Chan, m.Rel(f.Pos), c.Held[len(c.Held)-1].Key)
+			}
+		}
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 // are exempt.
 var CtxSpan = &vet.Analyzer{
 	Name: "ctxspan",
+	Code: "CV002",
 	Doc: "report functions that start an obs.Span without a context.Context " +
 		"or *obs.Span parameter to join a trace, and spans not finished on " +
 		"every return path of their enclosing block",

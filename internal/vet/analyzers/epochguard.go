@@ -20,6 +20,7 @@ import (
 // bump, indexes keep answering from the pre-mutation column copy.
 var EpochGuard = &vet.Analyzer{
 	Name: "epochguard",
+	Code: "CV007",
 	Doc: "report store methods that mutate stored BATs (bats map writes, " +
 		"deletes, or in-place BAT inserts) without bumping the index epoch " +
 		"via bumpEpochLocked",

@@ -14,6 +14,7 @@ import (
 // errors like monet.ErrNotFound through the message.
 var ErrWrap = &vet.Analyzer{
 	Name: "errwrap",
+	Code: "CV005",
 	Doc: "report fmt.Errorf formatting an error with %v/%s; wrap with " +
 		"%w so errors.Is and errors.As keep working",
 	Run: runErrWrap,

@@ -15,6 +15,7 @@ import (
 // conventional receiver names t and tb.
 var GoFatal = &vet.Analyzer{
 	Name: "gofatal",
+	Code: "CV003",
 	Doc: "report t.Fatal/FailNow/Skip-class calls inside goroutines " +
 		"spawned by tests; use t.Error plus a return, or report over a channel",
 	Run: runGoFatal,

@@ -1,0 +1,113 @@
+package analyzers
+
+import (
+	"go/token"
+	"go/types"
+
+	"cobra/internal/vet"
+)
+
+// GoLeak verifies that every go statement spawns a goroutine with a
+// reachable stop path. A goroutine body (or any function it statically
+// calls, across package boundaries) that contains a condition-less for
+// loop with no exit — no return, no break targeting the loop, no
+// panic/os.Exit — runs until process death: a leak per spawn for
+// server pushers and feed tickers. The stop path can be any loop exit:
+// a "case <-ctx.Done(): return", a closed-channel ok=false return, or
+// a quit-channel select arm.
+var GoLeak = &vet.Analyzer{
+	Name: "goleak",
+	Code: "CV009",
+	Doc: "report go statements whose goroutine has no reachable stop path " +
+		"(the body, or a function it calls, loops forever with no exit)",
+	RunModule: runGoLeak,
+}
+
+// leakFact marks an exported function that, once called, never
+// returns. It flows along the import graph so a spawn in server of a
+// loop in stream is still caught.
+type leakFact struct {
+	// Loop is the offending loop's position.
+	Loop token.Pos
+	// Fn names the looping function.
+	Fn string
+}
+
+// runGoLeak propagates may-run-forever facts bottom-up in import
+// order, then checks every spawn site in the target packages.
+func runGoLeak(pass *vet.ModulePass) error {
+	m := pass.Mod
+
+	// forever reports whether a summarized body can run forever,
+	// consulting facts for cross-package callees and recursing into
+	// same-package calls and literals (cycle-guarded).
+	var forever func(sum *vet.Summary, visiting map[*vet.Summary]bool) (token.Pos, string, bool)
+	forever = func(sum *vet.Summary, visiting map[*vet.Summary]bool) (token.Pos, string, bool) {
+		if sum == nil || visiting[sum] {
+			return token.NoPos, "", false
+		}
+		visiting[sum] = true
+		defer delete(visiting, sum)
+		if sum.LoopsForever {
+			return sum.ForeverLoop, sum.Name(), true
+		}
+		for _, c := range sum.Calls {
+			if c.Callee == nil {
+				continue
+			}
+			if f, ok := pass.ImportFact(c.Callee).(leakFact); ok {
+				return f.Loop, f.Fn, true
+			}
+			if loop, fn, ok := forever(m.SummaryOf(c.Callee), visiting); ok {
+				return loop, fn, true
+			}
+		}
+		return token.NoPos, "", false
+	}
+
+	// Export facts package by package in dependency order, so by the
+	// time a dependent package asks about an imported function the
+	// fact is already there.
+	for _, pkg := range m.Pkgs {
+		for _, sum := range m.Summaries(pkg) {
+			if sum.Fn == nil {
+				continue
+			}
+			if loop, fn, ok := forever(sum, map[*vet.Summary]bool{}); ok {
+				pass.ExportFact(sum.Fn, leakFact{Loop: loop, Fn: fn})
+			}
+		}
+	}
+
+	for _, pkg := range m.Pkgs {
+		for _, sum := range m.Summaries(pkg) {
+			for _, sp := range sum.Spawns {
+				var (
+					body   *vet.Summary
+					callee *types.Func
+				)
+				switch {
+				case sp.Lit != nil:
+					body = m.LitSummary(sp.Lit)
+				case sp.Callee != nil:
+					callee = sp.Callee
+					body = m.SummaryOf(sp.Callee)
+				}
+				if body == nil && callee != nil {
+					if f, ok := pass.ImportFact(callee).(leakFact); ok {
+						pass.Reportf(sp.Go.Pos(),
+							"goroutine has no stop path: %s loops forever (loop at %s)",
+							f.Fn, m.Rel(f.Loop))
+					}
+					continue
+				}
+				if loop, fn, ok := forever(body, map[*vet.Summary]bool{}); ok {
+					pass.Reportf(sp.Go.Pos(),
+						"goroutine has no stop path: %s loops forever (loop at %s); add a ctx/quit-channel exit",
+						fn, m.Rel(loop))
+				}
+			}
+		}
+	}
+	return nil
+}

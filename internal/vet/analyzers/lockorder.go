@@ -1,0 +1,218 @@
+package analyzers
+
+import (
+	"sort"
+
+	"cobra/internal/vet"
+)
+
+// LockOrder builds the module-wide mutex-acquisition-order graph and
+// reports cycles — the classic deadlock precondition where goroutine 1
+// takes A then B while goroutine 2 takes B then A. Edges come from two
+// places: direct nested acquisitions inside one function body, and
+// calls made with a lock held into functions that (transitively)
+// acquire more locks, so an ordering split across packages — say
+// stream holding its manager lock while a monet kernel takes the pool
+// lock — is still one edge in one graph. Both acquisition sites appear
+// in the diagnostic so either side of the inversion can be fixed.
+var LockOrder = &vet.Analyzer{
+	Name: "lockorder",
+	Code: "CV008",
+	Doc: "report cycles in the module-wide mutex acquisition-order graph " +
+		"(lock A held while taking B in one place, B held while taking A in another)",
+	RunModule: runLockOrder,
+}
+
+// lockClosure is the set of locks a function may acquire, directly or
+// through the functions and literals it calls, keyed by mutex identity
+// with one representative acquisition site each.
+type lockClosure map[string]vet.LockSite
+
+// runLockOrder computes per-function lock closures to a fixed point,
+// derives the global ordering graph, and reports every edge that sits
+// on a cycle.
+func runLockOrder(pass *vet.ModulePass) error {
+	m := pass.Mod
+
+	// Per-function closure of acquirable locks, to a fixed point over
+	// static calls and locally declared literals.
+	closures := map[*vet.Summary]lockClosure{}
+	var all []*vet.Summary
+	for _, pkg := range m.Pkgs {
+		for _, sum := range m.Summaries(pkg) {
+			cl := lockClosure{}
+			for _, a := range sum.Acquires {
+				if _, ok := cl[a.Key]; !ok {
+					cl[a.Key] = a
+				}
+			}
+			closures[sum] = cl
+			all = append(all, sum)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range all {
+			cl := closures[sum]
+			absorb := func(callee *vet.Summary) {
+				for key, site := range closures[callee] {
+					if _, ok := cl[key]; !ok {
+						cl[key] = site
+						changed = true
+					}
+				}
+			}
+			for _, c := range sum.Calls {
+				if callee := m.SummaryOf(c.Callee); callee != nil {
+					absorb(callee)
+				}
+			}
+			for _, lit := range sum.Lits {
+				if ls := m.LitSummary(lit); ls != nil {
+					absorb(ls)
+				}
+			}
+		}
+	}
+
+	// The ordering graph: from-key → to-key, with the witnessing sites.
+	type edge struct {
+		from, to vet.LockSite
+	}
+	edges := map[[2]string]edge{}
+	addEdge := func(from, to vet.LockSite) {
+		if from.Key == to.Key {
+			return // re-acquisition of the same mutex is not an ordering fact
+		}
+		k := [2]string{from.Key, to.Key}
+		if _, ok := edges[k]; !ok {
+			edges[k] = edge{from, to}
+		}
+	}
+	for _, sum := range all {
+		for _, e := range sum.Edges {
+			addEdge(e.From, e.To)
+		}
+		// A call with locks held orders those locks before everything
+		// the callee's closure can acquire.
+		for _, c := range sum.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			callee := m.SummaryOf(c.Callee)
+			if callee == nil {
+				continue
+			}
+			for _, site := range closures[callee] {
+				for _, h := range c.Held {
+					addEdge(h, site)
+				}
+			}
+		}
+	}
+
+	// Tarjan SCC over the key graph; any edge inside a multi-node SCC
+	// (or the reverse pair of edges it implies) is part of a cycle.
+	adj := map[string][]string{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, ns := range adj {
+		sort.Strings(ns)
+	}
+	scc := tarjanSCC(adj)
+
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if scc[k[0]] == 0 || scc[k[0]] != scc[k[1]] {
+			continue
+		}
+		e := edges[k]
+		pass.Reportf(e.to.Pos,
+			"lock-order cycle: %s acquired while %s is held, but the opposite order exists (e.g. %s acquired at %s) — potential deadlock",
+			e.to.Key, e.from.Key, e.from.Key, m.Rel(e.from.Pos))
+	}
+	return nil
+}
+
+// tarjanSCC labels every node with its strongly connected component;
+// the label is 0 for nodes in singleton components without a self
+// edge (i.e. not on any cycle).
+func tarjanSCC(adj map[string][]string) map[string]int {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for n, outs := range adj {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		for _, o := range outs {
+			if !seen[o] {
+				seen[o] = true
+				nodes = append(nodes, o)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, compID := 1, 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, w := range members {
+					comp[w] = compID
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if index[n] == 0 {
+			strong(n)
+		}
+	}
+	return comp
+}

@@ -18,6 +18,7 @@ import (
 // themselves — do not count as paths out of the constructing function.
 var PoolLeak = &vet.Analyzer{
 	Name: "poolleak",
+	Code: "CV006",
 	Doc: "report monet pool batches whose Submit calls are not matched " +
 		"by a Wait on every return path, and NewPool results never closed",
 	Run: runPoolLeak,

@@ -17,6 +17,7 @@ import (
 // their parents open in the rendered trace tree.
 var SpanEnd = &vet.Analyzer{
 	Name: "spanend",
+	Code: "CV001",
 	Doc: "report obs.Span values that are created but not finished on " +
 		"all paths (no Finish call, or an early return before the only one)",
 	Run: runSpanEnd,

@@ -15,6 +15,7 @@ import (
 // (*monet.Store) method call inside a method named Journal*.
 var StoreLock = &vet.Analyzer{
 	Name: "storelock",
+	Code: "CV004",
 	Doc: "report monet.Store calls inside Journal* methods, which run " +
 		"under the store's write lock and would deadlock",
 	Run: runStoreLock,

@@ -1,0 +1,86 @@
+// Package allochot is the allochot analyzer's fixture: no heap
+// allocation in loops on hot paths reachable from Pool.Submit.
+package allochot
+
+import (
+	"cobra/internal/monet"
+
+	"cobra/internal/vet/analyzers/testdata/allochot/hotlib"
+)
+
+// direct submits a morsel body that grows a slice and fills a map per
+// row.
+func direct(n int) {
+	b := monet.DefaultPool().Batch()
+	b.Submit(func() {
+		var xs []int
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			xs = append(xs, i)                  // want "append growth"
+			seen[i] = true                      // want "map insert"
+			p := &point{i, i}                   // want "pointer literal"
+			xs = append(xs, expand(xs, p.x)...) // want "append growth"
+		}
+		_ = xs
+	})
+	b.Wait()
+}
+
+type point struct{ x, y int }
+
+// expand lives outside the monet kernel, so hotness does not follow
+// the call into it: its own growth stays unflagged by design (only
+// kernel-package callees inherit hotness).
+func expand(xs []int, v int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x+v)
+	}
+	return out
+}
+
+// crossPackage passes its morsel body to another package's driver; the
+// body becomes hot through the driver's function parameter.
+func crossPackage() {
+	hotlib.RunHot(4, func(m, lo, hi int) {
+		var idx []int
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i) // want "append growth"
+		}
+		_ = idx
+	})
+}
+
+// preallocated is the fixed form: sized scratch, no growth, exempt.
+func preallocated() {
+	hotlib.RunHot(4, func(m, lo, hi int) {
+		idx := make([]int, 0, hi-lo)
+		seen := make(map[int]bool, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+			seen[i] = true
+		}
+		_ = idx
+	})
+}
+
+// allowed is suppressed by a justified pragma.
+func allowed() {
+	hotlib.RunHot(4, func(m, lo, hi int) {
+		var idx []int
+		for i := lo; i < hi; i++ {
+			//cobravet:allow allochot // fixture: justified growth
+			idx = append(idx, i)
+		}
+		_ = idx
+	})
+}
+
+// cold allocates in a loop outside any hot path — never flagged.
+func cold(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}

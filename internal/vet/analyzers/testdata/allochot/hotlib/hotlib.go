@@ -1,0 +1,20 @@
+// Package hotlib is the allochot fixture's imported package: a
+// runMorsels-style driver whose function parameter is invoked from a
+// Pool.Submit closure, so hotness must propagate through the parameter
+// to literals passed in from other packages.
+package hotlib
+
+import "cobra/internal/monet"
+
+// RunHot fans fn out across nm morsel tasks on the shared pool.
+func RunHot(nm int, fn func(m, lo, hi int)) {
+	b := monet.DefaultPool().Batch()
+	for m := 0; m < nm; m++ {
+		m := m
+		//cobravet:allow allochot // fixture: one closure per morsel is the fan-out unit
+		b.Submit(func() {
+			fn(m, m*8, m*8+8)
+		})
+	}
+	b.Wait()
+}

@@ -1,0 +1,30 @@
+// Package allowlint is the allowlint analyzer's fixture: allow
+// pragmas must name real analyzers.
+package allowlint
+
+// Valid pragma forms are silent.
+
+//cobravet:allow allochot // justified: fixture example
+func justified() {}
+
+func inline() {
+	//cobravet:allow spanend errwrap // two names, both real
+	_ = 0
+}
+
+// Malformed forms are flagged.
+
+//cobravet:allow // want "names no analyzer"
+func empty() {}
+
+//cobravet:allow alochot // want "unknown analyzer"
+func typo() {}
+
+func mixed() {
+	//cobravet:allow errwrap nosuchcheck // want "unknown analyzer"
+	_ = 0
+}
+
+// A non-pragma comment mentioning cobravet:allow in prose is ignored:
+// see //cobravet:allowance — not the prefix followed by a space.
+func prose() {}

@@ -1,0 +1,85 @@
+// Package chansend is the chansend analyzer's fixture: no potentially
+// blocking channel send while a mutex is held.
+package chansend
+
+import (
+	"context"
+	"sync"
+
+	"cobra/internal/vet/analyzers/testdata/chansend/sendlib"
+)
+
+var mu sync.Mutex
+
+// heldSend blocks with the lock taken.
+func heldSend(ch chan int) {
+	mu.Lock()
+	ch <- 1 // want "may block while"
+	mu.Unlock()
+}
+
+// heldSendDefer is the same hazard spelled with defer: the lock stays
+// held to function end.
+func heldSendDefer(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want "may block while"
+}
+
+// heldCall reaches the blocking send through another package while
+// holding the lock.
+func heldCall(ch chan int) {
+	mu.Lock()
+	sendlib.Push(ch, 1) // want "may block on a send"
+	mu.Unlock()
+}
+
+// escapeDefault is fine: the default arm makes the send non-blocking.
+func escapeDefault(ch chan int) {
+	mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	mu.Unlock()
+}
+
+// escapeCtx is fine: cancellation bounds the park.
+func escapeCtx(ctx context.Context, ch chan int) {
+	mu.Lock()
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	mu.Unlock()
+}
+
+// escapeCall is fine: the callee's send carries its own escape.
+func escapeCall(ch chan int) {
+	mu.Lock()
+	sendlib.TryPush(ch, 1)
+	mu.Unlock()
+}
+
+// localChan is fine: the function made the channel and controls its
+// consumer (the kernel fan-out idiom).
+func localChan() {
+	mu.Lock()
+	ch := make(chan int, 1)
+	ch <- 1
+	mu.Unlock()
+	<-ch
+}
+
+// unlocked is fine: blocking without a lock held is ordinary
+// synchronization.
+func unlocked(ch chan int) {
+	ch <- 1
+}
+
+// afterUnlock is fine: the send happens outside the critical section.
+func afterUnlock(ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}

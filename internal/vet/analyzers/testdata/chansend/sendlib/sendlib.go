@@ -1,0 +1,31 @@
+// Package sendlib is the chansend fixture's imported package: its
+// blocking send is reached from the main fixture package under a lock,
+// so the may-block fact must cross the package boundary.
+package sendlib
+
+import "context"
+
+// Push sends unconditionally — it may block until a receiver shows up.
+func Push(ch chan int, v int) {
+	ch <- v
+}
+
+// TryPush cannot block: the default arm makes the send best-effort.
+func TryPush(ch chan int, v int) bool {
+	select {
+	case ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// PushCtx cannot park forever: cancellation is always an out.
+func PushCtx(ctx context.Context, ch chan int, v int) error {
+	select {
+	case ch <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,96 @@
+// Package goleak is the goleak analyzer's fixture: every go statement
+// must spawn a goroutine with a reachable stop path.
+package goleak
+
+import (
+	"context"
+
+	"cobra/internal/vet/analyzers/testdata/goleak/leaklib"
+)
+
+// spawnImported leaks: the spawned function lives in another package
+// and loops forever — the fact flows along the import.
+func spawnImported() {
+	go leaklib.Forever() // want "no stop path"
+}
+
+// spawnIndirect leaks through two hops: a local wrapper calling an
+// imported function that never returns.
+func spawnIndirect() {
+	go wrapper() // want "no stop path"
+}
+
+func wrapper() {
+	leaklib.Indirect()
+}
+
+// spawnLitLeak leaks: a literal with a condition-less loop and no exit.
+func spawnLitLeak(ch chan int) {
+	go func() { // want "no stop path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// spawnSelectBreak leaks subtly: break inside select leaves the
+// SELECT, not the loop, so the loop has no exit.
+func spawnSelectBreak(ch chan int) {
+	go func() { // want "no stop path"
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// spawnStoppable is fine: the spawned function returns on quit.
+func spawnStoppable(work chan int, quit chan struct{}) {
+	go leaklib.Stoppable(work, quit)
+}
+
+// spawnCtx is fine: the literal returns on cancellation.
+func spawnCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// spawnRange is fine: ranging over a channel ends when it closes.
+func spawnRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// spawnLabeledBreak is fine: the labeled break targets the outer loop.
+func spawnLabeledBreak(ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case v := <-ch:
+				if v < 0 {
+					break loop
+				}
+			}
+		}
+	}()
+}
+
+// spawnBounded is fine: a conditional loop is not a forever loop.
+func spawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}

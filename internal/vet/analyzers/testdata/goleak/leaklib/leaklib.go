@@ -1,0 +1,27 @@
+// Package leaklib is the goleak fixture's imported package: its
+// forever-looping function is spawned from the main fixture package,
+// so the leak fact must cross the package boundary.
+package leaklib
+
+// Forever never returns: no condition, no exit statement.
+func Forever() {
+	for {
+	}
+}
+
+// Stoppable drains work until the quit channel closes — a reachable
+// stop path, so spawning it is fine.
+func Stoppable(work chan int, quit chan struct{}) {
+	for {
+		select {
+		case <-work:
+		case <-quit:
+			return
+		}
+	}
+}
+
+// Indirect hides the forever loop one static call deeper.
+func Indirect() {
+	Forever()
+}

@@ -1,0 +1,31 @@
+// Package a is the lockorder fixture's lower-level package: it owns an
+// exported mutex plus a helper that acquires it, so a dependent
+// package calling the helper under its own lock creates a
+// cross-package ordering edge through the helper's lock closure.
+package a
+
+import "sync"
+
+// Mu is taken directly by package b in both orders relative to b's own
+// mutex, closing the cross-package cycle.
+var Mu sync.Mutex
+
+// LockOther acquires Mu on behalf of callers; package b calls it while
+// holding b.mu, so this acquisition is the "to" site of the b.mu → Mu
+// edge.
+func LockOther() {
+	Mu.Lock() // want "lock-order cycle"
+	Mu.Unlock()
+}
+
+// ordered is this package's second mutex; it is only ever taken under
+// Mu, a consistent order that must not be reported.
+var ordered sync.Mutex
+
+// Consistent takes Mu then ordered — one direction only.
+func Consistent() {
+	Mu.Lock()
+	defer Mu.Unlock()
+	ordered.Lock()
+	ordered.Unlock()
+}

@@ -1,0 +1,48 @@
+// Package b is the lockorder fixture's upper-level package: it takes
+// its own mutex and package a's in both orders, one of them through
+// a's helper function, so the cycle spans a direct acquisition, an
+// interprocedural closure, and two packages.
+package b
+
+import (
+	"sync"
+
+	"cobra/internal/vet/analyzers/testdata/lockorder/a"
+)
+
+var mu sync.Mutex
+
+// BA holds b's mutex while calling into a, whose helper takes a.Mu:
+// the b.mu → a.Mu edge, discovered through LockOther's lock closure.
+func BA() {
+	mu.Lock()
+	a.LockOther()
+	mu.Unlock()
+}
+
+// AB takes a.Mu directly and then b's mutex under it: the a.Mu → b.mu
+// edge that closes the cycle.
+func AB() {
+	a.Mu.Lock()
+	mu.Lock() // want "lock-order cycle"
+	mu.Unlock()
+	a.Mu.Unlock()
+}
+
+// bailEarly unlocks on its error path before a second acquisition; the
+// branch-local unlock must not leave mu "held" for the code below, so
+// no a.Mu-under-mu edge is recorded here beyond BA's real one.
+func bailEarly(fail bool) {
+	mu.Lock()
+	if fail {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// Consistent respects the a.Mu → ordered hierarchy from package a and
+// must stay silent.
+func Consistent() {
+	a.Consistent()
+}

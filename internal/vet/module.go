@@ -1,0 +1,236 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is the interprocedural view shared by every module analyzer:
+// all loaded module packages in dependency order, one Summary per
+// function body (declarations and literals alike), and a FactStore
+// whose entries flow along the import graph — a package's facts are
+// computed before any package that imports it sees them.
+type Module struct {
+	// ModRoot is the module's directory on disk (for Rel).
+	ModRoot string
+	// ModPath is the module path from go.mod.
+	ModPath string
+	// Fset maps positions across every package.
+	Fset *token.FileSet
+	// Pkgs holds every module-internal package in topological order:
+	// dependencies strictly before dependents.
+	Pkgs []*Package
+
+	summaries map[*types.Func]*Summary
+	lits      map[*ast.FuncLit]*Summary
+	byPkg     map[*Package][]*Summary
+	fileOf    map[string]*Package
+	facts     *FactStore
+}
+
+// SummaryOf returns the summary of a named function, or nil when its
+// body is outside the loaded module (stdlib, interface methods).
+func (m *Module) SummaryOf(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	return m.summaries[fn]
+}
+
+// LitSummary returns the summary of a function literal encountered in
+// a loaded body.
+func (m *Module) LitSummary(lit *ast.FuncLit) *Summary {
+	return m.lits[lit]
+}
+
+// Summaries returns the package's function summaries in source order
+// (declarations first, then literals, each in position order).
+func (m *Module) Summaries(pkg *Package) []*Summary {
+	return m.byPkg[pkg]
+}
+
+// PackageAt maps a diagnostic position back to its package (for allow
+// pragma suppression on module-wide findings).
+func (m *Module) PackageAt(pos token.Pos) *Package {
+	return m.fileOf[m.Fset.Position(pos).Filename]
+}
+
+// Rel renders a position with its filename relative to the module
+// root, so diagnostics are stable across checkouts.
+func (m *Module) Rel(pos token.Pos) token.Position {
+	p := m.Fset.Position(pos)
+	if rel, err := filepath.Rel(m.ModRoot, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
+}
+
+// FactStore holds analyzer-computed facts about package-level objects.
+// Analyzers export facts while visiting a package (in Module.Pkgs
+// order) and import them when examining calls into already-visited
+// packages — the go/analysis facts mechanism, scoped to one process.
+type FactStore struct {
+	entries map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// ModulePass carries one module analyzer's view of the whole module.
+type ModulePass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Mod is the shared interprocedural view.
+	Mod *Module
+	// Targets are the packages diagnostics should be confined to (the
+	// packages named on the cobravet command line); dependency packages
+	// are analyzed for facts but not reported on.
+	Targets []*Package
+
+	diags *[]Diagnostic
+}
+
+// InTarget reports whether pos falls inside one of the target
+// packages.
+func (p *ModulePass) InTarget(pos token.Pos) bool {
+	pkg := p.Mod.PackageAt(pos)
+	if pkg == nil {
+		return false
+	}
+	for _, t := range p.Targets {
+		if t == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a finding at pos unless it is outside the target
+// packages or an allow pragma covers it.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	pkg := p.Mod.PackageAt(pos)
+	if pkg == nil || !p.InTarget(pos) {
+		return
+	}
+	if pkg.allowed(p.Analyzer.Name, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Code:     p.Analyzer.Code,
+		Position: p.Mod.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact attaches a fact about a package-level object under this
+// analyzer's namespace.
+func (p *ModulePass) ExportFact(obj types.Object, fact any) {
+	if obj == nil {
+		return
+	}
+	p.Mod.facts.entries[factKey{p.Analyzer.Name, obj}] = fact
+}
+
+// ImportFact retrieves a fact previously exported for obj by this
+// analyzer, or nil.
+func (p *ModulePass) ImportFact(obj types.Object) any {
+	if obj == nil {
+		return nil
+	}
+	return p.Mod.facts.entries[factKey{p.Analyzer.Name, obj}]
+}
+
+// BuildModule assembles the interprocedural view: the targets plus
+// every module-internal package the loader pulled in for them,
+// topologically sorted, with one summary per function body.
+func BuildModule(l *Loader, targets []*Package) *Module {
+	m := &Module{
+		ModRoot:   l.ModRoot,
+		ModPath:   l.ModPath,
+		Fset:      l.Fset,
+		summaries: map[*types.Func]*Summary{},
+		lits:      map[*ast.FuncLit]*Summary{},
+		byPkg:     map[*Package][]*Summary{},
+		fileOf:    map[string]*Package{},
+		facts:     &FactStore{entries: map[factKey]any{}},
+	}
+
+	// Collect the target set plus its module-internal closure from the
+	// loader's cache, then topo-sort (dependencies first) with a DFS
+	// over module-internal imports. Paths are sorted up front so the
+	// order is deterministic across runs.
+	byPath := map[string]*Package{}
+	for path, pkg := range l.pkgs {
+		byPath[path] = pkg
+	}
+	for _, t := range targets {
+		byPath[t.Path] = t // testdata packages live outside l.pkgs' module paths
+	}
+	paths := make([]string, 0, len(byPath))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	seen := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		pkg := byPath[path]
+		for _, imp := range pkg.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep.Path)
+			}
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			m.fileOf[m.Fset.Position(f.Pos()).Filename] = pkg
+		}
+		for _, f := range pkg.TestFiles {
+			m.fileOf[m.Fset.Position(f.Pos()).Filename] = pkg
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				sum := m.summarize(pkg, fn, fd, nil, fd.Body)
+				if fn != nil {
+					m.summaries[fn] = sum
+				}
+				m.byPkg[pkg] = append(m.byPkg[pkg], sum)
+			}
+		}
+		// Literal summaries were registered by the body walkers; append
+		// them in position order so Summaries(pkg) is deterministic.
+		var lits []*Summary
+		for lit, sum := range m.lits {
+			if sum.Pkg == pkg {
+				_ = lit
+				lits = append(lits, sum)
+			}
+		}
+		sort.Slice(lits, func(i, j int) bool { return lits[i].Lit.Pos() < lits[j].Lit.Pos() })
+		m.byPkg[pkg] = append(m.byPkg[pkg], lits...)
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPragma is the comment prefix that suppresses a diagnostic:
+// "//cobravet:allow name1 name2" on the flagged line, on the line
+// directly above it, or in the doc comment of the enclosing top-level
+// function declaration.
+const AllowPragma = "//cobravet:allow"
+
+// ParseAllowPragma extracts the analyzer names from one comment's
+// text, reporting ok=false when the comment is not an allow pragma at
+// all. A pragma with no names returns ok=true and an empty list (the
+// allowlint analyzer flags that as malformed).
+func ParseAllowPragma(text string) (names []string, ok bool) {
+	rest, found := strings.CutPrefix(text, AllowPragma)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	// Anything after a second "//" is prose, not analyzer names.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest), true
+}
+
+// allowIndex is a per-package lookup of allow pragmas: line-level
+// pragmas keyed by file and line, and function-level pragmas keyed by
+// the declaration's line range.
+type allowIndex struct {
+	byLine map[string]map[int][]string
+	decls  []declAllow
+}
+
+// declAllow is one function whose doc comment carries an allow pragma
+// covering the function's whole body.
+type declAllow struct {
+	file       string
+	start, end int
+	names      []string
+}
+
+// buildAllowIndex scans every comment in the files for allow pragmas.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ai := &allowIndex{byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := ParseAllowPragma(c.Text)
+				if !ok || len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ai.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ai.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			var names []string
+			for _, c := range fn.Doc.List {
+				if ns, ok := ParseAllowPragma(c.Text); ok {
+					names = append(names, ns...)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := fset.Position(fn.Pos())
+			end := fset.Position(fn.End())
+			ai.decls = append(ai.decls, declAllow{
+				file:  start.Filename,
+				start: start.Line,
+				end:   end.Line,
+				names: names,
+			})
+		}
+	}
+	return ai
+}
+
+// allowed reports whether analyzer name is suppressed at pos.
+func (ai *allowIndex) allowed(name string, pos token.Position) bool {
+	if lines := ai.byLine[pos.Filename]; lines != nil {
+		for _, n := range lines[pos.Line] {
+			if n == name {
+				return true
+			}
+		}
+		for _, n := range lines[pos.Line-1] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	for _, d := range ai.decls {
+		if d.file != pos.Filename || pos.Line < d.start || pos.Line > d.end {
+			continue
+		}
+		for _, n := range d.names {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

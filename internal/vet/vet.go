@@ -1,10 +1,22 @@
 // Package vet is a dependency-free static-analysis framework for the
 // project's own invariants, in the spirit of go/analysis but built
 // entirely on the standard library's go/ast, go/types and go/importer.
-// Analyzers receive one type-checked package at a time plus its test
-// files (syntax only) and report position-carrying diagnostics. The
-// cobravet command drives the project analyzer suite over the module
-// in CI.
+//
+// Analyzers come in two shapes. A per-package analyzer (Run) receives
+// one type-checked package at a time plus its test files (syntax only)
+// and reports position-carrying diagnostics. A module analyzer
+// (RunModule) receives the whole loaded module at once — every
+// type-checked package in import order, a lightweight call graph,
+// per-function concurrency/allocation summaries, and a fact store
+// whose exported facts flow along the import graph — so it can check
+// interprocedural invariants (lock ordering, goroutine stop paths,
+// hot-path allocation) that no single file reveals. The cobravet
+// command drives the project analyzer suite over the module in CI.
+//
+// Any diagnostic can be suppressed with an explicit escape hatch: a
+// "//cobravet:allow <analyzer>" comment on the flagged line, the line
+// above it, or in the doc comment of the enclosing top-level function
+// declaration. The allowlint analyzer keeps those pragmas honest.
 package vet
 
 import (
@@ -13,18 +25,26 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
-// Analyzer is one named check over a package.
+// Analyzer is one named check over a package or over the whole module.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and on the command
 	// line.
 	Name string
+	// Code is the analyzer's stable diagnostic code (e.g. "CV008"),
+	// carried on every finding so machine consumers can key on it.
+	Code string
 	// Doc is the one-paragraph description shown by cobravet -help.
 	Doc string
-	// Run inspects the package via the pass and reports findings with
-	// pass.Reportf. A non-nil error aborts the whole run.
+	// Run inspects one package via the pass and reports findings with
+	// pass.Reportf. A non-nil error aborts the whole run. Nil for
+	// module-only analyzers.
 	Run func(*Pass) error
+	// RunModule inspects the whole module at once (call graph, function
+	// summaries, fact store). Nil for per-package analyzers.
+	RunModule func(*ModulePass) error
 }
 
 // Package is one loaded, type-checked package.
@@ -42,6 +62,17 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-checker's facts for Files.
 	Info *types.Info
+
+	allow *allowIndex // lazily built //cobravet:allow pragma index
+}
+
+// allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed by an allow pragma.
+func (p *Package) allowed(name string, pos token.Pos) bool {
+	if p.allow == nil {
+		p.allow = buildAllowIndex(p.Fset, append(append([]*ast.File{}, p.Files...), p.TestFiles...))
+	}
+	return p.allow.allowed(name, p.Fset.Position(pos))
 }
 
 // Pass carries one analyzer's view of one package.
@@ -54,10 +85,14 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos unless an allow pragma covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Pkg.allowed(p.Analyzer.Name, pos) {
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Code:     p.Analyzer.Code,
 		Position: p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -76,6 +111,8 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 type Diagnostic struct {
 	// Analyzer names the check that fired.
 	Analyzer string
+	// Code is the analyzer's stable diagnostic code.
+	Code string
 	// Position locates the finding.
 	Position token.Position
 	// Message describes it.
@@ -87,17 +124,66 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
 }
 
-// Run applies every analyzer to every package, returning the combined
-// findings in file/position order.
+// Timing records one analyzer's wall time over a run (cobravet prints
+// these under -v).
+type Timing struct {
+	// Analyzer names the timed stage (an analyzer, or the shared
+	// "module-facts" build).
+	Analyzer string
+	// Elapsed is the stage's wall time.
+	Elapsed time.Duration
+}
+
+// Run applies every per-package analyzer to every package, returning
+// the combined findings in file/position order. Module analyzers are
+// skipped; use RunAll to include them.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("vet: %s on %s: %w", a.Name, pkg.Path, err)
+	diags, _, err := run(nil, pkgs, analyzers)
+	return diags, err
+}
+
+// RunAll applies the full suite — per-package and module analyzers —
+// to the target packages, building the interprocedural module view
+// (call graph, summaries, facts) once and sharing it across module
+// analyzers. The loader provides the dependency closure; diagnostics
+// are reported only in the target packages. Timings record per-stage
+// wall time.
+func RunAll(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
+	return run(l, pkgs, analyzers)
+}
+
+func run(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
+	var (
+		diags   []Diagnostic
+		timings []Timing
+		mod     *Module
+	)
+	for _, a := range analyzers {
+		start := time.Now()
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+				if err := a.Run(pass); err != nil {
+					return nil, nil, fmt.Errorf("vet: %s on %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		case a.RunModule != nil:
+			if l == nil {
+				continue // Run() without a loader cannot build the module view
+			}
+			if mod == nil {
+				t0 := time.Now()
+				mod = BuildModule(l, pkgs)
+				timings = append(timings, Timing{Analyzer: "module-facts", Elapsed: time.Since(t0)})
+				start = time.Now()
+			}
+			mp := &ModulePass{Analyzer: a, Mod: mod, Targets: pkgs, diags: &diags}
+			if err := a.RunModule(mp); err != nil {
+				return nil, nil, fmt.Errorf("vet: %s: %w", a.Name, err)
 			}
 		}
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
@@ -107,7 +193,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+	return diags, timings, nil
 }

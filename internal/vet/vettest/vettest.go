@@ -8,10 +8,32 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"cobra/internal/vet"
 )
+
+// All analyzer tests in one binary share a single loader, so each
+// testdata package — and every module package the fixtures import —
+// type-checks exactly once no matter how many analyzers run over it.
+var (
+	sharedOnce sync.Once
+	sharedL    *vet.Loader
+	sharedErr  error
+)
+
+// Loader returns the process-wide shared loader.
+func Loader(t *testing.T) *vet.Loader {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedL, sharedErr = vet.NewLoader(".")
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedL
+}
 
 // Run loads the package in dir (a testdata directory the go tool
 // itself never builds), applies the analyzer, and compares the
@@ -20,29 +42,22 @@ import (
 // diagnostic must be wanted.
 func Run(t *testing.T, a *vet.Analyzer, dir string) {
 	t.Helper()
-	loader, err := vet.NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rel, err := filepath.Rel(loader.ModRoot, abs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg, err := loader.LoadDir(abs, loader.ModPath+"/"+filepath.ToSlash(rel))
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err := vet.Run([]*vet.Package{pkg}, []*vet.Analyzer{a})
-	if err != nil {
-		t.Fatal(err)
-	}
-	wants, err := collectWants(dir)
-	if err != nil {
-		t.Fatal(err)
+	RunDirs(t, a, dir)
+}
+
+// RunDirs loads every listed testdata directory as its own package and
+// applies the analyzer to all of them in one pass — the interprocedural
+// mode. Earlier directories may be imported by later ones, so fixtures
+// can exercise cross-package fact flow; wants are collected from every
+// directory.
+func RunDirs(t *testing.T, a *vet.Analyzer, dirs ...string) {
+	t.Helper()
+	diags := Diagnostics(t, a, dirs...)
+	wants := map[string][]string{}
+	for _, dir := range dirs {
+		if err := collectWants(dir, wants); err != nil {
+			t.Fatal(err)
+		}
 	}
 	matched := make([]bool, len(diags))
 	for key, substrs := range wants {
@@ -71,21 +86,49 @@ func Run(t *testing.T, a *vet.Analyzer, dir string) {
 	}
 }
 
+// Diagnostics runs the analyzer over the testdata directories and
+// returns the raw findings (for determinism and golden tests).
+func Diagnostics(t *testing.T, a *vet.Analyzer, dirs ...string) []vet.Diagnostic {
+	t.Helper()
+	loader := Loader(t)
+	var pkgs []*vet.Package
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := filepath.Rel(loader.ModRoot, abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(abs, loader.ModPath+"/"+filepath.ToSlash(rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, _, err := vet.RunAll(loader, pkgs, []*vet.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
 // collectWants scans every Go file in dir for // want "..." comments,
-// keyed by "file.go:line". A line may carry several wants.
-func collectWants(dir string) (map[string][]string, error) {
+// keyed by "file.go:line", into the given map. A line may carry
+// several wants.
+func collectWants(dir string, wants map[string][]string) error {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	wants := map[string][]string{}
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			rest := line
@@ -105,5 +148,5 @@ func collectWants(dir string) (map[string][]string, error) {
 			}
 		}
 	}
-	return wants, nil
+	return nil
 }
