@@ -16,9 +16,12 @@
 // numbers are only comparable at equal widths).
 // -allow-missing names baseline ops — comma-separated — that may be
 // absent from the current run without failing the gate, for retired
-// benchmarks whose baseline entry hasn't been pruned yet. Operations
-// new in the current run pass untracked until they land in the
-// baseline.
+// benchmarks whose baseline entry hasn't been pruned yet. Every op
+// actually dropped this way is summarized on stdout ("dropped ops:
+// ...") so a PR reviewer sees exactly which coverage the run gave up,
+// and allowlist entries that matched nothing are called out as stale —
+// both are reminders to prune, neither fails the gate. Operations new
+// in the current run pass untracked until they land in the baseline.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"cobra/internal/benchfmt"
@@ -69,9 +73,11 @@ func report(w io.Writer, base, cur *benchfmt.File, threshold float64, allowMissi
 	fmt.Fprintf(w, "benchdiff: baseline %s/%s GOMAXPROCS=%d vs current %s/%s GOMAXPROCS=%d (threshold +%.0f%%)\n",
 		base.GOOS, base.GOARCH, base.GOMAXPROCS, cur.GOOS, cur.GOARCH, cur.GOMAXPROCS, threshold*100)
 	failed := false
+	var dropped []string
 	for _, d := range benchfmt.Compare(base, cur, threshold) {
 		switch {
 		case d.Missing && allowMissing[d.Name]:
+			dropped = append(dropped, d.Name)
 			fmt.Fprintf(w, "  skip %-24s %12.0f ns/op -> (missing, allowlisted)\n", d.Name, d.BaseNs)
 		case d.Missing:
 			failed = true
@@ -92,12 +98,40 @@ func report(w io.Writer, base, cur *benchfmt.File, threshold float64, allowMissi
 				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
 		}
 	}
+	// The dropped-op summary: every tracked op the allowlist excused
+	// this run, on one line a reviewer can read without scanning the
+	// table. Coverage given up silently tends to stay given up.
+	if len(dropped) > 0 {
+		fmt.Fprintf(w, "benchdiff: dropped ops (allowlisted, absent from current run): %s\n",
+			strings.Join(dropped, ", "))
+	}
+	if stale := unusedAllowlist(allowMissing, dropped); len(stale) > 0 {
+		fmt.Fprintf(w, "benchdiff: warning: allowlist entries matched no missing baseline op (stale, prune them): %s\n",
+			strings.Join(stale, ", "))
+	}
 	if failed {
 		fmt.Fprintln(w, "benchdiff: performance regression detected")
 	} else {
 		fmt.Fprintln(w, "benchdiff: all tracked ops within threshold")
 	}
 	return failed
+}
+
+// unusedAllowlist returns the -allow-missing names that excused
+// nothing this run, sorted for stable output.
+func unusedAllowlist(allowMissing map[string]bool, dropped []string) []string {
+	used := map[string]bool{}
+	for _, name := range dropped {
+		used[name] = true
+	}
+	var stale []string
+	for name := range allowMissing {
+		if !used[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	return stale
 }
 
 func fatal(err error) {

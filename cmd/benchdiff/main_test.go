@@ -113,3 +113,47 @@ func TestAllowlistParsing(t *testing.T) {
 		t.Fatal("empty flag should yield an empty allowlist")
 	}
 }
+
+// TestDroppedOpsSummarized checks the reviewer-facing summary: every
+// allowlist-excused op is named on one "dropped ops" line.
+func TestDroppedOpsSummarized(t *testing.T) {
+	base := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
+		{Name: "RetiredA", NsPerOp: 1_000_000},
+		{Name: "RetiredB", NsPerOp: 2_000_000},
+	}}
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
+	}}
+	var b strings.Builder
+	if report(&b, base, cur, 0.25, allowlist("RetiredA,RetiredB")) {
+		t.Fatalf("allowlisted run failed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "dropped ops (allowlisted, absent from current run): RetiredA, RetiredB") {
+		t.Fatalf("dropped-op summary missing:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "stale") {
+		t.Fatalf("fully used allowlist flagged as stale:\n%s", b.String())
+	}
+}
+
+// TestStaleAllowlistWarned checks that entries excusing nothing — a
+// typo, or an op since restored to the run — are called out without
+// failing the gate.
+func TestStaleAllowlistWarned(t *testing.T) {
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
+		{Name: "SerialSelect1M", NsPerOp: 10_000_000},
+	}}
+	var b strings.Builder
+	if report(&b, baseFile(), cur, 0.25, allowlist("SerialSelect1M,NoSuchOp")) {
+		t.Fatalf("stale allowlist failed the gate:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "matched no missing baseline op (stale, prune them): NoSuchOp, SerialSelect1M") {
+		t.Fatalf("stale entries not warned:\n%s", out)
+	}
+	if strings.Contains(out, "dropped ops") {
+		t.Fatalf("nothing was dropped but a summary printed:\n%s", out)
+	}
+}

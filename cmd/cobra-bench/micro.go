@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -17,7 +18,9 @@ import (
 	"cobra/internal/hmm"
 	"cobra/internal/mil"
 	"cobra/internal/monet"
+	"cobra/internal/qcache"
 	"cobra/internal/query"
+	"cobra/internal/server"
 	"cobra/internal/stream"
 )
 
@@ -58,6 +61,9 @@ func runMicro(*f1.Lab) error {
 		{"StreamFanout/s1", 0, benchStreamFanout(1)},
 		{"StreamFanout/s100", 0, benchStreamFanout(100)},
 		{"StreamFanout/s1000", 0, benchStreamFanout(1000)},
+		{"UncachedQuery1M", 0, benchUncachedQuery1M},
+		{"CachedQuery1M", 0, benchCachedQuery1M},
+		{"CacheMissEvict", 0, benchCacheMissEvict},
 	}
 	// The width sweep: the same parallel operator bodies pinned to 1, 4
 	// and 8 workers. The per-result width field keeps the numbers
@@ -99,6 +105,7 @@ func runMicro(*f1.Lab) error {
 		results = append(results, res)
 	}
 	printSpeedups(results)
+	printCacheSpeedup(results)
 	printStreamRates(results)
 	if benchOut == "" {
 		return nil
@@ -147,6 +154,25 @@ func printSpeedups(results []benchfmt.Result) {
 		}
 		fmt.Printf("  %-20s %.2fx parallel speedup on %d CPUs (pool width %d)\n",
 			op, r.NsPerOp/par.NsPerOp, runtime.NumCPU(), parallelWidth())
+	}
+}
+
+// printCacheSpeedup summarizes the serving headline number: how much
+// faster a semantic-cache hit answers the 1M-row feature query than a
+// fresh execution of the same statement.
+func printCacheSpeedup(results []benchfmt.Result) {
+	var uncached, cached float64
+	for _, r := range results {
+		switch r.Name {
+		case "UncachedQuery1M":
+			uncached = r.NsPerOp
+		case "CachedQuery1M":
+			cached = r.NsPerOp
+		}
+	}
+	if uncached > 0 && cached > 0 {
+		fmt.Printf("  %-20s %.0fx cache-hit speedup over fresh execution\n",
+			"Query1M", uncached/cached)
 	}
 }
 
@@ -458,6 +484,117 @@ func benchHMMEvalParallel(b *testing.B) {
 		if _, err := pool.EvaluateAll(obs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// servingQuery is the statement the cache benchmarks run: a feature
+// threshold over a 1M-sample materialized stream, so every uncached
+// execution pays a full 1M-row kernel scan while the result body stays
+// a handful of segments.
+const servingQuery = `SELECT SEGMENTS FROM v WHERE FEATURE('speed') > 0.5`
+
+// servingServer builds a server over a 1M-sample feature stream,
+// attaching a result cache of the given budget (0: no cache).
+func servingServer(b *testing.B, cacheBytes int64) *server.Server {
+	b.Helper()
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	if err := cat.PutVideo(cobra.Video{Name: "v", Duration: 1 << 17, FPS: 8}); err != nil {
+		b.Fatal(err)
+	}
+	// Half the rows qualify, in long alternating blocks: the kernel's
+	// range select (even answered from an index) hands back ~512k
+	// qualifying positions that the engine must walk into runs, so an
+	// uncached execution pays O(n) work per request while the answer
+	// itself stays 8 segments.
+	n := 1 << 20
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.1
+		if (i>>16)%2 == 0 {
+			vals[i] = 0.9
+		}
+	}
+	if _, err := cat.AppendFeatureSamples("v", "speed", 8, vals); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(cobra.NewPreprocessor(cat), nil)
+	if cacheBytes > 0 {
+		srv.SetCache(qcache.New(cacheBytes))
+	}
+	// One untimed run sanity-checks the response shape.
+	var out strings.Builder
+	srv.Serve(servingQuery, &out)
+	if !strings.HasPrefix(out.String(), "OK ") {
+		b.Fatalf("serving fixture query failed:\n%s", out.String())
+	}
+	return srv
+}
+
+// benchUncachedQuery1M times the full serving path with no result
+// cache attached: every request parses, plans and scans 1M rows.
+func benchUncachedQuery1M(b *testing.B) {
+	srv := servingServer(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Serve(servingQuery, io.Discard)
+	}
+}
+
+// benchCachedQuery1M times the same request answered warm: canonical
+// key, epoch fingerprint check, and a replay of the stored body.
+func benchCachedQuery1M(b *testing.B) {
+	srv := servingServer(b, qcache.DefaultMaxBytes)
+	// Warm twice: the first execution may bump its own dependency
+	// epochs (lazy materialization), stale-marking the entry it stored.
+	srv.Serve(servingQuery, io.Discard)
+	srv.Serve(servingQuery, io.Discard)
+	if st := srv.Cache().Stats(); st.Entries == 0 {
+		b.Fatalf("warmup stored nothing: %+v", st)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Serve(servingQuery, io.Discard)
+	}
+	if st := srv.Cache().Stats(); st.Hits < int64(b.N) {
+		b.Fatalf("timed loop was not all hits: %+v over %d iterations", st, b.N)
+	}
+}
+
+// benchCacheMissEvict times the cache's worst case on a small corpus:
+// a budget sized for a single entry and a rotating set of distinct
+// statements, so every request misses, stores, and evicts the previous
+// tenant. Isolates miss-path bookkeeping from kernel scan cost.
+func benchCacheMissEvict(b *testing.B) {
+	store := monet.NewStore()
+	cat := cobra.NewCatalog(store)
+	if err := cat.PutVideo(cobra.Video{Name: "v", Duration: 600, FPS: 10}); err != nil {
+		b.Fatal(err)
+	}
+	events := make([]cobra.Event, 0, 200)
+	for i := 0; i < 200; i++ {
+		events = append(events, cobra.Event{
+			Type:       "highlight",
+			Interval:   cobra.Interval{Start: float64(i * 3), End: float64(i*3 + 2)},
+			Confidence: 0.9,
+		})
+	}
+	if err := cat.PutEvents("v", events); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(cobra.NewPreprocessor(cat), nil)
+	srv.SetCache(qcache.New(1 << 10))
+	stmts := make([]string, 8)
+	for i := range stmts {
+		stmts[i] = fmt.Sprintf(
+			`SELECT SEGMENTS FROM v WHERE EVENT('highlight') LIMIT %d`, 20+i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Serve(stmts[i%len(stmts)], io.Discard)
+	}
+	if st := srv.Cache().Stats(); st.Hits > 0 && st.Evictions == 0 {
+		b.Fatalf("eviction bench degenerated into hits: %+v", st)
 	}
 }
 

@@ -348,6 +348,10 @@ func printHelp() {
   trace             list recent completed query traces (newest first)
   trace <id>        one trace's resource attribution and span tree
   trace export <id> <file>  write the trace as Chrome trace-event JSON
+  remote mode (-addr) also accepts the serving verbs, sent verbatim:
+    CACHESTATS              result-cache and plan-cache counters
+    GATES [SET <flag> <v>]  list or flip feature gates (on|off|NN%)
+    AUTH <tenant> [token]   authenticate this connection
   .videos           list videos
   .features <v>     list materialized features of a video
   .plot <v> <feat>  text plot of a materialized feature stream

@@ -8,6 +8,8 @@
 //	cobra-server -addr :4242 [-db ./f1db | -data-dir ./cobra-data]
 //	             [-wal-sync always|interval|none] [-checkpoint-every 5m]
 //	             [-metrics-addr :6060] [-slow-query-ms 250] [-threads 8]
+//	             [-qcache-bytes 67108864] [-max-inflight 32 -max-queue 64]
+//	             [-rate 100 -burst 20] [-auth-token secret]
 //	             [-feed live-gp [-feed-interval 200ms] [-feed-step 2]
 //	              [-feed-dur 120] [-feed-seed 42]]
 //
@@ -33,6 +35,16 @@
 // engines schedule onto (0: GOMAXPROCS). The MIL threadcnt() setting
 // adjusts the same pool at runtime.
 //
+// Serving hardening: -qcache-bytes sizes the semantic result cache
+// (default 64 MiB; 0 disables it) that answers repeated COQL queries
+// from memory until a dependency BAT mutates. -max-inflight bounds
+// concurrently executing heavy requests; arrivals beyond
+// -max-inflight + -max-queue are shed with a BUSY response. -rate and
+// -burst add per-tenant token-bucket rate limits. -auth-token
+// requires clients to AUTH before heavy verbs. All of these can be
+// inspected and toggled live over the protocol: CACHESTATS, GATES,
+// GATES SET <flag> <on|off|NN%>. See docs/SERVING.md.
+//
 // Streaming: SUBSCRIBE/UNSUBSCRIBE standing queries are always
 // served. With -feed <video>, the process additionally runs a live
 // ingest loop — a simulated race broadcast is appended into the named
@@ -51,11 +63,13 @@ import (
 	"os/signal"
 	"time"
 
+	"cobra/internal/admit"
 	"cobra/internal/cobra"
 	"cobra/internal/f1"
 	"cobra/internal/hmm"
 	"cobra/internal/monet"
 	"cobra/internal/obs"
+	"cobra/internal/qcache"
 	"cobra/internal/query"
 	"cobra/internal/server"
 	"cobra/internal/stream"
@@ -77,6 +91,12 @@ func main() {
 	feedStep := flag.Float64("feed-step", 2, "broadcast seconds aired per ingest step")
 	feedDur := flag.Float64("feed-dur", 120, "simulated race duration in seconds for -feed")
 	feedSeed := flag.Int64("feed-seed", 42, "simulation seed for -feed")
+	qcacheBytes := flag.Int64("qcache-bytes", qcache.DefaultMaxBytes, "semantic result cache budget in bytes (0: cache disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing heavy requests (0: unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max heavy requests queued beyond -max-inflight before shedding BUSY")
+	rate := flag.Float64("rate", 0, "per-tenant heavy requests per second (0: unlimited)")
+	burst := flag.Int("burst", 0, "per-tenant token-bucket burst for -rate")
+	authToken := flag.String("auth-token", "", "require AUTH <tenant> <token> before heavy verbs (empty: open)")
 	flag.Parse()
 
 	if *db != "" && *dataDir != "" {
@@ -157,6 +177,20 @@ func main() {
 	srv := server.New(pre, pool)
 	if mgr != nil {
 		srv.SetCheckpointer(mgr)
+	}
+	if *qcacheBytes > 0 {
+		srv.SetCache(qcache.New(*qcacheBytes))
+	}
+	if *maxInflight > 0 || *rate > 0 {
+		srv.SetAdmission(admit.New(admit.Config{
+			MaxInFlight: *maxInflight,
+			MaxQueue:    *maxQueue,
+			Rate:        *rate,
+			Burst:       *burst,
+		}))
+	}
+	if *authToken != "" {
+		srv.SetAuthToken(*authToken)
 	}
 	subs := stream.NewManager(query.NewEngine(pre))
 	srv.SetStream(subs)

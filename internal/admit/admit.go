@@ -1,0 +1,185 @@
+// Package admit is the serving layer's admission controller. It
+// bounds how much heavy work a cobra server accepts at once — three
+// independent brakes, applied in order:
+//
+//  1. a global in-flight ceiling (MaxInFlight): at most N heavy
+//     requests execute concurrently;
+//  2. a bounded wait queue (MaxQueue): up to M more may wait for a
+//     slot, and anything beyond that is shed immediately;
+//  3. per-tenant token buckets (Rate/Burst): a single chatty client
+//     cannot monopolize the slots the ceiling grants.
+//
+// A shed request costs the server one map lookup and one wire frame
+// (the BUSY response) — it never occupies a kernel pool worker, never
+// allocates a result buffer, never queues behind real work. That is
+// the point: under overload the server degrades by answering "come
+// back later" cheaply instead of slowly answering everyone.
+//
+// Zero values disable each brake (0 = unlimited), so an
+// unconfigured controller admits everything and costs two atomic
+// operations per request.
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cobra/internal/obs"
+)
+
+// Admission metrics: admitted/shed/rate_limited count terminal
+// decisions; queued counts admissions that had to wait for a slot
+// first; inflight gauges current occupancy. A rising shed rate with a
+// flat inflight gauge means the ceiling is set below the hardware's
+// capacity — or the cache hit rate collapsed.
+var (
+	cAdmitted = obs.C("admit.admitted")
+	cQueued   = obs.C("admit.queued")
+	cShed     = obs.C("admit.shed")
+	cRated    = obs.C("admit.rate_limited")
+	gInflight = obs.G("admit.inflight")
+)
+
+// ErrBusy is the sentinel for a shed request. The server maps it (and
+// any error wrapping it) to a BUSY wire response so clients can
+// distinguish "overloaded, retry later" from a real failure.
+var ErrBusy = errors.New("busy")
+
+// Config bounds one Controller. Zero values mean unlimited.
+type Config struct {
+	// MaxInFlight caps concurrently executing heavy requests.
+	MaxInFlight int
+	// MaxQueue caps requests waiting for an in-flight slot; arrivals
+	// beyond MaxInFlight+MaxQueue are shed immediately.
+	MaxQueue int
+	// Rate is the per-tenant sustained request rate (tokens per
+	// second); Burst is the bucket depth. Both must be set for rate
+	// limiting to engage.
+	Rate  float64
+	Burst int
+}
+
+// Controller applies a Config to a request stream. It is safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int
+	queued   int
+
+	tmu     sync.Mutex
+	buckets map[string]*bucket
+
+	// now is the clock, swappable by tests.
+	now func() time.Time
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New returns a Controller enforcing cfg.
+func New(cfg Config) *Controller {
+	c := &Controller{cfg: cfg, buckets: map[string]*bucket{}, now: time.Now}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Acquire asks to run one heavy request for tenant. On admission it
+// returns a release func that MUST be called exactly once when the
+// request finishes. On rejection it returns an error wrapping ErrBusy
+// whose text names the brake that fired; the caller should answer
+// BUSY and move on without executing anything.
+func (c *Controller) Acquire(tenant string) (release func(), err error) {
+	if c.cfg.Rate > 0 && c.cfg.Burst > 0 && !c.takeToken(tenant) {
+		cRated.Inc()
+		cShed.Inc()
+		return nil, fmt.Errorf("%w: rate limit exceeded for %q", ErrBusy, tenant)
+	}
+	if c.cfg.MaxInFlight <= 0 {
+		c.mu.Lock()
+		c.inflight++
+		gInflight.Set(int64(c.inflight))
+		c.mu.Unlock()
+		cAdmitted.Inc()
+		return c.release, nil
+	}
+	c.mu.Lock()
+	if c.inflight >= c.cfg.MaxInFlight {
+		if c.queued >= c.cfg.MaxQueue {
+			c.mu.Unlock()
+			cShed.Inc()
+			return nil, fmt.Errorf("%w: %d in flight, queue full", ErrBusy, c.cfg.MaxInFlight)
+		}
+		c.queued++
+		cQueued.Inc()
+		for c.inflight >= c.cfg.MaxInFlight {
+			c.cond.Wait()
+		}
+		c.queued--
+	}
+	c.inflight++
+	gInflight.Set(int64(c.inflight))
+	c.mu.Unlock()
+	cAdmitted.Inc()
+	return c.release, nil
+}
+
+// release returns an in-flight slot and wakes one queued waiter.
+func (c *Controller) release() {
+	c.mu.Lock()
+	c.inflight--
+	gInflight.Set(int64(c.inflight))
+	c.mu.Unlock()
+	c.cond.Signal()
+}
+
+// takeToken debits tenant's bucket, refilling by elapsed time first.
+func (c *Controller) takeToken(tenant string) bool {
+	now := c.now()
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	b, ok := c.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: float64(c.cfg.Burst), last: now}
+		c.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * c.cfg.Rate
+	if max := float64(c.cfg.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Stats is a point-in-time snapshot of the controller's occupancy.
+type Stats struct {
+	InFlight, Queued      int
+	MaxInFlight, MaxQueue int
+	Rate                  float64
+	Burst                 int
+}
+
+// Stats snapshots current occupancy and configuration.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		InFlight:    c.inflight,
+		Queued:      c.queued,
+		MaxInFlight: c.cfg.MaxInFlight,
+		MaxQueue:    c.cfg.MaxQueue,
+		Rate:        c.cfg.Rate,
+		Burst:       c.cfg.Burst,
+	}
+}

@@ -1,0 +1,216 @@
+// Package gate provides runtime feature gates: named boolean flags
+// that can be forced on, forced off, or ramped to a percentage of
+// traffic, resolved per request key (a tenant, a connection, a query)
+// with a stable hash so the same key always lands on the same side of
+// a partial rollout.
+//
+// Gates let a risky engine change — the semantic result cache, a new
+// access path, a fused pipeline — ship dark and ramp under live load:
+// register the flag defaulted off, deploy, then raise the percentage
+// over the wire (GATES SET) while watching the change's own metrics
+// (qcache.*, pool.*, monet.index.*) as the rollback signal. Turning
+// the flag off is the rollback.
+//
+// Resolution is cached: a resolved *Flag reads one atomic word per
+// Enabled call, so gating a hot path costs a few nanoseconds and no
+// locks. Flag state changes (Set) publish through the same atomic, so
+// ramps take effect on the next request without restarting.
+package gate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cobra/internal/obs"
+)
+
+// Gate metrics: how many Enabled resolutions ran and how many came
+// back false (the dark side of a ramp). A climbing denied count on a
+// flag that should be fully on is the first sign a ramp was rolled
+// back.
+var (
+	cChecks = obs.C("gate.checks")
+	cDenied = obs.C("gate.denied")
+)
+
+// Flag state encoding for the atomic word: mode in the low bits,
+// percentage in the next byte.
+const (
+	modeOff uint32 = iota
+	modeOn
+	modePercent
+)
+
+// Flag is one registered feature gate. The zero value is unusable;
+// obtain flags from a Registry. A Flag handle may be kept and queried
+// forever — Enabled always reflects the registry's current state.
+type Flag struct {
+	name string
+	def  bool
+	// state packs mode (low 8 bits) and percentage (next 8 bits).
+	state atomic.Uint32
+}
+
+// Name returns the flag's registered name.
+func (f *Flag) Name() string { return f.name }
+
+// Default reports the value the flag was registered with.
+func (f *Flag) Default() bool { return f.def }
+
+// Enabled resolves the flag for a request key. Forced-on flags admit
+// everything, forced-off flags nothing; a percentage flag admits the
+// keys whose stable hash falls under the ramp — so a given tenant
+// stays admitted (or not) as long as the percentage holds, rather
+// than flapping per request.
+func (f *Flag) Enabled(key string) bool {
+	cChecks.Inc()
+	s := f.state.Load()
+	ok := false
+	switch s & 0xff {
+	case modeOn:
+		ok = true
+	case modeOff:
+		ok = false
+	case modePercent:
+		pct := (s >> 8) & 0xff
+		ok = bucket(f.name, key) < pct
+	}
+	if !ok {
+		cDenied.Inc()
+	}
+	return ok
+}
+
+// State renders the flag's current setting ("on", "off" or "42%").
+func (f *Flag) State() string {
+	s := f.state.Load()
+	switch s & 0xff {
+	case modeOn:
+		return "on"
+	case modeOff:
+		return "off"
+	default:
+		return strconv.Itoa(int((s>>8)&0xff)) + "%"
+	}
+}
+
+// set parses and applies a state string: "on", "off", or "NN%".
+func (f *Flag) set(value string) error {
+	v := strings.ToLower(strings.TrimSpace(value))
+	switch v {
+	case "on", "true", "1":
+		f.state.Store(modeOn)
+		return nil
+	case "off", "false", "0":
+		f.state.Store(modeOff)
+		return nil
+	}
+	pctStr, ok := strings.CutSuffix(v, "%")
+	if !ok {
+		return fmt.Errorf("gate: bad state %q (want on, off or NN%%)", value)
+	}
+	pct, err := strconv.Atoi(pctStr)
+	if err != nil || pct < 0 || pct > 100 {
+		return fmt.Errorf("gate: bad percentage %q (want 0..100)", value)
+	}
+	switch pct {
+	case 0:
+		f.state.Store(modeOff)
+	case 100:
+		f.state.Store(modeOn)
+	default:
+		f.state.Store(modePercent | uint32(pct)<<8)
+	}
+	return nil
+}
+
+// bucket hashes (flag, key) into [0,100). FNV-1a keeps the placement
+// stable across processes and restarts, so a ramp admits the same
+// tenants everywhere.
+func bucket(flag, key string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(flag); i++ {
+		h = (h ^ uint64(flag[i])) * prime64
+	}
+	h = (h ^ '/') * prime64
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	return uint32(h % 100)
+}
+
+// Registry is a named set of feature gates. It is safe for concurrent
+// use; the hot path (Flag.Enabled on a held handle) never touches the
+// registry lock.
+type Registry struct {
+	mu    sync.RWMutex
+	flags map[string]*Flag
+}
+
+// NewRegistry returns an empty gate registry.
+func NewRegistry() *Registry {
+	return &Registry{flags: map[string]*Flag{}}
+}
+
+// Register creates (or returns the existing) flag under name with the
+// given default. Registering an existing name does not reset its
+// state — a runtime Set survives late registrations.
+func (r *Registry) Register(name string, def bool) *Flag {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.flags[name]; ok {
+		return f
+	}
+	f := &Flag{name: name, def: def}
+	if def {
+		f.state.Store(modeOn)
+	}
+	r.flags[name] = f
+	return f
+}
+
+// Lookup returns the named flag, or nil if it was never registered.
+func (r *Registry) Lookup(name string) *Flag {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.flags[name]
+}
+
+// Set changes a registered flag's state: "on", "off" or "NN%".
+func (r *Registry) Set(name, value string) error {
+	f := r.Lookup(name)
+	if f == nil {
+		return fmt.Errorf("gate: unknown flag %q", name)
+	}
+	return f.set(value)
+}
+
+// Enabled resolves a flag by name for a request key. Unregistered
+// flags resolve to false — an unknown gate never admits traffic.
+func (r *Registry) Enabled(name, key string) bool {
+	f := r.Lookup(name)
+	if f == nil {
+		return false
+	}
+	return f.Enabled(key)
+}
+
+// List returns every flag sorted by name.
+func (r *Registry) List() []*Flag {
+	r.mu.RLock()
+	out := make([]*Flag, 0, len(r.flags))
+	for _, f := range r.flags {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

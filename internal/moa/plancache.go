@@ -1,0 +1,152 @@
+package moa
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cobra/internal/monet"
+	"cobra/internal/obs"
+)
+
+// Prepared-plan memo for the MIL emitters. The Plan* methods compile
+// a logical-layer operation into MIL text by reading the flattened
+// set's schema from the kernel and rendering literals — pure work
+// that depends only on the operation's arguments and the schema BAT's
+// state. The memo keys on exactly those: emitter name, argument
+// tuple, and the mutation epoch of every involved prefix's schema
+// BAT. Re-registering a set under a prefix bumps its schema epoch and
+// silently re-keys every memoized plan that read it; stale keys age
+// out of the LRU instead of being hunted down.
+var (
+	cEmitHits   = obs.C("moa.plancache.hits")
+	cEmitMisses = obs.C("moa.plancache.misses")
+)
+
+// DefaultPlanEntries bounds a zero-configured emitter memo.
+const DefaultPlanEntries = 256
+
+// PlanCache memoizes emitted MIL plans. Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+
+	hits, misses int64
+}
+
+// emitEntry is one memoized emission.
+type emitEntry struct {
+	key  string
+	plan string
+}
+
+// NewPlanCache returns an empty emitter memo holding at most max
+// plans (DefaultPlanEntries when max <= 0).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = DefaultPlanEntries
+	}
+	return &PlanCache{max: max, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// key renders a memo key: the emitter, its argument tuple, and the
+// schema epochs of the involved prefixes. Arguments are length-
+// prefixed so no two tuples collide by concatenation.
+func (pc *PlanCache) key(store *monet.Store, op string, prefixes []string, args ...string) string {
+	var b strings.Builder
+	b.WriteString(op)
+	for _, a := range args {
+		b.WriteByte('\x00')
+		b.WriteString(strconv.Itoa(len(a)))
+		b.WriteByte(':')
+		b.WriteString(a)
+	}
+	names := make([]string, len(prefixes))
+	for i, p := range prefixes {
+		names[i] = p + "/_schema"
+	}
+	for _, e := range store.Epochs(names) {
+		b.WriteByte('\x00')
+		b.WriteString(strconv.FormatUint(e, 10))
+	}
+	return b.String()
+}
+
+// do serves one memoized emission.
+func (pc *PlanCache) do(key string, emit func() (string, error)) (string, bool, error) {
+	pc.mu.Lock()
+	if el, ok := pc.entries[key]; ok {
+		pc.lru.MoveToFront(el)
+		pc.hits++
+		plan := el.Value.(*emitEntry).plan
+		pc.mu.Unlock()
+		cEmitHits.Inc()
+		return plan, true, nil
+	}
+	pc.misses++
+	pc.mu.Unlock()
+	cEmitMisses.Inc()
+	plan, err := emit()
+	if err != nil {
+		return "", false, err
+	}
+	pc.mu.Lock()
+	if _, ok := pc.entries[key]; !ok {
+		pc.entries[key] = pc.lru.PushFront(&emitEntry{key: key, plan: plan})
+		for pc.lru.Len() > pc.max {
+			back := pc.lru.Back()
+			delete(pc.entries, back.Value.(*emitEntry).key)
+			pc.lru.Remove(back)
+		}
+	}
+	pc.mu.Unlock()
+	return plan, false, nil
+}
+
+// SelectRange is a memoized FlatSet.PlanSelectRange.
+func (pc *PlanCache) SelectRange(fs *FlatSet, dstPrefix, field string, lo, hi monet.Value) (string, bool, error) {
+	loLit, err := MILLit(lo)
+	if err != nil {
+		return "", false, err
+	}
+	hiLit, err := MILLit(hi)
+	if err != nil {
+		return "", false, err
+	}
+	k := pc.key(fs.store, "selectrange", []string{fs.prefix}, fs.prefix, dstPrefix, field, loLit, hiLit)
+	return pc.do(k, func() (string, error) { return fs.PlanSelectRange(dstPrefix, field, lo, hi) })
+}
+
+// Aggregate is a memoized FlatSet.PlanAggregate.
+func (pc *PlanCache) Aggregate(fs *FlatSet, field, op string) (string, bool, error) {
+	k := pc.key(fs.store, "aggregate", []string{fs.prefix}, fs.prefix, field, op)
+	return pc.do(k, func() (string, error) { return fs.PlanAggregate(field, op) })
+}
+
+// JoinOn is a memoized FlatSet.PlanJoinOn; the key spans both sides'
+// schema epochs.
+func (pc *PlanCache) JoinOn(fs, other *FlatSet, dstPrefix, leftField, rightField string) (string, bool, error) {
+	if fs.store != other.store {
+		return "", false, fmt.Errorf("moa: plan cache cannot join sets from different stores")
+	}
+	k := pc.key(fs.store, "joinon", []string{fs.prefix, other.prefix},
+		fs.prefix, other.prefix, dstPrefix, leftField, rightField)
+	return pc.do(k, func() (string, error) { return fs.PlanJoinOn(other, dstPrefix, leftField, rightField) })
+}
+
+// Materialize is a memoized FlatSet.PlanMaterialize.
+func (pc *PlanCache) Materialize(fs *FlatSet) (string, bool, error) {
+	k := pc.key(fs.store, "materialize", []string{fs.prefix}, fs.prefix)
+	return pc.do(k, func() (string, error) { return fs.PlanMaterialize() })
+}
+
+// Stats reports hit/miss counts and current population.
+func (pc *PlanCache) Stats() (hits, misses, entries int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, int64(len(pc.entries))
+}

@@ -1,0 +1,101 @@
+package moa
+
+import (
+	"testing"
+
+	"cobra/internal/monet"
+)
+
+func TestPlanCacheMemoizesEmission(t *testing.T) {
+	store, lfs, dfs := planFixture(t)
+	pc := NewPlanCache(0)
+
+	direct, err := lfs.PlanSelectRange("fast", "time", monet.NewFloat(80), monet.NewFloat(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := pc.SelectRange(lfs, "fast", "time", monet.NewFloat(80), monet.NewFloat(85))
+	if err != nil || hit {
+		t.Fatalf("first emission hit=%v err=%v", hit, err)
+	}
+	if got != direct {
+		t.Fatalf("memoized plan differs from direct emission:\n%s\nvs\n%s", got, direct)
+	}
+	got2, hit, err := pc.SelectRange(lfs, "fast", "time", monet.NewFloat(80), monet.NewFloat(85))
+	if err != nil || !hit || got2 != direct {
+		t.Fatalf("second emission hit=%v err=%v", hit, err)
+	}
+	// Every emitter round-trips through the memo identically.
+	for _, run := range []func() (string, bool, error){
+		func() (string, bool, error) { return pc.Aggregate(lfs, "time", "avg") },
+		func() (string, bool, error) { return pc.JoinOn(lfs, dfs, "joined", "driver", "driver") },
+		func() (string, bool, error) { return pc.Materialize(lfs) },
+	} {
+		first, hit, err := run()
+		if err != nil || hit {
+			t.Fatalf("cold emission hit=%v err=%v", hit, err)
+		}
+		second, hit, err := run()
+		if err != nil || !hit || second != first {
+			t.Fatalf("warm emission hit=%v err=%v", hit, err)
+		}
+	}
+	if hits, misses, entries := pc.Stats(); hits != 4 || misses != 4 || entries != 4 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, entries)
+	}
+	_ = store
+}
+
+func TestPlanCacheDistinguishesArgs(t *testing.T) {
+	_, lfs, _ := planFixture(t)
+	pc := NewPlanCache(0)
+	if _, hit, err := pc.Aggregate(lfs, "time", "avg"); err != nil || hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	// A different argument tuple is a different plan, not a hit.
+	if _, hit, err := pc.Aggregate(lfs, "time", "max"); err != nil || hit {
+		t.Fatalf("distinct op served stale plan: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := pc.Aggregate(lfs, "lap", "avg"); err != nil || hit {
+		t.Fatalf("distinct field served stale plan: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestPlanCacheReKeysOnSchemaEpoch(t *testing.T) {
+	store, lfs, _ := planFixture(t)
+	pc := NewPlanCache(0)
+	before, hit, err := pc.Materialize(lfs)
+	if err != nil || hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	// Re-flatten the prefix with an extra column: the schema BAT's
+	// epoch moves and the memoized plan must not be served.
+	wider := NewSet(
+		MustTuple([]string{"lap", "time", "driver", "pit"},
+			[]Value{IntAtom(1), FloatAtom(83.2), StrAtom("mschumacher"), IntAtom(0)}),
+	)
+	if err := Flatten(store, "laps", wider); err != nil {
+		t.Fatal(err)
+	}
+	after, hit, err := pc.Materialize(lfs)
+	if err != nil || hit {
+		t.Fatalf("schema change served stale plan: hit=%v err=%v", hit, err)
+	}
+	if before == after {
+		t.Fatal("plan did not pick up the new schema")
+	}
+}
+
+func TestPlanCacheLRUBound(t *testing.T) {
+	_, lfs, _ := planFixture(t)
+	pc := NewPlanCache(2)
+	pc.Aggregate(lfs, "time", "avg")
+	pc.Aggregate(lfs, "time", "max")
+	pc.Aggregate(lfs, "time", "min") // evicts avg
+	if _, hit, _ := pc.Aggregate(lfs, "time", "avg"); hit {
+		t.Fatal("evicted plan served")
+	}
+	if _, _, entries := pc.Stats(); entries > 2 {
+		t.Fatalf("bound breached: %d entries", entries)
+	}
+}

@@ -95,6 +95,22 @@ func (s *Store) Epoch(name string) uint64 {
 	return s.epochs[name]
 }
 
+// Epochs returns the mutation epochs of the named BATs, in argument
+// order, read under a single lock acquisition: the vector is a
+// consistent snapshot, never torn across a concurrent mutation. The
+// serving layer's result cache fingerprints a query's dependency set
+// with it — a mutation committing between two reads must move the
+// whole vector, not half of it.
+func (s *Store) Epochs(names []string) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, len(names))
+	for i, n := range names {
+		out[i] = s.epochs[n]
+	}
+	return out
+}
+
 // SetJournal attaches (or, with nil, detaches) the mutation journal.
 // Attach after recovery has replayed historical mutations, so replay
 // itself is not re-logged.

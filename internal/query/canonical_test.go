@@ -1,0 +1,155 @@
+package query
+
+import (
+	"testing"
+
+	"cobra/internal/cobra"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestCanonicalFoldsSpelling(t *testing.T) {
+	// Each group spells one query several ways; every member must
+	// canonicalize to the group's first member's form.
+	groups := [][]string{
+		{
+			`SELECT segments FROM race WHERE event("overtaking", driver = "Senna")`,
+			`select   segments from race where EVENT("overtaking", DRIVER="SENNA")`,
+			`retrieve segments from race where event("overtaking", driver="senna")`,
+		},
+		{
+			`select segments from race where feature("speed") > 0.5`,
+			`select segments from race where feature("speed") > 0.50`,
+			`select segments from race where feature("speed") > .5`,
+		},
+		{
+			`select segments from race where text contains "pit" order by start asc`,
+			`select segments from race where TEXT CONTAINS "PIT" ORDER BY START`,
+		},
+	}
+	for _, g := range groups {
+		want := mustParse(t, g[0]).Canonical()
+		for _, src := range g[1:] {
+			if got := mustParse(t, src).Canonical(); got != want {
+				t.Errorf("Canonical(%q) = %q, want %q", src, got, want)
+			}
+		}
+	}
+}
+
+func TestCanonicalAttrOrderInsensitive(t *testing.T) {
+	a := mustParse(t, `select events from race where event("pit", team = "x", driver = "y")`)
+	b := mustParse(t, `select events from race where event("pit", driver = "y", team = "x")`)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("attr order changed the key:\n%q\n%q", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestCanonicalDistinguishesStructure(t *testing.T) {
+	// Distinct semantics must never share a key.
+	srcs := []string{
+		`select segments from race where event("a")`,
+		`select events from race where event("a")`,
+		`select segments from other where event("a")`,
+		`select segments from race where event("a") and event("b")`,
+		`select segments from race where event("b") and event("a")`,
+		`select segments from race where event("a") or event("b")`,
+		`select segments from race where not event("a")`,
+		`select segments from race where event("a") before event("b")`,
+		`select segments from race where event("a") within 5 of event("b")`,
+		`select segments from race where feature("speed") > 0.5`,
+		`select segments from race where feature("speed") >= 0.5`,
+		`select segments from race where event("a") limit 3`,
+		`select segments from race where event("a") last 10`,
+		`select segments from race where event("a") order by confidence desc`,
+	}
+	seen := map[string]string{}
+	for _, src := range srcs {
+		key := mustParse(t, src).Canonical()
+		if prev, ok := seen[key]; ok {
+			t.Errorf("collision: %q and %q both canonicalize to %q", prev, src, key)
+		}
+		seen[key] = src
+	}
+}
+
+func TestCanonicalQuotingIsInjective(t *testing.T) {
+	// A crafted event type must not collide with an attribute-carrying
+	// one: quoting keeps the encoding injective. (Built as an AST — the
+	// COQL lexer has no escapes, so this type isn't even spellable.)
+	a := &Query{Target: "segments", Video: "race", Where: &EventCond{Type: `pit", driver="x`}}
+	b := mustParse(t, `select segments from race where event("pit", driver = "x")`)
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("quote-injected event type collided with structured attrs")
+	}
+}
+
+func TestCanonicalRoundTrips(t *testing.T) {
+	// The canonical form is itself parseable COQL, and a fixed point:
+	// parsing it and canonicalizing again changes nothing.
+	srcs := []string{
+		`select segments from race`,
+		`select segments from race where event("overtaking", driver = "senna") and feature("speed") > 0.5`,
+		`select events from race where (text contains "pit" or object("car")) within 2.5 of event("stop") last 30 order by start desc limit 7`,
+	}
+	for _, src := range srcs {
+		c1 := mustParse(t, src).Canonical()
+		c2 := mustParse(t, c1).Canonical()
+		if c1 != c2 {
+			t.Errorf("not a fixed point:\n%q\n%q", c1, c2)
+		}
+	}
+}
+
+func TestDepNamesOfMatchesIncremental(t *testing.T) {
+	srcs := []string{
+		`select segments from race`,
+		`select segments from race where event("a")`,
+		`select segments from race where not event("a")`,
+		`select segments from race where feature("speed") > 0.5 and object("car") last 10`,
+		`select segments from race where text contains "pit" or feature("crowd") >= 0.2`,
+	}
+	for _, src := range srcs {
+		q := mustParse(t, src)
+		free := DepNamesOf(q)
+		inc := NewIncremental(&Engine{}, q).DepNames()
+		if len(free) != len(inc) {
+			t.Fatalf("%q: DepNamesOf=%v DepNames=%v", src, free, inc)
+		}
+		for i := range free {
+			if free[i] != inc[i] {
+				t.Fatalf("%q: DepNamesOf=%v DepNames=%v", src, free, inc)
+			}
+		}
+	}
+}
+
+func TestDepNamesOfDurationDependence(t *testing.T) {
+	has := func(names []string, want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	videos := cobra.VideosBATName()
+	for src, want := range map[string]bool{
+		`select segments from race where event("a")`:         false,
+		`select segments from race`:                          true,
+		`select segments from race where not event("a")`:     true,
+		`select segments from race where event("a") last 10`: true,
+	} {
+		q := mustParse(t, src)
+		if got := has(DepNamesOf(q), videos); got != want {
+			t.Errorf("%q: videos dep = %v, want %v", src, got, want)
+		}
+	}
+}

@@ -56,6 +56,12 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.explainQuery(q), nil
+}
+
+// explainQuery emits and verifies the plan for an already-parsed
+// query: the compilation step the prepared-plan cache memoizes.
+func (e *Engine) explainQuery(q *Query) *Explanation {
 	pl := &planner{video: q.Video, store: e.pre.Catalog().Store()}
 	if q.Where == nil {
 		pl.printf("# no WHERE clause: the whole video qualifies")
@@ -82,7 +88,7 @@ func (e *Engine) Explain(src string) (*Explanation, error) {
 		diags = []milcheck.Diagnostic{{Line: 1, Col: 1, Severity: milcheck.Error,
 			Code: "emit-parse", Msg: err.Error()}}
 	}
-	return &Explanation{Query: q, Plan: plan, Diags: diags}, nil
+	return &Explanation{Query: q, Plan: plan, Diags: diags}
 }
 
 // ExplainAnalyze emits the verified plan, then actually executes the

@@ -100,54 +100,10 @@ func (inc *Incremental) Query() *Query { return inc.q }
 // DepNames returns the kernel BAT names whose epochs gate
 // re-evaluation: if none has advanced since the last Eval, the
 // standing query's result cannot have changed and the subscription
-// manager skips it. Queries whose result depends on the video's
-// duration — a trailing window, a NOT complement, or no WHERE clause
-// at all — additionally track the raw-layer video table, whose epoch
-// advances with every watermark move.
+// manager skips it. The walk is shared with the result cache's
+// freshness fingerprint — see DepNamesOf.
 func (inc *Incremental) DepNames() []string {
-	seen := map[string]bool{}
-	var out []string
-	add := func(n string) {
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
-	}
-	needDuration := inc.q.Window > 0 || inc.q.Where == nil
-	var walk func(Cond)
-	walk = func(c Cond) {
-		switch n := c.(type) {
-		case *EventCond:
-			// All event types share the video's decomposed event relation;
-			// the "type" column's epoch covers every append.
-			add(cobra.EventBATName(inc.q.Video, "type"))
-		case *TextCond:
-			add(cobra.EventBATName(inc.q.Video, "type"))
-		case *ObjectCond:
-			add(cobra.ObjectBATName(inc.q.Video, "appearances"))
-		case *FeatureCond:
-			add(cobra.FeatureBATName(inc.q.Video, n.Name))
-		case *NotCond:
-			needDuration = true
-			walk(n.X)
-		case *AndCond:
-			walk(n.L)
-			walk(n.R)
-		case *OrCond:
-			walk(n.L)
-			walk(n.R)
-		case *TemporalCond:
-			walk(n.L)
-			walk(n.R)
-		}
-	}
-	if inc.q.Where != nil {
-		walk(inc.q.Where)
-	}
-	if needDuration {
-		add(cobra.VideosBATName())
-	}
-	return out
+	return DepNamesOf(inc.q)
 }
 
 // Eval re-evaluates the standing query at the current watermark. The

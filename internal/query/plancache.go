@@ -1,0 +1,118 @@
+package query
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"cobra/internal/obs"
+)
+
+// Prepared-plan cache: EXPLAIN compiles a COQL statement into a
+// verified MIL access plan — parse, emit, milcheck, access-path
+// costing — and none of that work depends on anything but the query's
+// canonical form and the state of its dependency BATs. The PlanCache
+// memoizes the compiled Explanation under (Canonical, dep-epoch
+// fingerprint), so the server's hot EXPLAIN path and the execute
+// path's plan annotations skip recompilation until a dependency
+// actually changes: preparing a statement is paying the compile cost
+// once per epoch, not once per request.
+var (
+	cPlanHits   = obs.C("plancache.hits")
+	cPlanMisses = obs.C("plancache.misses")
+)
+
+// DefaultPlanEntries bounds a zero-configured plan cache. Plans are a
+// few hundred bytes; 256 of them is noise.
+const DefaultPlanEntries = 256
+
+// PlanCache memoizes compiled Explanations. Safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+
+	hits, misses int64
+}
+
+// planEntry is one cached compilation.
+type planEntry struct {
+	key string
+	ex  *Explanation
+}
+
+// NewPlanCache returns an empty plan cache holding at most max
+// compiled plans (DefaultPlanEntries when max <= 0).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = DefaultPlanEntries
+	}
+	return &PlanCache{max: max, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Explain returns the compiled, verified plan for src, reusing a
+// cached compilation when the canonical query and its dependency
+// epochs both match. hit reports whether compilation was skipped.
+// Parse errors are returned uncached — they are cheap to rediscover
+// and keying on raw source would let typo'd spellings crowd out real
+// plans.
+func (pc *PlanCache) Explain(e *Engine, src string) (ex *Explanation, hit bool, err error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, false, err
+	}
+	key := q.Canonical() + "\x00" + pc.fingerprint(e, q)
+	pc.mu.Lock()
+	if el, ok := pc.entries[key]; ok {
+		pc.lru.MoveToFront(el)
+		pc.hits++
+		ex = el.Value.(*planEntry).ex
+		pc.mu.Unlock()
+		cPlanHits.Inc()
+		return ex, true, nil
+	}
+	pc.misses++
+	pc.mu.Unlock()
+	cPlanMisses.Inc()
+
+	ex = e.explainQuery(q)
+	pc.mu.Lock()
+	if _, ok := pc.entries[key]; !ok {
+		pc.entries[key] = pc.lru.PushFront(&planEntry{key: key, ex: ex})
+		for pc.lru.Len() > pc.max {
+			back := pc.lru.Back()
+			delete(pc.entries, back.Value.(*planEntry).key)
+			pc.lru.Remove(back)
+		}
+	}
+	pc.mu.Unlock()
+	return ex, false, nil
+}
+
+// fingerprint renders the epochs of the query's dependency set. A
+// dependency epoch move re-keys the plan rather than deleting it:
+// stale keys age out through the LRU. Compilation reads more than the
+// result rows do (schema shape, index state for access-path
+// annotations), all of which only changes alongside the dependency
+// BATs themselves.
+func (pc *PlanCache) fingerprint(e *Engine, q *Query) string {
+	store := e.pre.Catalog().Store()
+	deps := DepNamesOf(q)
+	epochs := store.Epochs(deps)
+	buf := make([]byte, 0, 8*len(epochs))
+	for i, ep := range epochs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendUint(buf, ep, 10)
+	}
+	return string(buf)
+}
+
+// Stats reports hit/miss counts and current population.
+func (pc *PlanCache) Stats() (hits, misses, entries int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, int64(len(pc.entries))
+}

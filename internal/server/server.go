@@ -25,7 +25,18 @@
 //	                         asynchronously as EVENT frames (see below)
 //	UNSUBSCRIBE <id>      -> cancel one of this connection's subscriptions
 //	SUBSCRIPTIONS         -> list active subscriptions
+//	AUTH <tenant> [token] -> name the connection (gates, rate limits);
+//	                         unlocks heavy verbs when a token is required
+//	CACHESTATS            -> result-cache and plan-cache counters
+//	GATES [SET <f> <v>]   -> list feature gates; flip one at runtime
 //	PING                  -> "OK 0", "END"
+//
+// Every request line flows through the serving middleware chain
+// (auth -> gate -> cache -> admit -> execute; see middleware.go).
+// One-shot COQL responses may be served from the semantic result
+// cache — byte-identical to execution and invalidated by dependency
+// epoch, never stale. An overloaded server answers heavy requests
+// with a one-line "BUSY <reason>" frame instead of queuing them.
 //
 // A subscribed connection additionally receives asynchronous push
 // frames between responses, never inside one:
@@ -55,12 +66,15 @@ import (
 	"sync"
 	"time"
 
+	"cobra/internal/admit"
 	"cobra/internal/cobra"
 	"cobra/internal/ext"
+	"cobra/internal/gate"
 	"cobra/internal/hmm"
 	"cobra/internal/mil"
 	"cobra/internal/milcheck"
 	"cobra/internal/obs"
+	"cobra/internal/qcache"
 	"cobra/internal/query"
 	"cobra/internal/stream"
 )
@@ -100,6 +114,19 @@ type Server struct {
 
 	cp     Checkpointer
 	stream *stream.Manager
+
+	// Serving pipeline state (see middleware.go): the semantic result
+	// cache, the prepared-plan cache behind EXPLAIN, the admission
+	// controller, the feature-gate registry, and the optional shared
+	// auth token.
+	cache     *qcache.Cache
+	planCache *query.PlanCache
+	adm       *admit.Controller
+	gates     *gate.Registry
+	authToken string
+
+	inprocOnce sync.Once
+	inproc     Handler
 }
 
 // New builds a server over the preprocessor (COQL), its catalog's
@@ -111,13 +138,61 @@ func New(pre *cobra.Preprocessor, pool *hmm.EnginePool) *Server {
 	if pool != nil {
 		ext.RegisterHMM(interp, pool)
 	}
+	gates := gate.NewRegistry()
+	gates.Register(GateQueryCache, true)
+	gates.Register(GateAdmission, true)
+	gates.Register(GateMIL, true)
 	return &Server{
-		eng:    query.NewEngine(pre),
-		cat:    pre.Catalog(),
-		interp: interp,
-		pool:   pool,
+		eng:       query.NewEngine(pre),
+		cat:       pre.Catalog(),
+		interp:    interp,
+		pool:      pool,
+		planCache: query.NewPlanCache(0),
+		gates:     gates,
 	}
 }
+
+// SetCache attaches the semantic result cache. Call before Listen;
+// without one COQL queries always execute.
+func (s *Server) SetCache(c *qcache.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+}
+
+// Cache returns the attached result cache (nil if none).
+func (s *Server) Cache() *qcache.Cache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache
+}
+
+// SetAdmission attaches the admission controller. Call before Listen;
+// without one every request is admitted.
+func (s *Server) SetAdmission(a *admit.Controller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adm = a
+}
+
+// Admission returns the attached admission controller (nil if none).
+func (s *Server) Admission() *admit.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adm
+}
+
+// SetAuthToken requires connections to authenticate (AUTH <tenant>
+// <token>) before heavy verbs are served. Empty disables the check.
+func (s *Server) SetAuthToken(token string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.authToken = token
+}
+
+// Gates returns the server's feature-gate registry, live for runtime
+// flips (also reachable over the wire via GATES SET).
+func (s *Server) Gates() *gate.Registry { return s.gates }
 
 // SetCheckpointer attaches the durability subsystem serving the
 // CHECKPOINT command. Call before Listen; a nil (or absent)
@@ -245,6 +320,10 @@ type connState struct {
 	w  *bufio.Writer
 	// pushers counts this connection's frame-push goroutines.
 	pushers sync.WaitGroup
+	// tenant and authed are the connection's AUTH identity; guarded by
+	// mu like the writer (requests on one connection are serial).
+	tenant string
+	authed bool
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -258,6 +337,13 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		st.pushers.Wait()
 	}()
+	// Every request line flows through the serving pipeline; the
+	// terminal handler knows the connection-scoped streaming verbs.
+	chain := s.buildChain(func(req *Request, w io.Writer) {
+		if !s.execStream(conn, st, req.Line) {
+			s.ExecuteCtx(req.Ctx, req.Line, w)
+		}
+	})
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -274,12 +360,37 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		st.mu.Lock()
-		if !s.execStream(conn, st, line) {
-			s.ExecuteCtx(context.Background(), line, st.w)
+		if cmd, rest, _ := strings.Cut(line, " "); strings.EqualFold(cmd, "AUTH") {
+			s.execAuth(st, rest)
+		} else {
+			chain(newRequest(context.Background(), line, st.tenant, st.authed), st.w)
 		}
 		st.w.Flush()
 		st.mu.Unlock()
 	}
+}
+
+// execAuth serves the connection-scoped AUTH verb: "AUTH <tenant>
+// [token]" names the connection for gates, rate limits and cache ramp
+// decisions, and — when the server requires a token — unlocks the
+// heavy verbs. Called with st.mu held.
+func (s *Server) execAuth(st *connState, rest string) {
+	cRequests.Inc()
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		fmt.Fprintln(st.w, "ERR usage: AUTH <tenant> [token]")
+		return
+	}
+	s.mu.Lock()
+	want := s.authToken
+	s.mu.Unlock()
+	if want != "" && (len(fields) < 2 || fields[1] != want) {
+		fmt.Fprintln(st.w, "ERR bad credentials")
+		return
+	}
+	st.tenant = fields[0]
+	st.authed = true
+	writeLines(st.w, []string{"authenticated " + st.tenant})
 }
 
 // execStream handles the connection-scoped streaming verbs; it
@@ -432,12 +543,16 @@ func (s *Server) ExecuteCtx(ctx context.Context, line string, w io.Writer) {
 			writeLines(w, lines)
 			return
 		}
-		ex, err := s.eng.Explain(stmt)
+		ex, cached, err := s.explain(stmt)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return
 		}
-		writeLines(w, strings.Split(strings.TrimRight(ex.String(), "\n"), "\n"))
+		lines := strings.Split(strings.TrimRight(ex.String(), "\n"), "\n")
+		if cached {
+			lines = append(lines, "# plan: prepared (plan cache hit)")
+		}
+		writeLines(w, lines)
 	case "INDEXINFO":
 		name := strings.TrimSpace(rest)
 		if name == "" {
@@ -505,6 +620,14 @@ func (s *Server) ExecuteCtx(ctx context.Context, line string, w io.Writer) {
 			return
 		}
 		writeLines(w, []string{fmt.Sprintf("checkpoint complete in %v", time.Since(start).Round(time.Millisecond))})
+	case "CACHESTATS":
+		s.execCacheStats(w)
+	case "GATES":
+		s.execGates(rest, w)
+	case "AUTH":
+		// Reached only without a connection (in-process Execute); the
+		// connection handler owns AUTH because it mutates conn state.
+		fmt.Fprintln(w, "ERR AUTH requires a client connection")
 	case "TRACEDUMP":
 		s.execTraceDump(rest, w)
 	case "SLOWLOG":
@@ -555,6 +678,76 @@ func (s *Server) ExecuteCtx(ctx context.Context, line string, w io.Writer) {
 	default:
 		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 	}
+}
+
+// explain compiles a COQL statement through the prepared-plan cache
+// when one is attached, falling back to direct compilation.
+func (s *Server) explain(stmt string) (*query.Explanation, bool, error) {
+	if s.planCache != nil {
+		return s.planCache.Explain(s.eng, stmt)
+	}
+	ex, err := s.eng.Explain(stmt)
+	return ex, false, err
+}
+
+// execCacheStats serves CACHESTATS: the result cache's counters and
+// the prepared-plan cache's hit rate, one "name value" pair per line
+// in the same dotted namespace the /metrics endpoint exports.
+func (s *Server) execCacheStats(w io.Writer) {
+	cache := s.Cache()
+	if cache == nil {
+		fmt.Fprintln(w, "ERR result cache disabled (start the server with -qcache-bytes)")
+		return
+	}
+	st := cache.Stats()
+	lines := []string{
+		fmt.Sprintf("qcache.hits %d", st.Hits),
+		fmt.Sprintf("qcache.misses %d", st.Misses),
+		fmt.Sprintf("qcache.singleflight_waits %d", st.SingleflightWaits),
+		fmt.Sprintf("qcache.evictions %d", st.Evictions),
+		fmt.Sprintf("qcache.invalidations %d", st.Invalidations),
+		fmt.Sprintf("qcache.entries %d", st.Entries),
+		fmt.Sprintf("qcache.bytes %d", st.Bytes),
+		fmt.Sprintf("qcache.max_bytes %d", st.MaxBytes),
+	}
+	if s.planCache != nil {
+		hits, misses, entries := s.planCache.Stats()
+		lines = append(lines,
+			fmt.Sprintf("plancache.hits %d", hits),
+			fmt.Sprintf("plancache.misses %d", misses),
+			fmt.Sprintf("plancache.entries %d", entries),
+		)
+	}
+	writeLines(w, lines)
+}
+
+// execGates serves the GATES verb: bare GATES lists every flag with
+// its live state and registered default; "GATES SET <name> <value>"
+// flips one at runtime (on, off, or "NN%" for a percentage ramp).
+func (s *Server) execGates(rest string, w io.Writer) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		flags := s.gates.List()
+		lines := make([]string, len(flags))
+		for i, f := range flags {
+			def := "off"
+			if f.Default() {
+				def = "on"
+			}
+			lines[i] = fmt.Sprintf("%s %s default=%s", f.Name(), f.State(), def)
+		}
+		writeLines(w, lines)
+		return
+	}
+	if len(fields) != 3 || !strings.EqualFold(fields[0], "SET") {
+		fmt.Fprintln(w, "ERR usage: GATES [SET <flag> <on|off|NN%>]")
+		return
+	}
+	if err := s.gates.Set(fields[1], fields[2]); err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	writeLines(w, []string{fields[1] + " " + s.gates.Lookup(fields[1]).State()})
 }
 
 // execMILTraced runs one MIL request as its own trace ("mil.request"):
@@ -780,6 +973,9 @@ func (c *Client) Do(line string) ([]string, error) {
 		}
 		if strings.HasPrefix(head, "ERR ") {
 			return nil, fmt.Errorf("server: %s", strings.TrimPrefix(head, "ERR "))
+		}
+		if strings.HasPrefix(head, "BUSY ") {
+			return nil, fmt.Errorf("server: %w: %s", admit.ErrBusy, strings.TrimPrefix(head, "BUSY "))
 		}
 		var out []string
 		for {

@@ -13,6 +13,13 @@
 // path's acceptance criterion (byte-identity with a one-shot query)
 // holds at every watermark.
 //
+// Standing queries bypass the server's semantic result cache
+// (internal/qcache) entirely: both layers key coherence off the same
+// per-BAT epochs, but the cache is pull-based — an epoch mismatch is
+// discovered at the next lookup — while subscriptions are push-based
+// and must re-evaluate the moment the epoch moves. Sharing entries
+// would let a standing query pin results the cache considers stale.
+//
 // Re-evaluation itself is incremental: each subscription owns a
 // query.Incremental whose leaf caches restrict physical scans to rows
 // appended since the previous evaluation (see that type for the

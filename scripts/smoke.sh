@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Observability + streaming smoke test: boot a real cobra-server with
-# the metrics endpoint on and a live simulated race feed, drive one
-# COQL query through the wire protocol, SUBSCRIBE a standing query and
-# assert at least one pushed EVENT frame arrives, and check the
-# monitoring surfaces are well-formed — /metrics in both content
+# Observability + serving + streaming smoke test: boot a real
+# cobra-server with the metrics endpoint on and a live simulated race
+# feed, drive one COQL query through the wire protocol, prove the
+# semantic result cache cycles MISS -> HIT -> epoch-invalidate against
+# live ingestion (via CACHESTATS and /metrics), SUBSCRIBE a standing
+# query and assert at least one pushed EVENT frame arrives, and check
+# the monitoring surfaces are well-formed — /metrics in both content
 # negotiations (Prometheus text by default, JSON under
 # Accept: application/json), a TRACEDUMP span tree covering the
 # query, and a stream.eval trace covering the standing query's
@@ -59,6 +61,56 @@ printf "SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight')\n.quit\n" \
 grep -qE '^ *[0-9]+\.[0-9] +[0-9]+\.[0-9] +[0-9]\.[0-9]{3}' "$TMP/query.out" || {
   echo "smoke: FAIL query returned no segments" >&2
   cat "$TMP/query.out" >&2
+  exit 1
+}
+
+# cachestat <name>: one counter out of a CACHESTATS response. The
+# shell's "cobra> " prompt shares a line with the first stat, so match
+# the key at any field position rather than anchoring on column one.
+cachestat() {
+  printf 'CACHESTATS\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" \
+    | awk -v k="$1" '{ for (i = 1; i < NF; i++) if ($i == k) print $(i + 1) }'
+}
+
+echo "smoke: checking result cache MISS -> HIT"
+CQ="SELECT SEGMENTS FROM german-gp WHERE EVENT('highlight')"
+# Prime once: a first execution can trigger lazy extraction that bumps
+# its own dependency epochs, stale-marking the entry it just stored.
+# german-gp is static (the feed airs into live-gp), so after priming
+# its epochs hold and MISS -> HIT is deterministic.
+printf "%s\n.quit\n" "$CQ" | "$BIN/cobra-cli" -connect "$ADDR" >/dev/null
+misses0=$(cachestat qcache.misses)
+hits0=$(cachestat qcache.hits)
+[ "$misses0" -ge 1 ] || {
+  echo "smoke: FAIL no cache misses recorded after cold queries" >&2
+  exit 1
+}
+printf "%s\n.quit\n" "$CQ" | "$BIN/cobra-cli" -connect "$ADDR" >"$TMP/cached.out"
+hits1=$(cachestat qcache.hits)
+[ "$hits1" -gt "$hits0" ] || {
+  echo "smoke: FAIL repeated query was not a cache hit (hits $hits0 -> $hits1)" >&2
+  printf 'CACHESTATS\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" >&2
+  exit 1
+}
+# The cached response is still a real result set.
+grep -qE '^ *[0-9]+\.[0-9] +[0-9]+\.[0-9] +[0-9]\.[0-9]{3}' "$TMP/cached.out" || {
+  echo "smoke: FAIL cache hit returned no segments" >&2
+  cat "$TMP/cached.out" >&2
+  exit 1
+}
+
+echo "smoke: checking epoch invalidation against the live feed"
+LQ="SELECT SEGMENTS FROM live-gp WHERE EVENT('passing')"
+printf "%s\n.quit\n" "$LQ" | "$BIN/cobra-cli" -connect "$ADDR" >/dev/null
+inval0=$(cachestat qcache.invalidations)
+# The feed appends into live-gp every 250ms; after a second the
+# cached entry's dependency epochs have certainly moved.
+sleep 1
+printf "%s\n.quit\n" "$LQ" | "$BIN/cobra-cli" -connect "$ADDR" >/dev/null
+inval1=$(cachestat qcache.invalidations)
+[ "$inval1" -gt "$inval0" ] || {
+  echo "smoke: FAIL live-feed append did not invalidate the cached entry (invalidations $inval0 -> $inval1)" >&2
+  printf 'CACHESTATS\n.quit\n' | "$BIN/cobra-cli" -connect "$ADDR" >&2
   exit 1
 }
 
@@ -125,6 +177,12 @@ grep -q 'cobra_stream_evals' "$TMP/metrics.prom" || {
   echo "smoke: FAIL streaming counters missing from Prometheus exposition" >&2
   exit 1
 }
+for m in cobra_qcache_hits cobra_qcache_misses cobra_qcache_invalidations; do
+  grep -q "$m" "$TMP/metrics.prom" || {
+    echo "smoke: FAIL result-cache counter $m missing from Prometheus exposition" >&2
+    exit 1
+  }
+done
 curl -fsS -H 'Accept: application/json' "http://$MADDR/metrics" >"$TMP/metrics.json"
 grep -q '"counters"' "$TMP/metrics.json" || {
   echo "smoke: FAIL /metrics JSON negotiation failed" >&2
