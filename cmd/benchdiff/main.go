@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.25] [-allow-missing Op1,Op2]
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json [-threshold 0.25] [-allocs-gate 0.25] [-allow-missing Op1,Op2]
 //
 // Both files are cobra-bench -benchout combined JSON (see
 // internal/benchfmt). Every operation in the baseline is checked: the
@@ -14,6 +14,12 @@
 // the current run, has a corrupt (non-positive) baseline entry, or
 // ran at a different pinned pool width than the baseline (parallel
 // numbers are only comparable at equal widths).
+// -allocs-gate additionally fails any op whose allocs/op grew by more
+// than the given fraction (0.25 = +25%), or that allocates at all when
+// its baseline was allocation-free — the gate that keeps the arena and
+// fused-pipeline steady-state allocation wins from being given back.
+// Allocation counts are deterministic where ns/op is noisy, so the
+// gate can run tight. A negative value (the default) disables it.
 // -allow-missing names baseline ops — comma-separated — that may be
 // absent from the current run without failing the gate, for retired
 // benchmarks whose baseline entry hasn't been pruned yet. Every op
@@ -39,6 +45,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
 	current := flag.String("current", "BENCH_pr.json", "freshly measured results")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed ns/op growth (0.25 = +25%)")
+	allocsGate := flag.Float64("allocs-gate", -1, "maximum allowed allocs/op growth (0.25 = +25%); negative disables the gate")
 	allowMissing := flag.String("allow-missing", "", "comma-separated baseline ops allowed to be absent from the current run")
 	flag.Parse()
 
@@ -50,7 +57,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if report(os.Stdout, base, cur, *threshold, allowlist(*allowMissing)) {
+	if report(os.Stdout, base, cur, *threshold, *allocsGate, allowlist(*allowMissing)) {
 		os.Exit(1)
 	}
 }
@@ -68,10 +75,15 @@ func allowlist(s string) map[string]bool {
 
 // report prints the per-op comparison table to w and returns whether
 // any tracked operation regressed. Baseline ops named in allowMissing
-// may be absent from the current run without failing the gate.
-func report(w io.Writer, base, cur *benchfmt.File, threshold float64, allowMissing map[string]bool) bool {
+// may be absent from the current run without failing the gate; a
+// non-negative allocsGate additionally fails ops whose allocs/op grew
+// past it.
+func report(w io.Writer, base, cur *benchfmt.File, threshold, allocsGate float64, allowMissing map[string]bool) bool {
 	fmt.Fprintf(w, "benchdiff: baseline %s/%s GOMAXPROCS=%d vs current %s/%s GOMAXPROCS=%d (threshold +%.0f%%)\n",
 		base.GOOS, base.GOARCH, base.GOMAXPROCS, cur.GOOS, cur.GOARCH, cur.GOMAXPROCS, threshold*100)
+	if allocsGate >= 0 {
+		fmt.Fprintf(w, "benchdiff: allocs gate active (+%.0f%%)\n", allocsGate*100)
+	}
 	failed := false
 	var dropped []string
 	for _, d := range benchfmt.Compare(base, cur, threshold) {
@@ -93,6 +105,14 @@ func report(w io.Writer, base, cur *benchfmt.File, threshold float64, allowMissi
 			failed = true
 			fmt.Fprintf(w, "  FAIL %-24s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",
 				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)
+		case allocsGate >= 0 && d.AllocsGrewFromZero:
+			failed = true
+			fmt.Fprintf(w, "  FAIL %-24s %12d allocs/op -> %12d allocs/op (was allocation-free)\n",
+				d.Name, d.BaseAllocs, d.CurAllocs)
+		case allocsGate >= 0 && d.AllocRatio > 1+allocsGate:
+			failed = true
+			fmt.Fprintf(w, "  FAIL %-24s %12d allocs/op -> %12d allocs/op (%+.1f%%)\n",
+				d.Name, d.BaseAllocs, d.CurAllocs, (d.AllocRatio-1)*100)
 		default:
 			fmt.Fprintf(w, "  ok   %-24s %12.0f ns/op -> %12.0f ns/op (%+.1f%%)\n",
 				d.Name, d.BaseNs, d.CurNs, (d.Ratio-1)*100)

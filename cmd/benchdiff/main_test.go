@@ -27,7 +27,7 @@ func TestSyntheticRegressionFails(t *testing.T) {
 		{Name: "SerialSelect1M", NsPerOp: 12_600_000},  // +26%: regression
 	}}
 	var b strings.Builder
-	if !report(&b, baseFile(), cur, 0.25, nil) {
+	if !report(&b, baseFile(), cur, 0.25, -1, nil) {
 		t.Fatalf("synthetic 26%% regression passed the gate:\n%s", b.String())
 	}
 	out := b.String()
@@ -45,7 +45,7 @@ func TestWithinThresholdPasses(t *testing.T) {
 		{Name: "SerialSelect1M", NsPerOp: 9_000_000},
 	}}
 	var b strings.Builder
-	if report(&b, baseFile(), cur, 0.25, nil) {
+	if report(&b, baseFile(), cur, 0.25, -1, nil) {
 		t.Fatalf("in-threshold run failed the gate:\n%s", b.String())
 	}
 }
@@ -55,7 +55,7 @@ func TestMissingOpFails(t *testing.T) {
 		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
 	}}
 	var b strings.Builder
-	if !report(&b, baseFile(), cur, 0.25, nil) {
+	if !report(&b, baseFile(), cur, 0.25, -1, nil) {
 		t.Fatal("missing tracked op passed the gate")
 	}
 	if !strings.Contains(b.String(), "missing from current run") {
@@ -71,14 +71,14 @@ func TestAllowMissingSkips(t *testing.T) {
 		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
 	}}
 	var b strings.Builder
-	if report(&b, baseFile(), cur, 0.25, allowlist("SerialSelect1M")) {
+	if report(&b, baseFile(), cur, 0.25, -1, allowlist("SerialSelect1M")) {
 		t.Fatalf("allowlisted missing op failed the gate:\n%s", b.String())
 	}
 	if !strings.Contains(b.String(), "skip SerialSelect1M") {
 		t.Fatalf("allowlisted op not reported as skipped:\n%s", b.String())
 	}
 	b.Reset()
-	if !report(&b, baseFile(), cur, 0.25, allowlist("SomeOtherOp")) {
+	if !report(&b, baseFile(), cur, 0.25, -1, allowlist("SomeOtherOp")) {
 		t.Fatal("non-allowlisted missing op passed the gate")
 	}
 }
@@ -94,11 +94,54 @@ func TestZeroBaselineFails(t *testing.T) {
 		{Name: "ParallelSelect1M", NsPerOp: 9_000_000_000},
 	}}
 	var b strings.Builder
-	if !report(&b, base, cur, 0.25, nil) {
+	if !report(&b, base, cur, 0.25, -1, nil) {
 		t.Fatalf("zero-ns/op baseline passed the gate:\n%s", b.String())
 	}
 	if !strings.Contains(b.String(), "baseline is not positive") {
 		t.Fatalf("bad baseline not called out:\n%s", b.String())
+	}
+}
+
+// TestAllocsGate exercises the -allocs-gate paths: growth past the
+// gate fails, growth within it passes, growth from an allocation-free
+// baseline fails regardless of ratio, and a disabled gate (negative)
+// ignores allocations entirely.
+func TestAllocsGate(t *testing.T) {
+	base := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelGroupAgg1M", NsPerOp: 4_000_000, AllocsPerOp: 400},
+		{Name: "ZeroAllocOp", NsPerOp: 1_000_000, AllocsPerOp: 0},
+	}}
+	cur := &benchfmt.File{Results: []benchfmt.Result{
+		{Name: "ParallelGroupAgg1M", NsPerOp: 4_000_000, AllocsPerOp: 520}, // +30% allocs
+		{Name: "ZeroAllocOp", NsPerOp: 1_000_000, AllocsPerOp: 0},
+	}}
+	var b strings.Builder
+	if !report(&b, base, cur, 0.25, 0.25, nil) {
+		t.Fatalf("+30%% allocs growth passed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "FAIL ParallelGroupAgg1M") || !strings.Contains(b.String(), "allocs/op") {
+		t.Fatalf("allocs regression not named:\n%s", b.String())
+	}
+
+	b.Reset()
+	cur.Results[0].AllocsPerOp = 480 // +20%: within the gate
+	if report(&b, base, cur, 0.25, 0.25, nil) {
+		t.Fatalf("in-gate allocs growth failed:\n%s", b.String())
+	}
+
+	b.Reset()
+	cur.Results[1].AllocsPerOp = 3 // growth from an allocation-free baseline
+	if !report(&b, base, cur, 0.25, 0.25, nil) {
+		t.Fatalf("growth from zero allocs passed the gate:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "was allocation-free") {
+		t.Fatalf("zero-baseline growth not called out:\n%s", b.String())
+	}
+
+	b.Reset()
+	cur.Results[0].AllocsPerOp = 40_000 // wildly worse, but the gate is off
+	if report(&b, base, cur, 0.25, -1, nil) {
+		t.Fatalf("disabled allocs gate still failed the run:\n%s", b.String())
 	}
 }
 
@@ -126,7 +169,7 @@ func TestDroppedOpsSummarized(t *testing.T) {
 		{Name: "ParallelSelect1M", NsPerOp: 4_000_000},
 	}}
 	var b strings.Builder
-	if report(&b, base, cur, 0.25, allowlist("RetiredA,RetiredB")) {
+	if report(&b, base, cur, 0.25, -1, allowlist("RetiredA,RetiredB")) {
 		t.Fatalf("allowlisted run failed the gate:\n%s", b.String())
 	}
 	if !strings.Contains(b.String(), "dropped ops (allowlisted, absent from current run): RetiredA, RetiredB") {
@@ -146,7 +189,7 @@ func TestStaleAllowlistWarned(t *testing.T) {
 		{Name: "SerialSelect1M", NsPerOp: 10_000_000},
 	}}
 	var b strings.Builder
-	if report(&b, baseFile(), cur, 0.25, allowlist("SerialSelect1M,NoSuchOp")) {
+	if report(&b, baseFile(), cur, 0.25, -1, allowlist("SerialSelect1M,NoSuchOp")) {
 		t.Fatalf("stale allowlist failed the gate:\n%s", b.String())
 	}
 	out := b.String()

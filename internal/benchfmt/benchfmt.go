@@ -105,6 +105,16 @@ type Delta struct {
 	// BaseWidth and CurWidth are the pinned pool widths (0 = unpinned).
 	BaseWidth int
 	CurWidth  int
+	// BaseAllocs and CurAllocs are allocs/op in the two runs, and
+	// AllocRatio is CurAllocs/BaseAllocs (0 when the baseline recorded
+	// no allocations — a zero-alloc op cannot anchor a ratio, so growth
+	// from zero is flagged through AllocsGrewFromZero instead).
+	BaseAllocs int64
+	CurAllocs  int64
+	AllocRatio float64
+	// AllocsGrewFromZero is true when the baseline was allocation-free
+	// but the current run allocates.
+	AllocsGrewFromZero bool
 	// Regressed is true when the op breaches the comparison threshold.
 	Regressed bool
 }
@@ -136,6 +146,12 @@ func Compare(baseline, current *File, threshold float64) []Delta {
 			d.Regressed = true
 			deltas = append(deltas, d)
 			continue
+		}
+		d.BaseAllocs, d.CurAllocs = base.AllocsPerOp, cur.AllocsPerOp
+		if base.AllocsPerOp > 0 {
+			d.AllocRatio = float64(cur.AllocsPerOp) / float64(base.AllocsPerOp)
+		} else if cur.AllocsPerOp > 0 {
+			d.AllocsGrewFromZero = true
 		}
 		if base.NsPerOp > 0 {
 			d.Ratio = cur.NsPerOp / base.NsPerOp

@@ -233,6 +233,15 @@ func (c *Catalog) FeatureSelectCtx(ctx context.Context, video, name string, lo, 
 	return c.store.SelectPositionsCtx(ctx, featureBAT(video, name), monet.NewFloat(lo), monet.NewFloat(hi))
 }
 
+// FeatureRunsCtx range-selects a feature series through the kernel's
+// fused pipeline and returns the qualifying sample positions as
+// maximal runs instead of a position slice: on the fused path no
+// intermediate position list is materialized at all. The FusedInfo
+// reports whether fusion ran and the access path taken.
+func (c *Catalog) FeatureRunsCtx(ctx context.Context, video, name string, lo, hi float64) ([]monet.Run, *monet.FusedInfo, error) {
+	return c.store.SelectRunsCtx(ctx, featureBAT(video, name), monet.NewFloat(lo), monet.NewFloat(hi))
+}
+
 // FeatureBATName is the kernel BAT name holding a feature series;
 // EXPLAIN probes it for access plans.
 func FeatureBATName(video, name string) string { return featureBAT(video, name) }

@@ -1,6 +1,7 @@
 package mil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,8 @@ func (in *Interp) installStdlib() {
 	in.Register("crack", builtinCrack)
 	in.Register("zonemap", builtinZoneMap)
 	in.Register("indexinfo", builtinIndexInfo)
+	in.Register("fusedaggr", builtinFusedAggr)
+	in.Register("fusedruns", builtinFusedRuns)
 	in.Register("abs", func(_ *Interp, args []Value) (Value, error) {
 		if err := wantAtoms("abs", args, 1); err != nil {
 			return Value{}, err
@@ -279,6 +282,49 @@ func builtinIndexInfo(in *Interp, args []Value) (Value, error) {
 		return Value{}, err
 	}
 	return BATValue(b), nil
+}
+
+// builtinFusedAggr executes a fused select→aggregate pipeline over
+// stored BATs: fusedaggr("pred", lo, hi, "agg", "op") aggregates the
+// rows of BAT "agg" whose aligned "pred" tail lies in [lo, hi],
+// without materializing the selection. op is one of count, sum, avg,
+// min, max. The kernel cost gate silently falls back to the
+// operator-at-a-time plan when fusion cannot reproduce it exactly.
+func builtinFusedAggr(in *Interp, args []Value) (Value, error) {
+	if err := wantAtoms("fusedaggr", args, 5); err != nil {
+		return Value{}, err
+	}
+	if in.store == nil {
+		return Value{}, errors.New("fusedaggr: no store attached")
+	}
+	v, _, err := in.store.Pipeline(args[0].Atom.Str(), args[1].Atom, args[2].Atom).
+		Aggregate(context.Background(), args[3].Atom.Str(), args[4].Atom.Str())
+	if err != nil {
+		return Value{}, err
+	}
+	return AtomValue(v), nil
+}
+
+// builtinFusedRuns range-selects a stored BAT through the fused
+// pipeline and returns the qualifying rows as maximal runs:
+// fusedruns("name", lo, hi) yields a [oid, int] BAT mapping each run's
+// first position to its length.
+func builtinFusedRuns(in *Interp, args []Value) (Value, error) {
+	if err := wantAtoms("fusedruns", args, 3); err != nil {
+		return Value{}, err
+	}
+	if in.store == nil {
+		return Value{}, errors.New("fusedruns: no store attached")
+	}
+	runs, _, err := in.store.SelectRuns(args[0].Atom.Str(), args[1].Atom, args[2].Atom)
+	if err != nil {
+		return Value{}, err
+	}
+	out := monet.NewBATCap(monet.OIDT, monet.IntT, len(runs))
+	for _, r := range runs {
+		out.MustInsert(monet.NewOID(monet.OID(r.Start)), monet.NewInt(int64(r.Len)))
+	}
+	return BATValue(out), nil
 }
 
 // builtinRegister persists a BAT into the store: register("name", b).

@@ -102,6 +102,8 @@ func stdlibSigs() map[string]Sig {
 		"crack":     fixedSig("crack", AtomOf(monet.IntT), wantStr),
 		"zonemap":   fixedSig("zonemap", AtomOf(monet.IntT), wantStr),
 		"indexinfo": fixedSig("indexinfo", BATOf(monet.StrT, monet.StrT), wantStr),
+		"fusedaggr": fixedSig("fusedaggr", AnyAtomType(), wantStr, wantAtom, wantAtom, wantStr, wantStr),
+		"fusedruns": fixedSig("fusedruns", BATOf(monet.OIDT, monet.IntT), wantStr, wantAtom, wantAtom),
 		"scale":     fixedSig("scale", BATOf(monet.Void, monet.FloatT), wantNumericBAT, wantNumeric, wantNumeric),
 		"clamp":     fixedSig("clamp", BATOf(monet.Void, monet.FloatT), wantNumericBAT, wantNumeric, wantNumeric),
 		"threshold": fixedSig("threshold", BATOf(monet.Void, monet.BoolT), wantNumericBAT, wantNumeric),

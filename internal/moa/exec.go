@@ -1,6 +1,7 @@
 package moa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -12,9 +13,10 @@ import (
 // Per-operation timing histograms for the Moa→MIL rewrite layer; each
 // histogram's count doubles as the operation counter.
 var (
-	hSelectRange = obs.H("moa.select_range.latency")
-	hAggregate   = obs.H("moa.aggregate.latency")
-	hJoinOn      = obs.H("moa.join_on.latency")
+	hSelectRange    = obs.H("moa.select_range.latency")
+	hAggregate      = obs.H("moa.aggregate.latency")
+	hAggregateWhere = obs.H("moa.aggregate_where.latency")
+	hJoinOn         = obs.H("moa.join_on.latency")
 )
 
 // Kernel-executed algebra: operators over flattened sets run directly
@@ -164,6 +166,26 @@ func (fs *FlatSet) Aggregate(field, op string) (monet.Value, error) {
 		return v, nil
 	}
 	return monet.Value{}, fmt.Errorf("moa: unknown aggregate %q", op)
+}
+
+// AggregateWhere computes op ("count", "sum", "avg", "min", "max")
+// over field restricted to the rows whose predField value lies in
+// [lo, hi] — the fused select→project→aggregate of SelectRange
+// followed by Aggregate, executed through the kernel's Pipeline
+// without materializing the selected set. The returned FusedInfo says
+// whether the pipeline ran fused or took the byte-identical
+// operator-at-a-time fallback, and which access path answered the
+// predicate.
+func (fs *FlatSet) AggregateWhere(ctx context.Context, field, op, predField string, lo, hi monet.Value) (monet.Value, *monet.FusedInfo, error) {
+	defer func(start time.Time) { hAggregateWhere.Observe(time.Since(start)) }(time.Now())
+	if _, err := fs.column(predField); err != nil {
+		return monet.Value{}, nil, err
+	}
+	if _, err := fs.column(field); err != nil {
+		return monet.Value{}, nil, err
+	}
+	return fs.store.Pipeline(fs.prefix+"/"+predField, lo, hi).
+		Aggregate(ctx, fs.prefix+"/"+field, op)
 }
 
 // JoinOn materializes under dstPrefix the natural join of two

@@ -226,6 +226,46 @@ func (fs *FlatSet) PlanAggregate(field, op string) (string, error) {
 	return fmt.Sprintf("RETURN bat(%s).%s;\n", src, op), nil
 }
 
+// PlanAggregateWhere emits the MIL equivalent of AggregateWhere: one
+// fusedaggr call carrying the whole select→aggregate pipeline, instead
+// of a uselect / semijoin / aggregate chain with a materialized
+// intermediate. The plan's comment line records the kernel cost gate's
+// current fused-vs-fallback decision — the same string EXPLAIN prints
+// — so a cached plan is keyed to the execution strategy it was emitted
+// under.
+func (fs *FlatSet) PlanAggregateWhere(field, op, predField string, lo, hi monet.Value) (string, error) {
+	switch op {
+	case "count", "sum", "avg", "max", "min":
+	default:
+		return "", fmt.Errorf("moa: unknown aggregate %q", op)
+	}
+	loLit, err := MILLit(lo)
+	if err != nil {
+		return "", err
+	}
+	hiLit, err := MILLit(hi)
+	if err != nil {
+		return "", err
+	}
+	pred, err := quoteMIL(fs.prefix + "/" + predField)
+	if err != nil {
+		return "", err
+	}
+	src, err := quoteMIL(fs.prefix + "/" + field)
+	if err != nil {
+		return "", err
+	}
+	opLit, err := quoteMIL(op)
+	if err != nil {
+		return "", err
+	}
+	decision := fs.store.FusedDecision(fs.prefix+"/"+predField, fs.prefix+"/"+field, lo, hi, op)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s(%s) where %s in [%s,%s]  %s\n", op, field, predField, loLit, hiLit, decision)
+	fmt.Fprintf(&b, "RETURN fusedaggr(%s, %s, %s, %s, %s);\n", pred, loLit, hiLit, src, opLit)
+	return b.String(), nil
+}
+
 // PlanJoinOn emits the MIL equivalent of JoinOn. The key columns join
 // into [l-oid, r-oid] pairs; marking the pairs yields per-side gather
 // maps from output row number to source OID, and a join through each

@@ -127,6 +127,36 @@ func (pc *PlanCache) Aggregate(fs *FlatSet, field, op string) (string, bool, err
 	return pc.do(k, func() (string, error) { return fs.PlanAggregate(field, op) })
 }
 
+// AggregateWhere is a memoized FlatSet.PlanAggregateWhere. Unlike the
+// schema-only keys of the other emitters, its key also spans the two
+// data columns' mutation epochs and the kernel cost gate's
+// fused-vs-fallback decision (computed from the gate's inputs:
+// bound/column type agreement, NaN state, aggregate-column exactness).
+// Appends that bump a column or column state that flips the gate
+// re-key the entry, so a cached fused plan is never served once the
+// fallback is required — stale keys age out of the LRU.
+func (pc *PlanCache) AggregateWhere(fs *FlatSet, field, op, predField string, lo, hi monet.Value) (string, bool, error) {
+	loLit, err := MILLit(lo)
+	if err != nil {
+		return "", false, err
+	}
+	hiLit, err := MILLit(hi)
+	if err != nil {
+		return "", false, err
+	}
+	pred := fs.prefix + "/" + predField
+	agg := fs.prefix + "/" + field
+	decision := fs.store.FusedDecision(pred, agg, lo, hi, op)
+	var eb strings.Builder
+	for _, e := range fs.store.Epochs([]string{pred, agg}) {
+		eb.WriteString(strconv.FormatUint(e, 10))
+		eb.WriteByte(',')
+	}
+	k := pc.key(fs.store, "aggregatewhere", []string{fs.prefix},
+		fs.prefix, field, op, predField, loLit, hiLit, decision, eb.String())
+	return pc.do(k, func() (string, error) { return fs.PlanAggregateWhere(field, op, predField, lo, hi) })
+}
+
 // JoinOn is a memoized FlatSet.PlanJoinOn; the key spans both sides'
 // schema epochs.
 func (pc *PlanCache) JoinOn(fs, other *FlatSet, dstPrefix, leftField, rightField string) (string, bool, error) {

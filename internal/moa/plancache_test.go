@@ -1,6 +1,8 @@
 package moa
 
 import (
+	"context"
+	"math"
 	"testing"
 
 	"cobra/internal/monet"
@@ -83,6 +85,55 @@ func TestPlanCacheReKeysOnSchemaEpoch(t *testing.T) {
 	}
 	if before == after {
 		t.Fatal("plan did not pick up the new schema")
+	}
+}
+
+// TestPlanCacheAggregateWhereFusedDecision proves the AggregateWhere
+// key carries the kernel's fused-vs-fallback decision, not just
+// argument text and epochs: when column state flips the cost gate
+// WITHOUT moving any epoch (a NaN discovered mid-execution marks the
+// column unsafe), the memoized fused plan must not be served.
+func TestPlanCacheAggregateWhereFusedDecision(t *testing.T) {
+	store, lfs, _ := planFixture(t)
+	pc := NewPlanCache(0)
+	lo, hi := monet.NewFloat(80), monet.NewFloat(90)
+
+	if _, hit, err := pc.AggregateWhere(lfs, "lap", "sum", "time", lo, hi); err != nil || hit {
+		t.Fatalf("cold emission hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := pc.AggregateWhere(lfs, "lap", "sum", "time", lo, hi); err != nil || !hit {
+		t.Fatalf("warm emission hit=%v err=%v", hit, err)
+	}
+
+	// An append re-keys through the data-column epochs (the other
+	// emitters only watch the schema epoch, which has not moved). Both
+	// columns grow a row to stay aligned.
+	if err := store.Append("laps/time", monet.VoidValue(), monet.NewFloat(math.NaN())); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append("laps/lap", monet.VoidValue(), monet.NewInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := pc.AggregateWhere(lfs, "lap", "sum", "time", lo, hi); err != nil || hit {
+		t.Fatalf("append served stale plan: hit=%v err=%v", hit, err)
+	}
+	// The NaN row is in the column but undiscovered: the gate still says
+	// fused, and the fused plan just cached is served again.
+	if _, hit, err := pc.AggregateWhere(lfs, "lap", "sum", "time", lo, hi); err != nil || !hit {
+		t.Fatalf("pre-discovery emission hit=%v err=%v", hit, err)
+	}
+
+	// Executing the aggregate makes the gate's NaN pre-pass discover the
+	// row and mark the column unsafe — no epoch moves, only the
+	// decision. Without the decision in the key this would be a hit on
+	// the stale fused plan.
+	if _, fi, err := lfs.AggregateWhere(context.Background(), "lap", "sum", "time", lo, hi); err != nil {
+		t.Fatal(err)
+	} else if fi.Fused {
+		t.Fatalf("NaN column still fused: %v", fi)
+	}
+	if _, hit, err := pc.AggregateWhere(lfs, "lap", "sum", "time", lo, hi); err != nil || hit {
+		t.Fatalf("fused-decision flip served stale plan: hit=%v err=%v", hit, err)
 	}
 }
 

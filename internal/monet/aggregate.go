@@ -159,10 +159,16 @@ func (b *BAT) GroupSum() (*BAT, error) {
 // GroupCount computes the per-group association count as [g, int].
 // Large inputs count morsel-parallel; per-morsel counts merge in
 // morsel order, preserving the serial first-occurrence group order.
+// Integer-domain and string heads take the arena-backed fast path:
+// per-morsel group tables live in recycled scratch and only the
+// exact-size partials are allocated.
 func (b *BAT) GroupCount() (*BAT, error) {
 	counts := map[string]int64{}
 	order := []Value{}
 	if p, ok := poolFor(b.Len()); ok {
+		if out, ok := b.groupParFast(p, nil, 0, true); ok {
+			return out, nil
+		}
 		parts := make([]groupPart[int64], numMorsels(b.Len()))
 		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
 			// Sized for the worst case (every row its own group) so the
@@ -258,6 +264,9 @@ func (b *BAT) groupedFold(name string, f func(acc, x float64) float64, init floa
 	accs := map[string]float64{}
 	order := []Value{}
 	if p, ok := poolFor(b.Len()); ok {
+		if out, ok := b.groupParFast(p, f, init, false); ok {
+			return out, nil
+		}
 		parts := make([]groupPart[float64], numMorsels(b.Len()))
 		runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
 			// Sized for the worst case (every row its own group) so the
@@ -305,6 +314,251 @@ func (b *BAT) groupedFold(name string, f func(acc, x float64) float64, init floa
 		out.MustInsert(h, NewFloat(accs[h.String()]))
 	}
 	return out, nil
+}
+
+// floatReader returns a raw float64 accessor over a numeric column,
+// producing exactly the values Get(i).Float() would, without boxing.
+// It returns nil for non-numeric columns.
+func floatReader(c Column) func(i int) float64 {
+	switch c := c.(type) {
+	case *floatColumn:
+		v := c.v
+		return func(i int) float64 { return v[i] }
+	case *intColumn:
+		v := c.v
+		return func(i int) float64 { return float64(v[i]) }
+	case *oidColumn:
+		v := c.v
+		return func(i int) float64 { return float64(v[i]) }
+	case *boolColumn:
+		v := c.v
+		return func(i int) float64 {
+			if v[i] {
+				return 1
+			}
+			return 0
+		}
+	}
+	return nil
+}
+
+// strGroupPart is the per-morsel partial of a string-keyed fast
+// grouped fold: group keys in first-occurrence order plus per-group
+// partial counts and accumulators.
+type strGroupPart struct {
+	keys   []string
+	accs   []float64
+	counts []int64
+}
+
+// groupParFast is the allocation-disciplined morsel-parallel grouped
+// fold. Heads with an integer domain (int, oid, bool) group on the
+// raw int64 payload and string heads on the raw string — both
+// bijective with the generic path's Value.String key, so group
+// composition, first-occurrence order and values are identical to the
+// generic morsel merge. Per-morsel group tables live in arena scratch
+// (slot maps plus flat key/count/acc buffers); only the exact-size
+// partials and the output BAT are allocated. Returns ok=false for
+// head types it cannot key, sending the caller to the generic path.
+func (b *BAT) groupParFast(p *Pool, f func(acc, x float64) float64, init float64, counting bool) (*BAT, bool) {
+	var valAt func(i int) float64
+	if !counting {
+		if valAt = floatReader(b.tail); valAt == nil {
+			return nil, false
+		}
+	}
+	if keyAt := intReader(b.head); keyAt != nil {
+		return b.groupParInt(p, keyAt, valAt, f, init, counting), true
+	}
+	if sc, ok := b.head.(*strColumn); ok {
+		return b.groupParStr(p, sc.v, valAt, f, init, counting), true
+	}
+	return nil, false
+}
+
+// groupParInt is the integer-keyed arm of groupParFast.
+func (b *BAT) groupParInt(p *Pool, keyAt func(i int) int64, valAt func(i int) float64, f func(acc, x float64) float64, init float64, counting bool) *BAT {
+	parts := make([]fusedGroupPart, numMorsels(b.Len()))
+	runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
+		a := GetArena()
+		slots := a.IntSlots()
+		keys := a.Int64s(hi - lo)
+		counts := a.Int64s(hi - lo)
+		var accs []float64
+		if !counting {
+			accs = a.Floats(hi - lo)
+		}
+		ng := 0
+		for i := lo; i < hi; i++ {
+			k := keyAt(i)
+			slot, seen := slots[k]
+			if !seen {
+				slot = int32(ng)
+				//cobravet:allow allochot // arena slot map: one insert per DISTINCT group, bounded by group count not rows, and the map is recycled across morsels
+				slots[k] = slot
+				keys[ng] = k
+				counts[ng] = 0
+				if !counting {
+					accs[ng] = init
+				}
+				ng++
+			}
+			counts[slot]++
+			if !counting {
+				accs[slot] = f(accs[slot], valAt(i))
+			}
+		}
+		// Partials outlive the morsel: copy exact-size out of the arena.
+		part := fusedGroupPart{
+			keys:   append([]int64(nil), keys[:ng]...),
+			counts: append([]int64(nil), counts[:ng]...),
+		}
+		if !counting {
+			part.accs = append([]float64(nil), accs[:ng]...)
+		}
+		parts[m] = part
+		PutArena(a)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part.keys)
+	}
+	a := GetArena()
+	gslots := a.IntSlots()
+	keys := a.Int64s(total)
+	counts := a.Int64s(total)
+	var accs []float64
+	if !counting {
+		accs = a.Floats(total)
+	}
+	ng := 0
+	for _, part := range parts {
+		for gi, k := range part.keys {
+			slot, seen := gslots[k]
+			if !seen {
+				slot = int32(ng)
+				gslots[k] = slot
+				keys[ng] = k
+				counts[ng] = 0
+				if !counting {
+					accs[ng] = init
+				}
+				ng++
+			}
+			counts[slot] += part.counts[gi]
+			if !counting {
+				accs[slot] = f(accs[slot], part.accs[gi])
+			}
+		}
+	}
+	ht := b.head.Type()
+	var out *BAT
+	if counting {
+		out = NewBATCap(materialType(ht), IntT, ng)
+		for g := 0; g < ng; g++ {
+			out.MustInsert(typedInt(ht, keys[g]), NewInt(counts[g]))
+		}
+	} else {
+		out = NewBATCap(materialType(ht), FloatT, ng)
+		for g := 0; g < ng; g++ {
+			out.MustInsert(typedInt(ht, keys[g]), NewFloat(accs[g]))
+		}
+	}
+	PutArena(a)
+	return out
+}
+
+// groupParStr is the string-keyed arm of groupParFast. Grouping on the
+// raw string skips both the Get boxing and the strconv.Quote of the
+// generic path's Value.String key.
+func (b *BAT) groupParStr(p *Pool, sv []string, valAt func(i int) float64, f func(acc, x float64) float64, init float64, counting bool) *BAT {
+	parts := make([]strGroupPart, numMorsels(b.Len()))
+	runMorsels(p, b.Len(), hPoolAggLat, hPoolAggSpd, func(m, lo, hi int) {
+		a := GetArena()
+		slots := a.StrSlots()
+		keys := a.Strs(hi - lo)
+		counts := a.Int64s(hi - lo)
+		var accs []float64
+		if !counting {
+			accs = a.Floats(hi - lo)
+		}
+		ng := 0
+		for i := lo; i < hi; i++ {
+			k := sv[i]
+			slot, seen := slots[k]
+			if !seen {
+				slot = int32(ng)
+				//cobravet:allow allochot // arena slot map: one insert per DISTINCT group, bounded by group count not rows, and the map is recycled across morsels
+				slots[k] = slot
+				keys[ng] = k
+				counts[ng] = 0
+				if !counting {
+					accs[ng] = init
+				}
+				ng++
+			}
+			counts[slot]++
+			if !counting {
+				accs[slot] = f(accs[slot], valAt(i))
+			}
+		}
+		// Partials outlive the morsel: copy exact-size out of the arena.
+		part := strGroupPart{
+			keys:   append([]string(nil), keys[:ng]...),
+			counts: append([]int64(nil), counts[:ng]...),
+		}
+		if !counting {
+			part.accs = append([]float64(nil), accs[:ng]...)
+		}
+		parts[m] = part
+		PutArena(a)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part.keys)
+	}
+	a := GetArena()
+	gslots := a.StrSlots()
+	keys := a.Strs(total)
+	counts := a.Int64s(total)
+	var accs []float64
+	if !counting {
+		accs = a.Floats(total)
+	}
+	ng := 0
+	for _, part := range parts {
+		for gi, k := range part.keys {
+			slot, seen := gslots[k]
+			if !seen {
+				slot = int32(ng)
+				gslots[k] = slot
+				keys[ng] = k
+				counts[ng] = 0
+				if !counting {
+					accs[ng] = init
+				}
+				ng++
+			}
+			counts[slot] += part.counts[gi]
+			if !counting {
+				accs[slot] = f(accs[slot], part.accs[gi])
+			}
+		}
+	}
+	var out *BAT
+	if counting {
+		out = NewBATCap(StrT, IntT, ng)
+		for g := 0; g < ng; g++ {
+			out.MustInsert(NewStr(keys[g]), NewInt(counts[g]))
+		}
+	} else {
+		out = NewBATCap(StrT, FloatT, ng)
+		for g := 0; g < ng; g++ {
+			out.MustInsert(NewStr(keys[g]), NewFloat(accs[g]))
+		}
+	}
+	PutArena(a)
+	return out
 }
 
 // Histogram returns a BAT [tail-value, int] counting occurrences of

@@ -1,6 +1,7 @@
 package monet
 
 import (
+	"context"
 	"runtime"
 	"testing"
 )
@@ -62,13 +63,16 @@ func TestGroupSumAllocsPerMorsel(t *testing.T) {
 			}
 		})
 	})
-	// Per morsel: order/keys slices, sized accs map (its buckets), the
-	// fan-out closure — but nothing per row beyond key strings, which
-	// the 64-group input keeps interned small. The pre-fix growth
-	// pattern (unsized map rehashes + slice doubling) blows well past
-	// this.
-	if max := allocBudget(24); got > max {
-		t.Fatalf("GroupSum allocates %.0f/op, budget %.0f (per-row growth crept back in?)", got, max)
+	// The arena-backed typed grouping (groupParFast) reuses every
+	// per-morsel table and key buffer across morsels and operations, so
+	// steady state is a fixed handful of allocations per OPERATION —
+	// fan-out plumbing, partial copy-outs, and the output BAT — not per
+	// morsel. The ceiling is a tenth of the pre-arena per-morsel budget
+	// (allocBudget(24)); regressing past it means either the typed fast
+	// path stopped engaging or arena reuse broke. Measured steady state
+	// is ~31/op against a ceiling of ~179.
+	if max := allocBudget(24) / 10; got > max {
+		t.Fatalf("GroupSum allocates %.0f/op, budget %.0f (arena reuse broken or fast path disengaged?)", got, max)
 	}
 }
 
@@ -87,12 +91,72 @@ func TestJoinAllocsPerMorsel(t *testing.T) {
 			}
 		})
 	})
-	// Probe morsels: two sized match slices each; hash build: four
-	// fixed buffers per morsel plus per-shard tables, whose entries and
-	// per-key position lists cost a couple of allocations per DISTINCT
-	// key (inherent to the table, unlike per-row growth); output: two
-	// gathered columns.
-	if max := allocBudget(48) + 2*(1<<12); got > max {
-		t.Fatalf("Join allocates %.0f/op, budget %.0f (per-row growth crept back in?)", got, max)
+	// The compact int hash table (one flat position array + one slot
+	// map per shard) replaced the per-key position lists, and the probe
+	// and build morsel scratch comes from arenas, so the whole join —
+	// build AND probe — costs a fixed handful of allocations per
+	// operation. The ceiling is a tenth of the pre-arena budget
+	// (allocBudget(48) + 2 per distinct build key); measured steady
+	// state is ~67/op against a ceiling of ~1150.
+	if max := (allocBudget(48) + 2*(1<<12)) / 10; got > max {
+		t.Fatalf("Join allocates %.0f/op, budget %.0f (arena reuse or compact table broken?)", got, max)
+	}
+}
+
+// TestFusedAggregateAllocs pins the fused select→sum pipeline's
+// steady-state allocation count: consuming index-answered runs into a
+// scalar must not materialize positions or gather an intermediate.
+func TestFusedAggregateAllocs(t *testing.T) {
+	var got float64
+	withWorkers(t, 4, func() {
+		store := NewStore()
+		val := NewBATCap(Void, IntT, allocRows)
+		for i := 0; i < allocRows; i++ {
+			val.MustInsert(VoidValue(), NewInt(int64(i%1000)))
+		}
+		if err := store.Put("bench/val", val); err != nil {
+			t.Fatal(err)
+		}
+		p := store.Pipeline("bench/val", NewInt(100), NewInt(199))
+		ctx := context.Background()
+		got = allocsPerOp(5, func() {
+			if _, _, err := p.Aggregate(ctx, "bench/val", "sum"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	// Capture, gate probe, span bookkeeping, and the scalar merge — all
+	// fixed-count; measured steady state is ~30/op.
+	if got > 256 {
+		t.Fatalf("fused Aggregate allocates %.0f/op, budget 256 (materialization crept back in?)", got)
+	}
+}
+
+// TestArenaShrinkAfterResize proves narrowing the pool releases the
+// excess parked arenas instead of leaking them: after wide-pool work
+// populates the free list, shrinking the pool must cap both the
+// parked-arena count and the retained scratch bytes at the new width.
+func TestArenaShrinkAfterResize(t *testing.T) {
+	prev := SetDefaultPoolWorkers(8)
+	defer SetDefaultPoolWorkers(prev)
+	bat := NewBATCap(IntT, IntT, allocRows)
+	for i := 0; i < allocRows; i++ {
+		bat.MustInsert(NewInt(int64(i%64)), NewInt(int64(i%100)))
+	}
+	for r := 0; r < 3; r++ {
+		if _, err := bat.GroupSum(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wide, _ := ArenaStats(); wide == 0 {
+		t.Fatal("wide-pool work parked no arenas; fixture no longer exercises the pool")
+	}
+	SetDefaultPoolWorkers(2)
+	retained, bytes := ArenaStats()
+	if retained > 2 {
+		t.Fatalf("after shrinking the pool to 2 workers, %d arenas remain parked (leak)", retained)
+	}
+	if retained == 0 && bytes != 0 {
+		t.Fatalf("free list empty but %d scratch bytes still reported retained", bytes)
 	}
 }

@@ -233,18 +233,24 @@ func (b *BAT) joinPar(p *Pool, other *BAT) *BAT {
 	lParts := make([][]int, nm)
 	rParts := make([][]int, nm)
 	runMorsels(p, b.Len(), hPoolJoinLat, hPoolJoinSpd, func(m, lo, hi int) {
-		// Sized for the common at-most-one-match probe; higher join
-		// multiplicity grows past the hint but stays morsel-bounded.
-		ls := make([]int, 0, hi-lo)
-		rs := make([]int, 0, hi-lo)
+		// Probe into arena scratch sized for the common
+		// at-most-one-match case; higher join multiplicity appends past
+		// the arena buffer onto the heap but stays morsel-bounded. The
+		// surviving pairs are copied out exact-size before the arena is
+		// returned.
+		a := GetArena()
+		ls := a.Ints(hi - lo)[:0]
+		rs := a.Ints(hi - lo)[:0]
 		for i := lo; i < hi; i++ {
 			t := b.tail.Get(i)
 			for _, j := range ht.lookup(t) {
-				ls = append(ls, i)
-				rs = append(rs, j)
+				ls = append(ls, i) //cobravet:allow allochot // appends into arena scratch presized to the morsel; join fan-out past it migrates off-arena once, not per row
+				rs = append(rs, j) //cobravet:allow allochot // same arena scratch as ls
 			}
 		}
-		lParts[m], rParts[m] = ls, rs
+		lParts[m] = append([]int(nil), ls...)
+		rParts[m] = append([]int(nil), rs...)
+		PutArena(a)
 	})
 	total := 0
 	for _, part := range lParts {
@@ -436,7 +442,20 @@ func (ht *hashTable) insert(c Column, i int) {
 	}
 }
 
-func buildHash(c Column) *hashTable {
+// buildHash builds the serial hash index over c. Integer-domain keys
+// (int, oid, bool) get the compact count-then-fill layout; other types
+// keep the per-key slice table.
+func buildHash(c Column) hashIndex {
+	if c.Type() != Void {
+		if keyAt := intReader(c); keyAt != nil {
+			n := c.Len()
+			return buildCompactInt(keyAt, n, func(visit func(i int)) {
+				for i := 0; i < n; i++ {
+					visit(i)
+				}
+			})
+		}
+	}
 	ht := newHashTable(c.Type(), c.Len())
 	ht.n = c.Len()
 	if ht.dense {
@@ -446,6 +465,64 @@ func buildHash(c Column) *hashTable {
 		ht.insert(c, i)
 	}
 	return ht
+}
+
+// compactIntTable is the allocation-disciplined hash index for
+// integer-domain keys: instead of one growing position slice per key
+// (an allocation per distinct key plus append churn), all positions
+// live in one flat array grouped by key, with a slot map and a prefix
+// offset array carving it into per-key spans. Lookup returns a
+// subslice — zero allocations per probe — and spans keep the build's
+// ascending position order, exactly what hashTable.lookup returns.
+type compactIntTable struct {
+	slots map[int64]int32
+	offs  []int
+	pos   []int
+}
+
+// buildCompactInt builds a compactIntTable in two passes over the
+// positions that each yields (which must be visited in the same order
+// both times, ascending per key): pass one assigns slots in
+// first-occurrence order and counts per-key occupancy, pass two fills
+// the flat position array through prefix-sum cursors.
+func buildCompactInt(keyAt func(i int) int64, total int, each func(visit func(i int))) *compactIntTable {
+	t := &compactIntTable{slots: make(map[int64]int32, total)}
+	counts := make([]int, 0, 16)
+	each(func(i int) {
+		k := keyAt(i)
+		slot, seen := t.slots[k]
+		if !seen {
+			slot = int32(len(counts))
+			t.slots[k] = slot
+			counts = append(counts, 0)
+		}
+		counts[slot]++
+	})
+	t.offs = make([]int, len(counts)+1)
+	for s, c := range counts {
+		t.offs[s+1] = t.offs[s] + c
+	}
+	t.pos = make([]int, total)
+	copy(counts, t.offs[:len(counts)]) // counts becomes the per-slot write cursor
+	each(func(i int) {
+		slot := t.slots[keyAt(i)]
+		t.pos[counts[slot]] = i
+		counts[slot]++
+	})
+	return t
+}
+
+// lookup returns the ascending positions holding v, as a span of the
+// flat position array. Non-integer probes miss, matching the typed
+// maps of hashTable.
+func (t *compactIntTable) lookup(v Value) []int {
+	switch v.Typ {
+	case OIDT, IntT, BoolT:
+		if slot, ok := t.slots[v.Int()]; ok {
+			return t.pos[t.offs[slot]:t.offs[slot+1]]
+		}
+	}
+	return nil
 }
 
 func (ht *hashTable) lookup(v Value) []int {

@@ -1,0 +1,417 @@
+package monet_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cobra/internal/monet"
+)
+
+// Randomized equivalence property for the fused pipelines: for random
+// column types, data distributions, and bounds, every fused operator
+// (Aggregate, GroupAggregate, JoinProbe, SelectRuns) must reproduce
+// its operator-at-a-time reference byte-for-byte — at pool widths 1, 4
+// and 8, and while a writer concurrently appends to a different BAT in
+// the same store (run with -race this doubles as a locking proof).
+// The reference is computed here from first principles: a full
+// Compare-based scan for the qualifying positions, then the public BAT
+// operators over explicitly gathered copies.
+
+// refIdx is the ground-truth range select: ascending positions whose
+// tail lies in [lo, hi] under Compare — the same predicate every
+// unfused path reduces to.
+func refIdx(b *monet.BAT, lo, hi monet.Value) []int {
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		t := b.Tail(i)
+		if monet.Compare(t, lo) >= 0 && monet.Compare(t, hi) <= 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// gather builds the materialized intermediate the unfused plan would:
+// a fresh BAT holding (head(i), tail(i)) for each qualifying i.
+func gather(heads, tails *monet.BAT, idx []int) *monet.BAT {
+	out := monet.NewBATCap(heads.HeadType(), tails.TailType(), len(idx))
+	for _, i := range idx {
+		out.MustInsert(heads.Head(i), tails.Tail(i))
+	}
+	return out
+}
+
+// sameBAT compares two BATs by rendered rows — the byte-identity the
+// fused pipelines promise.
+func sameBAT(a, b *monet.BAT) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("length %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Head(i).String() != b.Head(i).String() || a.Tail(i).String() != b.Tail(i).String() {
+			return fmt.Errorf("row %d: [%s,%s] vs [%s,%s]",
+				i, a.Head(i), a.Tail(i), b.Head(i), b.Tail(i))
+		}
+	}
+	return nil
+}
+
+// fusedTrial is one randomized fixture: an OID-headed predicate column
+// of a random type, an aligned int aggregate column, an aligned string
+// group column, a join build side keyed in the predicate's domain, and
+// bounds drawn from (and around) the data's domain.
+type fusedTrial struct {
+	store      *monet.Store
+	pred, agg  *monet.BAT
+	grp, other *monet.BAT
+	predName   string
+	aggName    string
+	grpName    string
+	lo, hi     monet.Value
+	joinable   bool
+}
+
+func newFusedTrial(t *testing.T, rng *rand.Rand, trial int) *fusedTrial {
+	t.Helper()
+	n := 512 + rng.Intn(4096)
+	if trial%3 == 0 {
+		// Cross the parallel threshold so wide pools take the fused
+		// morsel fan-out rather than the serial consumer.
+		n = monet.ParallelThreshold + rng.Intn(8192)
+	}
+	tr := &fusedTrial{
+		store:    monet.NewStore(),
+		predName: fmt.Sprintf("t%d/pred", trial),
+		aggName:  fmt.Sprintf("t%d/agg", trial),
+		grpName:  fmt.Sprintf("t%d/grp", trial),
+	}
+	kind := trial % 3
+	switch kind {
+	case 0: // int predicate
+		mod := 50 + rng.Intn(1000)
+		tr.pred = monet.NewBATCap(monet.OIDT, monet.IntT, n)
+		for i := 0; i < n; i++ {
+			tr.pred.MustInsert(monet.NewOID(monet.OID(i)), monet.NewInt(int64(rng.Intn(mod))))
+		}
+		a := int64(rng.Intn(mod))
+		tr.lo, tr.hi = monet.NewInt(a), monet.NewInt(a+int64(rng.Intn(mod/2+1)))
+		tr.other = monet.NewBATCap(monet.IntT, monet.IntT, mod)
+		for k := 0; k < mod; k += 1 + rng.Intn(3) {
+			tr.other.MustInsert(monet.NewInt(int64(k)), monet.NewInt(int64(k)*7))
+		}
+		tr.joinable = true
+	case 1: // float predicate (no join: float keys are not a join domain here)
+		tr.pred = monet.NewBATCap(monet.OIDT, monet.FloatT, n)
+		for i := 0; i < n; i++ {
+			tr.pred.MustInsert(monet.NewOID(monet.OID(i)), monet.NewFloat(rng.Float64()*1000))
+		}
+		a := rng.Float64() * 1000
+		tr.lo, tr.hi = monet.NewFloat(a), monet.NewFloat(a+rng.Float64()*500)
+	default: // string predicate, dictionary domain
+		labels := 16 + rng.Intn(64)
+		tr.pred = monet.NewBATCap(monet.OIDT, monet.StrT, n)
+		for i := 0; i < n; i++ {
+			tr.pred.MustInsert(monet.NewOID(monet.OID(i)), monet.NewStr(fmt.Sprintf("lab-%03d", rng.Intn(labels))))
+		}
+		a := rng.Intn(labels)
+		tr.lo = monet.NewStr(fmt.Sprintf("lab-%03d", a))
+		tr.hi = monet.NewStr(fmt.Sprintf("lab-%03d", a+rng.Intn(labels-a)))
+		tr.other = monet.NewBAT(monet.StrT, monet.IntT)
+		for k := 0; k < labels; k += 1 + rng.Intn(2) {
+			tr.other.MustInsert(monet.NewStr(fmt.Sprintf("lab-%03d", k)), monet.NewInt(int64(k)))
+		}
+		tr.joinable = true
+	}
+	tr.agg = monet.NewBATCap(monet.OIDT, monet.IntT, n)
+	tr.grp = monet.NewBATCap(monet.OIDT, monet.StrT, n)
+	for i := 0; i < n; i++ {
+		tr.agg.MustInsert(monet.NewOID(monet.OID(i)), monet.NewInt(rng.Int63n(1000)))
+		tr.grp.MustInsert(monet.NewOID(monet.OID(i)), monet.NewStr(fmt.Sprintf("g%02d", rng.Intn(16))))
+	}
+	for name, b := range map[string]*monet.BAT{tr.predName: tr.pred, tr.aggName: tr.agg, tr.grpName: tr.grp} {
+		if err := tr.store.Put(name, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// checkScalar compares every scalar aggregate op against the gathered
+// reference.
+func (tr *fusedTrial) checkScalar(t *testing.T, ctx context.Context, idx []int) {
+	t.Helper()
+	wrap := gather(tr.agg, tr.agg, idx)
+	for _, op := range []string{"count", "sum", "avg", "min", "max"} {
+		got, fi, err := tr.store.Pipeline(tr.predName, tr.lo, tr.hi).Aggregate(ctx, tr.aggName, op)
+		if len(idx) == 0 && (op == "min" || op == "max") {
+			if err == nil {
+				t.Fatalf("%s over empty selection succeeded with %s", op, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("fused %s: %v (fi=%v)", op, err, fi)
+		}
+		var want monet.Value
+		switch op {
+		case "count":
+			want = monet.NewInt(int64(len(idx)))
+		case "sum":
+			s, err := wrap.Sum()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = monet.NewFloat(s)
+		case "avg":
+			if len(idx) == 0 {
+				want = monet.NewFloat(math.NaN())
+			} else {
+				s, err := wrap.Avg()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = monet.NewFloat(s)
+			}
+		case "min":
+			want, _ = wrap.Min()
+		case "max":
+			want, _ = wrap.Max()
+		}
+		if got.String() != want.String() {
+			t.Fatalf("%s: fused %s != reference %s (matched %d rows, %s)", op, got, want, len(idx), fi)
+		}
+	}
+}
+
+// checkGroup compares one grouped aggregate op against the gathered
+// reference.
+func (tr *fusedTrial) checkGroup(t *testing.T, ctx context.Context, idx []int, op string) {
+	t.Helper()
+	got, fi, err := tr.store.Pipeline(tr.predName, tr.lo, tr.hi).GroupAggregate(ctx, tr.grpName, tr.aggName, op)
+	if err != nil {
+		t.Fatalf("fused group %s: %v (fi=%v)", op, err, fi)
+	}
+	wrap := gather(tr.grp.Reverse(), tr.agg, idx)
+	var want *monet.BAT
+	switch op {
+	case "count":
+		want, err = wrap.GroupCount()
+	case "sum":
+		want, err = wrap.GroupSum()
+	case "avg":
+		want, err = wrap.GroupAvg()
+	case "min":
+		want, err = wrap.GroupMin()
+	case "max":
+		want, err = wrap.GroupMax()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameBAT(got, want); err != nil {
+		t.Fatalf("group %s (%s): %v", op, fi, err)
+	}
+}
+
+// checkJoin compares the fused select→probe against Select + Join.
+func (tr *fusedTrial) checkJoin(t *testing.T, ctx context.Context, idx []int) {
+	t.Helper()
+	if !tr.joinable {
+		return
+	}
+	got, fi, err := tr.store.Pipeline(tr.predName, tr.lo, tr.hi).JoinProbe(ctx, tr.other)
+	if err != nil {
+		t.Fatalf("fused join probe: %v (fi=%v)", err, fi)
+	}
+	want, err := gather(tr.pred, tr.pred, idx).Join(tr.other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameBAT(got, want); err != nil {
+		t.Fatalf("join probe (%s): %v", fi, err)
+	}
+}
+
+// checkRuns compares SelectRuns against RunsOf over the ground-truth
+// positions.
+func (tr *fusedTrial) checkRuns(t *testing.T, ctx context.Context, idx []int) {
+	t.Helper()
+	runs, fi, err := tr.store.SelectRunsCtx(ctx, tr.predName, tr.lo, tr.hi)
+	if err != nil {
+		t.Fatalf("select runs: %v (fi=%v)", err, fi)
+	}
+	want := monet.RunsOf(idx)
+	if len(runs) != len(want) {
+		t.Fatalf("select runs (%s): %d runs, reference %d", fi, len(runs), len(want))
+	}
+	for i := range runs {
+		if runs[i] != want[i] {
+			t.Fatalf("select runs (%s): run %d = %+v, reference %+v", fi, i, runs[i], want[i])
+		}
+	}
+}
+
+// TestFusedEquivalenceProperty is the randomized fused ≡ unfused
+// property at pool widths 1, 4, and 8, with a concurrent writer
+// appending to a separate BAT in a separate store for the duration
+// (the kernel supports racing readers OR a writer per BAT, not both on
+// one BAT — cross-BAT concurrency is the supported surface).
+func TestFusedEquivalenceProperty(t *testing.T) {
+	groupOps := []string{"count", "sum", "avg", "min", "max"}
+	for _, width := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("w%d", width), func(t *testing.T) {
+			prev := monet.SetDefaultPoolWorkers(width)
+			defer monet.SetDefaultPoolWorkers(prev)
+
+			noise := monet.NewStore()
+			if err := noise.Put("noise", monet.NewBAT(monet.Void, monet.IntT)); err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := noise.Append("noise", monet.VoidValue(), monet.NewInt(int64(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			defer wg.Wait()
+			defer close(stop)
+
+			rng := rand.New(rand.NewSource(int64(1009 * width)))
+			ctx := context.Background()
+			for trial := 0; trial < 6; trial++ {
+				tr := newFusedTrial(t, rng, trial)
+				idx := refIdx(tr.pred, tr.lo, tr.hi)
+				tr.checkScalar(t, ctx, idx)
+				tr.checkGroup(t, ctx, idx, groupOps[trial%len(groupOps)])
+				tr.checkJoin(t, ctx, idx)
+				tr.checkRuns(t, ctx, idx)
+			}
+		})
+	}
+}
+
+// TestFusedGatePinsFallback proves the cost gate refuses to fuse in
+// every situation where the typed loops could diverge from Compare
+// semantics — and that the fallback it takes still matches the
+// reference.
+func TestFusedGatePinsFallback(t *testing.T) {
+	ctx := context.Background()
+	n := 4096
+
+	build := func(tail monet.Type, vals func(i int) monet.Value) (*monet.Store, *monet.BAT) {
+		store := monet.NewStore()
+		b := monet.NewBATCap(monet.OIDT, tail, n)
+		for i := 0; i < n; i++ {
+			b.MustInsert(monet.NewOID(monet.OID(i)), vals(i))
+		}
+		if err := store.Put("pred", b); err != nil {
+			t.Fatal(err)
+		}
+		return store, b
+	}
+
+	intVals := func(i int) monet.Value { return monet.NewInt(int64(i % 100)) }
+
+	t.Run("mixed-type bounds", func(t *testing.T) {
+		store, b := build(monet.IntT, intVals)
+		lo, hi := monet.NewFloat(10), monet.NewFloat(20)
+		got, fi, err := store.Pipeline("pred", lo, hi).Aggregate(ctx, "pred", "count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Fused || fi.Fallback != "mixed-type bounds" {
+			t.Fatalf("gate did not pin fallback: %v", fi)
+		}
+		if want := int64(len(refIdx(b, lo, hi))); got.I != want {
+			t.Fatalf("fallback count %d != reference %d", got.I, want)
+		}
+	})
+
+	t.Run("nan bound", func(t *testing.T) {
+		store, b := build(monet.FloatT, func(i int) monet.Value { return monet.NewFloat(float64(i % 100)) })
+		lo, hi := monet.NewFloat(10), monet.NewFloat(math.NaN())
+		got, fi, err := store.Pipeline("pred", lo, hi).Aggregate(ctx, "pred", "count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Fused || fi.Fallback != "nan bound" {
+			t.Fatalf("gate did not pin fallback: %v", fi)
+		}
+		if want := int64(len(refIdx(b, lo, hi))); got.I != want {
+			t.Fatalf("fallback count %d != reference %d", got.I, want)
+		}
+	})
+
+	t.Run("nan in column", func(t *testing.T) {
+		store, b := build(monet.FloatT, func(i int) monet.Value {
+			if i == n/2 {
+				return monet.NewFloat(math.NaN())
+			}
+			return monet.NewFloat(float64(i % 100))
+		})
+		lo, hi := monet.NewFloat(10), monet.NewFloat(20)
+		got, fi, err := store.Pipeline("pred", lo, hi).Aggregate(ctx, "pred", "count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Fused || fi.Fallback != "nan in column" {
+			t.Fatalf("gate did not pin fallback: %v", fi)
+		}
+		// The NaN row compares equal to everything under Compare, so the
+		// reference includes it — only the fallback reproduces that.
+		if want := int64(len(refIdx(b, lo, hi))); got.I != want {
+			t.Fatalf("fallback count %d != reference %d", got.I, want)
+		}
+	})
+
+	t.Run("float aggregate column", func(t *testing.T) {
+		store, b := build(monet.IntT, intVals)
+		fagg := monet.NewBATCap(monet.OIDT, monet.FloatT, n)
+		for i := 0; i < n; i++ {
+			fagg.MustInsert(monet.NewOID(monet.OID(i)), monet.NewFloat(float64(i)*0.25))
+		}
+		if err := store.Put("fagg", fagg); err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := monet.NewInt(10), monet.NewInt(20)
+		got, fi, err := store.Pipeline("pred", lo, hi).Aggregate(ctx, "fagg", "sum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Fused {
+			t.Fatalf("float aggregate column fused: %v", fi)
+		}
+		idx := refIdx(b, lo, hi)
+		s, err := gather(fagg, fagg, idx).Sum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != monet.NewFloat(s).String() {
+			t.Fatalf("fallback sum %s != reference %s", got, monet.NewFloat(s))
+		}
+		// count needs no aggregate reader, so the same predicate still
+		// fuses for it.
+		_, fi, err = store.Pipeline("pred", lo, hi).Aggregate(ctx, "fagg", "count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fi.Fused {
+			t.Fatalf("count over float aggregate column did not fuse: %v", fi)
+		}
+	})
+}

@@ -116,17 +116,24 @@ func parFilterIdx(p *Pool, n int, lat, spd *obs.Histogram, pred func(i int) bool
 	return parFilterIdxSpan(p, n, lat, spd, nil, pred)
 }
 
-// parFilterIdxSpan is parFilterIdx under an optional trace span.
+// parFilterIdxSpan is parFilterIdx under an optional trace span. Each
+// morsel collects matches into arena scratch and copies only the
+// exact-size survivor list out, so the fan-out's transient footprint
+// is bounded by pool width, not morsel count.
 func parFilterIdxSpan(p *Pool, n int, lat, spd *obs.Histogram, sp *obs.Span, pred func(i int) bool) []int {
 	parts := make([][]int, numMorsels(n))
 	runMorselsSpan(p, n, lat, spd, sp, func(m, lo, hi int) {
-		idx := make([]int, 0, hi-lo)
+		a := GetArena()
+		buf := a.Ints(hi - lo)
+		k := 0
 		for i := lo; i < hi; i++ {
 			if pred(i) {
-				idx = append(idx, i)
+				buf[k] = i
+				k++
 			}
 		}
-		parts[m] = idx
+		parts[m] = append([]int(nil), buf[:k]...)
+		PutArena(a)
 	})
 	total := 0
 	for _, part := range parts {
@@ -192,7 +199,7 @@ type hashIndex interface {
 // shard selected by its hash, so lookups touch one shard and per-key
 // position lists keep the serial build's ascending order.
 type shardedHash struct {
-	shards []*hashTable
+	shards []hashIndex
 	mask   uint64
 }
 
@@ -228,20 +235,25 @@ func buildHashIndex(c Column) hashIndex {
 func buildHashPar(p *Pool, c Column) *shardedHash {
 	n := c.Len()
 	nShards := nextPow2(2 * p.Workers())
-	sh := &shardedHash{shards: make([]*hashTable, nShards), mask: uint64(nShards - 1)}
+	sh := &shardedHash{shards: make([]hashIndex, nShards), mask: uint64(nShards - 1)}
 	routes := make([][][]int, numMorsels(n))
 	runMorsels(p, n, nil, nil, func(m, lo, hi int) {
 		// Count-then-fill radix partition: hash each position once into
-		// a scratch array, take per-shard counts, then carve one backing
-		// buffer into exact per-shard lists — four fixed allocations per
-		// morsel, no append growth, and positions stay ascending within
-		// each shard (the invariant the ordered phase-two insert needs).
+		// arena scratch, take per-shard counts, then carve one fresh
+		// backing buffer into exact per-shard lists — only the route
+		// lists (which phase two still needs) are allocated, and
+		// positions stay ascending within each shard (the invariant the
+		// ordered phase-two insert needs).
 		rows := hi - lo
-		hs := make([]uint64, rows)
-		counts := make([]int, nShards)
+		a := GetArena()
+		hs := a.Int64s(rows)
+		counts := a.Ints(nShards)
+		for s := range counts {
+			counts[s] = 0
+		}
 		for i := lo; i < hi; i++ {
 			s := hashKey(c.Get(i)) & sh.mask
-			hs[i-lo] = s
+			hs[i-lo] = int64(s)
 			counts[s]++
 		}
 		buf := make([]int, rows)
@@ -258,12 +270,28 @@ func buildHashPar(p *Pool, c Column) *shardedHash {
 			counts[s]++
 		}
 		routes[m] = r
+		PutArena(a)
 	})
+	keyAt := intReader(c)
 	b := p.Batch()
 	for s := 0; s < nShards; s++ {
 		s := s
 		//cobravet:allow allochot // one closure per shard is the phase-two fan-out unit; bounded by shard count
 		b.Submit(func() {
+			if keyAt != nil {
+				total := 0
+				for _, r := range routes {
+					total += len(r[s])
+				}
+				sh.shards[s] = buildCompactInt(keyAt, total, func(visit func(i int)) {
+					for _, r := range routes {
+						for _, i := range r[s] {
+							visit(i)
+						}
+					}
+				})
+				return
+			}
 			ht := newHashTable(c.Type(), n/nShards+1)
 			for _, r := range routes {
 				for _, i := range r[s] {

@@ -428,15 +428,17 @@ func featureBounds(op string, val float64) (lo, hi float64, ok bool) {
 }
 
 // indexedFeatureRuns evaluates a feature condition through the
-// kernel's adaptive access paths: the threshold becomes an inclusive
-// range select over the stored series (answered by zone map or
-// cracker without loading the column into Go values), and the
-// qualifying sample positions convert to runs directly. ok=false
-// falls back to the legacy full-load path — when indexing is
-// disabled, the operator has no range form, or the kernel answered
-// with a plain scan (a scan's Compare treats NaN as matching any
-// range, so only NaN-free indexed paths are guaranteed equivalent to
-// the legacy float comparison).
+// kernel's fused select→runs pipeline: the threshold becomes an
+// inclusive range select over the stored series whose qualifying
+// positions come back as maximal runs — on the fused path no
+// intermediate position list is materialized at all, and zone map,
+// cracker or dictionary answer the predicate without loading the
+// column into Go values. ok=false falls back to the legacy full-load
+// path — when indexing is disabled, the operator has no range form,
+// or the unfused kernel answered with a plain scan (a scan's Compare
+// treats NaN as matching any range, so only fused loops — whose gate
+// proves the column NaN-free — and NaN-free indexed paths are
+// guaranteed equivalent to the legacy float comparison).
 func (e *Engine) indexedFeatureRuns(ctx context.Context, cat *cobra.Catalog, video string, n *FeatureCond, leaf *obs.Span) ([]Result, bool) {
 	if e.NoIndex {
 		return nil, false
@@ -449,35 +451,30 @@ func (e *Engine) indexedFeatureRuns(ctx context.Context, cat *cobra.Catalog, vid
 	if err != nil {
 		return nil, false
 	}
-	pos, info, err := cat.FeatureSelectCtx(obs.ContextWithSpan(ctx, leaf), video, n.Name, lo, hi)
-	if err != nil || info.Path == monet.PathScan {
+	runs, fi, err := cat.FeatureRunsCtx(obs.ContextWithSpan(ctx, leaf), video, n.Name, lo, hi)
+	if err != nil || (!fi.Fused && (fi.Access == nil || fi.Access.Path == monet.PathScan)) {
 		return nil, false
 	}
 	scan := scanSpan(leaf, "cobra/feature/"+video+"/"+n.Name)
 	scan.SetAttr("rows", strconv.Itoa(total))
-	scan.SetAttr("access", info.String())
+	scan.SetAttr("access", fi.Access.String())
+	scan.SetAttr("fused", fi.String())
 	scan.Finish()
-	return runsFromPositions(pos, rate), true
+	return resultsFromRuns(runs, rate), true
 }
 
-// runsFromPositions converts ascending qualifying sample positions
-// into segments, with boundaries and noise floor identical to
-// featureRuns: a run of consecutive positions a..b spans
-// [a*step, (b+1)*step).
-func runsFromPositions(pos []int, rate float64) []Result {
+// resultsFromRuns converts the kernel's qualifying-position runs into
+// segments, with boundaries and noise floor identical to featureRuns:
+// a run of consecutive positions a..b spans [a*step, (b+1)*step).
+func resultsFromRuns(runs []monet.Run, rate float64) []Result {
 	step := 1 / rate
 	var out []Result
-	for i := 0; i < len(pos); {
-		j := i
-		for j+1 < len(pos) && pos[j+1] == pos[j]+1 {
-			j++
-		}
-		start := float64(pos[i]) * step
-		end := float64(pos[j]+1) * step
+	for _, r := range runs {
+		start := float64(r.Start) * step
+		end := float64(r.Start+r.Len) * step
 		if end-start >= minRunDur {
 			out = append(out, Result{Interval: cobra.Interval{Start: start, End: end}, Confidence: 1})
 		}
-		i = j + 1
 	}
 	return out
 }

@@ -192,7 +192,9 @@ func (p *planner) emit(c Cond) string {
 }
 
 // accessPath annotates a feature condition with the access path the
-// kernel's cost gate would choose for it right now. PlanAccess is
+// kernel's cost gate would choose for it right now, plus the fused
+// pipeline stages the select→runs execution would take (or the
+// fallback reason pinning it to operator-at-a-time). Both probes are
 // side-effect-free, so EXPLAIN never builds indexes or moves the
 // column through the gate's graduation counters.
 func (p *planner) accessPath(name string, n *FeatureCond) {
@@ -204,12 +206,16 @@ func (p *planner) accessPath(name string, n *FeatureCond) {
 		p.printf("# %s: access path: scan (no range form, legacy evaluation)", name)
 		return
 	}
-	info, err := p.store.PlanAccess(cobra.FeatureBATName(p.video, n.Name),
-		monet.NewFloat(lo), monet.NewFloat(hi))
+	bat := cobra.FeatureBATName(p.video, n.Name)
+	info, err := p.store.PlanAccess(bat, monet.NewFloat(lo), monet.NewFloat(hi))
 	if err != nil {
 		return // feature not materialized yet: nothing to plan against
 	}
-	p.printf("# %s: access path: %s", name, info)
+	fused := "fused=select→runs"
+	if d := p.store.FusedDecision(bat, bat, monet.NewFloat(lo), monet.NewFloat(hi), "count"); d != "fused" {
+		fused = "fused=no" + strings.TrimPrefix(d, "fallback")
+	}
+	p.printf("# %s: access path: %s %s", name, info, fused)
 }
 
 func formatFloat(f float64) string {

@@ -10,16 +10,17 @@ import "cobra/internal/vet"
 // analyzer's diagnostic code (CV001…), so codes never move once
 // assigned — new analyzers append.
 var All = []*vet.Analyzer{
-	SpanEnd,    // CV001
-	CtxSpan,    // CV002
-	GoFatal,    // CV003
-	StoreLock,  // CV004
-	ErrWrap,    // CV005
-	PoolLeak,   // CV006
-	EpochGuard, // CV007
-	LockOrder,  // CV008
-	GoLeak,     // CV009
-	AllocHot,   // CV010
-	ChanSend,   // CV011
-	AllowLint,  // CV012
+	SpanEnd,     // CV001
+	CtxSpan,     // CV002
+	GoFatal,     // CV003
+	StoreLock,   // CV004
+	ErrWrap,     // CV005
+	PoolLeak,    // CV006
+	EpochGuard,  // CV007
+	LockOrder,   // CV008
+	GoLeak,      // CV009
+	AllocHot,    // CV010
+	ChanSend,    // CV011
+	AllowLint,   // CV012
+	ArenaEscape, // CV013
 }

@@ -104,3 +104,7 @@ func render(diags []vet.Diagnostic) string {
 	}
 	return b.String()
 }
+
+func TestArenaEscape(t *testing.T) {
+	vettest.Run(t, ArenaEscape, "testdata/arenaescape")
+}

@@ -1,0 +1,110 @@
+// Package arenaescape is the arenaescape analyzer's fixture: the
+// three ways scratch can outlive its arena, next to the legal
+// copy-out and borrow-within-morsel patterns they are confused with.
+package arenaescape
+
+import "cobra/internal/monet"
+
+// escapesViaReturn hands arena scratch to the caller; the deferred
+// PutArena recycles the backing array while the caller still holds it.
+func escapesViaReturn(n int) []int {
+	a := monet.GetArena()
+	defer monet.PutArena(a)
+	buf := a.Ints(n)
+	return buf // want "escapes via return"
+}
+
+// copiedOut is the legal pattern: an exact-size copy leaves the arena
+// before the handle goes back.
+func copiedOut(n int) []int {
+	a := monet.GetArena()
+	buf := a.Ints(n)
+	out := append([]int(nil), buf...)
+	monet.PutArena(a)
+	return out
+}
+
+// storedPastScope parks a borrowed buffer in a caller-owned slot — the
+// joinPar bug shape, where per-morsel partials must be copied out.
+func storedPastScope(parts [][]int, k, n int) {
+	a := monet.GetArena()
+	ls := a.Ints(n)[:0]
+	ls = append(ls, k)
+	parts[k] = ls // want "stored into a longer-lived structure"
+	monet.PutArena(a)
+}
+
+// copyOutPerMorsel is the legal counterpart of storedPastScope.
+func copyOutPerMorsel(parts [][]int, k, n int) {
+	a := monet.GetArena()
+	ls := a.Ints(n)[:0]
+	ls = append(ls, k)
+	parts[k] = append([]int(nil), ls...)
+	monet.PutArena(a)
+}
+
+// usedAfterPut touches scratch after the handle was recycled: another
+// borrower may already be writing through the same backing array.
+func usedAfterPut(n int) int {
+	a := monet.GetArena()
+	buf := a.Ints(n)
+	monet.PutArena(a)
+	return buf[0] // want "used after its arena"
+}
+
+// handleAfterPut borrows from a handle that has already gone back.
+func handleAfterPut(n int) {
+	a := monet.GetArena()
+	_ = a.Ints(n)
+	monet.PutArena(a)
+	_ = a.Ints(n) // want "used after its arena"
+}
+
+// resetReleases covers the in-place release: Reset recycles the
+// scratch just like PutArena does.
+func resetReleases(n int) float64 {
+	a := monet.GetArena()
+	buf := a.Floats(n)
+	a.Reset()
+	return buf[0] // want "used after its arena"
+}
+
+var sink struct{ buf []int64 }
+
+// storedFromClosure leaks through a captured reference: the closure
+// stores the outer scope's buffer into package state.
+func storedFromClosure(n int) {
+	a := monet.GetArena()
+	buf := a.Int64s(n)
+	func() {
+		sink.buf = buf // want "stored into a longer-lived structure"
+	}()
+	monet.PutArena(a)
+}
+
+// morselLocal is the kernel's own shape: each closure borrows, uses,
+// copies out, and returns its arena — nothing to report.
+func morselLocal(parts [][]int, n int) {
+	for k := range parts {
+		k := k
+		func() {
+			a := monet.GetArena()
+			ls := a.Ints(n)[:0]
+			ls = append(ls, k)
+			parts[k] = append([]int(nil), ls...)
+			monet.PutArena(a)
+		}()
+	}
+}
+
+// slotsFollowTheRule covers the lookup tables: they live on the arena
+// too.
+func slotsFollowTheRule(keys []int64) int {
+	a := monet.GetArena()
+	slots := a.IntSlots()
+	for i, k := range keys {
+		slots[k] = int32(i)
+	}
+	monet.PutArena(a)
+	return len(slots) // want "used after its arena"
+}
